@@ -1,0 +1,513 @@
+package graphulo
+
+// The benchmark harness regenerates every table and figure of the paper
+// plus the §IV ablations (see DESIGN.md §4 / EXPERIMENTS.md for the
+// mapping). Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// Naming convention: BenchmarkTable1_* covers the seven Table I classes;
+// BenchmarkFig2/Fig3 the worked examples at scale; BenchmarkKernels_*
+// the GraphBLAS kernel suite of §I; Benchmark*Strategy/*VsClient the
+// §IV design-choice ablations.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// --- workload helpers (built once per size, cached) ---
+
+var benchGraphs = map[int]Graph{}
+
+func rmatGraph(scale int) Graph {
+	if g, ok := benchGraphs[scale]; ok {
+		return g
+	}
+	g := DedupGraph(RMAT(Graph500(scale, 11)))
+	benchGraphs[scale] = g
+	return g
+}
+
+// --- Table I: one benchmark per algorithm class ---
+
+func BenchmarkTable1_Traversal_BFS(b *testing.B) {
+	for _, scale := range []int{8, 10, 12} {
+		g := rmatGraph(scale)
+		adj := AdjacencyPat(g)
+		b.Run(fmt.Sprintf("scale%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				BFSLevels(adj, i%g.N)
+			}
+		})
+	}
+}
+
+func BenchmarkTable1_Subgraph_KTruss(b *testing.B) {
+	for _, scale := range []int{7, 8, 9} {
+		g := rmatGraph(scale)
+		E := Incidence(g)
+		b.Run(fmt.Sprintf("scale%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				KTrussEdge(E, 4)
+			}
+		})
+	}
+}
+
+func BenchmarkTable1_Centrality_PageRank(b *testing.B) {
+	for _, scale := range []int{8, 10, 12} {
+		g := rmatGraph(scale)
+		adj := AdjacencyPat(g)
+		b.Run(fmt.Sprintf("scale%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				PageRank(adj, 0.15, 1e-10, 500)
+			}
+		})
+	}
+}
+
+func BenchmarkTable1_Centrality_Eigenvector(b *testing.B) {
+	g := rmatGraph(10)
+	adj := AdjacencyPat(g)
+	for i := 0; i < b.N; i++ {
+		EigenvectorCentrality(adj, 1e-10, 1000)
+	}
+}
+
+func BenchmarkTable1_Centrality_Katz(b *testing.B) {
+	g := rmatGraph(10)
+	adj := AdjacencyPat(g)
+	for i := 0; i < b.N; i++ {
+		KatzCentrality(adj, 0.001, 1e-10, 500)
+	}
+}
+
+func BenchmarkTable1_Centrality_Betweenness(b *testing.B) {
+	g := rmatGraph(7)
+	adj := AdjacencyPat(g)
+	for i := 0; i < b.N; i++ {
+		BetweennessCentrality(adj)
+	}
+}
+
+func BenchmarkTable1_Similarity_Jaccard(b *testing.B) {
+	for _, scale := range []int{8, 9, 10} {
+		g := rmatGraph(scale)
+		adj := AdjacencyPat(g)
+		b.Run(fmt.Sprintf("scale%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Jaccard(adj)
+			}
+		})
+	}
+}
+
+func BenchmarkTable1_Community_NMF(b *testing.B) {
+	for _, tweets := range []int{2000, 8000, 20000} {
+		corpus := NewTweets(TweetCorpusConfig{NumTweets: tweets, Seed: 13})
+		m, _, _ := corpus.A.Matrix()
+		b.Run(fmt.Sprintf("tweets%d", tweets), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				NMF(m, NMFConfig{Topics: 5, MaxIter: 20, Seed: uint64(i)})
+			}
+		})
+	}
+}
+
+func BenchmarkTable1_Prediction_LinkPrediction(b *testing.B) {
+	g := rmatGraph(9)
+	adj := AdjacencyPat(g)
+	for i := 0; i < b.N; i++ {
+		LinkPrediction(adj, 10)
+	}
+}
+
+func BenchmarkTable1_ShortestPath_BellmanFord(b *testing.B) {
+	for _, scale := range []int{8, 10, 12} {
+		g := rmatGraph(scale)
+		var ts []Triple
+		for i, e := range g.Edges {
+			w := 1 + float64(i%7)
+			ts = append(ts, Triple{Row: e.U, Col: e.V, Val: w},
+				Triple{Row: e.V, Col: e.U, Val: w})
+		}
+		w := NewMatrix(g.N, g.N, ts, MinPlus)
+		b.Run(fmt.Sprintf("scale%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				BellmanFord(w, i%g.N)
+			}
+		})
+	}
+}
+
+// --- Figures ---
+
+// BenchmarkFig2 measures the full Jaccard pipeline of Algorithm 2 at
+// increasing scales (Fig. 2 is the worked 5-vertex instance).
+func BenchmarkFig2_JaccardPipeline(b *testing.B) {
+	adj := AdjacencyPat(PaperGraph())
+	for i := 0; i < b.N; i++ {
+		Jaccard(adj)
+	}
+}
+
+// BenchmarkFig3 measures the NMF topic-modeling experiment at the
+// paper's corpus size.
+func BenchmarkFig3_TwentyKTweetsNMF(b *testing.B) {
+	corpus := NewTweets(TweetCorpusConfig{NumTweets: 20000, Seed: 42})
+	m, _, _ := corpus.A.Matrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NMF(m, NMFConfig{Topics: 5, MaxIter: 20, Seed: 7})
+	}
+}
+
+// --- GraphBLAS kernel suite (§I) ---
+
+func BenchmarkKernels_SpGEMM(b *testing.B) {
+	for _, scale := range []int{8, 10, 12} {
+		g := rmatGraph(scale)
+		adj := AdjacencyPat(g)
+		b.Run(fmt.Sprintf("scale%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SpGEMM(adj, adj, PlusTimes)
+			}
+		})
+	}
+}
+
+func BenchmarkKernels_SpGEMMParallel(b *testing.B) {
+	g := rmatGraph(12)
+	adj := AdjacencyPat(g)
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SpGEMMParallel(adj, adj, PlusTimes, workers)
+			}
+		})
+	}
+}
+
+func BenchmarkKernels_SpMV(b *testing.B) {
+	g := rmatGraph(12)
+	adj := AdjacencyPat(g)
+	x := make([]float64, g.N)
+	for i := range x {
+		x[i] = float64(i % 3)
+	}
+	for i := 0; i < b.N; i++ {
+		SpMV(adj, x, PlusTimes)
+	}
+}
+
+func BenchmarkKernels_SpMSpV(b *testing.B) {
+	g := rmatGraph(12)
+	adj := AdjacencyPat(g)
+	frontier := &Vector{N: g.N, Idx: []int{0, 5, 9}, Val: []float64{1, 1, 1}}
+	for i := 0; i < b.N; i++ {
+		SpMSpV(adj, frontier, OrAnd)
+	}
+}
+
+func BenchmarkKernels_EWiseAdd(b *testing.B) {
+	g := rmatGraph(12)
+	adj := AdjacencyPat(g)
+	adj2 := Transpose(adj)
+	for i := 0; i < b.N; i++ {
+		EWiseAdd(adj, adj2, PlusTimes)
+	}
+}
+
+func BenchmarkKernels_Apply(b *testing.B) {
+	g := rmatGraph(12)
+	adj := Adjacency(g)
+	op := UnaryOp(func(v float64) float64 { return v * 2 })
+	for i := 0; i < b.N; i++ {
+		Apply(adj, op)
+	}
+}
+
+func BenchmarkKernels_Transpose(b *testing.B) {
+	g := rmatGraph(12)
+	adj := AdjacencyPat(g)
+	for i := 0; i < b.N; i++ {
+		Transpose(adj)
+	}
+}
+
+func BenchmarkKernels_ReduceRows(b *testing.B) {
+	g := rmatGraph(12)
+	adj := AdjacencyPat(g)
+	for i := 0; i < b.N; i++ {
+		ReduceRows(adj, PlusMonoid)
+	}
+}
+
+// --- §IV ablations ---
+
+// (a) k-truss support: full SpGEMM + indicator vs the fused kernel the
+// discussion proposes.
+func BenchmarkKTrussSupportStrategy(b *testing.B) {
+	g := rmatGraph(9)
+	E := Incidence(g)
+	b.Run("spgemm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			EdgeSupport(E)
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			EdgeSupportFused(E)
+		}
+	})
+}
+
+// (b) Jaccard: the paper's triangular split vs the direct A² form.
+func BenchmarkJaccardStrategy(b *testing.B) {
+	for _, scale := range []int{8, 10} {
+		g := rmatGraph(scale)
+		adj := AdjacencyPat(g)
+		b.Run(fmt.Sprintf("triangular/scale%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Jaccard(adj)
+			}
+		})
+		b.Run(fmt.Sprintf("dense/scale%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				JaccardDense(adj)
+			}
+		})
+	}
+}
+
+// (c) server-side TableMult vs thin-client multiply — the Graphulo
+// premise.
+func BenchmarkTableMultVsClient(b *testing.B) {
+	for _, scale := range []int{6, 8} {
+		g := rmatGraph(scale)
+		b.Run(fmt.Sprintf("server/scale%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := Open(ClusterConfig{TabletServers: 4})
+				tg, err := db.CreateGraph("B")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tg.Ingest(g); err != nil {
+					b.Fatal(err)
+				}
+				a, at, _ := tg.Tables()
+				b.StartTimer()
+				if _, err := db.TableMult(at, a, "Sq", "plus.times"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("client/scale%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := Open(ClusterConfig{TabletServers: 4})
+				tg, err := db.CreateGraph("B")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tg.Ingest(g); err != nil {
+					b.Fatal(err)
+				}
+				a, at, _ := tg.Tables()
+				b.StartTimer()
+				if _, err := db.TableMultClient(at, a, "Sq", "plus.times"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// (d) BFS frontier strategy: sparse SpMSpV frontier vs dense SpMV.
+func BenchmarkBFSFrontierStrategy(b *testing.B) {
+	g := rmatGraph(11)
+	adj := AdjacencyPat(g)
+	b.Run("spmspv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BFSLevels(adj, i%g.N)
+		}
+	})
+	b.Run("dense-spmv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bfsDense(adj, i%g.N)
+		}
+	})
+}
+
+// bfsDense is the dense-frontier BFS baseline: every step is a full
+// SpMV over the boolean semiring.
+func bfsDense(adj *Matrix, src int) []int {
+	n := adj.Rows()
+	levels := make([]int, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[src] = 0
+	x := make([]float64, n)
+	x[src] = 1
+	for depth := 1; ; depth++ {
+		y := SpMV(Transpose(adj), x, OrAnd)
+		changed := false
+		next := make([]float64, n)
+		for i := range y {
+			if y[i] != 0 && levels[i] == -1 {
+				levels[i] = depth
+				next[i] = 1
+				changed = true
+			}
+		}
+		if !changed {
+			return levels
+		}
+		x = next
+	}
+}
+
+// --- cluster micro-benchmarks ---
+
+func BenchmarkClusterIngest(b *testing.B) {
+	g := rmatGraph(10)
+	b.ReportMetric(float64(len(g.Edges)), "edges/op")
+	for i := 0; i < b.N; i++ {
+		db := Open(ClusterConfig{TabletServers: 4})
+		tg, err := db.CreateGraph("I")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tg.Ingest(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterScan(b *testing.B) {
+	g := rmatGraph(10)
+	db := Open(ClusterConfig{TabletServers: 4})
+	tg, err := db.CreateGraph("S")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tg.Ingest(g); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tg.Adjacency(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterBFSServerSide(b *testing.B) {
+	g := rmatGraph(10)
+	db := Open(ClusterConfig{TabletServers: 4})
+	tg, err := db.CreateGraph("BF")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tg.Ingest(g); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tg.BFS([]int{i % g.N}, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- extension algorithms (the paper's "future work" items) ---
+
+func BenchmarkExtension_Closeness(b *testing.B) {
+	g := rmatGraph(9)
+	adj := AdjacencyPat(g)
+	for i := 0; i < b.N; i++ {
+		ClosenessCentrality(adj)
+	}
+}
+
+func BenchmarkExtension_HITS(b *testing.B) {
+	g := rmatGraph(10)
+	adj := AdjacencyPat(g)
+	for i := 0; i < b.N; i++ {
+		HITS(adj, 1e-10, 1000)
+	}
+}
+
+func BenchmarkExtension_ClusteringCoefficients(b *testing.B) {
+	g := rmatGraph(10)
+	adj := AdjacencyPat(g)
+	for i := 0; i < b.N; i++ {
+		LocalClustering(adj)
+	}
+}
+
+func BenchmarkExtension_TruncatedSVD(b *testing.B) {
+	g := rmatGraph(8)
+	adj := AdjacencyPat(g)
+	for i := 0; i < b.N; i++ {
+		TruncatedSVD(adj, 4, 1e-8, 500)
+	}
+}
+
+func BenchmarkExtension_VertexNomination(b *testing.B) {
+	g := rmatGraph(10)
+	adj := AdjacencyPat(g)
+	for i := 0; i < b.N; i++ {
+		VertexNomination(adj, []int{i % g.N}, 0.15, 200)
+	}
+}
+
+func BenchmarkClusterPageRankServerSide(b *testing.B) {
+	g := rmatGraph(7)
+	db := Open(ClusterConfig{TabletServers: 4})
+	tg, err := db.CreateGraph("PRB")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tg.Ingest(g); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tg.PageRank(0.15, 1e-8, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Algorithm 4 ---
+
+func BenchmarkInverseNewtonSchulz(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		m := benchDiagDominant(n)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				InverseDense(m, 1e-12, 500)
+			}
+		})
+	}
+}
+
+func benchDiagDominant(n int) *Dense {
+	d := &Dense{R: n, C: n, Data: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		row := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := float64((i*13+j*7)%5) / 10
+				d.Data[i*n+j] = v
+				row += v
+			}
+		}
+		d.Data[i*n+i] = row + 2
+	}
+	return d
+}

@@ -1,0 +1,275 @@
+// Command graphulo runs the library's graph algorithms on generated
+// workloads, against the embedded NoSQL cluster or in memory.
+//
+// Usage:
+//
+//	graphulo <algorithm> [flags]
+//
+// Algorithms: bfs, degrees, pagerank, eigen, katz, betweenness, ktruss,
+// tricount, jaccard, nmf, sssp, components, info.
+//
+// The -graph flag selects the workload:
+//
+//	-graph rmat    -scale 10        Graph500 RMAT graph
+//	-graph er      -n 500 -m 2000   Erdős–Rényi
+//	-graph paper                    the paper's Fig. 1 graph
+//	-graph clique  -n 100 -k 8      planted clique
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"graphulo"
+)
+
+var (
+	graphKind = flag.String("graph", "paper", "workload: rmat | er | paper | clique")
+	scale     = flag.Int("scale", 8, "RMAT scale")
+	nFlag     = flag.Int("n", 200, "vertices (er, clique)")
+	mFlag     = flag.Int("m", 800, "edges (er)")
+	kFlag     = flag.Int("k", 4, "truss k / clique size / hops / topics")
+	seed      = flag.Uint64("seed", 1, "generator seed")
+	source    = flag.Int("source", 0, "BFS/SSSP source vertex")
+	useDB     = flag.Bool("db", false, "run through the embedded NoSQL cluster where supported")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: graphulo <algorithm> [flags]\n")
+		fmt.Fprintf(os.Stderr, "algorithms: bfs degrees pagerank eigen katz betweenness closeness hits clustering svd nominate ktruss tricount jaccard nmf sssp components info\n\n")
+		flag.PrintDefaults()
+	}
+	if len(os.Args) < 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	algorithm := os.Args[1]
+	if err := flag.CommandLine.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if err := run(algorithm); err != nil {
+		fmt.Fprintln(os.Stderr, "graphulo:", err)
+		os.Exit(1)
+	}
+}
+
+func makeGraph() graphulo.Graph {
+	switch *graphKind {
+	case "rmat":
+		return graphulo.DedupGraph(graphulo.RMAT(graphulo.Graph500(*scale, *seed)))
+	case "er":
+		return graphulo.DedupGraph(graphulo.ErdosRenyi(*nFlag, *mFlag, *seed))
+	case "clique":
+		g, _ := graphulo.PlantedClique(*nFlag, 0.05, *kFlag, *seed)
+		return graphulo.DedupGraph(g)
+	default:
+		return graphulo.PaperGraph()
+	}
+}
+
+func run(algorithm string) error {
+	g := makeGraph()
+	adj := graphulo.AdjacencyPat(g)
+	fmt.Printf("graph: %d vertices, %d edges\n", g.N, len(g.Edges))
+
+	switch algorithm {
+	case "info":
+		deg := graphulo.DegreeCentrality(adj)
+		maxD := 0.0
+		for _, d := range deg {
+			if d > maxD {
+				maxD = d
+			}
+		}
+		fmt.Printf("max degree %v, triangles %v\n", maxD, graphulo.TriangleCount(adj))
+
+	case "bfs":
+		if *useDB {
+			db := graphulo.Open(graphulo.ClusterConfig{})
+			tg, err := db.CreateGraph("G")
+			if err != nil {
+				return err
+			}
+			if err := tg.Ingest(g); err != nil {
+				return err
+			}
+			levels, err := tg.BFS([]int{*source}, *kFlag)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("visited %d vertices within %d hops (server-side)\n", len(levels), *kFlag)
+			return nil
+		}
+		levels := graphulo.BFSLevels(adj, *source)
+		hist := map[int]int{}
+		for _, l := range levels {
+			hist[l]++
+		}
+		fmt.Printf("BFS level histogram from %d: %v\n", *source, hist)
+
+	case "degrees":
+		if *useDB {
+			db := graphulo.Open(graphulo.ClusterConfig{})
+			tg, err := db.CreateGraph("G")
+			if err != nil {
+				return err
+			}
+			if err := tg.Ingest(g); err != nil {
+				return err
+			}
+			degs, err := tg.Degrees()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("degree table built server-side: %d vertices\n", len(degs))
+			return nil
+		}
+		printTop("degree", graphulo.DegreeCentrality(adj))
+
+	case "pagerank":
+		res := graphulo.PageRank(adj, 0.15, 1e-12, 1000)
+		fmt.Printf("converged=%v iterations=%d\n", res.Converged, res.Iterations)
+		printTop("pagerank", res.Scores)
+
+	case "eigen":
+		res := graphulo.EigenvectorCentrality(adj, 1e-10, 2000)
+		fmt.Printf("converged=%v iterations=%d\n", res.Converged, res.Iterations)
+		printTop("eigenvector", res.Scores)
+
+	case "katz":
+		res := graphulo.KatzCentrality(adj, 0.001, 1e-12, 500)
+		fmt.Printf("converged=%v iterations=%d\n", res.Converged, res.Iterations)
+		printTop("katz", res.Scores)
+
+	case "betweenness":
+		printTop("betweenness", graphulo.BetweennessCentrality(adj))
+
+	case "closeness":
+		printTop("closeness", graphulo.ClosenessCentrality(adj))
+		printTop("harmonic", graphulo.HarmonicCentrality(adj))
+
+	case "hits":
+		res := graphulo.HITS(adj, 1e-10, 2000)
+		fmt.Printf("converged=%v iterations=%d\n", res.Converged, res.Iterations)
+		printTop("hubs", res.Hubs)
+		printTop("authorities", res.Authorities)
+
+	case "clustering":
+		printTop("local clustering", graphulo.LocalClustering(adj))
+		fmt.Printf("global clustering coefficient: %.4f\n", graphulo.GlobalClustering(adj))
+
+	case "svd":
+		res := graphulo.TruncatedSVD(adj, *kFlag, 1e-10, 2000)
+		fmt.Printf("top-%d singular values: %.4g (in %d power iterations)\n",
+			*kFlag, res.S, res.Iterations)
+
+	case "nominate":
+		scores := graphulo.VertexNomination(adj, []int{*source}, 0.15, 500)
+		scores[*source] = 0 // hide the cue itself
+		printTop("nominated", scores)
+
+	case "ktruss":
+		if *useDB {
+			db := graphulo.Open(graphulo.ClusterConfig{})
+			tg, err := db.CreateGraph("G")
+			if err != nil {
+				return err
+			}
+			if err := tg.Ingest(g); err != nil {
+				return err
+			}
+			truss, err := tg.KTruss(*kFlag)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d-truss: %d directed entries (server-side)\n", *kFlag, truss.NNZ())
+			return nil
+		}
+		E := graphulo.Incidence(g)
+		truss := graphulo.KTrussEdge(E, *kFlag)
+		fmt.Printf("%d-truss keeps %d of %d edges\n", *kFlag, truss.Rows(), E.Rows())
+
+	case "tricount":
+		fmt.Printf("triangles: %v\n", graphulo.TriangleCount(adj))
+
+	case "jaccard":
+		J := graphulo.Jaccard(adj)
+		fmt.Printf("nonzero Jaccard pairs: %d\n", J.NNZ()/2)
+		preds := graphulo.LinkPrediction(adj, 5)
+		for _, p := range preds {
+			fmt.Printf("predicted link (%d,%d) score %.3f\n", p.U, p.V, p.Score)
+		}
+
+	case "nmf":
+		corpus := graphulo.NewTweets(graphulo.TweetCorpusConfig{NumTweets: 2000, Seed: *seed})
+		m, _, _ := corpus.A.Matrix()
+		res := graphulo.NMF(m, graphulo.NMFConfig{Topics: *kFlag, MaxIter: 40, Seed: *seed})
+		fmt.Printf("NMF k=%d: residual %.2f after %d iterations\n", *kFlag, res.Residual, res.Iterations)
+
+	case "sssp":
+		// Re-weight the graph and run Bellman–Ford under min.plus.
+		w := weighted(g, *seed)
+		dist, neg := graphulo.BellmanFord(w, *source)
+		if neg {
+			return fmt.Errorf("negative cycle")
+		}
+		reach := 0
+		for _, d := range dist {
+			if d < 1e308 {
+				reach++
+			}
+		}
+		fmt.Printf("shortest paths from %d reach %d vertices\n", *source, reach)
+
+	case "communities":
+		labels := graphulo.LabelPropagation(adj, 100, *seed)
+		fmt.Printf("%d communities, modularity %.4f\n",
+			graphulo.CommunityCount(labels), graphulo.Modularity(adj, labels))
+
+	case "components":
+		cc := graphulo.ConnectedComponents(adj)
+		sizes := map[int]int{}
+		for _, c := range cc {
+			sizes[c]++
+		}
+		fmt.Printf("%d connected components\n", len(sizes))
+
+	default:
+		return fmt.Errorf("unknown algorithm %q", algorithm)
+	}
+	return nil
+}
+
+func weighted(g graphulo.Graph, seed uint64) *graphulo.Matrix {
+	var ts []graphulo.Triple
+	for i, e := range g.Edges {
+		w := 1 + float64((uint64(i)*seed+3)%7)
+		ts = append(ts, graphulo.Triple{Row: e.U, Col: e.V, Val: w},
+			graphulo.Triple{Row: e.V, Col: e.U, Val: w})
+	}
+	return graphulo.NewMatrix(g.N, g.N, ts, graphulo.MinPlus)
+}
+
+func printTop(name string, scores []float64) {
+	type vs struct {
+		v int
+		s float64
+	}
+	rs := make([]vs, len(scores))
+	for i, s := range scores {
+		rs[i] = vs{i, s}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].s > rs[j].s })
+	n := 5
+	if n > len(rs) {
+		n = len(rs)
+	}
+	fmt.Printf("%s top%d:", name, n)
+	for _, r := range rs[:n] {
+		fmt.Printf(" v%d=%.4g", r.v, r.s)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,85 @@
+// Shortest paths through semiring swaps (Table I: Shortest Path): the
+// same SpGEMM/SpMV kernels compute distances once the algebra is
+// min.plus — the paper's §I point about the tropical semiring.
+//
+//	go run ./examples/shortest-paths
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"graphulo"
+)
+
+func main() {
+	// A small weighted road network.
+	//     (0)--4--(1)--1--(2)
+	//      |       |       |
+	//      2       5       3
+	//      |       |       |
+	//     (3)--1--(4)--2--(5)
+	edges := []struct {
+		u, v int
+		w    float64
+	}{
+		{0, 1, 4}, {1, 2, 1}, {0, 3, 2}, {1, 4, 5}, {2, 5, 3},
+		{3, 4, 1}, {4, 5, 2},
+	}
+	var ts []graphulo.Triple
+	for _, e := range edges {
+		ts = append(ts, graphulo.Triple{Row: e.u, Col: e.v, Val: e.w},
+			graphulo.Triple{Row: e.v, Col: e.u, Val: e.w})
+	}
+	w := graphulo.NewMatrix(6, 6, ts, graphulo.MinPlus)
+
+	// Single source: Bellman–Ford is just iterated min.plus SpMV.
+	dist, _ := graphulo.BellmanFord(w, 0)
+	fmt.Println("Bellman–Ford distances from 0:", dist)
+
+	// Same answer from Dijkstra (the classical baseline).
+	fmt.Println("Dijkstra distances from 0:   ", graphulo.Dijkstra(w, 0))
+
+	// All pairs: the min.plus closure via ⌈log n⌉ SpGEMMs — the
+	// Floyd–Warshall computation as pure GraphBLAS kernels.
+	apsp := graphulo.APSP(w)
+	fmt.Println("APSP (min.plus closure):")
+	fmt.Print(apsp)
+
+	// Classical Floyd–Warshall agrees.
+	fw := graphulo.FloydWarshall(w)
+	agree := true
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			got, stored := apsp.Get(i, j)
+			if math.IsInf(fw[i][j], 1) != !stored {
+				agree = false
+			} else if stored && math.Abs(got-fw[i][j]) > 1e-12 {
+				agree = false
+			}
+		}
+	}
+	fmt.Println("APSP == Floyd–Warshall:", agree)
+
+	// Negative edges: Johnson reweights with Bellman–Ford potentials.
+	var nts []graphulo.Triple
+	nts = append(nts,
+		graphulo.Triple{Row: 0, Col: 1, Val: 2},
+		graphulo.Triple{Row: 1, Col: 2, Val: -1},
+		graphulo.Triple{Row: 0, Col: 2, Val: 4},
+		graphulo.Triple{Row: 2, Col: 3, Val: 2},
+	)
+	neg := graphulo.NewMatrix(4, 4, nts, graphulo.MinPlus)
+	jd, ok := graphulo.Johnson(neg)
+	fmt.Println("Johnson on a graph with a negative edge (ok:", ok, "):")
+	fmt.Print(jd)
+
+	// Bottleneck (widest) paths: max.min semiring, same kernels again.
+	cap01 := graphulo.NewMatrix(3, 3, []graphulo.Triple{
+		{Row: 0, Col: 1, Val: 10}, {Row: 1, Col: 2, Val: 4}, {Row: 0, Col: 2, Val: 3},
+	}, graphulo.MaxMin)
+	// One hop of max.min SpGEMM: widest 2-hop path 0→2 has capacity
+	// min(10, 4) = 4 > direct 3.
+	two := graphulo.SpGEMM(cap01, cap01, graphulo.MaxMin)
+	fmt.Printf("widest 2-hop 0→2 capacity: %v (direct edge: 3)\n", two.At(0, 2))
+}

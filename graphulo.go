@@ -1,0 +1,393 @@
+// Package graphulo is a Go reproduction of "Graphulo: Linear Algebra
+// Graph Kernels for NoSQL Databases" (Gadepally et al., 2015): GraphBLAS
+// kernels — SpGEMM, SpM{Sp}V, SpEWiseX, SpRef, SpAsgn, Scale, Apply,
+// Reduce — over sparse matrices and associative arrays, executed either
+// in memory or inside an embedded Accumulo-style NoSQL cluster through
+// server-side iterators.
+//
+// Three layers:
+//
+//   - In-memory kernels and algorithms: Matrix/Assoc types with the
+//     paper's §III algorithms (BFS, centrality, k-truss, Jaccard, NMF,
+//     shortest paths), all semiring-generic.
+//   - The embedded cluster: Open starts a MiniCluster; TableGraph stores
+//     a graph in adjacency tables and runs the same algorithms with the
+//     heavy kernels executing server-side (TableMult, RowReduce, Apply).
+//   - Generators: RMAT/Graph500 power-law graphs, Erdős–Rényi,
+//     structured graphs, the paper's Fig. 1 example, and the synthetic
+//     tweet corpus used for the Fig. 3 topic-modeling experiment.
+package graphulo
+
+import (
+	"fmt"
+
+	"graphulo/internal/accumulo"
+	"graphulo/internal/algo"
+	"graphulo/internal/assoc"
+	"graphulo/internal/core"
+	"graphulo/internal/gen"
+	"graphulo/internal/schema"
+	"graphulo/internal/semiring"
+	"graphulo/internal/skv"
+	"graphulo/internal/sparse"
+)
+
+// Re-exported core types. Aliases keep one set of method docs while
+// letting downstream code name the types.
+type (
+	// Matrix is a sparse CSR matrix with semiring-generic kernels.
+	Matrix = sparse.Matrix
+	// Triple is a (row, col, value) coordinate entry.
+	Triple = sparse.Triple
+	// Dense is a small dense matrix (NMF factors).
+	Dense = sparse.Dense
+	// Vector is a sparse vector for SpMSpV.
+	Vector = sparse.Vector
+	// Assoc is an associative array: a sparse matrix with string keys.
+	Assoc = assoc.Assoc
+	// AssocEntry is one (row key, col key, value) entry.
+	AssocEntry = assoc.Entry
+	// Semiring is the (⊕, ⊗, 0, 1) algebra kernels are generic over.
+	Semiring = semiring.Semiring
+	// Monoid is an associative operator with identity, used by Reduce.
+	Monoid = semiring.Monoid
+	// UnaryOp transforms values under Apply.
+	UnaryOp = semiring.UnaryOp
+	// Graph is an edge-list graph from the generators.
+	Graph = gen.Graph
+	// Edge is one edge of a Graph.
+	Edge = gen.Edge
+	// NMFResult carries an NMF factorisation (Algorithms 3/5).
+	NMFResult = algo.NMFResult
+	// NMFConfig parameterises NMF.
+	NMFConfig = algo.NMFConfig
+	// PredictedLink is a link-prediction candidate.
+	PredictedLink = algo.PredictedLink
+	// TweetCorpus is the synthetic Fig. 3 workload.
+	TweetCorpus = gen.TweetCorpus
+	// TweetCorpusConfig sizes the synthetic corpus.
+	TweetCorpusConfig = gen.TweetCorpusConfig
+	// RMATConfig parameterises the RMAT generator.
+	RMATConfig = gen.RMATConfig
+	// SVDResult holds a truncated singular value decomposition.
+	SVDResult = algo.SVDResult
+	// HITSResult holds hub and authority scores.
+	HITSResult = algo.HITSResult
+)
+
+// Standard semirings and monoids.
+var (
+	PlusTimes = semiring.PlusTimes
+	MinPlus   = semiring.MinPlus
+	MaxPlus   = semiring.MaxPlus
+	OrAnd     = semiring.OrAnd
+	MaxMin    = semiring.MaxMin
+
+	PlusMonoid = semiring.PlusMonoid
+	MinMonoid  = semiring.MinMonoid
+	MaxMonoid  = semiring.MaxMonoid
+)
+
+// In-memory kernel surface (the GraphBLAS set from §I).
+var (
+	NewMatrix        = sparse.NewFromTriples
+	NewMatrixDense   = sparse.NewFromDense
+	Eye              = sparse.Eye
+	SpGEMM           = sparse.SpGEMM
+	SpGEMMParallel   = sparse.SpGEMMParallel
+	SpMV             = sparse.SpMV
+	SpMSpV           = sparse.SpMSpV
+	EWiseAdd         = sparse.EWiseAdd
+	EWiseMult        = sparse.EWiseMult
+	SpRef            = sparse.SpRef
+	SpAsgn           = sparse.SpAsgn
+	Scale            = sparse.Scale
+	Apply            = sparse.Apply
+	Reduce           = sparse.Reduce
+	ReduceRows       = sparse.ReduceRows
+	ReduceCols       = sparse.ReduceCols
+	Transpose        = sparse.Transpose
+	Triu             = sparse.Triu
+	Tril             = sparse.Tril
+	Kron             = sparse.Kron
+	NewAssoc         = assoc.New
+	AssocAdd         = assoc.Add
+	AssocMultiply    = assoc.Multiply
+	AssocElementMult = assoc.ElementMult
+	ReadAssocTSV     = assoc.ReadTSV
+)
+
+// Graph algorithms (§III; one or more per Table I class).
+var (
+	BFSLevels              = algo.BFSLevels
+	BFSParents             = algo.BFSParents
+	DFSOrder               = algo.DFSOrder
+	ConnectedComponents    = algo.ConnectedComponents
+	DegreeCentrality       = algo.DegreeCentrality
+	EigenvectorCentrality  = algo.EigenvectorCentrality
+	KatzCentrality         = algo.KatzCentrality
+	PageRank               = algo.PageRank
+	BetweennessCentrality  = algo.BetweennessCentrality
+	KTrussEdge             = algo.KTrussEdge
+	KTrussAdj              = algo.KTrussAdj
+	EdgeSupport            = algo.EdgeSupport
+	EdgeSupportFused       = algo.EdgeSupportFused
+	TrussDecomposition     = algo.TrussDecomposition
+	TriangleCount          = algo.TriangleCount
+	Jaccard                = algo.Jaccard
+	JaccardDense           = algo.JaccardDense
+	LinkPrediction         = algo.LinkPrediction
+	NMF                    = algo.NMF
+	Inverse                = algo.Inverse
+	InverseDense           = algo.InverseDense
+	TopTerms               = algo.TopTerms
+	AssignTopics           = algo.AssignTopics
+	TopicPurity            = algo.TopicPurity
+	LabelPropagation       = algo.LabelPropagation
+	Modularity             = algo.Modularity
+	CommunityCount         = algo.CommunityCount
+	TruncatedSVD           = algo.TruncatedSVD
+	PCA                    = algo.PCA
+	VertexNomination       = algo.VertexNomination
+	ClosenessCentrality    = algo.ClosenessCentrality
+	HarmonicCentrality     = algo.HarmonicCentrality
+	ClosenessWeighted      = algo.ClosenessWeighted
+	HITS                   = algo.HITS
+	LocalClustering        = algo.LocalClusteringCoefficient
+	GlobalClustering       = algo.GlobalClusteringCoefficient
+	BellmanFord            = algo.BellmanFord
+	Dijkstra               = algo.Dijkstra
+	APSP                   = algo.APSP
+	FloydWarshall          = algo.FloydWarshall
+	Johnson                = algo.Johnson
+	IncidenceFromAdjacency = algo.IncidenceFromAdjacency
+)
+
+// Generators.
+var (
+	RMAT          = gen.RMAT
+	Graph500      = gen.Graph500
+	ErdosRenyi    = gen.ErdosRenyi
+	PathGraph     = gen.Path
+	CycleGraph    = gen.Cycle
+	StarGraph     = gen.Star
+	CompleteGraph = gen.Complete
+	Barbell       = gen.Barbell
+	PlantedClique = gen.PlantedClique
+	PaperGraph    = gen.PaperGraph
+	Adjacency     = gen.Adjacency
+	AdjacencyPat  = gen.AdjacencyPattern
+	Incidence     = gen.Incidence
+	DedupGraph    = gen.Dedup
+	NewTweets     = gen.NewTweetCorpus
+)
+
+// ClusterConfig sizes the embedded NoSQL cluster.
+type ClusterConfig struct {
+	// TabletServers is the number of tablet server instances (default 2).
+	TabletServers int
+	// MemLimit bounds each tablet's memtable before auto-compaction.
+	MemLimit int
+	// WireBatch is the entries-per-RPC batch size.
+	WireBatch int
+}
+
+// DB is a handle to an embedded Graphulo cluster.
+type DB struct {
+	cluster *accumulo.MiniCluster
+	conn    *accumulo.Connector
+}
+
+// Open starts an embedded mini-cluster.
+func Open(cfg ClusterConfig) *DB {
+	mc := accumulo.NewMiniCluster(accumulo.Config{
+		TabletServers: cfg.TabletServers,
+		MemLimit:      cfg.MemLimit,
+		WireBatch:     cfg.WireBatch,
+	})
+	return &DB{cluster: mc, conn: mc.Connector()}
+}
+
+// Connector exposes the low-level Accumulo-style client for advanced
+// use (table ops, custom scans, iterator attachment).
+func (db *DB) Connector() *accumulo.Connector { return db.conn }
+
+// Metrics returns cumulative wire/RPC/entry counters.
+func (db *DB) Metrics() (wireBytes, rpcs, written, scanned int64) {
+	m := &db.cluster.Metrics
+	return m.WireBytes.Load(), m.RPCs.Load(), m.EntriesWritten.Load(), m.EntriesScanned.Load()
+}
+
+// TableGraph is a graph stored in adjacency tables (A, Aᵀ, degree),
+// with algorithms whose data-heavy kernels run server-side.
+type TableGraph struct {
+	db     *DB
+	schema *schema.AdjacencySchema
+	name   string
+}
+
+// CreateGraph creates the table trio for a named graph.
+func (db *DB) CreateGraph(name string) (*TableGraph, error) {
+	s, err := schema.NewAdjacencySchema(db.conn, name)
+	if err != nil {
+		return nil, err
+	}
+	return &TableGraph{db: db, schema: s, name: name}, nil
+}
+
+// Ingest loads an undirected edge-list graph.
+func (g *TableGraph) Ingest(graph Graph) error { return g.schema.IngestGraph(graph) }
+
+// IngestDirected loads a directed edge-list graph.
+func (g *TableGraph) IngestDirected(graph Graph) error { return g.schema.IngestDirected(graph) }
+
+// Tables returns the underlying table names (A, Aᵀ, degree).
+func (g *TableGraph) Tables() (a, at, deg string) {
+	return g.schema.Table, g.schema.TableT, g.schema.DegTable
+}
+
+// VertexName converts an integer vertex id to its row key.
+func VertexName(v int) string { return schema.VertexName(v) }
+
+// ParseVertex converts a row key back to the vertex id.
+func ParseVertex(key string) (int, error) { return schema.ParseVertex(key) }
+
+// BFS runs a k-hop breadth-first search from the seed vertices,
+// returning vertex-key → hop level.
+func (g *TableGraph) BFS(seeds []int, hops int) (map[string]int, error) {
+	keys := make([]string, len(seeds))
+	for i, s := range seeds {
+		keys[i] = schema.VertexName(s)
+	}
+	return core.AdjBFS(g.db.conn, g.schema.Table, keys, hops, core.AdjBFSOptions{})
+}
+
+// BFSFiltered is BFS with degree-table filtering (Graphulo's AdjBFS).
+func (g *TableGraph) BFSFiltered(seeds []int, hops int, minDeg, maxDeg float64) (map[string]int, error) {
+	keys := make([]string, len(seeds))
+	for i, s := range seeds {
+		keys[i] = schema.VertexName(s)
+	}
+	return core.AdjBFS(g.db.conn, g.schema.Table, keys, hops, core.AdjBFSOptions{
+		MinDegree: minDeg, MaxDegree: maxDeg, DegTable: g.schema.DegTable,
+	})
+}
+
+// Degrees computes the degree table server-side and returns it.
+func (g *TableGraph) Degrees() (map[string]float64, error) {
+	out := g.name + "DegOut"
+	// A stale output table would sum with the fresh reduction.
+	if err := g.db.dropIfExists(out); err != nil {
+		return nil, err
+	}
+	if _, err := core.TableDegrees(g.db.conn, g.schema.Table, out); err != nil {
+		return nil, err
+	}
+	sc, err := g.db.conn.CreateScanner(out)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := sc.Entries()
+	if err != nil {
+		return nil, err
+	}
+	res := make(map[string]float64, len(entries))
+	for _, e := range entries {
+		if v, ok := skv.DecodeFloat(e.V); ok {
+			res[e.K.Row] = v
+		}
+	}
+	return res, nil
+}
+
+// KTruss computes the k-truss server-side, returning the surviving
+// adjacency as an associative array.
+func (g *TableGraph) KTruss(k int) (*Assoc, error) {
+	out := fmt.Sprintf("%sKT%d", g.name, k)
+	if _, err := core.KTrussAdjTable(g.db.conn, g.schema.Table, out, k, g.name+"KTs"); err != nil {
+		return nil, err
+	}
+	return schema.ReadAssoc(g.db.conn, out)
+}
+
+// Jaccard computes all-pairs Jaccard coefficients (upper triangle),
+// returning them as an associative array.
+func (g *TableGraph) Jaccard() (*Assoc, error) {
+	deg := g.name + "JDeg"
+	out := g.name + "JOut"
+	for _, stale := range []string{deg, out} {
+		if err := g.db.dropIfExists(stale); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := core.TableDegrees(g.db.conn, g.schema.Table, deg); err != nil {
+		return nil, err
+	}
+	if _, err := core.JaccardTable(g.db.conn, g.schema.Table, deg, out); err != nil {
+		return nil, err
+	}
+	return schema.ReadAssoc(g.db.conn, out)
+}
+
+// dropIfExists deletes a table when present, so derived outputs are
+// rebuilt from scratch rather than combined with stale entries.
+func (db *DB) dropIfExists(name string) error {
+	ops := db.conn.TableOperations()
+	if ops.Exists(name) {
+		return ops.Delete(name)
+	}
+	return nil
+}
+
+// TriangleCount counts triangles with a server-side TableMult.
+func (g *TableGraph) TriangleCount() (float64, error) {
+	return core.TriangleCountTable(g.db.conn, g.schema.Table, g.name+"TCsq")
+}
+
+// PageRank runs the power iteration with the adjacency matrix staying
+// server-side; only the O(V) rank vector crosses the wire per step.
+func (g *TableGraph) PageRank(alpha, tol float64, maxIter int) (map[string]float64, int, error) {
+	res, err := core.PageRankTable(g.db.conn, g.schema.Table, g.schema.DegTable, alpha, tol, maxIter)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Ranks, res.Iterations, nil
+}
+
+// Adjacency reads the graph back as an associative array (for handing
+// to the in-memory algorithms).
+func (g *TableGraph) Adjacency() (*Assoc, error) {
+	return schema.ReadAssoc(g.db.conn, g.schema.Table)
+}
+
+// TableMult exposes the server-side C ⊕= Aᵀ·B kernel on raw tables.
+func (db *DB) TableMult(tableAT, tableB, tableC, semiringName string) (int, error) {
+	return core.TableMult(db.conn, tableAT, tableB, tableC, core.MultOptions{Semiring: semiringName})
+}
+
+// TableMultClient is the thin-client multiply baseline (ablation).
+func (db *DB) TableMultClient(tableAT, tableB, tableC, semiringName string) (int, error) {
+	return core.TableMultClient(db.conn, tableAT, tableB, tableC, core.MultOptions{Semiring: semiringName})
+}
+
+// WriteAssoc stores an associative array into a table.
+func (db *DB) WriteAssoc(table string, a *Assoc) error {
+	ops := db.conn.TableOperations()
+	if !ops.Exists(table) {
+		if err := ops.Create(table); err != nil {
+			return err
+		}
+	}
+	return schema.WriteAssoc(db.conn, table, a)
+}
+
+// ReadAssoc loads a table into an associative array.
+func (db *DB) ReadAssoc(table string) (*Assoc, error) {
+	return schema.ReadAssoc(db.conn, table)
+}
+
+// NMFTopics factorises a document×term table into W and H tables and
+// returns the result (Fig. 3's pipeline).
+func (db *DB) NMFTopics(docTermTable, wTable, hTable string, cfg NMFConfig) (NMFResult, error) {
+	return core.NMFTable(db.conn, docTermTable, wTable, hTable, cfg)
+}

@@ -1,0 +1,250 @@
+package graphulo
+
+import (
+	"math"
+	"testing"
+)
+
+// The public-API tests exercise the facade end to end: in-memory
+// kernels, table-backed algorithms, and the agreement between the two.
+
+func TestInMemoryKernelSurface(t *testing.T) {
+	a := NewMatrix(2, 2, []Triple{{Row: 0, Col: 1, Val: 2}, {Row: 1, Col: 0, Val: 3}}, PlusTimes)
+	c := SpGEMM(a, a, PlusTimes)
+	if c.At(0, 0) != 6 || c.At(1, 1) != 6 {
+		t.Fatalf("SpGEMM via facade wrong:\n%v", c)
+	}
+	y := SpMV(a, []float64{1, 1}, PlusTimes)
+	if y[0] != 2 || y[1] != 3 {
+		t.Fatalf("SpMV via facade wrong: %v", y)
+	}
+	if Reduce(a, PlusMonoid) != 5 {
+		t.Fatalf("Reduce via facade wrong")
+	}
+}
+
+func TestAssocSurface(t *testing.T) {
+	a := NewAssoc([]AssocEntry{{Row: "x", Col: "y", Val: 1}}, PlusTimes)
+	b := NewAssoc([]AssocEntry{{Row: "x", Col: "y", Val: 2}}, PlusTimes)
+	if AssocAdd(a, b).At("x", "y") != 3 {
+		t.Fatalf("assoc add via facade wrong")
+	}
+}
+
+func TestEndToEndTableGraph(t *testing.T) {
+	db := Open(ClusterConfig{TabletServers: 2, MemLimit: 256})
+	g, err := db.CreateGraph("Web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph := DedupGraph(RMAT(Graph500(6, 2)))
+	if err := g.Ingest(graph); err != nil {
+		t.Fatal(err)
+	}
+
+	// Degrees from the server-side RowReduce match the in-memory ones.
+	adj := AdjacencyPat(graph)
+	wantDeg := DegreeCentrality(adj)
+	deg, err := g.Degrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < graph.N; v++ {
+		if wantDeg[v] == 0 {
+			continue // isolated vertices never reach the table
+		}
+		if deg[VertexName(v)] != wantDeg[v] {
+			t.Fatalf("deg[%d] = %v, want %v", v, deg[VertexName(v)], wantDeg[v])
+		}
+	}
+
+	// BFS levels agree with the in-memory algorithm.
+	src := graph.Edges[0].U
+	levels, err := g.BFS([]int{src}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLevels := BFSLevels(adj, src)
+	for v := 0; v < graph.N; v++ {
+		key := VertexName(v)
+		got, visited := levels[key]
+		switch {
+		case wantLevels[v] >= 0 && wantLevels[v] <= 3:
+			if !visited || got != wantLevels[v] {
+				t.Fatalf("BFS level[%d] = %d (visited %v), want %d", v, got, visited, wantLevels[v])
+			}
+		default:
+			if visited {
+				t.Fatalf("vertex %d should not be visited within 3 hops", v)
+			}
+		}
+	}
+
+	// Triangle counting via server-side TableMult.
+	tri, err := g.TriangleCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := TriangleCount(adj); tri != want {
+		t.Fatalf("table triangles = %v, in-memory %v", tri, want)
+	}
+
+	// Metrics moved.
+	wire, rpcs, written, scanned := db.Metrics()
+	if wire == 0 || rpcs == 0 || written == 0 || scanned == 0 {
+		t.Fatalf("metrics look dead: %d %d %d %d", wire, rpcs, written, scanned)
+	}
+}
+
+func TestEndToEndKTrussAndJaccard(t *testing.T) {
+	db := Open(ClusterConfig{})
+	g, err := db.CreateGraph("Soc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph := DedupGraph(Barbell(4, 1))
+	if err := g.Ingest(graph); err != nil {
+		t.Fatal(err)
+	}
+	truss, err := g.KTruss(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4-truss of barbell(4,1) = the two K4s: 2 × 12 directed entries.
+	if truss.NNZ() != 24 {
+		t.Fatalf("truss nnz = %d, want 24", truss.NNZ())
+	}
+	jac, err := g.Jaccard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Jaccard(AdjacencyPat(graph))
+	for _, e := range jac.Entries() {
+		u, err1 := ParseVertex(e.Row)
+		v, err2 := ParseVertex(e.Col)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad keys %q %q", e.Row, e.Col)
+		}
+		if math.Abs(want.At(u, v)-e.Val) > 1e-12 {
+			t.Fatalf("jaccard (%d,%d) = %v, want %v", u, v, e.Val, want.At(u, v))
+		}
+	}
+}
+
+func TestTableMultFacade(t *testing.T) {
+	db := Open(ClusterConfig{})
+	a := NewAssoc([]AssocEntry{
+		{Row: "i", Col: "x", Val: 2},
+		{Row: "i", Col: "y", Val: 3},
+	}, PlusTimes)
+	if err := db.WriteAssoc("FA", a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.TableMult("FA", "FA", "FC", "plus.times"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := db.ReadAssoc("FC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C = AᵀA: C[x][x]=4, C[x][y]=6, C[y][x]=6, C[y][y]=9.
+	if c.At("x", "y") != 6 || c.At("y", "y") != 9 {
+		t.Fatalf("facade TableMult wrong:\n%v", c)
+	}
+}
+
+func TestNMFTopicsFacade(t *testing.T) {
+	db := Open(ClusterConfig{})
+	corpus := NewTweets(TweetCorpusConfig{NumTweets: 150, Seed: 8})
+	if err := db.WriteAssoc("Tweets", corpus.A); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.NMFTopics("Tweets", "TW", "TH", NMFConfig{Topics: 5, MaxIter: 25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W == nil || res.H == nil {
+		t.Fatalf("missing factors")
+	}
+	h, err := db.ReadAssoc("TH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Rows()) != 5 {
+		t.Fatalf("H topics = %v", h.Rows())
+	}
+}
+
+// Derived-output methods must be idempotent: calling them twice must
+// not fold stale results into fresh ones through the sum combiner.
+func TestTableGraphMethodsAreRerunSafe(t *testing.T) {
+	db := Open(ClusterConfig{})
+	g, err := db.CreateGraph("RR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Ingest(PaperGraph()); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := g.Degrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := g.Degrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range d1 {
+		if d2[k] != v {
+			t.Fatalf("second Degrees() changed %s: %v vs %v", k, v, d2[k])
+		}
+	}
+	j1, err := g.Jaccard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := g.Jaccard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.NNZ() != j2.NNZ() {
+		t.Fatalf("second Jaccard() changed nnz: %d vs %d", j1.NNZ(), j2.NNZ())
+	}
+	for _, e := range j1.Entries() {
+		if math.Abs(j2.At(e.Row, e.Col)-e.Val) > 1e-12 {
+			t.Fatalf("second Jaccard() changed (%s,%s)", e.Row, e.Col)
+		}
+	}
+}
+
+func TestNMFTopicsRerunSafe(t *testing.T) {
+	db := Open(ClusterConfig{})
+	corpus := NewTweets(TweetCorpusConfig{NumTweets: 80, Seed: 3})
+	if err := db.WriteAssoc("RT", corpus.A); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := db.NMFTopics("RT", "RW", "RH", NMFConfig{Topics: 3, MaxIter: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.NMFTopics("RT", "RW", "RH", NMFConfig{Topics: 3, MaxIter: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Residual-r2.Residual) > 1e-9 {
+		t.Fatalf("re-run changed residual: %v vs %v", r1.Residual, r2.Residual)
+	}
+	h, err := db.ReadAssoc("RH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// If stale factors summed, the H entries would have doubled.
+	for _, e := range h.Entries() {
+		if e.Val > float64(corpus.A.NNZ()) {
+			t.Fatalf("suspiciously large H entry %v — stale fold?", e.Val)
+		}
+	}
+	if len(h.Rows()) != 3 {
+		t.Fatalf("H rows = %v", h.Rows())
+	}
+}

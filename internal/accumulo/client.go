@@ -1,0 +1,483 @@
+package accumulo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"graphulo/internal/iterator"
+	"graphulo/internal/skv"
+	"graphulo/internal/tablet"
+)
+
+// Connector is a client handle to the cluster, mirroring Accumulo's
+// Connector API surface: TableOperations plus writer/scanner factories.
+type Connector struct {
+	mc *MiniCluster
+}
+
+// Cluster exposes the underlying mini-cluster (for metrics and failure
+// injection in tests and benches).
+func (c *Connector) Cluster() *MiniCluster { return c.mc }
+
+// TableOperations returns the table admin interface.
+func (c *Connector) TableOperations() *TableOperations {
+	return &TableOperations{mc: c.mc}
+}
+
+// TableOperations administers tables: create, delete, splits, iterator
+// attachment, and compactions.
+type TableOperations struct {
+	mc *MiniCluster
+}
+
+// Create makes an empty table with a single tablet and the default
+// versioning iterator (maxVersions = 1) at every scope.
+func (t *TableOperations) Create(name string) error {
+	return t.CreateWithSplits(name, nil)
+}
+
+// CreateWithSplits makes a table pre-split at the given row boundaries.
+func (t *TableOperations) CreateWithSplits(name string, splits []string) error {
+	if name == "" {
+		return fmt.Errorf("accumulo: empty table name")
+	}
+	t.mc.mu.Lock()
+	defer t.mc.mu.Unlock()
+	if _, dup := t.mc.tables[name]; dup {
+		return fmt.Errorf("accumulo: table %q already exists", name)
+	}
+	meta := &tableMeta{
+		name:  name,
+		iters: map[Scope][]iterator.Setting{},
+	}
+	for _, s := range AllScopes {
+		meta.iters[s] = []iterator.Setting{{Name: "versioning", Priority: 20,
+			Opts: map[string]string{"maxVersions": "1"}}}
+	}
+	sorted := append([]string(nil), splits...)
+	sort.Strings(sorted)
+	meta.splits = sorted
+	bounds := append([]string{""}, sorted...)
+	for i, start := range bounds {
+		end := ""
+		if i < len(sorted) {
+			end = sorted[i]
+		}
+		meta.tablets = append(meta.tablets, &tabletRef{
+			tab:    tablet.New(start, end, t.mc.cfg.MemLimit, t.mc.seed.Add(1)),
+			server: i % t.mc.cfg.TabletServers,
+		})
+	}
+	t.mc.tables[name] = meta
+	return nil
+}
+
+// Delete removes a table.
+func (t *TableOperations) Delete(name string) error {
+	t.mc.mu.Lock()
+	defer t.mc.mu.Unlock()
+	if _, ok := t.mc.tables[name]; !ok {
+		return fmt.Errorf("accumulo: table %q does not exist", name)
+	}
+	delete(t.mc.tables, name)
+	return nil
+}
+
+// Exists reports whether the table exists.
+func (t *TableOperations) Exists(name string) bool {
+	t.mc.mu.RLock()
+	defer t.mc.mu.RUnlock()
+	_, ok := t.mc.tables[name]
+	return ok
+}
+
+// List returns the sorted table names.
+func (t *TableOperations) List() []string {
+	t.mc.mu.RLock()
+	defer t.mc.mu.RUnlock()
+	var names []string
+	for n := range t.mc.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddSplits splits existing tablets at the given row boundaries.
+func (t *TableOperations) AddSplits(name string, splits []string) error {
+	meta, err := t.mc.getTable(name)
+	if err != nil {
+		return err
+	}
+	meta.mu.Lock()
+	defer meta.mu.Unlock()
+	for _, s := range splits {
+		idx := sort.SearchStrings(meta.splits, s)
+		if idx < len(meta.splits) && meta.splits[idx] == s {
+			continue // already a boundary
+		}
+		// Find the tablet containing s and split it.
+		tIdx := idx // tablets[idx] covers (splits[idx-1], splits[idx])
+		old := meta.tablets[tIdx]
+		left, right := old.tab.SplitAt(s)
+		meta.splits = append(meta.splits, "")
+		copy(meta.splits[idx+1:], meta.splits[idx:])
+		meta.splits[idx] = s
+		meta.tablets = append(meta.tablets, nil)
+		copy(meta.tablets[tIdx+2:], meta.tablets[tIdx+1:])
+		meta.tablets[tIdx] = &tabletRef{tab: left, server: old.server}
+		meta.tablets[tIdx+1] = &tabletRef{tab: right,
+			server: (old.server + 1) % t.mc.cfg.TabletServers}
+	}
+	return nil
+}
+
+// Splits returns the table's current split points.
+func (t *TableOperations) Splits(name string) ([]string, error) {
+	meta, err := t.mc.getTable(name)
+	if err != nil {
+		return nil, err
+	}
+	meta.mu.RLock()
+	defer meta.mu.RUnlock()
+	return append([]string(nil), meta.splits...), nil
+}
+
+// AttachIterator adds an iterator setting to the named scopes (defaults
+// to all scopes when none given) — Accumulo's attachIterator.
+func (t *TableOperations) AttachIterator(name string, setting iterator.Setting, scopes ...Scope) error {
+	meta, err := t.mc.getTable(name)
+	if err != nil {
+		return err
+	}
+	if _, err := iterator.Lookup(setting.Name); err != nil {
+		return err
+	}
+	if len(scopes) == 0 {
+		scopes = AllScopes
+	}
+	meta.mu.Lock()
+	defer meta.mu.Unlock()
+	for _, s := range scopes {
+		for _, existing := range meta.iters[s] {
+			if existing.Priority == setting.Priority {
+				return fmt.Errorf("accumulo: priority %d already used in scope %d", setting.Priority, s)
+			}
+		}
+		meta.iters[s] = append(meta.iters[s], setting)
+	}
+	return nil
+}
+
+// RemoveIterator removes the named iterator from the given scopes
+// (default all).
+func (t *TableOperations) RemoveIterator(name, iterName string, scopes ...Scope) error {
+	meta, err := t.mc.getTable(name)
+	if err != nil {
+		return err
+	}
+	if len(scopes) == 0 {
+		scopes = AllScopes
+	}
+	meta.mu.Lock()
+	defer meta.mu.Unlock()
+	for _, s := range scopes {
+		var kept []iterator.Setting
+		for _, it := range meta.iters[s] {
+			if it.Name != iterName {
+				kept = append(kept, it)
+			}
+		}
+		meta.iters[s] = kept
+	}
+	return nil
+}
+
+// Flush minor-compacts every tablet, applying the minc stack.
+func (t *TableOperations) Flush(name string) error {
+	meta, err := t.mc.getTable(name)
+	if err != nil {
+		return err
+	}
+	stack := t.mc.compactionStack(meta, MincScope)
+	for _, tr := range meta.tabletsOverlapping(skv.FullRange()) {
+		if err := tr.tab.MinorCompact(stack); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact major-compacts every tablet, applying the majc stack.
+func (t *TableOperations) Compact(name string) error {
+	meta, err := t.mc.getTable(name)
+	if err != nil {
+		return err
+	}
+	stack := t.mc.compactionStack(meta, MajcScope)
+	for _, tr := range meta.tabletsOverlapping(skv.FullRange()) {
+		if err := tr.tab.MajorCompact(stack); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone copies a table's current contents and iterator configuration
+// into a new table, as Accumulo's clone does (ours copies data rather
+// than sharing files, which an in-memory store can afford).
+func (t *TableOperations) Clone(src, dst string) error {
+	meta, err := t.mc.getTable(src)
+	if err != nil {
+		return err
+	}
+	meta.mu.RLock()
+	splits := append([]string(nil), meta.splits...)
+	iters := map[Scope][]iterator.Setting{}
+	for s, list := range meta.iters {
+		iters[s] = append([]iterator.Setting(nil), list...)
+	}
+	meta.mu.RUnlock()
+	if err := t.CreateWithSplits(dst, splits); err != nil {
+		return err
+	}
+	dstMeta, err := t.mc.getTable(dst)
+	if err != nil {
+		return err
+	}
+	dstMeta.mu.Lock()
+	dstMeta.iters = iters
+	dstMeta.mu.Unlock()
+	// Copy the data through the normal read/write paths so combiner
+	// semantics stay intact.
+	entries, err := t.mc.scan(src, skv.FullRange(), nil)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	return t.mc.write(dst, entries)
+}
+
+// DeleteRows removes every entry whose row lies in [startRow, endRow)
+// (empty bounds are infinite), by rewriting the affected tablets —
+// Accumulo's deleteRows.
+func (t *TableOperations) DeleteRows(name, startRow, endRow string) error {
+	meta, err := t.mc.getTable(name)
+	if err != nil {
+		return err
+	}
+	drop := skv.RowRange(startRow, endRow)
+	for _, tr := range meta.tabletsOverlapping(drop) {
+		// Snapshot, filter, and rebuild the tablet's contents via a
+		// major compaction with a range filter.
+		filter := func(src iterator.SKVI) (iterator.SKVI, error) {
+			return iterator.NewFilterIter(src, func(e skv.Entry) bool {
+				return !drop.Contains(e.K)
+			}), nil
+		}
+		if err := tr.tab.MajorCompact(filter); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EntryEstimate sums the per-tablet entry estimates.
+func (t *TableOperations) EntryEstimate(name string) (int, error) {
+	meta, err := t.mc.getTable(name)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, tr := range meta.tabletsOverlapping(skv.FullRange()) {
+		n += tr.tab.EntryEstimate()
+	}
+	return n, nil
+}
+
+// --- BatchWriter ---
+
+// BatchWriterConfig sizes a BatchWriter.
+type BatchWriterConfig struct {
+	// MaxBufferEntries flushes automatically past this many buffered
+	// entries (default 8192).
+	MaxBufferEntries int
+	// MaxRetries bounds retransmission of a failed flush (default 3).
+	MaxRetries int
+}
+
+// BatchWriter buffers mutations client-side and ships them to tablet
+// servers in batches, retrying transient failures.
+type BatchWriter struct {
+	mc    *MiniCluster
+	table string
+	cfg   BatchWriterConfig
+
+	mu  sync.Mutex
+	buf []skv.Entry
+}
+
+// CreateBatchWriter opens a writer for the table.
+func (c *Connector) CreateBatchWriter(table string, cfg BatchWriterConfig) (*BatchWriter, error) {
+	if _, err := c.mc.getTable(table); err != nil {
+		return nil, err
+	}
+	if cfg.MaxBufferEntries <= 0 {
+		cfg.MaxBufferEntries = 8192
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	return &BatchWriter{mc: c.mc, table: table, cfg: cfg}, nil
+}
+
+// Put buffers one cell write. The timestamp is assigned server-side at
+// flush time.
+func (w *BatchWriter) Put(row, colF, colQ string, value skv.Value) error {
+	w.mu.Lock()
+	w.buf = append(w.buf, skv.Entry{K: skv.Key{Row: row, ColF: colF, ColQ: colQ}, V: value})
+	full := len(w.buf) >= w.cfg.MaxBufferEntries
+	w.mu.Unlock()
+	if full {
+		return w.Flush()
+	}
+	return nil
+}
+
+// PutFloat buffers a numeric cell write.
+func (w *BatchWriter) PutFloat(row, colF, colQ string, v float64) error {
+	return w.Put(row, colF, colQ, skv.EncodeFloat(v))
+}
+
+// Flush ships all buffered mutations, retrying transient failures.
+func (w *BatchWriter) Flush() error {
+	w.mu.Lock()
+	batch := w.buf
+	w.buf = nil
+	w.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	var err error
+	for attempt := 0; attempt <= w.cfg.MaxRetries; attempt++ {
+		if err = w.mc.write(w.table, batch); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("accumulo: batch writer gave up after %d retries: %w", w.cfg.MaxRetries, err)
+}
+
+// Close flushes and invalidates the writer.
+func (w *BatchWriter) Close() error { return w.Flush() }
+
+// --- Scanner ---
+
+// Scanner is a single-threaded sorted scan over one range.
+type Scanner struct {
+	mc    *MiniCluster
+	table string
+	rng   skv.Range
+	extra []iterator.Setting
+}
+
+// CreateScanner opens a scanner on the table (full range by default).
+func (c *Connector) CreateScanner(table string) (*Scanner, error) {
+	if _, err := c.mc.getTable(table); err != nil {
+		return nil, err
+	}
+	return &Scanner{mc: c.mc, table: table, rng: skv.FullRange()}, nil
+}
+
+// SetRange restricts the scan.
+func (s *Scanner) SetRange(rng skv.Range) { s.rng = rng }
+
+// AddScanIterator attaches a per-scan iterator setting.
+func (s *Scanner) AddScanIterator(setting iterator.Setting) { s.extra = append(s.extra, setting) }
+
+// Entries executes the scan and returns the sorted results.
+func (s *Scanner) Entries() ([]skv.Entry, error) {
+	return s.mc.scan(s.table, s.rng, s.extra)
+}
+
+// --- BatchScanner ---
+
+// BatchScanner scans many ranges in parallel; like Accumulo's, results
+// are NOT globally sorted.
+type BatchScanner struct {
+	mc      *MiniCluster
+	table   string
+	ranges  []skv.Range
+	extra   []iterator.Setting
+	threads int
+}
+
+// CreateBatchScanner opens a parallel scanner.
+func (c *Connector) CreateBatchScanner(table string, threads int) (*BatchScanner, error) {
+	if _, err := c.mc.getTable(table); err != nil {
+		return nil, err
+	}
+	if threads <= 0 {
+		threads = 4
+	}
+	return &BatchScanner{mc: c.mc, table: table, threads: threads}, nil
+}
+
+// SetRanges assigns the ranges to scan.
+func (b *BatchScanner) SetRanges(ranges []skv.Range) { b.ranges = ranges }
+
+// AddScanIterator attaches a per-scan iterator setting.
+func (b *BatchScanner) AddScanIterator(setting iterator.Setting) { b.extra = append(b.extra, setting) }
+
+// Entries runs all range scans across worker goroutines and returns the
+// concatenated (unordered) results.
+func (b *BatchScanner) Entries() ([]skv.Entry, error) {
+	if len(b.ranges) == 0 {
+		b.ranges = []skv.Range{skv.FullRange()}
+	}
+	type result struct {
+		entries []skv.Entry
+		err     error
+	}
+	work := make(chan skv.Range, len(b.ranges))
+	results := make(chan result, len(b.ranges))
+	for _, r := range b.ranges {
+		work <- r
+	}
+	close(work)
+	threads := b.threads
+	if threads > len(b.ranges) {
+		threads = len(b.ranges)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rng := range work {
+				entries, err := b.mc.scan(b.table, rng, b.extra)
+				results <- result{entries, err}
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	var out []skv.Entry
+	for r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, r.entries...)
+	}
+	return out, nil
+}
+
+// SortEntries sorts entries by key, for callers of BatchScanner that
+// need global order.
+func SortEntries(entries []skv.Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		return skv.Compare(entries[i].K, entries[j].K) < 0
+	})
+}

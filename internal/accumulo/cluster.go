@@ -1,0 +1,301 @@
+// Package accumulo implements an embedded Accumulo-style mini-cluster:
+// multiple tablet servers hosting row-range tablets, tables with splits
+// and per-scope iterator stacks, and thin clients (BatchWriter, Scanner,
+// BatchScanner) that talk to the servers through a serialised wire
+// codec.
+//
+// This is the substitution for the paper's Apache Accumulo deployment
+// (see DESIGN.md §2): the storage contract — sorted (row, colF, colQ,
+// ts) → value entries, range scans, server-side iterators at scan/minc/
+// majc scopes — matches what a thin Accumulo client sees, so the
+// Graphulo kernels built on top exercise the same code paths.
+package accumulo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"graphulo/internal/iterator"
+	"graphulo/internal/skv"
+	"graphulo/internal/tablet"
+)
+
+// Scope identifies where an iterator stack applies, as in Accumulo.
+type Scope int
+
+// Iterator scopes.
+const (
+	ScanScope Scope = iota // applied to every scan
+	MincScope              // applied during minor compaction
+	MajcScope              // applied during major compaction
+)
+
+// AllScopes lists every scope, for convenience when attaching combiners.
+var AllScopes = []Scope{ScanScope, MincScope, MajcScope}
+
+// Config sizes the mini-cluster.
+type Config struct {
+	// TabletServers is the number of server instances (default 2).
+	TabletServers int
+	// MemLimit is the per-tablet memtable entry limit before an
+	// automatic minor compaction (default 1<<14).
+	MemLimit int
+	// WireBatch is the number of entries per simulated RPC batch
+	// (default 4096).
+	WireBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TabletServers <= 0 {
+		c.TabletServers = 2
+	}
+	if c.MemLimit <= 0 {
+		c.MemLimit = 1 << 14
+	}
+	if c.WireBatch <= 0 {
+		c.WireBatch = 4096
+	}
+	return c
+}
+
+// Metrics counts cluster activity; all fields are atomic.
+type Metrics struct {
+	WireBytes      atomic.Int64 // bytes serialised through the codec
+	RPCs           atomic.Int64 // simulated RPC round trips
+	EntriesWritten atomic.Int64 // entries ingested by tablet servers
+	EntriesScanned atomic.Int64 // entries returned to scan clients
+}
+
+// MiniCluster is the embedded cluster.
+type MiniCluster struct {
+	cfg     Config
+	clock   atomic.Int64
+	seed    atomic.Int64
+	Metrics Metrics
+
+	mu     sync.RWMutex
+	tables map[string]*tableMeta
+
+	// failWrites > 0 makes the next N write RPCs fail, for testing the
+	// BatchWriter retry path.
+	failWrites atomic.Int64
+}
+
+type tabletRef struct {
+	tab    *tablet.Tablet
+	server int
+}
+
+type tableMeta struct {
+	name string
+
+	mu      sync.RWMutex
+	splits  []string // sorted row boundaries
+	tablets []*tabletRef
+	iters   map[Scope][]iterator.Setting
+}
+
+// NewMiniCluster starts an embedded cluster.
+func NewMiniCluster(cfg Config) *MiniCluster {
+	mc := &MiniCluster{cfg: cfg.withDefaults(), tables: map[string]*tableMeta{}}
+	mc.seed.Store(42)
+	return mc
+}
+
+// Connector returns a client connection, as Instance.getConnector would.
+func (mc *MiniCluster) Connector() *Connector { return &Connector{mc: mc} }
+
+// nextTs returns a fresh logical timestamp.
+func (mc *MiniCluster) nextTs() int64 { return mc.clock.Add(1) }
+
+// InjectWriteFailures makes the next n write RPCs return a transient
+// error; used by tests and failure-injection benches.
+func (mc *MiniCluster) InjectWriteFailures(n int) { mc.failWrites.Store(int64(n)) }
+
+func (mc *MiniCluster) getTable(name string) (*tableMeta, error) {
+	mc.mu.RLock()
+	defer mc.mu.RUnlock()
+	t, ok := mc.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("accumulo: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// tabletForRow locates the tablet owning row.
+func (t *tableMeta) tabletForRow(row string) *tabletRef {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx := sort.SearchStrings(t.splits, row)
+	// splits[i] is the first row of tablet i+1; row == split belongs right.
+	if idx < len(t.splits) && t.splits[idx] == row {
+		idx++
+	}
+	return t.tablets[idx]
+}
+
+// tabletsOverlapping returns the tablets whose row ranges intersect rng.
+func (t *tableMeta) tabletsOverlapping(rng skv.Range) []*tabletRef {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []*tabletRef
+	for _, tr := range t.tablets {
+		if !rng.Clip(tr.tab.Range()).IsEmpty() {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// scopeStack returns a copy of the iterator settings for a scope.
+func (t *tableMeta) scopeStack(s Scope) []iterator.Setting {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]iterator.Setting(nil), t.iters[s]...)
+}
+
+// env implements iterator.Env for server-side iterators: scanners opened
+// from inside a tablet server still route through the wire codec,
+// because in Accumulo a RemoteSourceIterator is an ordinary client of
+// the remote tablet server.
+type env struct {
+	mc *MiniCluster
+}
+
+// OpenScanner implements iterator.Env.
+func (e env) OpenScanner(table string, rng skv.Range) (iterator.SKVI, error) {
+	entries, err := e.mc.scan(table, rng, nil)
+	if err != nil {
+		return nil, err
+	}
+	it := iterator.NewSliceIter(entries)
+	if err := it.Seek(skv.FullRange()); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// WriteEntries implements iterator.Env.
+func (e env) WriteEntries(table string, entries []skv.Entry) error {
+	return e.mc.write(table, entries)
+}
+
+// write is the server-side ingest path: entries are stamped with fresh
+// timestamps, routed to their tablets, and inserted. It simulates the
+// RPC by round-tripping each tablet batch through the wire codec.
+func (mc *MiniCluster) write(table string, entries []skv.Entry) error {
+	meta, err := mc.getTable(table)
+	if err != nil {
+		return err
+	}
+	if mc.failWrites.Load() > 0 && mc.failWrites.Add(-1) >= 0 {
+		return fmt.Errorf("accumulo: transient write failure injected")
+	}
+	// Group by tablet.
+	groups := map[*tabletRef][]skv.Entry{}
+	for _, e := range entries {
+		e.K.Ts = mc.nextTs()
+		tr := meta.tabletForRow(e.K.Row)
+		groups[tr] = append(groups[tr], e)
+	}
+	for tr, batch := range groups {
+		wire := skv.EncodeBatch(batch)
+		mc.Metrics.WireBytes.Add(int64(len(wire)))
+		mc.Metrics.RPCs.Add(1)
+		decoded, err := skv.DecodeBatch(wire)
+		if err != nil {
+			return fmt.Errorf("accumulo: wire corruption: %w", err)
+		}
+		tr.tab.Write(decoded)
+		mc.Metrics.EntriesWritten.Add(int64(len(decoded)))
+		// Auto-minc applies the minc stack when the memtable spills; the
+		// tablet handles the spill itself with a nil stack, so re-apply
+		// the configured minc stack lazily at the next compaction. To
+		// keep combiner semantics exact we rely on scan/majc stacks.
+	}
+	return nil
+}
+
+// scan executes a range scan server-side: per overlapping tablet, the
+// table's scan stack plus any extra per-scan settings run over a
+// snapshot, and the results are round-tripped through the wire codec in
+// batches. Results across tablets are concatenated in tablet order, so
+// the stream is globally sorted.
+func (mc *MiniCluster) scan(table string, rng skv.Range, extra []iterator.Setting) ([]skv.Entry, error) {
+	meta, err := mc.getTable(table)
+	if err != nil {
+		return nil, err
+	}
+	var out []skv.Entry
+	for _, tr := range meta.tabletsOverlapping(rng) {
+		entries, err := mc.scanTablet(meta, tr, rng, extra)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entries...)
+	}
+	return out, nil
+}
+
+// scanTablet runs one tablet's share of a scan.
+func (mc *MiniCluster) scanTablet(meta *tableMeta, tr *tabletRef, rng skv.Range, extra []iterator.Setting) ([]skv.Entry, error) {
+	settings := append(meta.scopeStack(ScanScope), extra...)
+	stack, err := iterator.BuildStack(tr.tab.Snapshot(), settings, env{mc})
+	if err != nil {
+		return nil, err
+	}
+	clipped := rng.Clip(tr.tab.Range())
+	if clipped.IsEmpty() {
+		return nil, nil
+	}
+	if err := stack.Seek(clipped); err != nil {
+		return nil, err
+	}
+	var out []skv.Entry
+	batch := make([]skv.Entry, 0, mc.cfg.WireBatch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		wire := skv.EncodeBatch(batch)
+		mc.Metrics.WireBytes.Add(int64(len(wire)))
+		mc.Metrics.RPCs.Add(1)
+		decoded, err := skv.DecodeBatch(wire)
+		if err != nil {
+			return err
+		}
+		out = append(out, decoded...)
+		mc.Metrics.EntriesScanned.Add(int64(len(decoded)))
+		batch = batch[:0]
+		return nil
+	}
+	for stack.HasTop() {
+		batch = append(batch, stack.Top())
+		if len(batch) >= mc.cfg.WireBatch {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		if err := stack.Next(); err != nil {
+			return nil, err
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// compactionStack adapts a scope's settings to the tablet compaction
+// callback signature.
+func (mc *MiniCluster) compactionStack(meta *tableMeta, scope Scope) func(iterator.SKVI) (iterator.SKVI, error) {
+	settings := meta.scopeStack(scope)
+	if len(settings) == 0 {
+		return nil
+	}
+	return func(src iterator.SKVI) (iterator.SKVI, error) {
+		return iterator.BuildStack(src, settings, env{mc})
+	}
+}

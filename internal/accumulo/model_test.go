@@ -1,0 +1,178 @@
+package accumulo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphulo/internal/iterator"
+	"graphulo/internal/skv"
+)
+
+// Model-based test: drive the cluster with random operation sequences
+// (puts, flushes, compactions, splits, range scans) and compare every
+// scan against a flat in-memory reference model with summing semantics.
+// This is the strongest correctness statement about the storage stack:
+// no sequence of structural events (memtable spills, run merges, tablet
+// splits) may change scan results.
+func TestQuickClusterMatchesReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mc := NewMiniCluster(Config{TabletServers: 1 + rng.Intn(3), MemLimit: 8 + rng.Intn(32), WireBatch: 1 + rng.Intn(64)})
+		conn := mc.Connector()
+		ops := conn.TableOperations()
+		if err := ops.Create("M"); err != nil {
+			return false
+		}
+		// Summing semantics to make the model deterministic under
+		// versions.
+		if err := ops.RemoveIterator("M", "versioning"); err != nil {
+			return false
+		}
+		if err := ops.AttachIterator("M", iterator.Setting{Name: "sum", Priority: 10}); err != nil {
+			return false
+		}
+		w, err := conn.CreateBatchWriter("M", BatchWriterConfig{})
+		if err != nil {
+			return false
+		}
+		model := map[[2]string]float64{}
+
+		rows := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+		cols := []string{"x", "y", "z"}
+		checkScan := func(lo, hi string) bool {
+			s, err := conn.CreateScanner("M")
+			if err != nil {
+				return false
+			}
+			s.SetRange(skv.RowRange(lo, hi))
+			entries, err := s.Entries()
+			if err != nil {
+				return false
+			}
+			got := map[[2]string]float64{}
+			var prev *skv.Key
+			for _, e := range entries {
+				if prev != nil && skv.Compare(*prev, e.K) > 0 {
+					return false // unsorted
+				}
+				k := e.K
+				prev = &k
+				v, ok := skv.DecodeFloat(e.V)
+				if !ok {
+					return false
+				}
+				got[[2]string{e.K.Row, e.K.ColQ}] += v
+			}
+			for k, v := range model {
+				inRange := (lo == "" || k[0] >= lo) && (hi == "" || k[0] < hi)
+				if inRange {
+					if got[k] != v {
+						return false
+					}
+					delete(got, k)
+				}
+			}
+			return len(got) == 0
+		}
+
+		for op := 0; op < 120; op++ {
+			switch rng.Intn(12) {
+			case 0, 1, 2, 3, 4, 5: // put
+				r := rows[rng.Intn(len(rows))]
+				c := cols[rng.Intn(len(cols))]
+				v := float64(1 + rng.Intn(9))
+				if err := w.PutFloat(r, "", c, v); err != nil {
+					return false
+				}
+				if err := w.Flush(); err != nil {
+					return false
+				}
+				model[[2]string{r, c}] += v
+			case 6:
+				if err := ops.Flush("M"); err != nil {
+					return false
+				}
+			case 7:
+				if err := ops.Compact("M"); err != nil {
+					return false
+				}
+			case 8:
+				split := rows[rng.Intn(len(rows))]
+				if err := ops.AddSplits("M", []string{split}); err != nil {
+					return false
+				}
+			default: // range scan check
+				lo, hi := "", ""
+				if rng.Intn(2) == 0 {
+					lo = rows[rng.Intn(len(rows))]
+				}
+				if rng.Intn(2) == 0 {
+					hi = rows[rng.Intn(len(rows))]
+				}
+				if hi != "" && lo > hi {
+					lo, hi = hi, lo
+				}
+				if !checkScan(lo, hi) {
+					return false
+				}
+			}
+		}
+		return checkScan("", "")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The batch scanner must see exactly the same data as the plain scanner
+// regardless of how ranges partition the key space.
+func TestQuickBatchScannerCoversPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mc := NewMiniCluster(Config{TabletServers: 2, MemLimit: 16})
+		conn := mc.Connector()
+		if err := conn.TableOperations().CreateWithSplits("P", []string{"d", "m"}); err != nil {
+			return false
+		}
+		w, _ := conn.CreateBatchWriter("P", BatchWriterConfig{})
+		n := 50 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			w.PutFloat(fmt.Sprintf("%c%03d", 'a'+rng.Intn(20), i), "", "q", float64(i))
+		}
+		w.Close()
+		s, _ := conn.CreateScanner("P")
+		all, err := s.Entries()
+		if err != nil {
+			return false
+		}
+		// Partition at two random rows.
+		cut1 := fmt.Sprintf("%c", 'a'+rng.Intn(20))
+		cut2 := fmt.Sprintf("%c", 'a'+rng.Intn(20))
+		if cut1 > cut2 {
+			cut1, cut2 = cut2, cut1
+		}
+		bs, _ := conn.CreateBatchScanner("P", 4)
+		bs.SetRanges([]skv.Range{
+			skv.RowRange("", cut1), skv.RowRange(cut1, cut2), skv.RowRange(cut2, ""),
+		})
+		parts, err := bs.Entries()
+		if err != nil {
+			return false
+		}
+		if len(parts) != len(all) {
+			return false
+		}
+		SortEntries(parts)
+		for i := range all {
+			if skv.Compare(all[i].K, parts[i].K) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"graphulo/internal/gen"
+	"graphulo/internal/semiring"
+	"graphulo/internal/sparse"
+)
+
+func TestDegreeCentrality(t *testing.T) {
+	adj := gen.AdjacencyPattern(gen.PaperGraph())
+	deg := DegreeCentrality(adj)
+	want := []float64{3, 3, 3, 2, 1}
+	for i := range want {
+		if deg[i] != want[i] {
+			t.Fatalf("degree = %v, want %v", deg, want)
+		}
+	}
+}
+
+func TestEigenvectorCentralityStar(t *testing.T) {
+	// Star graph: the hub has the highest eigenvector centrality; all
+	// leaves are symmetric.
+	adj := gen.AdjacencyPattern(gen.Star(8))
+	res := EigenvectorCentrality(adj, 1e-12, 2000)
+	if !res.Converged {
+		t.Fatalf("did not converge")
+	}
+	hub := res.Scores[0]
+	for v := 1; v < 8; v++ {
+		if res.Scores[v] >= hub {
+			t.Fatalf("leaf %d score %v >= hub %v", v, res.Scores[v], hub)
+		}
+		if math.Abs(res.Scores[v]-res.Scores[1]) > 1e-6 {
+			t.Fatalf("leaves asymmetric: %v vs %v", res.Scores[v], res.Scores[1])
+		}
+	}
+	// For a star K1,n: hub/leaf ratio is sqrt(n). The cosine stopping
+	// rule bounds the angle, not the entrywise error, so allow 1e-4.
+	if ratio := hub / res.Scores[1]; math.Abs(ratio-math.Sqrt(7)) > 1e-4 {
+		t.Fatalf("hub/leaf = %v, want sqrt(7)", ratio)
+	}
+}
+
+func TestEigenvectorMatchesPowerOracle(t *testing.T) {
+	g := gen.Dedup(gen.ErdosRenyi(20, 60, 13))
+	adj := gen.AdjacencyPattern(g)
+	res := EigenvectorCentrality(adj, 1e-13, 5000)
+	// Ax ≈ λx: compute Rayleigh quotient and residual.
+	ax := sparse.SpMV(adj, res.Scores, semiring.PlusTimes)
+	lambda := dot(ax, res.Scores)
+	for i := range ax {
+		if math.Abs(ax[i]-lambda*res.Scores[i]) > 1e-5 {
+			t.Fatalf("eigen residual too large at %d: %v vs %v", i, ax[i], lambda*res.Scores[i])
+		}
+	}
+}
+
+func TestKatzCentralityClosedForm(t *testing.T) {
+	// Katz with the paper's accumulation equals Σ_k αᵏ(Aᵏ·1)
+	// entry-wise; verify against explicit truncated series.
+	g := gen.Dedup(gen.ErdosRenyi(12, 25, 17))
+	adj := gen.AdjacencyPattern(g)
+	alpha := 0.05
+	res := KatzCentrality(adj, alpha, 1e-14, 200)
+	if !res.Converged {
+		t.Fatalf("katz did not converge")
+	}
+	n := adj.Rows()
+	want := make([]float64, n)
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = 1
+	}
+	ak := alpha
+	for k := 0; k < 200; k++ {
+		d = sparse.SpMV(adj, d, semiring.PlusTimes)
+		for i := range want {
+			want[i] += ak * d[i]
+		}
+		ak *= alpha
+	}
+	for i := range want {
+		if math.Abs(res.Scores[i]-want[i]) > 1e-9 {
+			t.Fatalf("katz[%d] = %v, want %v", i, res.Scores[i], want[i])
+		}
+	}
+}
+
+func TestPageRankUniformOnRegularGraph(t *testing.T) {
+	// On a k-regular graph, PageRank is uniform.
+	adj := gen.AdjacencyPattern(gen.Cycle(10))
+	res := PageRank(adj, 0.15, 1e-14, 5000)
+	if !res.Converged {
+		t.Fatalf("pagerank did not converge")
+	}
+	for i, v := range res.Scores {
+		if math.Abs(v-0.1) > 1e-9 {
+			t.Fatalf("pagerank[%d] = %v, want 0.1", i, v)
+		}
+	}
+}
+
+func TestPageRankSumsToOneAndRanksHub(t *testing.T) {
+	adj := gen.AdjacencyPattern(gen.Star(9))
+	res := PageRank(adj, 0.15, 1e-14, 5000)
+	sum := 0.0
+	for _, v := range res.Scores {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("pagerank sums to %v", sum)
+	}
+	for v := 1; v < 9; v++ {
+		if res.Scores[v] >= res.Scores[0] {
+			t.Fatalf("hub should dominate: %v vs %v", res.Scores[0], res.Scores[v])
+		}
+	}
+}
+
+func TestPageRankDanglingMass(t *testing.T) {
+	// Directed chain 0→1→2: vertex 2 is dangling; ranks must still sum
+	// to 1 and be finite.
+	g := gen.Graph{N: 3, Edges: []gen.Edge{{U: 0, V: 1}, {U: 1, V: 2}}}
+	adj := gen.AdjacencyDirected(g)
+	res := PageRank(adj, 0.15, 1e-14, 10000)
+	sum := 0.0
+	for _, v := range res.Scores {
+		if math.IsNaN(v) || v <= 0 {
+			t.Fatalf("bad rank %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-8 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+	if !(res.Scores[2] > res.Scores[1] && res.Scores[1] > res.Scores[0]) {
+		t.Fatalf("chain ranks should increase downstream: %v", res.Scores)
+	}
+}
+
+func TestBetweennessPath(t *testing.T) {
+	// Path 0-1-2-3-4: interior vertices lie on shortest paths. For
+	// undirected graphs each unordered pair is counted twice (once per
+	// direction); vertex 2 sits on paths {0,1}×{3,4} and {0↔3,0↔4,1↔3,
+	// 1↔4} → raw score 2·4=8; classical undirected BC of centre = 4.
+	adj := gen.AdjacencyPattern(gen.Path(5))
+	bc := BetweennessCentrality(adj)
+	want := []float64{0, 6, 8, 6, 0}
+	for i := range want {
+		if math.Abs(bc[i]-want[i]) > 1e-9 {
+			t.Fatalf("bc = %v, want %v", bc, want)
+		}
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star hub lies on every leaf-pair path: (n−1)(n−2) directed pairs.
+	adj := gen.AdjacencyPattern(gen.Star(6))
+	bc := BetweennessCentrality(adj)
+	if math.Abs(bc[0]-20) > 1e-9 { // 5·4 = 20
+		t.Fatalf("hub bc = %v, want 20", bc[0])
+	}
+	for v := 1; v < 6; v++ {
+		if math.Abs(bc[v]) > 1e-9 {
+			t.Fatalf("leaf bc = %v, want 0", bc[v])
+		}
+	}
+}
+
+func TestBetweennessMatchesBruteForce(t *testing.T) {
+	g := gen.Dedup(gen.ErdosRenyi(12, 24, 23))
+	adj := gen.AdjacencyPattern(g)
+	got := BetweennessCentrality(adj)
+	want := bruteForceBetweenness(adj)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-7 {
+			t.Fatalf("bc[%d] = %v, want %v\ngot  %v\nwant %v", i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// bruteForceBetweenness enumerates all shortest paths pair-by-pair.
+func bruteForceBetweenness(adj *sparse.Matrix) []float64 {
+	n := adj.Rows()
+	bc := make([]float64, n)
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s == t {
+				continue
+			}
+			paths := allShortestPaths(adj, s, t)
+			if len(paths) == 0 {
+				continue
+			}
+			counts := make([]float64, n)
+			for _, p := range paths {
+				for _, v := range p[1 : len(p)-1] {
+					counts[v]++
+				}
+			}
+			for v := 0; v < n; v++ {
+				bc[v] += counts[v] / float64(len(paths))
+			}
+		}
+	}
+	return bc
+}
+
+func allShortestPaths(adj *sparse.Matrix, s, t int) [][]int {
+	levels := BFSLevels(adj, s)
+	if levels[t] < 0 {
+		return nil
+	}
+	var out [][]int
+	var walk func(v int, path []int)
+	walk = func(v int, path []int) {
+		if v == t {
+			out = append(out, append(append([]int(nil), path...), v))
+			return
+		}
+		cols, _ := adj.Row(v)
+		for _, u := range cols {
+			if levels[u] == levels[v]+1 && levels[u] <= levels[t] {
+				walk(u, append(path, v))
+			}
+		}
+	}
+	walk(s, nil)
+	return out
+}

@@ -1,0 +1,82 @@
+package algo
+
+import (
+	"testing"
+
+	"graphulo/internal/gen"
+)
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	// Two K6 cliques with no bridge: two communities, one per clique.
+	g := gen.Dedup(gen.Barbell(6, 0))
+	// Remove the bridge edge (Barbell adds one even with bridge=0).
+	var edges []gen.Edge
+	for _, e := range g.Edges {
+		if (e.U < 6) == (e.V < 6) {
+			edges = append(edges, e)
+		}
+	}
+	g = gen.Graph{N: 12, Edges: edges}
+	adj := gen.AdjacencyPattern(g)
+	labels := LabelPropagation(adj, 100, 1)
+	if CommunityCount(labels) != 2 {
+		t.Fatalf("want 2 communities, got %d (%v)", CommunityCount(labels), labels)
+	}
+	for v := 1; v < 6; v++ {
+		if labels[v] != labels[0] {
+			t.Fatalf("clique A split: %v", labels)
+		}
+	}
+	for v := 7; v < 12; v++ {
+		if labels[v] != labels[6] {
+			t.Fatalf("clique B split: %v", labels)
+		}
+	}
+	if labels[0] == labels[6] {
+		t.Fatalf("cliques merged: %v", labels)
+	}
+}
+
+func TestLabelPropagationBarbell(t *testing.T) {
+	// Two K8 cliques with a single bridge edge: still two communities.
+	g := gen.Dedup(gen.Barbell(8, 0))
+	adj := gen.AdjacencyPattern(g)
+	labels := LabelPropagation(adj, 100, 3)
+	if c := CommunityCount(labels); c != 2 {
+		t.Fatalf("want 2 communities, got %d", c)
+	}
+	q := Modularity(adj, labels)
+	if q < 0.4 {
+		t.Fatalf("barbell modularity %v too low", q)
+	}
+}
+
+func TestModularityBounds(t *testing.T) {
+	adj := gen.AdjacencyPattern(gen.Complete(6))
+	// Single community over a clique: Q = 1 − 1 = 0.
+	all := make([]int, 6)
+	if q := Modularity(adj, all); q != 0 {
+		t.Fatalf("single-community clique modularity = %v, want 0", q)
+	}
+	// Each vertex its own community: strictly negative.
+	each := []int{0, 1, 2, 3, 4, 5}
+	if q := Modularity(adj, each); q >= 0 {
+		t.Fatalf("singleton modularity = %v, want negative", q)
+	}
+	// Empty graph: zero by convention.
+	empty := gen.AdjacencyPattern(gen.Graph{N: 3})
+	if q := Modularity(empty, []int{0, 1, 2}); q != 0 {
+		t.Fatalf("empty graph modularity = %v", q)
+	}
+}
+
+func TestLabelPropagationIsolatedVertices(t *testing.T) {
+	g := gen.Graph{N: 4, Edges: []gen.Edge{{U: 0, V: 1}}}
+	labels := LabelPropagation(gen.AdjacencyPattern(g), 50, 2)
+	if labels[0] != labels[1] {
+		t.Fatalf("connected pair split")
+	}
+	if labels[2] == labels[0] || labels[3] == labels[0] || labels[2] == labels[3] {
+		t.Fatalf("isolated vertices should keep unique labels: %v", labels)
+	}
+}

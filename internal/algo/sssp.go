@@ -1,0 +1,210 @@
+package algo
+
+import (
+	"container/heap"
+	"math"
+
+	"graphulo/internal/semiring"
+	"graphulo/internal/sparse"
+)
+
+// This file covers Table I's Shortest Path class with the semiring
+// machinery the paper's §I describes: "the tropical semiring which
+// replaces traditional algebra with the min operator and the traditional
+// multiplication with the + operator".
+
+// maxAbsRowSumDense is the ∞-norm of a dense matrix, used by the
+// Algorithm 4 inverse seed.
+func maxAbsRowSumDense(d *sparse.Dense) float64 {
+	best := 0.0
+	for i := 0; i < d.R; i++ {
+		s := 0.0
+		for j := 0; j < d.C; j++ {
+			s += math.Abs(d.At(i, j))
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// BellmanFord computes single-source shortest path distances over the
+// weighted adjacency matrix (entries are edge weights; absent = no
+// edge) by iterating x ← min(x, A ⊕.⊗ x) under the min.plus semiring.
+// It detects negative cycles reachable from the source.
+func BellmanFord(adj *sparse.Matrix, source int) (dist []float64, negCycle bool) {
+	n := adj.Rows()
+	inf := math.Inf(1)
+	dist = make([]float64, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[source] = 0
+	at := sparse.Transpose(adj) // relax over in-edges: dist[v] = min_u dist[u]+w(u,v)
+	for round := 0; round < n; round++ {
+		next := sparse.SpMV(at, dist, semiring.MinPlus)
+		changed := false
+		for i := range next {
+			if next[i] < dist[i] {
+				dist[i] = next[i]
+				changed = true
+			}
+		}
+		if !changed {
+			return dist, false
+		}
+	}
+	// An n-th improvement means a negative cycle.
+	next := sparse.SpMV(at, dist, semiring.MinPlus)
+	for i := range next {
+		if next[i] < dist[i] {
+			return dist, true
+		}
+	}
+	return dist, false
+}
+
+// Dijkstra is the classical heap-based SSSP, used as the comparison
+// baseline for the linear-algebraic formulations. Weights must be
+// non-negative.
+func Dijkstra(adj *sparse.Matrix, source int) []float64 {
+	n := adj.Rows()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[source] = 0
+	pq := &distHeap{{source, 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.v] {
+			continue
+		}
+		cols, vals := adj.Row(item.v)
+		for i, u := range cols {
+			if nd := item.d + vals[i]; nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, distItem{u, nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v int
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// APSP computes all-pairs shortest paths as the min.plus closure of
+// (A ⊕ 0·I): repeated semiring squaring D ← D ⊕.⊗ D doubles the path
+// length bound each round, reaching the closure in ⌈log₂ n⌉ SpGEMMs.
+// This is the Floyd–Warshall computation recast as GraphBLAS kernels.
+func APSP(adj *sparse.Matrix) *sparse.Matrix {
+	n := adj.Rows()
+	// D₀ = A with 0 diagonal (the min.plus identity matrix has 0s on
+	// the diagonal and +inf elsewhere — i.e. entries absent).
+	ts := adj.Triples()
+	for i := 0; i < n; i++ {
+		ts = append(ts, sparse.Triple{Row: i, Col: i, Val: 0})
+	}
+	d := sparse.NewFromTriples(n, n, ts, semiring.MinPlus)
+	for hops := 1; hops < n; hops *= 2 {
+		next := sparse.SpGEMM(d, d, semiring.MinPlus)
+		next = sparse.EWiseAdd(next, d, semiring.MinPlus)
+		if sparse.Equal(next, d) {
+			break
+		}
+		d = next
+	}
+	return d
+}
+
+// FloydWarshall is the classical O(n³) dense dynamic program, kept as
+// the oracle for APSP. Unreachable pairs are +Inf.
+func FloydWarshall(adj *sparse.Matrix) [][]float64 {
+	n := adj.Rows()
+	inf := math.Inf(1)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i == j {
+				d[i][j] = 0
+			} else {
+				d[i][j] = inf
+			}
+		}
+	}
+	for _, t := range adj.Triples() {
+		if t.Row != t.Col && t.Val < d[t.Row][t.Col] {
+			d[t.Row][t.Col] = t.Val
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if nd := dik + d[k][j]; nd < d[i][j] {
+					d[i][j] = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Johnson computes all-pairs shortest paths on graphs that may contain
+// negative edge weights (but no negative cycles): a Bellman–Ford pass
+// from a virtual source yields potentials h, edges are reweighted to
+// ŵ(u,v) = w(u,v) + h(u) − h(v) ≥ 0, Dijkstra runs from every source,
+// and distances are shifted back.
+func Johnson(adj *sparse.Matrix) (*sparse.Matrix, bool) {
+	n := adj.Rows()
+	// Virtual source n with zero-weight edges to every vertex.
+	ts := adj.Triples()
+	for v := 0; v < n; v++ {
+		ts = append(ts, sparse.Triple{Row: n, Col: v, Val: 0})
+	}
+	aug := sparse.NewFromTriples(n+1, n+1, ts, semiring.MinPlus)
+	h, neg := BellmanFord(aug, n)
+	if neg {
+		return nil, false
+	}
+	// Reweight.
+	var rts []sparse.Triple
+	for _, t := range adj.Triples() {
+		rts = append(rts, sparse.Triple{Row: t.Row, Col: t.Col,
+			Val: t.Val + h[t.Row] - h[t.Col]})
+	}
+	rw := sparse.NewFromTriples(n, n, rts, semiring.MinPlus)
+	var out []sparse.Triple
+	for s := 0; s < n; s++ {
+		dist := Dijkstra(rw, s)
+		for v := 0; v < n; v++ {
+			if !math.IsInf(dist[v], 1) {
+				out = append(out, sparse.Triple{Row: s, Col: v,
+					Val: dist[v] - h[s] + h[v]})
+			}
+		}
+	}
+	return sparse.NewFromTriples(n, n, out, semiring.MinPlus), true
+}

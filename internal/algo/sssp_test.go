@@ -1,0 +1,175 @@
+package algo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphulo/internal/gen"
+	"graphulo/internal/semiring"
+	"graphulo/internal/sparse"
+)
+
+func weightedGraph(seed uint64, n, m int) *sparse.Matrix {
+	g := gen.Dedup(gen.ErdosRenyi(n, m, seed))
+	ts := gen.WeightedEdges(g, 10, seed+1)
+	return sparse.NewFromTriples(n, n, ts, semiring.MinPlus)
+}
+
+func TestBellmanFordPath(t *testing.T) {
+	// Weighted path 0→1→2 with weights 2, 3.
+	adj := sparse.NewFromTriples(3, 3, []sparse.Triple{
+		{Row: 0, Col: 1, Val: 2}, {Row: 1, Col: 2, Val: 3},
+	}, semiring.MinPlus)
+	dist, neg := BellmanFord(adj, 0)
+	if neg {
+		t.Fatalf("no negative cycle expected")
+	}
+	if dist[0] != 0 || dist[1] != 2 || dist[2] != 5 {
+		t.Fatalf("dist = %v", dist)
+	}
+}
+
+func TestBellmanFordUnreachable(t *testing.T) {
+	adj := sparse.NewFromTriples(3, 3, []sparse.Triple{
+		{Row: 0, Col: 1, Val: 1},
+	}, semiring.MinPlus)
+	dist, _ := BellmanFord(adj, 0)
+	if !math.IsInf(dist[2], 1) {
+		t.Fatalf("unreachable should be +Inf, got %v", dist[2])
+	}
+}
+
+func TestBellmanFordNegativeEdgeOK(t *testing.T) {
+	// Negative edge without a negative cycle.
+	adj := sparse.NewFromTriples(3, 3, []sparse.Triple{
+		{Row: 0, Col: 1, Val: 4}, {Row: 0, Col: 2, Val: 5},
+		{Row: 1, Col: 2, Val: -3},
+	}, semiring.MinPlus)
+	dist, neg := BellmanFord(adj, 0)
+	if neg {
+		t.Fatalf("no negative cycle expected")
+	}
+	if dist[2] != 1 {
+		t.Fatalf("dist[2] = %v, want 1 (via the negative edge)", dist[2])
+	}
+}
+
+func TestBellmanFordDetectsNegativeCycle(t *testing.T) {
+	adj := sparse.NewFromTriples(2, 2, []sparse.Triple{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: -2},
+	}, semiring.MinPlus)
+	if _, neg := BellmanFord(adj, 0); !neg {
+		t.Fatalf("negative cycle not detected")
+	}
+}
+
+func TestBellmanFordMatchesDijkstra(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		adj := weightedGraph(seed, 30, 80)
+		bf, neg := BellmanFord(adj, 0)
+		if neg {
+			t.Fatalf("unexpected negative cycle")
+		}
+		dj := Dijkstra(adj, 0)
+		for v := range bf {
+			if math.Abs(bf[v]-dj[v]) > 1e-9 && !(math.IsInf(bf[v], 1) && math.IsInf(dj[v], 1)) {
+				t.Fatalf("seed %d vertex %d: BF %v vs Dijkstra %v", seed, v, bf[v], dj[v])
+			}
+		}
+	}
+}
+
+func TestAPSPMatchesFloydWarshall(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		adj := weightedGraph(seed, 20, 50)
+		apsp := APSP(adj)
+		fw := FloydWarshall(adj)
+		n := adj.Rows()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				got, stored := apsp.Get(i, j)
+				want := fw[i][j]
+				if math.IsInf(want, 1) {
+					if stored {
+						t.Fatalf("(%d,%d) should be unreachable, got %v", i, j, got)
+					}
+					continue
+				}
+				if !stored || math.Abs(got-want) > 1e-9 {
+					t.Fatalf("seed %d (%d,%d): APSP %v (stored %v) vs FW %v", seed, i, j, got, stored, want)
+				}
+			}
+		}
+	}
+}
+
+func TestJohnsonHandlesNegativeWeights(t *testing.T) {
+	// Directed triangle with a negative edge, no negative cycle.
+	adj := sparse.NewFromTriples(3, 3, []sparse.Triple{
+		{Row: 0, Col: 1, Val: 3}, {Row: 1, Col: 2, Val: -2}, {Row: 0, Col: 2, Val: 2},
+	}, semiring.MinPlus)
+	d, ok := Johnson(adj)
+	if !ok {
+		t.Fatalf("Johnson rejected a valid graph")
+	}
+	if got, _ := d.Get(0, 2); got != 1 {
+		t.Fatalf("Johnson d(0,2) = %v, want 1", got)
+	}
+	fw := FloydWarshall(adj)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			got, stored := d.Get(i, j)
+			if math.IsInf(fw[i][j], 1) {
+				if stored {
+					t.Fatalf("(%d,%d) spurious distance", i, j)
+				}
+				continue
+			}
+			if math.Abs(got-fw[i][j]) > 1e-9 {
+				t.Fatalf("(%d,%d): %v vs %v", i, j, got, fw[i][j])
+			}
+		}
+	}
+}
+
+func TestJohnsonRejectsNegativeCycle(t *testing.T) {
+	adj := sparse.NewFromTriples(2, 2, []sparse.Triple{
+		{Row: 0, Col: 1, Val: -1}, {Row: 1, Col: 0, Val: -1},
+	}, semiring.MinPlus)
+	if _, ok := Johnson(adj); ok {
+		t.Fatalf("negative cycle should be rejected")
+	}
+}
+
+// Property: APSP distances satisfy the triangle inequality and match
+// per-source Dijkstra.
+func TestQuickAPSPTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(10)
+		m := rng.Intn(n*(n-1)/2 + 1)
+		adj := weightedGraph(uint64(seed)+900, n, min(m, n*(n-1)/2))
+		apsp := APSP(adj)
+		for s := 0; s < n; s++ {
+			dj := Dijkstra(adj, s)
+			for v := 0; v < n; v++ {
+				got, stored := apsp.Get(s, v)
+				if math.IsInf(dj[v], 1) {
+					if stored && s != v {
+						return false
+					}
+					continue
+				}
+				if !stored || math.Abs(got-dj[v]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package assoc
+
+import (
+	"fmt"
+	"testing"
+
+	"graphulo/internal/semiring"
+)
+
+func benchAssoc(n int, seed int) *Assoc {
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{
+			Row: fmt.Sprintf("r%05d", (i*7+seed)%1000),
+			Col: fmt.Sprintf("c%05d", (i*13+seed)%1000),
+			Val: float64(1 + i%9),
+		}
+	}
+	return New(entries, semiring.PlusTimes)
+}
+
+func BenchmarkAssocBuild(b *testing.B) {
+	entries := make([]Entry, 1<<14)
+	for i := range entries {
+		entries[i] = Entry{
+			Row: fmt.Sprintf("r%05d", i%997),
+			Col: fmt.Sprintf("c%05d", i%1009),
+			Val: 1,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(entries, semiring.PlusTimes)
+	}
+}
+
+func BenchmarkAssocAdd(b *testing.B) {
+	x := benchAssoc(1<<13, 1)
+	y := benchAssoc(1<<13, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Add(x, y)
+	}
+}
+
+func BenchmarkAssocMultiply(b *testing.B) {
+	x := benchAssoc(1<<12, 3)
+	y := benchAssoc(1<<12, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Multiply(x, y)
+	}
+}
+
+func BenchmarkAssocTranspose(b *testing.B) {
+	x := benchAssoc(1<<13, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Transpose()
+	}
+}

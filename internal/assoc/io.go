@@ -1,0 +1,58 @@
+package assoc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"graphulo/internal/semiring"
+)
+
+// WriteTSV serialises the array as tab-separated (row, col, value)
+// triples, one per line, in row-major key order. This is the exploded
+// triple form NoSQL tables ingest.
+func (a *Assoc) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range a.Entries() {
+		if strings.ContainsAny(e.Row, "\t\n") || strings.ContainsAny(e.Col, "\t\n") {
+			return fmt.Errorf("assoc: key %q contains tab or newline", e.Row+"/"+e.Col)
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\n", e.Row, e.Col,
+			strconv.FormatFloat(e.Val, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses tab-separated (row, col, value) triples into an
+// associative array over the given semiring. Blank lines and lines
+// beginning with '#' are skipped.
+func ReadTSV(r io.Reader, ring semiring.Semiring) (*Assoc, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var entries []Entry
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("assoc: line %d: want 3 tab-separated fields, got %d", line, len(parts))
+		}
+		v, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("assoc: line %d: bad value %q: %v", line, parts[2], err)
+		}
+		entries = append(entries, Entry{Row: parts[0], Col: parts[1], Val: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(entries, ring), nil
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+
+	"graphulo/internal/accumulo"
+	"graphulo/internal/algo"
+	"graphulo/internal/assoc"
+	"graphulo/internal/iterator"
+	"graphulo/internal/schema"
+	"graphulo/internal/skv"
+	"graphulo/internal/sparse"
+)
+
+// This file hosts the table-resident graph algorithms: the paper's
+// Section III algorithms driven against database tables, using the core
+// table kernels where the heavy data movement is and the client only
+// for orchestration and small dense state — the Graphulo division of
+// labour.
+
+// AdjBFSOptions configures a table BFS.
+type AdjBFSOptions struct {
+	// MinDegree/MaxDegree filter expansion through the degree table
+	// (Graphulo's AdjBFS degree filtering); 0 disables a bound.
+	MinDegree float64
+	MaxDegree float64
+	// DegTable is required when a degree bound is set.
+	DegTable string
+}
+
+// AdjBFS runs a k-hop breadth-first search over an adjacency table:
+// each hop batch-scans the frontier's rows (one exact-row range per
+// frontier vertex, scanned in parallel across tablets), unions the
+// neighbours, and removes already-visited vertices. It returns the
+// visited vertex → hop-level map.
+func AdjBFS(conn *accumulo.Connector, table string, seeds []string, hops int, opts AdjBFSOptions) (map[string]int, error) {
+	degOK := func(string) bool { return true }
+	if opts.MinDegree > 0 || opts.MaxDegree > 0 {
+		if opts.DegTable == "" {
+			return nil, fmt.Errorf("core: degree bounds need DegTable")
+		}
+		degs, err := readDegrees(conn, opts.DegTable)
+		if err != nil {
+			return nil, err
+		}
+		degOK = func(v string) bool {
+			d := degs[v]
+			if opts.MinDegree > 0 && d < opts.MinDegree {
+				return false
+			}
+			if opts.MaxDegree > 0 && d > opts.MaxDegree {
+				return false
+			}
+			return true
+		}
+	}
+	visited := map[string]int{}
+	frontier := make([]string, 0, len(seeds))
+	for _, s := range seeds {
+		visited[s] = 0
+		frontier = append(frontier, s)
+	}
+	for hop := 1; hop <= hops && len(frontier) > 0; hop++ {
+		bs, err := conn.CreateBatchScanner(table, 8)
+		if err != nil {
+			return nil, err
+		}
+		ranges := make([]skv.Range, len(frontier))
+		for i, v := range frontier {
+			ranges[i] = skv.ExactRow(v)
+		}
+		bs.SetRanges(ranges)
+		entries, err := bs.Entries()
+		if err != nil {
+			return nil, err
+		}
+		var next []string
+		for _, e := range entries {
+			nb := e.K.ColQ
+			if _, seen := visited[nb]; seen {
+				continue
+			}
+			if !degOK(nb) {
+				continue
+			}
+			visited[nb] = hop
+			next = append(next, nb)
+		}
+		frontier = next
+	}
+	return visited, nil
+}
+
+func readDegrees(conn *accumulo.Connector, table string) (map[string]float64, error) {
+	sc, err := conn.CreateScanner(table)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := sc.Entries()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(entries))
+	for _, e := range entries {
+		if v, ok := skv.DecodeFloat(e.V); ok {
+			out[e.K.Row] = v
+		}
+	}
+	return out, nil
+}
+
+// KTrussAdjTable computes the k-truss of the graph stored in an
+// adjacency table and writes the surviving adjacency matrix to outTable.
+// Per iteration, the triangle-support matrix A² is produced server-side
+// with TableMult (the adjacency table doubles as Aᵀ because the graph is
+// undirected); the peel set is decided client-side from the scanned
+// support entries, exactly the Graphulo kTrussAdj loop structure.
+// Returns the number of peel iterations.
+func KTrussAdjTable(conn *accumulo.Connector, table, outTable string, k int, scratch string) (int, error) {
+	ops := conn.TableOperations()
+	cur := table
+	iterCount := 0
+	for round := 0; ; round++ {
+		tmp := fmt.Sprintf("%s_sq%d", scratch, round)
+		if ops.Exists(tmp) {
+			if err := ops.Delete(tmp); err != nil {
+				return iterCount, err
+			}
+		}
+		// A² server-side (cur holds a symmetric matrix = its own
+		// transpose).
+		if _, err := TableMult(conn, cur, cur, tmp, MultOptions{}); err != nil {
+			return iterCount, err
+		}
+		iterCount++
+		// Read surviving edges: edge (u,v) survives when A²(u,v) ≥ k−2
+		// and (u,v) is an edge of cur.
+		aCur, err := schema.ReadAssoc(conn, cur)
+		if err != nil {
+			return iterCount, err
+		}
+		aSq, err := schema.ReadAssoc(conn, tmp)
+		if err != nil {
+			return iterCount, err
+		}
+		var keep []assoc.Entry
+		removed := false
+		for _, e := range aCur.Entries() {
+			if aSq.At(e.Row, e.Col) >= float64(k-2) {
+				keep = append(keep, e)
+			} else {
+				removed = true
+			}
+		}
+		next := fmt.Sprintf("%s_it%d", scratch, round)
+		if ops.Exists(next) {
+			if err := ops.Delete(next); err != nil {
+				return iterCount, err
+			}
+		}
+		if err := createSumTable(conn, next); err != nil {
+			return iterCount, err
+		}
+		if err := schema.WriteAssoc(conn, next, assoc.New(keep, aCur.Ring())); err != nil {
+			return iterCount, err
+		}
+		if !removed {
+			// Fixed point: copy into outTable and clean up.
+			if ops.Exists(outTable) {
+				if err := ops.Delete(outTable); err != nil {
+					return iterCount, err
+				}
+			}
+			if err := createSumTable(conn, outTable); err != nil {
+				return iterCount, err
+			}
+			if err := schema.WriteAssoc(conn, outTable, assoc.New(keep, aCur.Ring())); err != nil {
+				return iterCount, err
+			}
+			return iterCount, nil
+		}
+		cur = next
+	}
+}
+
+func createSumTable(conn *accumulo.Connector, name string) error {
+	ops := conn.TableOperations()
+	if ops.Exists(name) {
+		return nil
+	}
+	if err := ops.Create(name); err != nil {
+		return err
+	}
+	if err := ops.RemoveIterator(name, "versioning"); err != nil {
+		return err
+	}
+	return ops.AttachIterator(name, iterator.Setting{Name: "sum", Priority: 10})
+}
+
+// JaccardTable computes Jaccard coefficients for the graph in an
+// adjacency table: the common-neighbour counts come from a server-side
+// TableMult (A·A through the table kernels), the degree normalisation
+// from the degree table, and the result lands in outTable. Only the
+// strict upper triangle (by key order) is written, matching Algorithm
+// 2's output shape.
+func JaccardTable(conn *accumulo.Connector, table, degTable, outTable string) (int, error) {
+	ops := conn.TableOperations()
+	tmp := outTable + "_num"
+	if ops.Exists(tmp) {
+		if err := ops.Delete(tmp); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := TableMult(conn, table, table, tmp, MultOptions{}); err != nil {
+		return 0, err
+	}
+	degs, err := readDegrees(conn, degTable)
+	if err != nil {
+		return 0, err
+	}
+	num, err := schema.ReadAssoc(conn, tmp)
+	if err != nil {
+		return 0, err
+	}
+	if err := createSumTable(conn, outTable); err != nil {
+		return 0, err
+	}
+	w, err := conn.CreateBatchWriter(outTable, accumulo.BatchWriterConfig{})
+	if err != nil {
+		return 0, err
+	}
+	written := 0
+	for _, e := range num.Entries() {
+		if e.Row >= e.Col { // upper triangle only
+			continue
+		}
+		union := degs[e.Row] + degs[e.Col] - e.Val
+		if union <= 0 {
+			continue
+		}
+		if err := w.PutFloat(e.Row, "", e.Col, e.Val/union); err != nil {
+			return written, err
+		}
+		written++
+	}
+	return written, w.Close()
+}
+
+// NMFTable stages the paper's Algorithm 5 against a table: the sparse
+// document×term matrix is read from the table (the only full-size
+// transfer), factorised with the GraphBLAS NMF, and the W and H factors
+// are written back to wTable and hTable. The k×k dense solves stay
+// client-side, as in Graphulo's NMF.
+func NMFTable(conn *accumulo.Connector, table, wTable, hTable string, cfg algo.NMFConfig) (algo.NMFResult, error) {
+	a, err := schema.ReadAssoc(conn, table)
+	if err != nil {
+		return algo.NMFResult{}, err
+	}
+	m, docs, terms := a.Matrix()
+	res := algo.NMF(m, cfg)
+	for _, spec := range []struct {
+		name string
+		d    *sparse.Dense
+		rows []string
+		cols []string
+	}{
+		{wTable, res.W, docs, topicNames(cfg.Topics)},
+		{hTable, res.H, topicNames(cfg.Topics), terms},
+	} {
+		// Rebuild the factor tables from scratch: a stale table's sum
+		// combiner would fold old factors into the new ones.
+		if conn.TableOperations().Exists(spec.name) {
+			if err := conn.TableOperations().Delete(spec.name); err != nil {
+				return res, err
+			}
+		}
+		if err := createSumTable(conn, spec.name); err != nil {
+			return res, err
+		}
+		w, err := conn.CreateBatchWriter(spec.name, accumulo.BatchWriterConfig{})
+		if err != nil {
+			return res, err
+		}
+		for i := 0; i < spec.d.R; i++ {
+			for j := 0; j < spec.d.C; j++ {
+				if v := spec.d.At(i, j); v > 1e-12 {
+					if err := w.PutFloat(spec.rows[i], "", spec.cols[j], v); err != nil {
+						return res, err
+					}
+				}
+			}
+		}
+		if err := w.Close(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+func topicNames(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = fmt.Sprintf("topic%02d", i)
+	}
+	return out
+}
+
+// TableDegrees builds a degree table server-side from an adjacency
+// table via the rowReduce iterator and returns the number of vertices.
+func TableDegrees(conn *accumulo.Connector, table, degTable string) (int, error) {
+	return TableRowReduce(conn, table, degTable, "plus", "", "deg")
+}
+
+// TriangleCountTable counts triangles in the graph held by an adjacency
+// table: TableMult produces A² server-side; the client streams A once
+// and accumulates Σ A∘A² / 6.
+func TriangleCountTable(conn *accumulo.Connector, table, scratch string) (float64, error) {
+	ops := conn.TableOperations()
+	if ops.Exists(scratch) {
+		if err := ops.Delete(scratch); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := TableMult(conn, table, table, scratch, MultOptions{}); err != nil {
+		return 0, err
+	}
+	a, err := schema.ReadAssoc(conn, table)
+	if err != nil {
+		return 0, err
+	}
+	sq, err := schema.ReadAssoc(conn, scratch)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, e := range a.Entries() {
+		total += sq.At(e.Row, e.Col)
+	}
+	return total / 6, nil
+}

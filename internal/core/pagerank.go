@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"graphulo/internal/accumulo"
+	"graphulo/internal/iterator"
+	"graphulo/internal/skv"
+)
+
+// PageRankTableResult reports a table-resident PageRank run.
+type PageRankTableResult struct {
+	Ranks      map[string]float64
+	Iterations int
+	Converged  bool
+}
+
+// PageRankTable runs PageRank with the adjacency matrix staying in the
+// database: the column-stochastic walk matrix Mᵀ = D⁻¹A is materialised
+// once server-side (OneTable with the rowScale iterator over the degree
+// table), and every power-iteration step is a server-side TableMult of
+// Mᵀ with the current rank-vector table. Only the rank vector (O(V)
+// entries) crosses the wire per iteration — the Graphulo division of
+// labour for iterative algorithms.
+//
+// alpha is the jump probability (paper convention: the principal
+// eigenvector of α/N·1 + (1−α)AᵀD⁻¹).
+func PageRankTable(conn *accumulo.Connector, table, degTable string, alpha, tol float64, maxIter int) (PageRankTableResult, error) {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	ops := conn.TableOperations()
+	// Vertex set and dangling detection from the degree table.
+	degs, err := readDegrees(conn, degTable)
+	if err != nil {
+		return PageRankTableResult{}, err
+	}
+	if len(degs) == 0 {
+		return PageRankTableResult{}, fmt.Errorf("core: empty degree table %q", degTable)
+	}
+	n := float64(len(degs))
+
+	// Mᵀ = D⁻¹A, built once server-side.
+	mt := table + "_prMT"
+	if ops.Exists(mt) {
+		if err := ops.Delete(mt); err != nil {
+			return PageRankTableResult{}, err
+		}
+	}
+	if _, err := OneTable(conn, table, mt, []iterator.Setting{
+		{Name: "rowScale", Priority: 30, Opts: map[string]string{"table": degTable}},
+	}); err != nil {
+		return PageRankTableResult{}, err
+	}
+
+	// Rank vector table, initialised uniform.
+	vec := table + "_prV"
+	x := make(map[string]float64, len(degs))
+	for v := range degs {
+		x[v] = 1 / n
+	}
+	writeVector := func(name string, vals map[string]float64) error {
+		if ops.Exists(name) {
+			if err := ops.Delete(name); err != nil {
+				return err
+			}
+		}
+		if err := createSumTable(conn, name); err != nil {
+			return err
+		}
+		w, err := conn.CreateBatchWriter(name, accumulo.BatchWriterConfig{})
+		if err != nil {
+			return err
+		}
+		for v, r := range vals {
+			if err := w.PutFloat(v, "", "r", r); err != nil {
+				return err
+			}
+		}
+		return w.Close()
+	}
+	readVector := func(name string) (map[string]float64, error) {
+		sc, err := conn.CreateScanner(name)
+		if err != nil {
+			return nil, err
+		}
+		entries, err := sc.Entries()
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]float64, len(entries))
+		for _, e := range entries {
+			if v, ok := skv.DecodeFloat(e.V); ok {
+				out[e.K.Row] = v
+			}
+		}
+		return out, nil
+	}
+
+	for it := 1; it <= maxIter; it++ {
+		if err := writeVector(vec, x); err != nil {
+			return PageRankTableResult{}, err
+		}
+		next := table + "_prVn"
+		if ops.Exists(next) {
+			if err := ops.Delete(next); err != nil {
+				return PageRankTableResult{}, err
+			}
+		}
+		// y[u] = Σ_v Mᵀ[v][u]·x[v], server-side.
+		if _, err := TableMult(conn, mt, vec, next, MultOptions{}); err != nil {
+			return PageRankTableResult{}, err
+		}
+		walked, err := readVector(next)
+		if err != nil {
+			return PageRankTableResult{}, err
+		}
+		// Teleport + dangling mass client-side (O(V) work on the small
+		// vector, per the paper's "summing the vector entries" note).
+		dangling := 0.0
+		for v, r := range x {
+			if degs[v] == 0 {
+				dangling += r
+			}
+		}
+		uniform := (alpha + (1-alpha)*dangling) / n
+		delta := 0.0
+		nextX := make(map[string]float64, len(x))
+		for v := range degs {
+			nv := uniform + (1-alpha)*walked[v]
+			nextX[v] = nv
+			delta += math.Abs(nv - x[v])
+		}
+		x = nextX
+		if delta < tol {
+			return PageRankTableResult{Ranks: x, Iterations: it, Converged: true}, nil
+		}
+	}
+	return PageRankTableResult{Ranks: x, Iterations: maxIter, Converged: false}, nil
+}

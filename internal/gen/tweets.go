@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"fmt"
+
+	"graphulo/internal/assoc"
+	"graphulo/internal/semiring"
+)
+
+// This file generates the synthetic stand-in for the paper's Fig. 3
+// experiment: ~20k tweets with five planted topic communities (Turkish,
+// dating, an Atlanta acoustic-guitar competition, Spanish, English).
+// The real corpus is unavailable, so we plant the same structure — five
+// disjoint-vocabulary communities plus shared background noise — and ask
+// NMF to recover it, which is the qualitative claim Fig. 3 makes.
+
+// Topic vocabularies echoing the themes the paper reports for its five
+// recovered topics.
+var TopicVocabularies = [][]string{
+	// Topic 1: Turkish-language tweets.
+	{"merhaba", "günaydın", "teşekkürler", "nasılsın", "iyiyim", "evet",
+		"hayır", "güzel", "çok", "seviyorum", "arkadaş", "istanbul",
+		"türkiye", "kahve", "deniz", "mutlu", "hava", "bugün", "yarın", "gece"},
+	// Topic 2: dating.
+	{"date", "single", "love", "match", "profile", "swipe", "chat",
+		"romance", "dinner", "cute", "relationship", "flirt", "crush",
+		"heart", "kiss", "valentine", "partner", "meet", "lonely", "spark"},
+	// Topic 3: acoustic guitar competition in Atlanta.
+	{"guitar", "acoustic", "atlanta", "competition", "strings", "chord",
+		"stage", "finals", "luthier", "fingerstyle", "melody", "audition",
+		"georgia", "capo", "fret", "tune", "winner", "perform", "solo", "encore"},
+	// Topic 4: Spanish-language tweets.
+	{"hola", "buenos", "días", "gracias", "amigo", "fiesta", "playa",
+		"corazón", "música", "baile", "noche", "siempre", "quiero",
+		"vida", "feliz", "sol", "mañana", "cerveza", "fútbol", "vamos"},
+	// Topic 5: general English tweets.
+	{"today", "great", "time", "people", "world", "news", "happy",
+		"work", "coffee", "morning", "weekend", "friends", "watch",
+		"game", "team", "city", "home", "food", "music", "night"},
+}
+
+// Background words common to all topics (noise floor).
+var backgroundWords = []string{
+	"rt", "lol", "omg", "http", "follow", "tweet", "please", "thanks",
+	"new", "good", "day", "one", "see", "now", "just",
+}
+
+// TweetCorpus holds the generated document-term incidence array and the
+// planted ground truth.
+type TweetCorpus struct {
+	// A is the tweets × terms incidence array: A(doc, term) = count.
+	A *assoc.Assoc
+	// Topic[doc index] is the planted topic of tweet docNNNN.
+	Topic []int
+	// NumTopics is the number of planted topics.
+	NumTopics int
+}
+
+// TweetCorpusConfig sizes the generator.
+type TweetCorpusConfig struct {
+	NumTweets     int     // number of documents (paper: ~20000)
+	WordsPerTweet int     // average words per tweet (default 10)
+	NoiseRate     float64 // probability a word is background noise (default 0.2)
+	Seed          uint64
+}
+
+// NewTweetCorpus plants cfg.NumTweets tweets across the five topics.
+// Word frequencies within a topic follow a Zipf-like rank distribution,
+// so each topic has a few dominant terms — what Fig. 3 visualises.
+func NewTweetCorpus(cfg TweetCorpusConfig) TweetCorpus {
+	if cfg.NumTweets <= 0 {
+		cfg.NumTweets = 20000
+	}
+	if cfg.WordsPerTweet <= 0 {
+		cfg.WordsPerTweet = 10
+	}
+	if cfg.NoiseRate <= 0 {
+		cfg.NoiseRate = 0.2
+	}
+	rng := NewRand(cfg.Seed)
+	k := len(TopicVocabularies)
+	var entries []assoc.Entry
+	topics := make([]int, cfg.NumTweets)
+	for d := 0; d < cfg.NumTweets; d++ {
+		topic := d % k // balanced communities
+		topics[d] = topic
+		doc := fmt.Sprintf("doc%06d", d)
+		nw := cfg.WordsPerTweet/2 + rng.Intn(cfg.WordsPerTweet)
+		for w := 0; w < nw; w++ {
+			var word string
+			if rng.Float64() < cfg.NoiseRate {
+				word = backgroundWords[rng.Intn(len(backgroundWords))]
+			} else {
+				word = TopicVocabularies[topic][zipfRank(rng, len(TopicVocabularies[topic]))]
+			}
+			entries = append(entries, assoc.Entry{Row: doc, Col: word, Val: 1})
+		}
+	}
+	return TweetCorpus{
+		A:         assoc.New(entries, semiring.PlusTimes),
+		Topic:     topics,
+		NumTopics: k,
+	}
+}
+
+// zipfRank draws a rank in [0, n) with probability ∝ 1/(rank+1).
+func zipfRank(rng *Rand, n int) int {
+	// Inverse-CDF on the harmonic weights; n is small (≤ 20) so a
+	// linear scan is fine.
+	total := 0.0
+	for i := 1; i <= n; i++ {
+		total += 1 / float64(i)
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i := 1; i <= n; i++ {
+		acc += 1 / float64(i)
+		if u < acc {
+			return i - 1
+		}
+	}
+	return n - 1
+}

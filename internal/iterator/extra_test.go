@@ -1,0 +1,181 @@
+package iterator
+
+import (
+	"testing"
+
+	"graphulo/internal/semiring"
+	"graphulo/internal/skv"
+)
+
+func TestRowReduceIter(t *testing.T) {
+	src := NewSliceIter([]skv.Entry{
+		e("a", "", "x", 1, 2),
+		e("a", "", "y", 1, 3),
+		e("b", "", "x", 1, 7),
+	})
+	r := NewRowReduceIter(src, semiring.PlusMonoid, "", "deg")
+	if err := r.Seek(skv.FullRange()); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := Collect(r)
+	if len(got) != 2 {
+		t.Fatalf("want 2 row sums, got %d", len(got))
+	}
+	if v, _ := skv.DecodeFloat(got[0].V); v != 5 || got[0].K.Row != "a" || got[0].K.ColQ != "deg" {
+		t.Fatalf("row a sum wrong: %v %v", got[0].K, v)
+	}
+	if v, _ := skv.DecodeFloat(got[1].V); v != 7 {
+		t.Fatalf("row b sum wrong: %v", v)
+	}
+}
+
+func TestRowReduceMinMonoid(t *testing.T) {
+	src := NewSliceIter([]skv.Entry{
+		e("a", "", "x", 1, 5),
+		e("a", "", "y", 1, 2),
+	})
+	r := NewRowReduceIter(src, semiring.MinMonoid, "f", "min")
+	r.Seek(skv.FullRange())
+	got, _ := Collect(r)
+	if v, _ := skv.DecodeFloat(got[0].V); v != 2 || got[0].K.ColF != "f" {
+		t.Fatalf("min reduce wrong: %v", got[0])
+	}
+}
+
+func TestRowReduceFactoryBadMonoid(t *testing.T) {
+	f, _ := Lookup("rowReduce")
+	if _, err := f(NewSliceIter(nil), map[string]string{"monoid": "nope"}, nil); err == nil {
+		t.Fatalf("expected error for unknown monoid")
+	}
+}
+
+func TestDegreeFilterIter(t *testing.T) {
+	env := newFakeEnv()
+	env.tables["deg"] = []skv.Entry{
+		e("v1", "", "deg", 1, 1),
+		e("v2", "", "deg", 1, 5),
+		e("v3", "", "deg", 1, 10),
+	}
+	src := NewSliceIter([]skv.Entry{
+		e("a", "", "v1", 1, 1),
+		e("a", "", "v2", 1, 1),
+		e("a", "", "v3", 1, 1),
+	})
+	d := NewDegreeFilterIter(src, "deg", 2, 8, env)
+	if err := d.Seek(skv.FullRange()); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := Collect(d)
+	if len(got) != 1 || got[0].K.ColQ != "v2" {
+		t.Fatalf("degree filter wrong: %v", keysOf(got))
+	}
+}
+
+func TestDegreeFilterNoBounds(t *testing.T) {
+	env := newFakeEnv()
+	env.tables["deg"] = []skv.Entry{e("v1", "", "deg", 1, 3)}
+	src := NewSliceIter([]skv.Entry{e("a", "", "v1", 1, 1), e("a", "", "vMissing", 1, 1)})
+	d := NewDegreeFilterIter(src, "deg", 0, 0, env)
+	d.Seek(skv.FullRange())
+	got, _ := Collect(d)
+	if len(got) != 2 {
+		t.Fatalf("no bounds should admit everything, got %d", len(got))
+	}
+	// min bound excludes vertices missing from the degree table (deg 0).
+	d2 := NewDegreeFilterIter(NewSliceIter([]skv.Entry{
+		e("a", "", "v1", 1, 1), e("a", "", "vMissing", 1, 1),
+	}), "deg", 1, 0, env)
+	d2.Seek(skv.FullRange())
+	got2, _ := Collect(d2)
+	if len(got2) != 1 || got2[0].K.ColQ != "v1" {
+		t.Fatalf("min bound should drop missing-degree vertices: %v", keysOf(got2))
+	}
+}
+
+func TestRowScaleIter(t *testing.T) {
+	env := newFakeEnv()
+	env.tables["deg"] = []skv.Entry{
+		e("r1", "", "deg", 1, 2),
+		e("r2", "", "deg", 1, 4),
+	}
+	src := NewSliceIter([]skv.Entry{
+		e("r1", "", "c", 1, 1),
+		e("r2", "", "c", 1, 1),
+		e("r3", "", "c", 1, 1), // no scale entry: dropped
+	})
+	r := NewRowScaleIter(src, "deg", env)
+	if err := r.Seek(skv.FullRange()); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := Collect(r)
+	if len(got) != 2 {
+		t.Fatalf("rows without scale must be dropped: %d", len(got))
+	}
+	if v, _ := skv.DecodeFloat(got[0].V); v != 0.5 {
+		t.Fatalf("r1 scaled to %v, want 0.5", v)
+	}
+	if v, _ := skv.DecodeFloat(got[1].V); v != 0.25 {
+		t.Fatalf("r2 scaled to %v, want 0.25", v)
+	}
+}
+
+func TestFactoriesRequireOptions(t *testing.T) {
+	for _, name := range []string{"remoteSource", "twoTable", "remoteWrite", "degreeFilter", "rowScale"} {
+		f, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("%s not registered", name)
+		}
+		if _, err := f(NewSliceIter(nil), map[string]string{}, newFakeEnv()); err == nil {
+			t.Fatalf("%s should reject empty options", name)
+		}
+	}
+}
+
+func TestScaleFactoryBadOption(t *testing.T) {
+	f, _ := Lookup("scale")
+	if _, err := f(NewSliceIter(nil), map[string]string{"factor": "zoo"}, nil); err == nil {
+		t.Fatalf("expected parse error")
+	}
+}
+
+func TestTwoTableFactorySemiringValidation(t *testing.T) {
+	f, _ := Lookup("twoTable")
+	if _, err := f(NewSliceIter(nil), map[string]string{"tableAT": "T", "semiring": "weird"}, newFakeEnv()); err == nil {
+		t.Fatalf("expected unknown-semiring error")
+	}
+}
+
+func TestVersioningAcrossSeeks(t *testing.T) {
+	src := NewSliceIter([]skv.Entry{
+		e("r", "", "q", 9, 90),
+		e("r", "", "q", 5, 50),
+		e("s", "", "q", 3, 30),
+	})
+	v := NewVersioningIter(src, 1)
+	// First seek restricted to row r.
+	v.Seek(skv.ExactRow("r"))
+	got, _ := Collect(v)
+	if len(got) != 1 {
+		t.Fatalf("restricted scan: %v", keysOf(got))
+	}
+	// Re-seek full: state must reset.
+	v.Seek(skv.FullRange())
+	got, _ = Collect(v)
+	if len(got) != 2 {
+		t.Fatalf("re-seek scan: %v", keysOf(got))
+	}
+}
+
+func TestDedupMergePrefersNewestSource(t *testing.T) {
+	newer := NewSliceIter([]skv.Entry{e("r", "", "q", 5, 999)})
+	older := NewSliceIter([]skv.Entry{e("r", "", "q", 5, 111)})
+	m := NewDedupMergeIter(newer, older)
+	m.Seek(skv.FullRange())
+	got, _ := Collect(m)
+	if len(got) != 1 {
+		t.Fatalf("dedup should collapse identical keys: %d", len(got))
+	}
+	if v, _ := skv.DecodeFloat(got[0].V); v != 999 {
+		t.Fatalf("newest source should win, got %v", v)
+	}
+}

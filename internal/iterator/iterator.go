@@ -1,0 +1,288 @@
+// Package iterator implements the server-side iterator framework — the
+// Accumulo mechanism Graphulo uses to run GraphBLAS kernels inside the
+// database. A SortedKeyValueIterator (SKVI) consumes a sorted entry
+// stream and produces a sorted entry stream; stacks of them are attached
+// to tables at scan, minor-compaction, and major-compaction scopes, or
+// supplied per-scan.
+//
+// The package provides the standard stack (versioning, filters,
+// combiners, apply) plus the Graphulo iterators: RemoteSourceIterator,
+// TwoTableIterator (the server-side SpGEMM core), and
+// RemoteWriteIterator.
+package iterator
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"graphulo/internal/skv"
+)
+
+// SKVI is a sorted key-value iterator. Implementations must return
+// entries in strictly non-decreasing key order between Seek calls.
+type SKVI interface {
+	// Seek positions the iterator at the first entry within rng.
+	Seek(rng skv.Range) error
+	// HasTop reports whether a current entry exists.
+	HasTop() bool
+	// Top returns the current entry; only valid when HasTop.
+	Top() skv.Entry
+	// Next advances to the following entry.
+	Next() error
+}
+
+// Env gives server-side iterators controlled access to the rest of the
+// cluster: opening scanners against other tables (RemoteSource) and
+// writing result entries (RemoteWrite). The accumulo package implements
+// it; tests may use fakes.
+type Env interface {
+	// OpenScanner returns a sorted iterator over another table's range,
+	// with that table's scan-scope stack applied.
+	OpenScanner(table string, rng skv.Range) (SKVI, error)
+	// WriteEntries ingests entries into another table through the normal
+	// write path (so the target table's combiners apply).
+	WriteEntries(table string, entries []skv.Entry) error
+}
+
+// Factory constructs a configured iterator over a source. opts carries
+// the per-instance configuration an IteratorSetting would in Accumulo.
+type Factory func(src SKVI, opts map[string]string, env Env) (SKVI, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register makes a named iterator available for attachment to tables and
+// scans. It panics on duplicate names — configuring two different
+// iterators under one name is a deployment error.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("iterator: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// Lookup returns the factory registered under name.
+func Lookup(name string) (Factory, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("iterator: %q is not registered", name)
+	}
+	return f, nil
+}
+
+// Setting names a registered iterator plus its options, in priority
+// order position within a stack (lower priority runs closer to the data).
+type Setting struct {
+	Name     string
+	Priority int
+	Opts     map[string]string
+}
+
+// BuildStack layers the settings (sorted by priority) on top of src.
+func BuildStack(src SKVI, settings []Setting, env Env) (SKVI, error) {
+	ordered := append([]Setting(nil), settings...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Priority < ordered[j].Priority })
+	cur := src
+	for _, s := range ordered {
+		f, err := Lookup(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		cur, err = f(cur, s.Opts, env)
+		if err != nil {
+			return nil, fmt.Errorf("iterator: building %q: %w", s.Name, err)
+		}
+	}
+	return cur, nil
+}
+
+// --- basic sources and sinks ---
+
+// SliceIter iterates over an in-memory sorted slice of entries. The
+// slice must already be sorted by skv.Compare; NewSliceIter verifies in
+// debug form by sorting a copy if needed.
+type SliceIter struct {
+	entries []skv.Entry
+	rng     skv.Range
+	pos     int
+}
+
+// NewSliceIter returns an iterator over entries, sorting them if needed.
+func NewSliceIter(entries []skv.Entry) *SliceIter {
+	sorted := true
+	for i := 0; i+1 < len(entries); i++ {
+		if skv.Compare(entries[i].K, entries[i+1].K) > 0 {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		entries = append([]skv.Entry(nil), entries...)
+		sort.Slice(entries, func(i, j int) bool { return skv.Compare(entries[i].K, entries[j].K) < 0 })
+	}
+	return &SliceIter{entries: entries}
+}
+
+// Seek implements SKVI.
+func (it *SliceIter) Seek(rng skv.Range) error {
+	it.rng = rng
+	if !rng.HasStart {
+		it.pos = 0
+		return nil
+	}
+	it.pos = sort.Search(len(it.entries), func(i int) bool {
+		return skv.Compare(it.entries[i].K, rng.Start) >= 0
+	})
+	return nil
+}
+
+// HasTop implements SKVI.
+func (it *SliceIter) HasTop() bool {
+	return it.pos < len(it.entries) && !it.rng.AfterEnd(it.entries[it.pos].K)
+}
+
+// Top implements SKVI.
+func (it *SliceIter) Top() skv.Entry { return it.entries[it.pos] }
+
+// Next implements SKVI.
+func (it *SliceIter) Next() error {
+	it.pos++
+	return nil
+}
+
+// Collect drains an iterator (after the caller has Seeked it) into a
+// slice. It is the standard test/client helper.
+func Collect(it SKVI) ([]skv.Entry, error) {
+	var out []skv.Entry
+	for it.HasTop() {
+		out = append(out, it.Top())
+		if err := it.Next(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// MergeIter is a k-way merge over sorted sources — the read path over
+// one memtable plus many immutable runs. In dedup mode, entries whose
+// full key (timestamp included) collides across sources are resolved in
+// favour of the earliest-listed source, so callers list sources from
+// newest (memtable) to oldest (first run), matching LSM semantics.
+type MergeIter struct {
+	sources []SKVI
+	heap    []int // indices of sources with tops, heap-ordered by top key
+
+	dedup    bool
+	lastKey  skv.Key
+	haveLast bool
+}
+
+// NewMergeIter merges the given sorted sources, keeping duplicates.
+func NewMergeIter(sources ...SKVI) *MergeIter {
+	return &MergeIter{sources: sources}
+}
+
+// NewDedupMergeIter merges sources, collapsing exact full-key duplicates
+// in favour of the earliest-listed source.
+func NewDedupMergeIter(sources ...SKVI) *MergeIter {
+	return &MergeIter{sources: sources, dedup: true}
+}
+
+// Seek implements SKVI.
+func (m *MergeIter) Seek(rng skv.Range) error {
+	m.heap = m.heap[:0]
+	m.haveLast = false
+	for i, s := range m.sources {
+		if err := s.Seek(rng); err != nil {
+			return err
+		}
+		if s.HasTop() {
+			m.heap = append(m.heap, i)
+		}
+	}
+	m.buildHeap()
+	return nil
+}
+
+func (m *MergeIter) less(a, b int) bool {
+	c := skv.Compare(m.sources[m.heap[a]].Top().K, m.sources[m.heap[b]].Top().K)
+	if c != 0 {
+		return c < 0
+	}
+	// Equal keys: prefer the earlier-listed (newer) source.
+	return m.heap[a] < m.heap[b]
+}
+
+func (m *MergeIter) buildHeap() {
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+}
+
+func (m *MergeIter) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(m.heap) && m.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(m.heap) && m.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		m.heap[i], m.heap[smallest] = m.heap[smallest], m.heap[i]
+		i = smallest
+	}
+}
+
+// HasTop implements SKVI.
+func (m *MergeIter) HasTop() bool { return len(m.heap) > 0 }
+
+// Top implements SKVI.
+func (m *MergeIter) Top() skv.Entry { return m.sources[m.heap[0]].Top() }
+
+// Next implements SKVI.
+func (m *MergeIter) Next() error {
+	if m.dedup && len(m.heap) > 0 {
+		m.lastKey = m.sources[m.heap[0]].Top().K
+		m.haveLast = true
+	}
+	if err := m.advance(); err != nil {
+		return err
+	}
+	if m.dedup {
+		for len(m.heap) > 0 && skv.Compare(m.sources[m.heap[0]].Top().K, m.lastKey) == 0 {
+			if err := m.advance(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// advance moves the heap-top source forward one entry and restores the
+// heap.
+func (m *MergeIter) advance() error {
+	src := m.sources[m.heap[0]]
+	if err := src.Next(); err != nil {
+		return err
+	}
+	if !src.HasTop() {
+		last := len(m.heap) - 1
+		m.heap[0] = m.heap[last]
+		m.heap = m.heap[:last]
+	}
+	if len(m.heap) > 0 {
+		m.siftDown(0)
+	}
+	return nil
+}

@@ -1,0 +1,498 @@
+package iterator
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"graphulo/internal/semiring"
+	"graphulo/internal/skv"
+)
+
+// This file implements the Graphulo kernel iterators. The server-side
+// sparse matrix multiply C = Aᵀ·B works exactly as in Graphulo:
+//
+//   - A is stored transposed in table AT (row key = inner index).
+//   - A scan over table B's tablets carries a TwoTableIterator whose
+//     remote source is AT. For each inner row i present in both tables,
+//     it emits the outer products A(i,·)ᵀ ⊗ B(i,·).
+//   - A RemoteWriteIterator above it batches those partial products into
+//     table C through the normal write path; C carries a summing
+//     combiner, so colliding partial products fold with ⊕.
+//   - The scan client receives only one monitoring entry per tablet
+//     with the count of entries written.
+//
+// The data never travels to the client: the multiply happens where B's
+// tablets live, which is the paper's core systems idea (§I.A, §IV).
+
+// RemoteSourceIterator reads entries of another table through the
+// server-side client. Its options: "table" (required).
+//
+// The first Seek opens one remote scan covering the union of all ranges
+// this iterator will see (the full range); later Seeks reposition within
+// the already-fetched stream. TwoTableIterator only ever seeks forward,
+// so this matches Graphulo's streaming RemoteSourceIterator without
+// re-issuing a remote scan per row skip.
+type RemoteSourceIterator struct {
+	table string
+	env   Env
+	inner SKVI
+}
+
+// NewRemoteSourceIterator returns an iterator over the named table.
+func NewRemoteSourceIterator(table string, env Env) *RemoteSourceIterator {
+	return &RemoteSourceIterator{table: table, env: env}
+}
+
+// Seek implements SKVI.
+func (r *RemoteSourceIterator) Seek(rng skv.Range) error {
+	if r.inner == nil {
+		it, err := r.env.OpenScanner(r.table, skv.FullRange())
+		if err != nil {
+			return fmt.Errorf("remoteSource(%s): %w", r.table, err)
+		}
+		r.inner = it
+	}
+	return r.inner.Seek(rng)
+}
+
+// HasTop implements SKVI.
+func (r *RemoteSourceIterator) HasTop() bool { return r.inner != nil && r.inner.HasTop() }
+
+// Top implements SKVI.
+func (r *RemoteSourceIterator) Top() skv.Entry { return r.inner.Top() }
+
+// Next implements SKVI.
+func (r *RemoteSourceIterator) Next() error { return r.inner.Next() }
+
+// TwoTableIterator aligns the hosted table (source, playing B) with a
+// remote table AT (playing Aᵀ) on row keys — the inner dimension of the
+// multiply — and emits partial products of C = Aᵀ·B under the configured
+// semiring. Output within one inner row is sorted; across inner rows it
+// is not, so a RemoteWriteIterator (not a raw scan) must consume it.
+type TwoTableIterator struct {
+	src    SKVI
+	remote SKVI
+	ring   semiring.Semiring
+
+	buf []skv.Entry // partial products of the current inner row
+	pos int
+}
+
+// NewTwoTableIterator builds the multiply iterator. src iterates table B;
+// remote iterates table AT.
+func NewTwoTableIterator(src, remote SKVI, ring semiring.Semiring) *TwoTableIterator {
+	return &TwoTableIterator{src: src, remote: remote, ring: ring}
+}
+
+// Seek implements SKVI. The range restricts B (the hosted side); AT is
+// always re-sought per matching row.
+func (t *TwoTableIterator) Seek(rng skv.Range) error {
+	if err := t.src.Seek(rng); err != nil {
+		return err
+	}
+	if err := t.remote.Seek(skv.FullRange()); err != nil {
+		return err
+	}
+	t.buf, t.pos = nil, 0
+	return t.fill()
+}
+
+// fill advances both sides to the next common inner row and materialises
+// its outer product into buf.
+func (t *TwoTableIterator) fill() error {
+	t.buf = t.buf[:0]
+	t.pos = 0
+	for t.src.HasTop() && t.remote.HasTop() {
+		bRow := t.src.Top().K.Row
+		aRow := t.remote.Top().K.Row
+		switch {
+		case aRow < bRow:
+			if err := t.seekRowFrom(t.remote, bRow); err != nil {
+				return err
+			}
+		case bRow < aRow:
+			if err := t.seekRowFrom(t.src, aRow); err != nil {
+				return err
+			}
+		default:
+			aEntries, err := t.readRow(t.remote, aRow)
+			if err != nil {
+				return err
+			}
+			bEntries, err := t.readRow(t.src, bRow)
+			if err != nil {
+				return err
+			}
+			t.cross(aEntries, bEntries)
+			if len(t.buf) > 0 {
+				return nil
+			}
+			// All products were semiring zeros; keep scanning.
+		}
+	}
+	return nil
+}
+
+// seekRowFrom advances it until its row key is >= row. It uses Next for
+// short gaps and re-Seeks for long ones, the standard tablet-server
+// heuristic.
+func (t *TwoTableIterator) seekRowFrom(it SKVI, row string) error {
+	for probes := 0; it.HasTop() && it.Top().K.Row < row; probes++ {
+		if probes >= 10 {
+			return it.Seek(skv.RowRange(row, ""))
+		}
+		if err := it.Next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readRow consumes every entry of the given row from it.
+func (t *TwoTableIterator) readRow(it SKVI, row string) ([]skv.Entry, error) {
+	var out []skv.Entry
+	for it.HasTop() && it.Top().K.Row == row {
+		out = append(out, it.Top())
+		if err := it.Next(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// cross emits ⊗-products of the two row slices into buf: for AT entry
+// (i, j → a) and B entry (i, k → b), the partial product is
+// (j, k → a ⊗ b).
+func (t *TwoTableIterator) cross(aEntries, bEntries []skv.Entry) {
+	for _, ae := range aEntries {
+		av, ok := skv.DecodeFloat(ae.V)
+		if !ok {
+			continue
+		}
+		for _, be := range bEntries {
+			bv, ok := skv.DecodeFloat(be.V)
+			if !ok {
+				continue
+			}
+			p := t.ring.Mul(av, bv)
+			if t.ring.IsZero(p) {
+				continue
+			}
+			t.buf = append(t.buf, skv.Entry{
+				K: skv.Key{Row: ae.K.ColQ, ColF: "", ColQ: be.K.ColQ},
+				V: skv.EncodeFloat(p),
+			})
+		}
+	}
+	sort.Slice(t.buf, func(i, j int) bool { return skv.Compare(t.buf[i].K, t.buf[j].K) < 0 })
+}
+
+// HasTop implements SKVI.
+func (t *TwoTableIterator) HasTop() bool { return t.pos < len(t.buf) }
+
+// Top implements SKVI.
+func (t *TwoTableIterator) Top() skv.Entry { return t.buf[t.pos] }
+
+// Next implements SKVI.
+func (t *TwoTableIterator) Next() error {
+	t.pos++
+	if t.pos < len(t.buf) {
+		return nil
+	}
+	return t.fill()
+}
+
+// RemoteWriteIterator drains its source, writing every entry to a target
+// table in batches through the server-side client, then exposes a single
+// monitoring entry whose value is the count written. This is how
+// Graphulo returns results: into another table, not to the scan client.
+type RemoteWriteIterator struct {
+	src       SKVI
+	table     string
+	env       Env
+	batchSize int
+
+	done    bool
+	written int
+	has     bool
+	top     skv.Entry
+}
+
+// NewRemoteWriteIterator builds a write-back sink over src.
+func NewRemoteWriteIterator(src SKVI, table string, batchSize int, env Env) *RemoteWriteIterator {
+	if batchSize <= 0 {
+		batchSize = 4096
+	}
+	return &RemoteWriteIterator{src: src, table: table, env: env, batchSize: batchSize}
+}
+
+// Seek implements SKVI: it performs the entire drain eagerly so that by
+// the time the tablet server returns from the scan call, the results are
+// durably in the target table.
+func (w *RemoteWriteIterator) Seek(rng skv.Range) error {
+	if err := w.src.Seek(rng); err != nil {
+		return err
+	}
+	w.written = 0
+	batch := make([]skv.Entry, 0, w.batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := w.env.WriteEntries(w.table, batch); err != nil {
+			return fmt.Errorf("remoteWrite(%s): %w", w.table, err)
+		}
+		w.written += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for w.src.HasTop() {
+		batch = append(batch, w.src.Top())
+		if len(batch) >= w.batchSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		if err := w.src.Next(); err != nil {
+			return err
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	w.top = skv.Entry{
+		K: skv.Key{Row: "~monitor", ColF: "remoteWrite", ColQ: w.table},
+		V: skv.EncodeFloat(float64(w.written)),
+	}
+	w.has = true
+	w.done = true
+	return nil
+}
+
+// HasTop implements SKVI.
+func (w *RemoteWriteIterator) HasTop() bool { return w.has }
+
+// Top implements SKVI.
+func (w *RemoteWriteIterator) Top() skv.Entry { return w.top }
+
+// Next implements SKVI.
+func (w *RemoteWriteIterator) Next() error {
+	w.has = false
+	return nil
+}
+
+// DegreeFilterIter drops entries whose column qualifier (the neighbour
+// vertex in an adjacency row) has a degree outside [min, max] according
+// to a remote degree table — Graphulo's AdjBFS degree filtering running
+// server-side. The degree table is read once per scan through the
+// server-side client.
+type DegreeFilterIter struct {
+	src      SKVI
+	degTable string
+	env      Env
+	min, max float64
+	degrees  map[string]float64
+}
+
+// NewDegreeFilterIter wraps src; min/max of 0 disable that bound.
+func NewDegreeFilterIter(src SKVI, degTable string, min, max float64, env Env) *DegreeFilterIter {
+	return &DegreeFilterIter{src: src, degTable: degTable, env: env, min: min, max: max}
+}
+
+// Seek implements SKVI.
+func (d *DegreeFilterIter) Seek(rng skv.Range) error {
+	if d.degrees == nil {
+		it, err := d.env.OpenScanner(d.degTable, skv.FullRange())
+		if err != nil {
+			return fmt.Errorf("degreeFilter(%s): %w", d.degTable, err)
+		}
+		d.degrees = map[string]float64{}
+		for it.HasTop() {
+			if v, ok := skv.DecodeFloat(it.Top().V); ok {
+				d.degrees[it.Top().K.Row] = v
+			}
+			if err := it.Next(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := d.src.Seek(rng); err != nil {
+		return err
+	}
+	return d.skip()
+}
+
+func (d *DegreeFilterIter) admit(e skv.Entry) bool {
+	deg := d.degrees[e.K.ColQ]
+	if d.min > 0 && deg < d.min {
+		return false
+	}
+	if d.max > 0 && deg > d.max {
+		return false
+	}
+	return true
+}
+
+func (d *DegreeFilterIter) skip() error {
+	for d.src.HasTop() && !d.admit(d.src.Top()) {
+		if err := d.src.Next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HasTop implements SKVI.
+func (d *DegreeFilterIter) HasTop() bool { return d.src.HasTop() }
+
+// Top implements SKVI.
+func (d *DegreeFilterIter) Top() skv.Entry { return d.src.Top() }
+
+// Next implements SKVI.
+func (d *DegreeFilterIter) Next() error {
+	if err := d.src.Next(); err != nil {
+		return err
+	}
+	return d.skip()
+}
+
+// RowScaleIter divides each entry by its row's value in a remote
+// one-column table (e.g. a degree table): the server-side construction
+// of D⁻¹A, which is how the PageRank walk matrix is materialised
+// without moving A to the client.
+type RowScaleIter struct {
+	src      SKVI
+	scaleTbl string
+	env      Env
+	scales   map[string]float64
+	cur      skv.Entry
+	has      bool
+}
+
+// NewRowScaleIter wraps src, dividing by the remote per-row scale.
+func NewRowScaleIter(src SKVI, scaleTbl string, env Env) *RowScaleIter {
+	return &RowScaleIter{src: src, scaleTbl: scaleTbl, env: env}
+}
+
+// Seek implements SKVI.
+func (r *RowScaleIter) Seek(rng skv.Range) error {
+	if r.scales == nil {
+		it, err := r.env.OpenScanner(r.scaleTbl, skv.FullRange())
+		if err != nil {
+			return fmt.Errorf("rowScale(%s): %w", r.scaleTbl, err)
+		}
+		r.scales = map[string]float64{}
+		for it.HasTop() {
+			if v, ok := skv.DecodeFloat(it.Top().V); ok {
+				r.scales[it.Top().K.Row] = v
+			}
+			if err := it.Next(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := r.src.Seek(rng); err != nil {
+		return err
+	}
+	return r.fill()
+}
+
+func (r *RowScaleIter) fill() error {
+	r.has = false
+	for r.src.HasTop() {
+		e := r.src.Top()
+		d := r.scales[e.K.Row]
+		if d != 0 {
+			if v, ok := skv.DecodeFloat(e.V); ok {
+				r.cur = skv.Entry{K: e.K, V: skv.EncodeFloat(v / d)}
+				r.has = true
+				return nil
+			}
+		}
+		if err := r.src.Next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HasTop implements SKVI.
+func (r *RowScaleIter) HasTop() bool { return r.has }
+
+// Top implements SKVI.
+func (r *RowScaleIter) Top() skv.Entry { return r.cur }
+
+// Next implements SKVI.
+func (r *RowScaleIter) Next() error {
+	if err := r.src.Next(); err != nil {
+		return err
+	}
+	return r.fill()
+}
+
+func init() {
+	Register("rowScale", func(src SKVI, opts map[string]string, env Env) (SKVI, error) {
+		table := opts["table"]
+		if table == "" {
+			return nil, fmt.Errorf("rowScale: missing table option")
+		}
+		return NewRowScaleIter(src, table, env), nil
+	})
+	Register("degreeFilter", func(src SKVI, opts map[string]string, env Env) (SKVI, error) {
+		table := opts["table"]
+		if table == "" {
+			return nil, fmt.Errorf("degreeFilter: missing table option")
+		}
+		var minD, maxD float64
+		var err error
+		if s := opts["min"]; s != "" {
+			if minD, err = strconv.ParseFloat(s, 64); err != nil {
+				return nil, fmt.Errorf("degreeFilter: bad min %q", s)
+			}
+		}
+		if s := opts["max"]; s != "" {
+			if maxD, err = strconv.ParseFloat(s, 64); err != nil {
+				return nil, fmt.Errorf("degreeFilter: bad max %q", s)
+			}
+		}
+		return NewDegreeFilterIter(src, table, minD, maxD, env), nil
+	})
+	Register("remoteSource", func(_ SKVI, opts map[string]string, env Env) (SKVI, error) {
+		table := opts["table"]
+		if table == "" {
+			return nil, fmt.Errorf("remoteSource: missing table option")
+		}
+		return NewRemoteSourceIterator(table, env), nil
+	})
+	Register("twoTable", func(src SKVI, opts map[string]string, env Env) (SKVI, error) {
+		table := opts["tableAT"]
+		if table == "" {
+			return nil, fmt.Errorf("twoTable: missing tableAT option")
+		}
+		ringName := opts["semiring"]
+		if ringName == "" {
+			ringName = "plus.times"
+		}
+		ring, ok := semiring.ByName(ringName)
+		if !ok {
+			return nil, fmt.Errorf("twoTable: unknown semiring %q", ringName)
+		}
+		return NewTwoTableIterator(src, NewRemoteSourceIterator(table, env), ring), nil
+	})
+	Register("remoteWrite", func(src SKVI, opts map[string]string, env Env) (SKVI, error) {
+		table := opts["table"]
+		if table == "" {
+			return nil, fmt.Errorf("remoteWrite: missing table option")
+		}
+		bs := 0
+		if s := opts["batchSize"]; s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("remoteWrite: bad batchSize %q", s)
+			}
+			bs = v
+		}
+		return NewRemoteWriteIterator(src, table, bs, env), nil
+	})
+}

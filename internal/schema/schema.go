@@ -1,0 +1,406 @@
+// Package schema implements the paper's §II.B graph schemas on NoSQL
+// tables: the adjacency-matrix schema, the incidence-matrix schema, the
+// degree table, and the D4M 2.0 four-table schema (Tedge, TedgeT, Tdeg,
+// Traw) with exploded column keys.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"graphulo/internal/accumulo"
+	"graphulo/internal/assoc"
+	"graphulo/internal/gen"
+	"graphulo/internal/iterator"
+	"graphulo/internal/semiring"
+	"graphulo/internal/skv"
+)
+
+// VertexName formats vertex ids as fixed-width row keys so lexicographic
+// key order matches numeric order — the standard NoSQL graph convention.
+func VertexName(v int) string { return fmt.Sprintf("v%08d", v) }
+
+// ParseVertex recovers the id from a VertexName key.
+func ParseVertex(key string) (int, error) {
+	if len(key) != 9 || key[0] != 'v' {
+		return 0, fmt.Errorf("schema: bad vertex key %q", key)
+	}
+	return strconv.Atoi(key[1:])
+}
+
+// EdgeName formats edge ids for incidence-schema row keys.
+func EdgeName(e int) string { return fmt.Sprintf("e%08d", e) }
+
+// AdjacencySchema manages a pair of tables holding a graph's adjacency
+// matrix and its transpose, plus a degree table — the layout Graphulo
+// kernels expect (A and Aᵀ so either orientation can be the multiply's
+// inner dimension).
+type AdjacencySchema struct {
+	Table     string // A: row = source, colQ = destination
+	TableT    string // Aᵀ
+	DegTable  string // row = vertex, value = out-degree
+	conn      *accumulo.Connector
+	batchSize int
+}
+
+// NewAdjacencySchema creates (or reuses) the three tables.
+func NewAdjacencySchema(conn *accumulo.Connector, base string) (*AdjacencySchema, error) {
+	s := &AdjacencySchema{
+		Table:     base,
+		TableT:    base + "T",
+		DegTable:  base + "Deg",
+		conn:      conn,
+		batchSize: 4096,
+	}
+	ops := conn.TableOperations()
+	for _, name := range []string{s.Table, s.TableT} {
+		if !ops.Exists(name) {
+			if err := ops.Create(name); err != nil {
+				return nil, err
+			}
+			// Edge weights accumulate: sum-combine at every scope.
+			if err := ops.RemoveIterator(name, "versioning"); err != nil {
+				return nil, err
+			}
+			if err := ops.AttachIterator(name, iterator.Setting{Name: "sum", Priority: 10}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !ops.Exists(s.DegTable) {
+		if err := ops.Create(s.DegTable); err != nil {
+			return nil, err
+		}
+		if err := ops.RemoveIterator(s.DegTable, "versioning"); err != nil {
+			return nil, err
+		}
+		if err := ops.AttachIterator(s.DegTable, iterator.Setting{Name: "sum", Priority: 10}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// IngestGraph writes an undirected graph into the schema: every edge
+// lands in A, Aᵀ (same matrix for undirected graphs, kept anyway so the
+// multiply path is uniform), and increments both endpoint degrees.
+func (s *AdjacencySchema) IngestGraph(g gen.Graph) error {
+	wA, err := s.conn.CreateBatchWriter(s.Table, accumulo.BatchWriterConfig{})
+	if err != nil {
+		return err
+	}
+	wT, err := s.conn.CreateBatchWriter(s.TableT, accumulo.BatchWriterConfig{})
+	if err != nil {
+		return err
+	}
+	wD, err := s.conn.CreateBatchWriter(s.DegTable, accumulo.BatchWriterConfig{})
+	if err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		u, v := VertexName(e.U), VertexName(e.V)
+		if err := wA.PutFloat(u, "", v, 1); err != nil {
+			return err
+		}
+		if err := wA.PutFloat(v, "", u, 1); err != nil {
+			return err
+		}
+		if err := wT.PutFloat(u, "", v, 1); err != nil {
+			return err
+		}
+		if err := wT.PutFloat(v, "", u, 1); err != nil {
+			return err
+		}
+		if err := wD.PutFloat(u, "", "deg", 1); err != nil {
+			return err
+		}
+		if err := wD.PutFloat(v, "", "deg", 1); err != nil {
+			return err
+		}
+	}
+	for _, w := range []*accumulo.BatchWriter{wA, wT, wD} {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IngestDirected writes a directed graph: A gets u→v, Aᵀ gets v→u, and
+// the degree table records out-degrees.
+func (s *AdjacencySchema) IngestDirected(g gen.Graph) error {
+	wA, err := s.conn.CreateBatchWriter(s.Table, accumulo.BatchWriterConfig{})
+	if err != nil {
+		return err
+	}
+	wT, err := s.conn.CreateBatchWriter(s.TableT, accumulo.BatchWriterConfig{})
+	if err != nil {
+		return err
+	}
+	wD, err := s.conn.CreateBatchWriter(s.DegTable, accumulo.BatchWriterConfig{})
+	if err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		u, v := VertexName(e.U), VertexName(e.V)
+		if err := wA.PutFloat(u, "", v, 1); err != nil {
+			return err
+		}
+		if err := wT.PutFloat(v, "", u, 1); err != nil {
+			return err
+		}
+		if err := wD.PutFloat(u, "", "deg", 1); err != nil {
+			return err
+		}
+	}
+	for _, w := range []*accumulo.BatchWriter{wA, wT, wD} {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAssoc scans a whole table back into an associative array.
+func ReadAssoc(conn *accumulo.Connector, table string) (*assoc.Assoc, error) {
+	sc, err := conn.CreateScanner(table)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := sc.Entries()
+	if err != nil {
+		return nil, err
+	}
+	return EntriesToAssoc(entries), nil
+}
+
+// EntriesToAssoc converts scan entries to an associative array keyed by
+// (row, colQ) with decoded numeric values.
+func EntriesToAssoc(entries []skv.Entry) *assoc.Assoc {
+	var es []assoc.Entry
+	for _, e := range entries {
+		if v, ok := skv.DecodeFloat(e.V); ok {
+			es = append(es, assoc.Entry{Row: e.K.Row, Col: e.K.ColQ, Val: v})
+		}
+	}
+	return assoc.New(es, semiring.PlusTimes)
+}
+
+// WriteAssoc writes an associative array into a table (row → colQ).
+func WriteAssoc(conn *accumulo.Connector, table string, a *assoc.Assoc) error {
+	w, err := conn.CreateBatchWriter(table, accumulo.BatchWriterConfig{})
+	if err != nil {
+		return err
+	}
+	for _, e := range a.Entries() {
+		if err := w.PutFloat(e.Row, "", e.Col, e.Val); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// IncidenceSchema manages the incidence-matrix layout of §II.B.2 on
+// tables: E (row = edge id, colQ = vertex) and its transpose ET
+// (row = vertex, colQ = edge id). The paper's Algorithm 1 runs on this
+// pair.
+type IncidenceSchema struct {
+	Table  string // E
+	TableT string // Eᵀ
+	conn   *accumulo.Connector
+}
+
+// NewIncidenceSchema creates (or reuses) the two tables.
+func NewIncidenceSchema(conn *accumulo.Connector, base string) (*IncidenceSchema, error) {
+	s := &IncidenceSchema{Table: base + "E", TableT: base + "ET", conn: conn}
+	ops := conn.TableOperations()
+	for _, name := range []string{s.Table, s.TableT} {
+		if !ops.Exists(name) {
+			if err := ops.Create(name); err != nil {
+				return nil, err
+			}
+			if err := ops.RemoveIterator(name, "versioning"); err != nil {
+				return nil, err
+			}
+			if err := ops.AttachIterator(name, iterator.Setting{Name: "sum", Priority: 10}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// IngestGraph writes the unoriented incidence matrix of g: edge i gets
+// E(eᵢ, u) = E(eᵢ, v) = 1.
+func (s *IncidenceSchema) IngestGraph(g gen.Graph) error {
+	wE, err := s.conn.CreateBatchWriter(s.Table, accumulo.BatchWriterConfig{})
+	if err != nil {
+		return err
+	}
+	wT, err := s.conn.CreateBatchWriter(s.TableT, accumulo.BatchWriterConfig{})
+	if err != nil {
+		return err
+	}
+	for i, e := range g.Edges {
+		edge := EdgeName(i)
+		for _, v := range []int{e.U, e.V} {
+			vert := VertexName(v)
+			if err := wE.PutFloat(edge, "", vert, 1); err != nil {
+				return err
+			}
+			if err := wT.PutFloat(vert, "", edge, 1); err != nil {
+				return err
+			}
+		}
+	}
+	for _, w := range []*accumulo.BatchWriter{wE, wT} {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// D4M implements the D4M 2.0 schema of §II.B.3: Tedge holds one row per
+// record with exploded "field|value" columns, TedgeT its transpose, Tdeg
+// the column-degree counts, and Traw the raw record text.
+type D4M struct {
+	Tedge  string
+	TedgeT string
+	Tdeg   string
+	Traw   string
+	conn   *accumulo.Connector
+}
+
+// NewD4M creates the four tables with the appropriate combiners.
+func NewD4M(conn *accumulo.Connector, base string) (*D4M, error) {
+	d := &D4M{
+		Tedge:  base + "edge",
+		TedgeT: base + "edgeT",
+		Tdeg:   base + "deg",
+		Traw:   base + "raw",
+		conn:   conn,
+	}
+	ops := conn.TableOperations()
+	for _, name := range []string{d.Tedge, d.TedgeT, d.Traw} {
+		if !ops.Exists(name) {
+			if err := ops.Create(name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !ops.Exists(d.Tdeg) {
+		if err := ops.Create(d.Tdeg); err != nil {
+			return nil, err
+		}
+		if err := ops.RemoveIterator(d.Tdeg, "versioning"); err != nil {
+			return nil, err
+		}
+		if err := ops.AttachIterator(d.Tdeg, iterator.Setting{Name: "sum", Priority: 10}); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Record is one dense input record: an id plus field → value pairs.
+type Record struct {
+	ID     string
+	Fields map[string]string
+}
+
+// ExplodedColumn builds the D4M "field|value" column key.
+func ExplodedColumn(field, value string) string { return field + "|" + value }
+
+// Ingest explodes records into the four tables: each unique
+// field|value pair becomes a column of Tedge with value 1, TedgeT holds
+// the transpose, Tdeg counts column occurrences, and Traw stores the
+// flattened record.
+func (d *D4M) Ingest(records []Record) error {
+	we, err := d.conn.CreateBatchWriter(d.Tedge, accumulo.BatchWriterConfig{})
+	if err != nil {
+		return err
+	}
+	wt, err := d.conn.CreateBatchWriter(d.TedgeT, accumulo.BatchWriterConfig{})
+	if err != nil {
+		return err
+	}
+	wd, err := d.conn.CreateBatchWriter(d.Tdeg, accumulo.BatchWriterConfig{})
+	if err != nil {
+		return err
+	}
+	wr, err := d.conn.CreateBatchWriter(d.Traw, accumulo.BatchWriterConfig{})
+	if err != nil {
+		return err
+	}
+	for _, rec := range records {
+		fields := make([]string, 0, len(rec.Fields))
+		for f := range rec.Fields {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		raw := ""
+		for _, f := range fields {
+			col := ExplodedColumn(f, rec.Fields[f])
+			if err := we.PutFloat(rec.ID, "", col, 1); err != nil {
+				return err
+			}
+			if err := wt.PutFloat(col, "", rec.ID, 1); err != nil {
+				return err
+			}
+			if err := wd.PutFloat(col, "", "deg", 1); err != nil {
+				return err
+			}
+			if raw != "" {
+				raw += ","
+			}
+			raw += f + "=" + rec.Fields[f]
+		}
+		if err := wr.Put(rec.ID, "", "raw", skv.Value(raw)); err != nil {
+			return err
+		}
+	}
+	for _, w := range []*accumulo.BatchWriter{we, wt, wd, wr} {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Degrees reads Tdeg back as column → count.
+func (d *D4M) Degrees() (map[string]float64, error) {
+	sc, err := d.conn.CreateScanner(d.Tdeg)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := sc.Entries()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(entries))
+	for _, e := range entries {
+		if v, ok := skv.DecodeFloat(e.V); ok {
+			out[e.K.Row] = v
+		}
+	}
+	return out, nil
+}
+
+// Raw reads one record's flattened text back from Traw.
+func (d *D4M) Raw(id string) (string, error) {
+	sc, err := d.conn.CreateScanner(d.Traw)
+	if err != nil {
+		return "", err
+	}
+	sc.SetRange(skv.ExactRow(id))
+	entries, err := sc.Entries()
+	if err != nil {
+		return "", err
+	}
+	if len(entries) == 0 {
+		return "", fmt.Errorf("schema: no raw record %q", id)
+	}
+	return string(entries[0].V), nil
+}

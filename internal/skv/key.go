@@ -1,0 +1,195 @@
+// Package skv defines the sorted key-value data model of the embedded
+// NoSQL store: Accumulo-style keys (row, column family, column
+// qualifier, timestamp), values, entries, ranges, and the wire codec the
+// thin client speaks.
+//
+// Keys sort lexicographically by row, then column family, then column
+// qualifier, and finally by timestamp descending (newest first), exactly
+// as Accumulo sorts them. A NoSQL table is therefore a sparse matrix
+// whose row key is the matrix row label and whose column qualifier is
+// the column label — the structural parallel the paper builds on.
+package skv
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// MaxTs is the largest timestamp; because timestamps sort descending,
+// Key{Row: r, Ts: MaxTs} is the smallest possible key with row r.
+const MaxTs int64 = math.MaxInt64
+
+// Key identifies one cell.
+type Key struct {
+	Row  string // matrix row label
+	ColF string // column family (schema channel, e.g. "deg", "edge")
+	ColQ string // column qualifier (matrix column label)
+	Ts   int64  // version timestamp; larger is newer
+}
+
+// Value is the cell payload.
+type Value []byte
+
+// Entry is one key-value pair.
+type Entry struct {
+	K Key
+	V Value
+}
+
+// Compare orders keys: row asc, colF asc, colQ asc, ts desc.
+// Returns -1, 0, or +1.
+func Compare(a, b Key) int {
+	if c := strings.Compare(a.Row, b.Row); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.ColF, b.ColF); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.ColQ, b.ColQ); c != 0 {
+		return c
+	}
+	switch { // descending timestamp: newer sorts first
+	case a.Ts > b.Ts:
+		return -1
+	case a.Ts < b.Ts:
+		return 1
+	}
+	return 0
+}
+
+// SameCell reports whether two keys address the same logical cell,
+// ignoring the timestamp.
+func SameCell(a, b Key) bool {
+	return a.Row == b.Row && a.ColF == b.ColF && a.ColQ == b.ColQ
+}
+
+// String renders the key in Accumulo shell style.
+func (k Key) String() string {
+	return fmt.Sprintf("%s %s:%s [%d]", k.Row, k.ColF, k.ColQ, k.Ts)
+}
+
+// Range is a half-open key interval [Start, End). A missing bound
+// (HasStart/HasEnd false) is infinite on that side.
+type Range struct {
+	Start    Key
+	HasStart bool
+	End      Key
+	HasEnd   bool
+}
+
+// FullRange covers every key.
+func FullRange() Range { return Range{} }
+
+// RowRange covers rows in [startRow, endRow); empty bounds are
+// infinite. endRow is exclusive at the row level.
+func RowRange(startRow, endRow string) Range {
+	r := Range{}
+	if startRow != "" {
+		r.Start = Key{Row: startRow, Ts: MaxTs}
+		r.HasStart = true
+	}
+	if endRow != "" {
+		r.End = Key{Row: endRow, Ts: MaxTs}
+		r.HasEnd = true
+	}
+	return r
+}
+
+// ExactRow covers exactly one row.
+func ExactRow(row string) Range {
+	return Range{
+		Start:    Key{Row: row, Ts: MaxTs},
+		HasStart: true,
+		End:      Key{Row: row + "\x00", Ts: MaxTs},
+		HasEnd:   true,
+	}
+}
+
+// PrefixRange covers all rows beginning with prefix.
+func PrefixRange(prefix string) Range {
+	if prefix == "" {
+		return FullRange()
+	}
+	r := Range{Start: Key{Row: prefix, Ts: MaxTs}, HasStart: true}
+	if succ := prefixSuccessor(prefix); succ != "" {
+		r.End = Key{Row: succ, Ts: MaxTs}
+		r.HasEnd = true
+	}
+	return r
+}
+
+// prefixSuccessor returns the smallest string greater than every string
+// with the given prefix.
+func prefixSuccessor(p string) string {
+	b := []byte(p)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xff {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	// All 0xff: no finite successor; caller gets an unbounded end via "".
+	return ""
+}
+
+// BeforeStart reports k < Start.
+func (r Range) BeforeStart(k Key) bool {
+	return r.HasStart && Compare(k, r.Start) < 0
+}
+
+// AfterEnd reports k >= End.
+func (r Range) AfterEnd(k Key) bool {
+	return r.HasEnd && Compare(k, r.End) >= 0
+}
+
+// Contains reports Start <= k < End.
+func (r Range) Contains(k Key) bool {
+	return !r.BeforeStart(k) && !r.AfterEnd(k)
+}
+
+// Clip intersects two ranges.
+func (r Range) Clip(o Range) Range {
+	out := r
+	if o.HasStart && (!out.HasStart || Compare(o.Start, out.Start) > 0) {
+		out.Start, out.HasStart = o.Start, true
+	}
+	if o.HasEnd && (!out.HasEnd || Compare(o.End, out.End) < 0) {
+		out.End, out.HasEnd = o.End, true
+	}
+	return out
+}
+
+// IsEmpty reports whether the range can contain no key.
+func (r Range) IsEmpty() bool {
+	return r.HasStart && r.HasEnd && Compare(r.Start, r.End) >= 0
+}
+
+// String renders the range for diagnostics.
+func (r Range) String() string {
+	s, e := "-inf", "+inf"
+	if r.HasStart {
+		s = r.Start.String()
+	}
+	if r.HasEnd {
+		e = r.End.String()
+	}
+	return fmt.Sprintf("[%s, %s)", s, e)
+}
+
+// EncodeFloat encodes a float64 value as a human-readable decimal
+// string, the convention D4M-style schemas use for numeric cells.
+func EncodeFloat(v float64) Value {
+	return strconv.AppendFloat(nil, v, 'g', -1, 64)
+}
+
+// DecodeFloat parses a numeric cell value. Invalid or empty payloads
+// decode as 0 with ok=false.
+func DecodeFloat(v Value) (float64, bool) {
+	f, err := strconv.ParseFloat(string(v), 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}

@@ -1,0 +1,218 @@
+package skv
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareOrdering(t *testing.T) {
+	ordered := []Key{
+		{Row: "a", ColF: "f", ColQ: "q", Ts: 9}, // newest first within cell
+		{Row: "a", ColF: "f", ColQ: "q", Ts: 2},
+		{Row: "a", ColF: "f", ColQ: "r", Ts: 5},
+		{Row: "a", ColF: "g", ColQ: "a", Ts: 5},
+		{Row: "b", ColF: "", ColQ: "", Ts: MaxTs},
+		{Row: "b", ColF: "", ColQ: "", Ts: 0},
+	}
+	for i := 0; i < len(ordered)-1; i++ {
+		if Compare(ordered[i], ordered[i+1]) >= 0 {
+			t.Fatalf("keys %d and %d out of order: %v vs %v", i, i+1, ordered[i], ordered[i+1])
+		}
+		if Compare(ordered[i+1], ordered[i]) <= 0 {
+			t.Fatalf("compare not antisymmetric at %d", i)
+		}
+	}
+	if Compare(ordered[0], ordered[0]) != 0 {
+		t.Fatalf("compare not reflexive")
+	}
+}
+
+func TestSameCell(t *testing.T) {
+	a := Key{Row: "r", ColF: "f", ColQ: "q", Ts: 1}
+	b := Key{Row: "r", ColF: "f", ColQ: "q", Ts: 99}
+	c := Key{Row: "r", ColF: "f", ColQ: "x", Ts: 1}
+	if !SameCell(a, b) || SameCell(a, c) {
+		t.Fatalf("SameCell wrong")
+	}
+}
+
+func TestRowRange(t *testing.T) {
+	r := RowRange("b", "d")
+	if !r.Contains(Key{Row: "b", Ts: 5}) {
+		t.Fatalf("start row should be included")
+	}
+	if !r.Contains(Key{Row: "c", ColF: "zz", Ts: 0}) {
+		t.Fatalf("middle row should be included")
+	}
+	if r.Contains(Key{Row: "d", Ts: MaxTs}) {
+		t.Fatalf("end row must be exclusive")
+	}
+	if r.Contains(Key{Row: "a", Ts: 0}) {
+		t.Fatalf("row before start included")
+	}
+}
+
+func TestExactRow(t *testing.T) {
+	r := ExactRow("m")
+	if !r.Contains(Key{Row: "m", ColF: "f", ColQ: "q", Ts: 3}) {
+		t.Fatalf("cell of row m excluded")
+	}
+	if r.Contains(Key{Row: "m\x00", Ts: MaxTs}) || r.Contains(Key{Row: "ma", Ts: 1}) {
+		t.Fatalf("other rows included")
+	}
+}
+
+func TestPrefixRange(t *testing.T) {
+	r := PrefixRange("ab")
+	for _, row := range []string{"ab", "ab0", "ab\xff\xff", "abz"} {
+		if !r.Contains(Key{Row: row, Ts: 1}) {
+			t.Fatalf("prefix member %q excluded", row)
+		}
+	}
+	for _, row := range []string{"aa", "ac", "b"} {
+		if r.Contains(Key{Row: row, Ts: 1}) {
+			t.Fatalf("non-member %q included", row)
+		}
+	}
+	if PrefixRange("").HasEnd || PrefixRange("").HasStart {
+		t.Fatalf("empty prefix should be the full range")
+	}
+	// All-0xff prefix has no successor: unbounded end.
+	if PrefixRange("\xff").HasEnd {
+		t.Fatalf("\\xff prefix should have unbounded end")
+	}
+}
+
+func TestClipAndEmpty(t *testing.T) {
+	a := RowRange("b", "f")
+	b := RowRange("d", "z")
+	c := a.Clip(b)
+	if !c.Contains(Key{Row: "e", Ts: 1}) || c.Contains(Key{Row: "c", Ts: 1}) {
+		t.Fatalf("clip wrong: %v", c)
+	}
+	empty := RowRange("x", "y").Clip(RowRange("a", "b"))
+	if !empty.IsEmpty() {
+		t.Fatalf("disjoint clip should be empty: %v", empty)
+	}
+}
+
+func TestFloatCodec(t *testing.T) {
+	for _, v := range []float64{0, 1, -3.5, 1e-12, 123456789.25} {
+		got, ok := DecodeFloat(EncodeFloat(v))
+		if !ok || got != v {
+			t.Fatalf("float round trip %v → %v (%v)", v, got, ok)
+		}
+	}
+	if _, ok := DecodeFloat(Value("junk")); ok {
+		t.Fatalf("junk should not decode")
+	}
+}
+
+func TestEntryCodecRoundTrip(t *testing.T) {
+	e := Entry{K: Key{Row: "row", ColF: "", ColQ: "колонка", Ts: -5}, V: Value{0, 1, 2, 255}}
+	buf := EncodeEntry(nil, e)
+	got, rest, err := DecodeEntry(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v rest=%d", err, len(rest))
+	}
+	if got.K != e.K || string(got.V) != string(e.V) {
+		t.Fatalf("round trip changed entry: %v vs %v", got, e)
+	}
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var entries []Entry
+	for i := 0; i < 100; i++ {
+		entries = append(entries, Entry{
+			K: Key{
+				Row:  randStr(rng),
+				ColF: randStr(rng),
+				ColQ: randStr(rng),
+				Ts:   rng.Int63(),
+			},
+			V: EncodeFloat(rng.NormFloat64()),
+		})
+	}
+	got, err := DecodeBatch(EncodeBatch(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("len %d want %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i].K != entries[i].K || string(got[i].V) != string(entries[i].V) {
+			t.Fatalf("entry %d mangled", i)
+		}
+	}
+}
+
+func TestDecodeBatchErrors(t *testing.T) {
+	if _, err := DecodeBatch(nil); err == nil {
+		t.Fatalf("nil batch should error")
+	}
+	good := EncodeBatch([]Entry{{K: Key{Row: "r"}, V: Value("1")}})
+	if _, err := DecodeBatch(good[:len(good)-1]); err == nil {
+		t.Fatalf("truncated batch should error")
+	}
+	if _, err := DecodeBatch(append(good, 0)); err == nil {
+		t.Fatalf("trailing bytes should error")
+	}
+}
+
+func randStr(rng *rand.Rand) string {
+	n := rng.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return string(b)
+}
+
+// Property: Compare defines a total order consistent with sort.Slice.
+func TestQuickCompareTotalOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]Key, 20)
+		for i := range keys {
+			keys[i] = Key{
+				Row:  string(rune('a' + rng.Intn(3))),
+				ColF: string(rune('a' + rng.Intn(2))),
+				ColQ: string(rune('a' + rng.Intn(2))),
+				Ts:   int64(rng.Intn(4)),
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return Compare(keys[i], keys[j]) < 0 })
+		for i := 0; i+1 < len(keys); i++ {
+			if Compare(keys[i], keys[i+1]) > 0 {
+				return false
+			}
+			// transitivity spot check
+			if i+2 < len(keys) && Compare(keys[i], keys[i+2]) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: codec round-trips arbitrary strings and payloads.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(row, cf, cq string, ts int64, v []byte) bool {
+		e := Entry{K: Key{Row: row, ColF: cf, ColQ: cq, Ts: ts}, V: v}
+		got, rest, err := DecodeEntry(EncodeEntry(nil, e))
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return got.K == e.K && string(got.V) == string(e.V)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

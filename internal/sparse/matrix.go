@@ -1,0 +1,300 @@
+// Package sparse implements the sparse-matrix substrate beneath the
+// GraphBLAS kernel set the paper builds on: SpGEMM, SpM{Sp}V, SpEWiseX,
+// SpRef, SpAsgn, Scale, Apply, and Reduce, all generic over a semiring.
+//
+// Matrices are stored in CSR (compressed sparse row) form and constructed
+// from COO triples. Entries whose value equals the construction semiring's
+// zero are never stored; kernels drop zeros they produce, so the invariant
+// "stored ⇒ nonzero" holds throughout (matching the associative-array
+// definition in §II.A of the paper, where unstored keys map to the
+// additive identity).
+package sparse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphulo/internal/semiring"
+)
+
+// Triple is a single (row, col, value) coordinate entry.
+type Triple struct {
+	Row, Col int
+	Val      float64
+}
+
+// Matrix is a sparse matrix in CSR form. The zero value is an empty 0×0
+// matrix. Matrices are immutable by convention: kernels return new
+// matrices and never modify their operands.
+type Matrix struct {
+	r, c   int
+	rowPtr []int     // length r+1
+	colIdx []int     // length nnz, sorted within each row
+	val    []float64 // length nnz, parallel to colIdx
+}
+
+// New returns an empty r×c matrix.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("sparse: negative dimension %d×%d", r, c))
+	}
+	return &Matrix{r: r, c: c, rowPtr: make([]int, r+1)}
+}
+
+// NewFromTriples builds an r×c matrix from COO triples, combining
+// duplicate coordinates with ring.Add and dropping entries equal to
+// ring.Zero. Triples may be in any order.
+func NewFromTriples(r, c int, ts []Triple, ring semiring.Semiring) *Matrix {
+	for _, t := range ts {
+		if t.Row < 0 || t.Row >= r || t.Col < 0 || t.Col >= c {
+			panic(fmt.Sprintf("sparse: triple (%d,%d) out of bounds for %d×%d", t.Row, t.Col, r, c))
+		}
+	}
+	// Counting sort by row, then sort each row segment by column and
+	// combine duplicates.
+	counts := make([]int, r+1)
+	for _, t := range ts {
+		counts[t.Row+1]++
+	}
+	for i := 0; i < r; i++ {
+		counts[i+1] += counts[i]
+	}
+	byRow := make([]Triple, len(ts))
+	next := make([]int, r)
+	for _, t := range ts {
+		p := counts[t.Row] + next[t.Row]
+		byRow[p] = t
+		next[t.Row]++
+	}
+
+	m := &Matrix{r: r, c: c, rowPtr: make([]int, r+1)}
+	m.colIdx = make([]int, 0, len(ts))
+	m.val = make([]float64, 0, len(ts))
+	for i := 0; i < r; i++ {
+		seg := byRow[counts[i]:counts[i+1]]
+		sort.Slice(seg, func(a, b int) bool { return seg[a].Col < seg[b].Col })
+		for j := 0; j < len(seg); {
+			col := seg[j].Col
+			v := seg[j].Val
+			j++
+			for j < len(seg) && seg[j].Col == col {
+				v = ring.Add(v, seg[j].Val)
+				j++
+			}
+			if !ring.IsZero(v) {
+				m.colIdx = append(m.colIdx, col)
+				m.val = append(m.val, v)
+			}
+		}
+		m.rowPtr[i+1] = len(m.colIdx)
+	}
+	return m
+}
+
+// NewFromDense builds a matrix from a dense row-major [][]float64,
+// treating exact zeros as unstored.
+func NewFromDense(rows [][]float64) *Matrix {
+	r := len(rows)
+	c := 0
+	if r > 0 {
+		c = len(rows[0])
+	}
+	var ts []Triple
+	for i, row := range rows {
+		if len(row) != c {
+			panic("sparse: ragged dense input")
+		}
+		for j, v := range row {
+			if v != 0 {
+				ts = append(ts, Triple{i, j, v})
+			}
+		}
+	}
+	return NewFromTriples(r, c, ts, semiring.PlusTimes)
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Matrix {
+	ts := make([]Triple, n)
+	for i := range ts {
+		ts[i] = Triple{i, i, 1}
+	}
+	return NewFromTriples(n, n, ts, semiring.PlusTimes)
+}
+
+// Diag returns the n×n diagonal matrix with d on the diagonal, where
+// n = len(d). Zero entries of d are not stored.
+func Diag(d []float64) *Matrix {
+	ts := make([]Triple, 0, len(d))
+	for i, v := range d {
+		if v != 0 {
+			ts = append(ts, Triple{i, i, v})
+		}
+	}
+	return NewFromTriples(len(d), len(d), ts, semiring.PlusTimes)
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.r }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.c }
+
+// NNZ returns the number of stored entries.
+func (m *Matrix) NNZ() int { return len(m.colIdx) }
+
+// At returns the value at (i, j), or 0 if unstored.
+func (m *Matrix) At(i, j int) float64 {
+	if i < 0 || i >= m.r || j < 0 || j >= m.c {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of bounds for %d×%d", i, j, m.r, m.c))
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	k := lo + sort.SearchInts(m.colIdx[lo:hi], j)
+	if k < hi && m.colIdx[k] == j {
+		return m.val[k]
+	}
+	return 0
+}
+
+// Get returns the value at (i, j) and whether it is stored. Unlike At,
+// this distinguishes a stored 0 (a legitimate value under semirings whose
+// Zero is not 0, e.g. min.plus) from an absent entry.
+func (m *Matrix) Get(i, j int) (float64, bool) {
+	if i < 0 || i >= m.r || j < 0 || j >= m.c {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of bounds for %d×%d", i, j, m.r, m.c))
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	k := lo + sort.SearchInts(m.colIdx[lo:hi], j)
+	if k < hi && m.colIdx[k] == j {
+		return m.val[k], true
+	}
+	return 0, false
+}
+
+// Row returns the column indices and values of row i. The returned slices
+// alias the matrix's storage and must not be modified.
+func (m *Matrix) Row(i int) (cols []int, vals []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.val[lo:hi]
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *Matrix) RowNNZ(i int) int { return m.rowPtr[i+1] - m.rowPtr[i] }
+
+// Triples returns all stored entries in row-major order.
+func (m *Matrix) Triples() []Triple {
+	ts := make([]Triple, 0, m.NNZ())
+	for i := 0; i < m.r; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			ts = append(ts, Triple{i, m.colIdx[k], m.val[k]})
+		}
+	}
+	return ts
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	n := &Matrix{r: m.r, c: m.c,
+		rowPtr: make([]int, len(m.rowPtr)),
+		colIdx: make([]int, len(m.colIdx)),
+		val:    make([]float64, len(m.val)),
+	}
+	copy(n.rowPtr, m.rowPtr)
+	copy(n.colIdx, m.colIdx)
+	copy(n.val, m.val)
+	return n
+}
+
+// Dense materialises the matrix as row-major [][]float64. Intended for
+// small matrices in tests and worked examples.
+func (m *Matrix) Dense() [][]float64 {
+	out := make([][]float64, m.r)
+	flat := make([]float64, m.r*m.c)
+	for i := range out {
+		out[i] = flat[i*m.c : (i+1)*m.c]
+	}
+	for i := 0; i < m.r; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			out[i][m.colIdx[k]] = m.val[k]
+		}
+	}
+	return out
+}
+
+// Equal reports whether a and b have identical shape and stored entries.
+func Equal(a, b *Matrix) bool {
+	if a.r != b.r || a.c != b.c || len(a.colIdx) != len(b.colIdx) {
+		return false
+	}
+	for i := range a.rowPtr {
+		if a.rowPtr[i] != b.rowPtr[i] {
+			return false
+		}
+	}
+	for k := range a.colIdx {
+		if a.colIdx[k] != b.colIdx[k] || a.val[k] != b.val[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether a and b agree entrywise to within tol,
+// treating unstored entries as zero (so pattern may differ).
+func ApproxEqual(a, b *Matrix, tol float64) bool {
+	if a.r != b.r || a.c != b.c {
+		return false
+	}
+	diff := EWiseAdd(a, Scale(b, -1), semiring.PlusTimes)
+	for _, v := range diff.val {
+		if v > tol || v < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small matrices as an aligned grid; large matrices are
+// summarised.
+func (m *Matrix) String() string {
+	if m.r > 20 || m.c > 20 {
+		return fmt.Sprintf("sparse.Matrix %d×%d, %d nnz", m.r, m.c, m.NNZ())
+	}
+	d := m.Dense()
+	var b strings.Builder
+	for _, row := range d {
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%6.3g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// checkBuilt panics if internal invariants are violated; used by tests.
+func (m *Matrix) checkBuilt() error {
+	if len(m.rowPtr) != m.r+1 {
+		return fmt.Errorf("rowPtr length %d want %d", len(m.rowPtr), m.r+1)
+	}
+	if m.rowPtr[0] != 0 || m.rowPtr[m.r] != len(m.colIdx) {
+		return fmt.Errorf("rowPtr endpoints invalid")
+	}
+	for i := 0; i < m.r; i++ {
+		if m.rowPtr[i] > m.rowPtr[i+1] {
+			return fmt.Errorf("rowPtr not monotone at %d", i)
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			if k > m.rowPtr[i] && m.colIdx[k-1] >= m.colIdx[k] {
+				return fmt.Errorf("row %d columns not strictly increasing", i)
+			}
+			if m.colIdx[k] < 0 || m.colIdx[k] >= m.c {
+				return fmt.Errorf("row %d column %d out of range", i, m.colIdx[k])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphulo/internal/semiring"
+)
+
+// genMatrix produces a small random matrix from a quick-check seed.
+func genMatrix(rng *rand.Rand, r, c int) *Matrix {
+	n := rng.Intn(r*c + 1)
+	ts := make([]Triple, n)
+	for i := range ts {
+		ts[i] = Triple{rng.Intn(r), rng.Intn(c), float64(1 + rng.Intn(3))}
+	}
+	return NewFromTriples(r, c, ts, semiring.PlusTimes)
+}
+
+// Property: SpGEMM is associative on the boolean semiring (no rounding).
+func TestQuickSpGEMMAssociativeBoolean(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genMatrix(rng, 6, 5)
+		b := genMatrix(rng, 5, 7)
+		c := genMatrix(rng, 7, 4)
+		ab := SpGEMM(a, b, semiring.OrAnd)
+		bc := SpGEMM(b, c, semiring.OrAnd)
+		lhs := SpGEMM(ab, c, semiring.OrAnd)
+		rhs := SpGEMM(a, bc, semiring.OrAnd)
+		return Equal(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: A(B + C) = AB + AC on the boolean semiring.
+func TestQuickSpGEMMDistributesOverEWiseAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genMatrix(rng, 5, 6)
+		b := genMatrix(rng, 6, 4)
+		c := genMatrix(rng, 6, 4)
+		lhs := SpGEMM(a, EWiseAdd(b, c, semiring.OrAnd), semiring.OrAnd)
+		rhs := EWiseAdd(SpGEMM(a, b, semiring.OrAnd), SpGEMM(a, c, semiring.OrAnd), semiring.OrAnd)
+		return Equal(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ.
+func TestQuickTransposeOfProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genMatrix(rng, 5, 6)
+		b := genMatrix(rng, 6, 4)
+		lhs := Transpose(SpGEMM(a, b, semiring.PlusTimes))
+		rhs := SpGEMM(Transpose(b), Transpose(a), semiring.PlusTimes)
+		return Equal(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EWiseAdd is commutative and EWiseMult distributes nothing
+// weird — pattern of mult ⊆ pattern of either operand.
+func TestQuickEWiseLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genMatrix(rng, 7, 7)
+		b := genMatrix(rng, 7, 7)
+		if !Equal(EWiseAdd(a, b, semiring.PlusTimes), EWiseAdd(b, a, semiring.PlusTimes)) {
+			return false
+		}
+		m := EWiseMult(a, b, semiring.PlusTimes)
+		for _, tr := range m.Triples() {
+			if a.At(tr.Row, tr.Col) == 0 || b.At(tr.Row, tr.Col) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CSR invariants hold after every kernel.
+func TestQuickInvariantsAfterKernels(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genMatrix(rng, 8, 6)
+		b := genMatrix(rng, 6, 9)
+		for _, m := range []*Matrix{
+			SpGEMM(a, b, semiring.PlusTimes),
+			Transpose(a),
+			Triu(SpGEMM(a, Transpose(a), semiring.PlusTimes), 1),
+			Apply(a, semiring.OneIfNonzero),
+			EWiseAdd(a, a, semiring.PlusTimes),
+		} {
+			if err := m.checkBuilt(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the paper's §III.B identity A = EᵀE − diag(EᵀE) holds for
+// the incidence matrix of any simple undirected graph.
+func TestQuickIncidenceIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		// Random simple graph.
+		type edge struct{ u, v int }
+		var edges []edge
+		adj := make(map[[2]int]bool)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					edges = append(edges, edge{u, v})
+					adj[[2]int{u, v}] = true
+				}
+			}
+		}
+		if len(edges) == 0 {
+			return true
+		}
+		var ets []Triple
+		for i, e := range edges {
+			ets = append(ets, Triple{i, e.u, 1}, Triple{i, e.v, 1})
+		}
+		E := NewFromTriples(len(edges), n, ets, semiring.PlusTimes)
+		G := SpGEMM(Transpose(E), E, semiring.PlusTimes)
+		A := NoDiag(G)
+		// A must be exactly the adjacency matrix of the graph.
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				want := 0.0
+				if u != v && (adj[[2]int{u, v}] || adj[[2]int{v, u}]) {
+					want = 1
+				}
+				if A.At(u, v) != want {
+					return false
+				}
+			}
+		}
+		// And diag(EᵀE) must be the degree vector d = sum(E) (column sums).
+		d := ReduceCols(E, semiring.PlusMonoid)
+		for u := 0; u < n; u++ {
+			if G.At(u, u) != d[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SpRef then SpAsgn back into place is identity.
+func TestQuickSpRefSpAsgnRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genMatrix(rng, 8, 8)
+		rows := []int{1, 3, 5}
+		cols := []int{0, 2, 7}
+		block := SpRef(a, rows, cols)
+		back := SpAsgn(a, rows, cols, block)
+		return Equal(a, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

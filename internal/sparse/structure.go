@@ -1,0 +1,287 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"graphulo/internal/semiring"
+)
+
+// Transpose returns Aᵀ, built in O(nnz + r + c) with a counting pass.
+func Transpose(a *Matrix) *Matrix {
+	t := &Matrix{r: a.c, c: a.r, rowPtr: make([]int, a.c+1)}
+	t.colIdx = make([]int, a.NNZ())
+	t.val = make([]float64, a.NNZ())
+	for _, j := range a.colIdx {
+		t.rowPtr[j+1]++
+	}
+	for j := 0; j < t.r; j++ {
+		t.rowPtr[j+1] += t.rowPtr[j]
+	}
+	next := make([]int, t.r)
+	for i := 0; i < a.r; i++ {
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			j := a.colIdx[k]
+			p := t.rowPtr[j] + next[j]
+			t.colIdx[p] = i
+			t.val[p] = a.val[k]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// Triu extracts the upper triangle: entries with j ≥ i + k. Triu(A, 0)
+// keeps the diagonal, Triu(A, 1) is strictly upper — the paper's U in
+// A = L + U (Algorithm 2 uses a strictly triangular split of a
+// zero-diagonal adjacency matrix, then Fig. 2's triu(X) keeps k = 0).
+func Triu(a *Matrix, k int) *Matrix {
+	return Select(a, func(i, j int, _ float64) bool { return j >= i+k })
+}
+
+// Tril extracts the lower triangle: entries with j ≤ i + k.
+func Tril(a *Matrix, k int) *Matrix {
+	return Select(a, func(i, j int, _ float64) bool { return j <= i+k })
+}
+
+// DiagOf returns the diagonal of A as a dense vector of length min(r, c).
+func DiagOf(a *Matrix) []float64 {
+	n := a.r
+	if a.c < n {
+		n = a.c
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = a.At(i, i)
+	}
+	return d
+}
+
+// NoDiag removes the diagonal: A − diag(A) as used in the paper's
+// identity A = EᵀE − diag(EᵀE).
+func NoDiag(a *Matrix) *Matrix {
+	return Select(a, func(i, j int, _ float64) bool { return i != j })
+}
+
+// SpRef extracts the submatrix A(rows, cols) (the GraphBLAS SpRef
+// kernel). Row i of the result is A(rows[i], :) restricted to cols, with
+// columns renumbered by their position in cols. Indices may repeat and
+// may appear in any order, as in MATLAB subscripting.
+func SpRef(a *Matrix, rows, cols []int) *Matrix {
+	for _, i := range rows {
+		if i < 0 || i >= a.r {
+			panic(fmt.Sprintf("sparse: SpRef row %d out of range [0,%d)", i, a.r))
+		}
+	}
+	colPos := make(map[int][]int, len(cols))
+	for p, j := range cols {
+		if j < 0 || j >= a.c {
+			panic(fmt.Sprintf("sparse: SpRef col %d out of range [0,%d)", j, a.c))
+		}
+		colPos[j] = append(colPos[j], p)
+	}
+	var ts []Triple
+	for outI, i := range rows {
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			for _, outJ := range colPos[a.colIdx[k]] {
+				ts = append(ts, Triple{outI, outJ, a.val[k]})
+			}
+		}
+	}
+	return NewFromTriples(len(rows), len(cols), ts, semiring.PlusTimes)
+}
+
+// SpRefRows extracts whole rows: A(rows, :).
+func SpRefRows(a *Matrix, rows []int) *Matrix {
+	c := &Matrix{r: len(rows), c: a.c, rowPtr: make([]int, len(rows)+1)}
+	for outI, i := range rows {
+		if i < 0 || i >= a.r {
+			panic(fmt.Sprintf("sparse: SpRefRows row %d out of range [0,%d)", i, a.r))
+		}
+		c.colIdx = append(c.colIdx, a.colIdx[a.rowPtr[i]:a.rowPtr[i+1]]...)
+		c.val = append(c.val, a.val[a.rowPtr[i]:a.rowPtr[i+1]]...)
+		c.rowPtr[outI+1] = len(c.colIdx)
+	}
+	return c
+}
+
+// SpAsgn assigns B into A at (rows, cols) (the GraphBLAS SpAsgn kernel):
+// C = A with C(rows[i], cols[j]) = B(i, j). The target block is cleared
+// first, so zeros of B erase existing entries, as in MATLAB
+// A(rows, cols) = B.
+func SpAsgn(a *Matrix, rows, cols []int, b *Matrix) *Matrix {
+	if b.r != len(rows) || b.c != len(cols) {
+		panic(fmt.Sprintf("sparse: SpAsgn block shape %d×%d want %d×%d", b.r, b.c, len(rows), len(cols)))
+	}
+	inRows := make(map[int]bool, len(rows))
+	for _, i := range rows {
+		inRows[i] = true
+	}
+	inCols := make(map[int]bool, len(cols))
+	for _, j := range cols {
+		inCols[j] = true
+	}
+	ts := make([]Triple, 0, a.NNZ()+b.NNZ())
+	for _, t := range a.Triples() {
+		if inRows[t.Row] && inCols[t.Col] {
+			continue // cleared by the assignment
+		}
+		ts = append(ts, t)
+	}
+	for _, t := range b.Triples() {
+		ts = append(ts, Triple{rows[t.Row], cols[t.Col], t.Val})
+	}
+	return NewFromTriples(a.r, a.c, ts, semiring.PlusTimes)
+}
+
+// DeleteRows returns A with the given rows removed entirely (the matrix
+// shrinks). This is the E = E(xᶜ, :) step of the paper's Algorithm 1.
+func DeleteRows(a *Matrix, rows []int) *Matrix {
+	drop := make(map[int]bool, len(rows))
+	for _, i := range rows {
+		drop[i] = true
+	}
+	keep := make([]int, 0, a.r-len(drop))
+	for i := 0; i < a.r; i++ {
+		if !drop[i] {
+			keep = append(keep, i)
+		}
+	}
+	return SpRefRows(a, keep)
+}
+
+// Reduce folds all stored entries with the monoid.
+func Reduce(a *Matrix, m semiring.Monoid) float64 {
+	acc := m.Identity
+	for _, v := range a.val {
+		acc = m.Op(acc, v)
+	}
+	return acc
+}
+
+// ReduceRows folds each row with the monoid, returning a dense vector of
+// length Rows(). Empty rows yield the monoid identity. With PlusMonoid on
+// an adjacency matrix this is out-degree (the paper's degree centrality).
+func ReduceRows(a *Matrix, m semiring.Monoid) []float64 {
+	out := make([]float64, a.r)
+	for i := 0; i < a.r; i++ {
+		acc := m.Identity
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			acc = m.Op(acc, a.val[k])
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// ReduceCols folds each column with the monoid (in-degree on an
+// adjacency matrix).
+func ReduceCols(a *Matrix, m semiring.Monoid) []float64 {
+	out := make([]float64, a.c)
+	started := make([]bool, a.c)
+	for k, j := range a.colIdx {
+		if !started[j] {
+			out[j] = m.Op(m.Identity, a.val[k])
+			started[j] = true
+		} else {
+			out[j] = m.Op(out[j], a.val[k])
+		}
+	}
+	for j := range out {
+		if !started[j] {
+			out[j] = m.Identity
+		}
+	}
+	return out
+}
+
+// Find returns the row indices whose reduced value satisfies pred; the
+// paper's x = find(s < k−2) pattern.
+func Find(v []float64, pred func(float64) bool) []int {
+	var idx []int
+	for i, x := range v {
+		if pred(x) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Complement returns the indices in [0, n) not present in idx; the
+// paper's xᶜ.
+func Complement(idx []int, n int) []int {
+	in := make([]bool, n)
+	for _, i := range idx {
+		in[i] = true
+	}
+	out := make([]int, 0, n-len(idx))
+	for i := 0; i < n; i++ {
+		if !in[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Kron returns the Kronecker product A ⊗ B: the (i,j) block of the
+// result is A(i,j)·B. RMAT graphs are iterated Kronecker products of a
+// 2×2 seed, which makes this kernel the generator-side dual of the
+// recursive quadrant descent in gen.RMAT.
+func Kron(a, b *Matrix, ring semiring.Semiring) *Matrix {
+	ts := make([]Triple, 0, a.NNZ()*b.NNZ())
+	bt := b.Triples()
+	for _, at := range a.Triples() {
+		for _, btr := range bt {
+			v := ring.Mul(at.Val, btr.Val)
+			if ring.IsZero(v) {
+				continue
+			}
+			ts = append(ts, Triple{
+				Row: at.Row*b.r + btr.Row,
+				Col: at.Col*b.c + btr.Col,
+				Val: v,
+			})
+		}
+	}
+	return NewFromTriples(a.r*b.r, a.c*b.c, ts, ring)
+}
+
+// FrobeniusNorm returns sqrt(Σ v²) over stored entries.
+func FrobeniusNorm(a *Matrix) float64 {
+	s := 0.0
+	for _, v := range a.val {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxRowSum returns max_i Σ_j |A[i][j]| (the ∞-norm), used by the
+// paper's Algorithm 4 to scale the initial inverse iterate.
+func MaxRowSum(a *Matrix) float64 {
+	best := 0.0
+	for i := 0; i < a.r; i++ {
+		s := 0.0
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			s += math.Abs(a.val[k])
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// MaxColSum returns max_j Σ_i |A[i][j]| (the 1-norm).
+func MaxColSum(a *Matrix) float64 {
+	sums := make([]float64, a.c)
+	for k, j := range a.colIdx {
+		sums[j] += math.Abs(a.val[k])
+	}
+	best := 0.0
+	for _, s := range sums {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,82 @@
+package tablet
+
+import (
+	"fmt"
+	"testing"
+
+	"graphulo/internal/iterator"
+	"graphulo/internal/skv"
+)
+
+func benchEntries(n int) []skv.Entry {
+	out := make([]skv.Entry, n)
+	for i := range out {
+		out[i] = skv.Entry{
+			K: skv.Key{Row: fmt.Sprintf("row%07d", (i*2654435761)%n), ColQ: "q", Ts: int64(i)},
+			V: skv.EncodeFloat(float64(i)),
+		}
+	}
+	return out
+}
+
+func BenchmarkMemtableInsert(b *testing.B) {
+	entries := benchEntries(1 << 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := newMemtable(1)
+		for _, e := range entries {
+			m.insert(e)
+		}
+	}
+	b.ReportMetric(float64(len(entries)), "entries/op")
+}
+
+func BenchmarkRunSeek(b *testing.B) {
+	entries := benchEntries(1 << 16)
+	it := iterator.NewSliceIter(entries)
+	it.Seek(skv.FullRange())
+	sorted, _ := iterator.Collect(it)
+	r := newRun(sorted)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ri := r.iterator()
+		ri.Seek(skv.RowRange(fmt.Sprintf("row%07d", i%(1<<16)), ""))
+		if ri.HasTop() {
+			_ = ri.Top()
+		}
+	}
+}
+
+func BenchmarkTabletScanAfterCompactions(b *testing.B) {
+	tab := New("", "", 1<<12, 9)
+	for _, e := range benchEntries(1 << 15) {
+		tab.Write([]skv.Entry{e})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := tab.Snapshot()
+		it.Seek(skv.FullRange())
+		n := 0
+		for it.HasTop() {
+			n++
+			it.Next()
+		}
+		if n == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}
+
+func BenchmarkMajorCompaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tab := New("", "", 1<<12, 9)
+		for _, e := range benchEntries(1 << 14) {
+			tab.Write([]skv.Entry{e})
+		}
+		b.StartTimer()
+		if err := tab.MajorCompact(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package tablet implements the storage engine under each tablet server:
+// a skip-list memtable absorbing writes, immutable sorted runs ("RFiles")
+// produced by minor compaction, k-way merged reads, and major compaction
+// folding runs together with the table's compaction iterator stack.
+//
+// A tablet owns a contiguous row range of one table, exactly as in
+// Accumulo; splitting a tablet at a row boundary yields two tablets that
+// partition its range.
+package tablet
+
+import (
+	"math/rand"
+	"sync"
+
+	"graphulo/internal/skv"
+)
+
+const maxLevel = 16
+
+// memtable is a skip list keyed by skv.Key. Writes take the mutex;
+// snapshots copy the entries out under the same mutex so scans never
+// race with inserts.
+type memtable struct {
+	mu    sync.Mutex
+	head  *node
+	level int
+	size  int
+	bytes int
+	rng   *rand.Rand
+}
+
+type node struct {
+	entry skv.Entry
+	next  []*node
+}
+
+func newMemtable(seed int64) *memtable {
+	return &memtable{
+		head:  &node{next: make([]*node, maxLevel)},
+		level: 1,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (m *memtable) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && m.rng.Intn(2) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// insert adds an entry. Duplicate full keys (including timestamp)
+// overwrite in place; distinct timestamps coexist as separate versions.
+func (m *memtable) insert(e skv.Entry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	update := make([]*node, maxLevel)
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && skv.Compare(x.next[i].entry.K, e.K) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if cand := x.next[0]; cand != nil && skv.Compare(cand.entry.K, e.K) == 0 {
+		m.bytes += len(e.V) - len(cand.entry.V)
+		cand.entry = e
+		return
+	}
+	lvl := m.randomLevel()
+	if lvl > m.level {
+		for i := m.level; i < lvl; i++ {
+			update[i] = m.head
+		}
+		m.level = lvl
+	}
+	n := &node{entry: e, next: make([]*node, lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	m.size++
+	m.bytes += len(e.K.Row) + len(e.K.ColF) + len(e.K.ColQ) + 8 + len(e.V)
+}
+
+// snapshot returns all entries in sorted order.
+func (m *memtable) snapshot() []skv.Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]skv.Entry, 0, m.size)
+	for x := m.head.next[0]; x != nil; x = x.next[0] {
+		out = append(out, x.entry)
+	}
+	return out
+}
+
+// count returns the number of entries.
+func (m *memtable) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.size
+}
+
+// approxBytes returns the approximate heap footprint of stored entries.
+func (m *memtable) approxBytes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes
+}

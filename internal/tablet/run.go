@@ -1,0 +1,86 @@
+package tablet
+
+import (
+	"sort"
+
+	"graphulo/internal/skv"
+)
+
+// run is an immutable sorted file of entries — the in-memory stand-in
+// for an Accumulo RFile. A sparse block index accelerates seeks the way
+// RFile index blocks do.
+type run struct {
+	entries []skv.Entry
+	// index holds every indexStride-th key for a first-stage binary
+	// search; purely an access-path optimisation.
+	index       []skv.Key
+	indexStride int
+}
+
+const defaultIndexStride = 64
+
+// newRun builds a run from entries that must already be sorted.
+func newRun(entries []skv.Entry) *run {
+	r := &run{entries: entries, indexStride: defaultIndexStride}
+	for i := 0; i < len(entries); i += r.indexStride {
+		r.index = append(r.index, entries[i].K)
+	}
+	return r
+}
+
+// seekPos returns the position of the first entry with key >= k.
+func (r *run) seekPos(k skv.Key) int {
+	if len(r.entries) == 0 {
+		return 0
+	}
+	// First stage: find the index block.
+	blk := sort.Search(len(r.index), func(i int) bool {
+		return skv.Compare(r.index[i], k) >= 0
+	})
+	lo := 0
+	if blk > 0 {
+		lo = (blk - 1) * r.indexStride
+	}
+	hi := blk*r.indexStride + 1
+	if hi > len(r.entries) {
+		hi = len(r.entries)
+	}
+	// Second stage: binary search within the block neighbourhood.
+	return lo + sort.Search(hi-lo, func(i int) bool {
+		return skv.Compare(r.entries[lo+i].K, k) >= 0
+	})
+}
+
+// runIter iterates a run within a range; implements iterator.SKVI.
+type runIter struct {
+	r   *run
+	rng skv.Range
+	pos int
+}
+
+func (r *run) iterator() *runIter { return &runIter{r: r} }
+
+// Seek implements SKVI.
+func (it *runIter) Seek(rng skv.Range) error {
+	it.rng = rng
+	if rng.HasStart {
+		it.pos = it.r.seekPos(rng.Start)
+	} else {
+		it.pos = 0
+	}
+	return nil
+}
+
+// HasTop implements SKVI.
+func (it *runIter) HasTop() bool {
+	return it.pos < len(it.r.entries) && !it.rng.AfterEnd(it.r.entries[it.pos].K)
+}
+
+// Top implements SKVI.
+func (it *runIter) Top() skv.Entry { return it.r.entries[it.pos] }
+
+// Next implements SKVI.
+func (it *runIter) Next() error {
+	it.pos++
+	return nil
+}

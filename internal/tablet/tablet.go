@@ -1,0 +1,192 @@
+package tablet
+
+import (
+	"sort"
+	"sync"
+
+	"graphulo/internal/iterator"
+	"graphulo/internal/skv"
+)
+
+// Tablet owns the contiguous row range [StartRow, EndRow) of one table
+// ("" bounds are infinite). Writes land in the memtable; minor
+// compaction freezes the memtable into an immutable run; major
+// compaction merges runs. Scans merge the memtable snapshot with every
+// live run.
+type Tablet struct {
+	StartRow string // inclusive; "" = -inf
+	EndRow   string // exclusive; "" = +inf
+
+	mu       sync.Mutex
+	mem      *memtable
+	runs     []*run
+	memLimit int // entries before automatic minor compaction
+	seed     int64
+}
+
+// New creates an empty tablet over [startRow, endRow).
+func New(startRow, endRow string, memLimit int, seed int64) *Tablet {
+	if memLimit <= 0 {
+		memLimit = 1 << 14
+	}
+	return &Tablet{
+		StartRow: startRow,
+		EndRow:   endRow,
+		mem:      newMemtable(seed),
+		memLimit: memLimit,
+		seed:     seed,
+	}
+}
+
+// OwnsRow reports whether the tablet's range contains row.
+func (t *Tablet) OwnsRow(row string) bool {
+	if t.StartRow != "" && row < t.StartRow {
+		return false
+	}
+	if t.EndRow != "" && row >= t.EndRow {
+		return false
+	}
+	return true
+}
+
+// Range returns the tablet's row range.
+func (t *Tablet) Range() skv.Range { return skv.RowRange(t.StartRow, t.EndRow) }
+
+// Write inserts entries (which must belong to this tablet's range) and
+// triggers a minor compaction if the memtable exceeds its limit.
+func (t *Tablet) Write(entries []skv.Entry) {
+	for _, e := range entries {
+		t.mem.insert(e)
+	}
+	if t.mem.count() >= t.memLimit {
+		t.MinorCompact(nil)
+	}
+}
+
+// MinorCompact freezes the current memtable into a run, applying the
+// optional compaction iterator stack (e.g. a summing combiner) on the
+// way out — Accumulo's minc scope.
+func (t *Tablet) MinorCompact(stack func(iterator.SKVI) (iterator.SKVI, error)) error {
+	t.mu.Lock()
+	snap := t.mem.snapshot()
+	if len(snap) == 0 {
+		t.mu.Unlock()
+		return nil
+	}
+	t.mem = newMemtable(t.seed + int64(len(t.runs)) + 1)
+	t.mu.Unlock()
+
+	entries, err := applyStack(iterator.NewSliceIter(snap), stack)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.runs = append(t.runs, newRun(entries))
+	t.mu.Unlock()
+	return nil
+}
+
+// MajorCompact merges all runs (and the memtable) into a single run,
+// applying the optional compaction stack — Accumulo's majc scope with
+// the flush flag.
+func (t *Tablet) MajorCompact(stack func(iterator.SKVI) (iterator.SKVI, error)) error {
+	t.mu.Lock()
+	snap := t.mem.snapshot()
+	t.mem = newMemtable(t.seed + int64(len(t.runs)) + 101)
+	sources := make([]iterator.SKVI, 0, len(t.runs)+1)
+	if len(snap) > 0 {
+		sources = append(sources, iterator.NewSliceIter(snap))
+	}
+	for i := len(t.runs) - 1; i >= 0; i-- {
+		sources = append(sources, t.runs[i].iterator())
+	}
+	t.mu.Unlock()
+
+	if len(sources) == 0 {
+		return nil
+	}
+	entries, err := applyStack(iterator.NewDedupMergeIter(sources...), stack)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if len(entries) == 0 {
+		t.runs = nil
+	} else {
+		t.runs = []*run{newRun(entries)}
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+func applyStack(src iterator.SKVI, stack func(iterator.SKVI) (iterator.SKVI, error)) ([]skv.Entry, error) {
+	it := src
+	if stack != nil {
+		var err error
+		it, err = stack(src)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := it.Seek(skv.FullRange()); err != nil {
+		return nil, err
+	}
+	return iterator.Collect(it)
+}
+
+// Snapshot returns an iterator source over the tablet's current contents
+// (memtable + all runs), valid independently of later writes. The
+// returned iterator is not yet seeked.
+func (t *Tablet) Snapshot() iterator.SKVI {
+	t.mu.Lock()
+	snap := t.mem.snapshot()
+	sources := make([]iterator.SKVI, 0, len(t.runs)+1)
+	if len(snap) > 0 {
+		sources = append(sources, iterator.NewSliceIter(snap))
+	}
+	for i := len(t.runs) - 1; i >= 0; i-- {
+		sources = append(sources, t.runs[i].iterator())
+	}
+	t.mu.Unlock()
+	return iterator.NewDedupMergeIter(sources...)
+}
+
+// EntryEstimate returns the approximate number of stored entries
+// (pre-compaction duplicates included).
+func (t *Tablet) EntryEstimate() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.mem.count()
+	for _, r := range t.runs {
+		n += len(r.entries)
+	}
+	return n
+}
+
+// SplitAt partitions the tablet at row boundary (which must lie strictly
+// inside its range), returning the two halves [start, row) and
+// [row, end). The receiver must not be used afterwards.
+func (t *Tablet) SplitAt(row string) (*Tablet, *Tablet) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	left := New(t.StartRow, row, t.memLimit, t.seed*2+1)
+	right := New(row, t.EndRow, t.memLimit, t.seed*2+2)
+	move := func(entries []skv.Entry) {
+		cut := sort.Search(len(entries), func(i int) bool {
+			return entries[i].K.Row >= row
+		})
+		if cut > 0 {
+			left.runs = append(left.runs, newRun(entries[:cut]))
+		}
+		if cut < len(entries) {
+			right.runs = append(right.runs, newRun(entries[cut:]))
+		}
+	}
+	for _, r := range t.runs {
+		move(r.entries)
+	}
+	if snap := t.mem.snapshot(); len(snap) > 0 {
+		move(snap)
+	}
+	return left, right
+}
