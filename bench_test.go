@@ -13,7 +13,11 @@ package graphulo
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"graphulo/internal/accumulo"
 )
 
 // --- workload helpers (built once per size, cached) ---
@@ -289,7 +293,7 @@ func BenchmarkTableMultVsClient(b *testing.B) {
 		b.Run(fmt.Sprintf("server/scale%d", scale), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				db := Open(ClusterConfig{TabletServers: 4})
+				db := mustOpen(ClusterConfig{TabletServers: 4})
 				tg, err := db.CreateGraph("B")
 				if err != nil {
 					b.Fatal(err)
@@ -307,7 +311,7 @@ func BenchmarkTableMultVsClient(b *testing.B) {
 		b.Run(fmt.Sprintf("client/scale%d", scale), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				db := Open(ClusterConfig{TabletServers: 4})
+				db := mustOpen(ClusterConfig{TabletServers: 4})
 				tg, err := db.CreateGraph("B")
 				if err != nil {
 					b.Fatal(err)
@@ -376,7 +380,7 @@ func BenchmarkClusterIngest(b *testing.B) {
 	g := rmatGraph(10)
 	b.ReportMetric(float64(len(g.Edges)), "edges/op")
 	for i := 0; i < b.N; i++ {
-		db := Open(ClusterConfig{TabletServers: 4})
+		db := mustOpen(ClusterConfig{TabletServers: 4})
 		tg, err := db.CreateGraph("I")
 		if err != nil {
 			b.Fatal(err)
@@ -389,7 +393,7 @@ func BenchmarkClusterIngest(b *testing.B) {
 
 func BenchmarkClusterScan(b *testing.B) {
 	g := rmatGraph(10)
-	db := Open(ClusterConfig{TabletServers: 4})
+	db := mustOpen(ClusterConfig{TabletServers: 4})
 	tg, err := db.CreateGraph("S")
 	if err != nil {
 		b.Fatal(err)
@@ -407,7 +411,7 @@ func BenchmarkClusterScan(b *testing.B) {
 
 func BenchmarkClusterBFSServerSide(b *testing.B) {
 	g := rmatGraph(10)
-	db := Open(ClusterConfig{TabletServers: 4})
+	db := mustOpen(ClusterConfig{TabletServers: 4})
 	tg, err := db.CreateGraph("BF")
 	if err != nil {
 		b.Fatal(err)
@@ -467,7 +471,7 @@ func BenchmarkExtension_VertexNomination(b *testing.B) {
 
 func BenchmarkClusterPageRankServerSide(b *testing.B) {
 	g := rmatGraph(7)
-	db := Open(ClusterConfig{TabletServers: 4})
+	db := mustOpen(ClusterConfig{TabletServers: 4})
 	tg, err := db.CreateGraph("PRB")
 	if err != nil {
 		b.Fatal(err)
@@ -510,4 +514,149 @@ func benchDiagDominant(n int) *Dense {
 		d.Data[i*n+i] = row + 2
 	}
 	return d
+}
+
+// --- Durable storage engine (PR 1): ingest and scan baselines ---
+//
+// These benchmarks pin the cost of durability — WAL append + fsync on
+// the write path, rfile-backed runs on the read path — against the
+// in-memory cluster, so later storage PRs (cache tiering, bulk import,
+// compaction tuning) have a perf baseline. Reported metrics:
+// entries/sec of raw throughput and disk-bytes/op of write
+// amplification.
+
+func benchClusterEntries(n int) []struct{ row, colq string } {
+	out := make([]struct{ row, colq string }, n)
+	for i := range out {
+		out[i].row = fmt.Sprintf("r%07d", i%(n/4+1))
+		out[i].colq = fmt.Sprintf("c%05d", i%97)
+	}
+	return out
+}
+
+func dirBytes(b *testing.B, path string) int64 {
+	var total int64
+	err := filepath.Walk(path, func(_ string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return total
+}
+
+func benchIngest(b *testing.B, cfg ClusterConfig, n int) {
+	entries := benchClusterEntries(n)
+	var disk int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if cfg.DataDir != "" {
+			cfg.DataDir = b.TempDir()
+		}
+		db := mustOpen(cfg)
+		if err := db.Connector().TableOperations().Create("T"); err != nil {
+			b.Fatal(err)
+		}
+		w, err := db.Connector().CreateBatchWriter("T", accumulo.BatchWriterConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, e := range entries {
+			if err := w.PutFloat(e.row, "", e.colq, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if cfg.DataDir != "" {
+			disk += dirBytes(b, cfg.DataDir)
+		}
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "entries/sec")
+	if cfg.DataDir != "" {
+		b.ReportMetric(float64(disk)/float64(b.N), "disk-bytes/op")
+	}
+}
+
+func BenchmarkDurableVsInMemoryIngest(b *testing.B) {
+	const n = 1 << 13
+	b.Run("inmemory", func(b *testing.B) {
+		benchIngest(b, ClusterConfig{TabletServers: 2}, n)
+	})
+	b.Run("durable", func(b *testing.B) {
+		benchIngest(b, ClusterConfig{TabletServers: 2, DataDir: "x"}, n)
+	})
+	b.Run("durable-nosync", func(b *testing.B) {
+		benchIngest(b, ClusterConfig{TabletServers: 2, DataDir: "x", NoSync: true}, n)
+	})
+}
+
+func benchScan(b *testing.B, cfg ClusterConfig, n int) {
+	entries := benchClusterEntries(n)
+	if cfg.DataDir != "" {
+		cfg.DataDir = b.TempDir()
+	}
+	db := mustOpen(cfg)
+	defer db.Close()
+	ops := db.Connector().TableOperations()
+	if err := ops.Create("T"); err != nil {
+		b.Fatal(err)
+	}
+	w, err := db.Connector().CreateBatchWriter("T", accumulo.BatchWriterConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := w.PutFloat(e.row, "", e.colq, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	// Flush so durable scans actually read rfile-backed runs.
+	if err := ops.Flush("T"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		sc, err := db.Connector().CreateScanner("T")
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := sc.Entries()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) == 0 {
+			b.Fatal("empty scan")
+		}
+		total += len(got)
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "entries/sec")
+}
+
+func BenchmarkDurableVsInMemoryScan(b *testing.B) {
+	const n = 1 << 13
+	b.Run("inmemory", func(b *testing.B) {
+		benchScan(b, ClusterConfig{TabletServers: 2}, n)
+	})
+	b.Run("durable", func(b *testing.B) {
+		benchScan(b, ClusterConfig{TabletServers: 2, DataDir: "x", NoSync: true}, n)
+	})
 }

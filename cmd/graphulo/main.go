@@ -34,7 +34,35 @@ var (
 	seed      = flag.Uint64("seed", 1, "generator seed")
 	source    = flag.Int("source", 0, "BFS/SSSP source vertex")
 	useDB     = flag.Bool("db", false, "run through the embedded NoSQL cluster where supported")
+	dataDir   = flag.String("data-dir", "", "durable cluster directory: graphs built in one invocation are queried in the next (implies -db)")
 )
+
+// openDB starts the embedded cluster, durable when -data-dir is set,
+// and returns the graph handle: the persisted graph when it already
+// exists in the data dir (skipping re-ingest), a freshly ingested one
+// otherwise.
+func openDB(g graphulo.Graph) (*graphulo.DB, *graphulo.TableGraph, error) {
+	db, err := graphulo.Open(graphulo.ClusterConfig{DataDir: *dataDir})
+	if err != nil {
+		return nil, nil, err
+	}
+	if *dataDir != "" {
+		if tg, err := db.OpenGraph("G"); err == nil {
+			fmt.Printf("reopened persisted graph from %s\n", *dataDir)
+			return db, tg, nil
+		}
+	}
+	tg, err := db.CreateGraph("G")
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	if err := tg.Ingest(g); err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	return db, tg, nil
+}
 
 func main() {
 	flag.Usage = func() {
@@ -74,6 +102,9 @@ func run(algorithm string) error {
 	g := makeGraph()
 	adj := graphulo.AdjacencyPat(g)
 	fmt.Printf("graph: %d vertices, %d edges\n", g.N, len(g.Edges))
+	if *dataDir != "" {
+		*useDB = true
+	}
 
 	switch algorithm {
 	case "info":
@@ -88,14 +119,11 @@ func run(algorithm string) error {
 
 	case "bfs":
 		if *useDB {
-			db := graphulo.Open(graphulo.ClusterConfig{})
-			tg, err := db.CreateGraph("G")
+			db, tg, err := openDB(g)
 			if err != nil {
 				return err
 			}
-			if err := tg.Ingest(g); err != nil {
-				return err
-			}
+			defer db.Close()
 			levels, err := tg.BFS([]int{*source}, *kFlag)
 			if err != nil {
 				return err
@@ -112,14 +140,11 @@ func run(algorithm string) error {
 
 	case "degrees":
 		if *useDB {
-			db := graphulo.Open(graphulo.ClusterConfig{})
-			tg, err := db.CreateGraph("G")
+			db, tg, err := openDB(g)
 			if err != nil {
 				return err
 			}
-			if err := tg.Ingest(g); err != nil {
-				return err
-			}
+			defer db.Close()
 			degs, err := tg.Degrees()
 			if err != nil {
 				return err
@@ -173,14 +198,11 @@ func run(algorithm string) error {
 
 	case "ktruss":
 		if *useDB {
-			db := graphulo.Open(graphulo.ClusterConfig{})
-			tg, err := db.CreateGraph("G")
+			db, tg, err := openDB(g)
 			if err != nil {
 				return err
 			}
-			if err := tg.Ingest(g); err != nil {
-				return err
-			}
+			defer db.Close()
 			truss, err := tg.KTruss(*kFlag)
 			if err != nil {
 				return err

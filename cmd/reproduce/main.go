@@ -241,7 +241,11 @@ func ablations() {
 		float64(dense)/float64(tri))
 
 	// (c) server-side vs client multiply.
-	db := graphulo.Open(graphulo.ClusterConfig{TabletServers: 4})
+	db, err := graphulo.Open(graphulo.ClusterConfig{TabletServers: 4})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
 	tg, err := db.CreateGraph("Ab")
 	if err != nil {
 		fmt.Println("error:", err)

@@ -24,7 +24,10 @@ func main() {
 		g.N, len(g.Edges), *scale)
 
 	// Server-side degree table.
-	db := graphulo.Open(graphulo.ClusterConfig{TabletServers: 4})
+	db, err := graphulo.Open(graphulo.ClusterConfig{TabletServers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
 	tg, err := db.CreateGraph("Web")
 	if err != nil {
 		log.Fatal(err)

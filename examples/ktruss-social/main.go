@@ -28,7 +28,10 @@ func main() {
 	fmt.Printf("social graph: %d vertices, %d edges, planted %d-clique\n",
 		g.N, len(g.Edges), clique)
 
-	db := graphulo.Open(graphulo.ClusterConfig{TabletServers: 4})
+	db, err := graphulo.Open(graphulo.ClusterConfig{TabletServers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
 	tg, err := db.CreateGraph("Social")
 	if err != nil {
 		log.Fatal(err)

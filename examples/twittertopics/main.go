@@ -25,7 +25,10 @@ func main() {
 	fmt.Printf("generating %d tweets across 5 planted communities...\n", *nTweets)
 	corpus := graphulo.NewTweets(graphulo.TweetCorpusConfig{NumTweets: *nTweets, Seed: 42})
 
-	db := graphulo.Open(graphulo.ClusterConfig{TabletServers: 4})
+	db, err := graphulo.Open(graphulo.ClusterConfig{TabletServers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := db.WriteAssoc("Tweets", corpus.A); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module graphulo
+
+go 1.22

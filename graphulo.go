@@ -16,6 +16,21 @@
 //   - Generators: RMAT/Graph500 power-law graphs, Erdős–Rényi,
 //     structured graphs, the paper's Fig. 1 example, and the synthetic
 //     tweet corpus used for the Fig. 3 topic-modeling experiment.
+//
+// # Persistence
+//
+// By default the cluster is in-memory and vanishes at process exit.
+// Setting ClusterConfig.DataDir makes it durable, mirroring the
+// Accumulo deployment the paper runs on: under the directory live a
+// MANIFEST (tables, splits, iterator settings, per-tablet rfile lists,
+// and the logical clock), wal/ (per-tablet segmented write-ahead logs,
+// one CRC-guarded record per acknowledged write batch), and rf/
+// (immutable block-indexed rfiles written by compaction). Open on the
+// same directory recovers everything: the manifest rebuilds tables and
+// their on-disk runs, then WAL replay restores writes that were never
+// flushed — including after a crash, where replay stops cleanly at the
+// last record whose checksum verifies. Use OpenGraph to reattach to a
+// recovered TableGraph, and Close for a clean shutdown.
 package graphulo
 
 import (
@@ -190,6 +205,13 @@ type ClusterConfig struct {
 	MemLimit int
 	// WireBatch is the entries-per-RPC batch size.
 	WireBatch int
+	// DataDir, when non-empty, makes the cluster durable: all tables
+	// persist under this directory and a later Open on it recovers
+	// them (manifest + WAL replay). Empty keeps the cluster in memory.
+	DataDir string
+	// NoSync skips per-write WAL fsyncs in durable mode, trading crash
+	// durability for ingest speed (benchmarks, bulk loads).
+	NoSync bool
 }
 
 // DB is a handle to an embedded Graphulo cluster.
@@ -198,15 +220,28 @@ type DB struct {
 	conn    *accumulo.Connector
 }
 
-// Open starts an embedded mini-cluster.
-func Open(cfg ClusterConfig) *DB {
-	mc := accumulo.NewMiniCluster(accumulo.Config{
+// Open starts an embedded mini-cluster. With cfg.DataDir set it opens
+// the durable data directory, recovering all tables, splits, iterator
+// settings, and data (on-disk rfiles plus write-ahead-log replay for
+// writes that were never flushed, e.g. after a crash).
+func Open(cfg ClusterConfig) (*DB, error) {
+	mc, err := accumulo.OpenMiniCluster(accumulo.Config{
 		TabletServers: cfg.TabletServers,
 		MemLimit:      cfg.MemLimit,
 		WireBatch:     cfg.WireBatch,
+		DataDir:       cfg.DataDir,
+		NoSync:        cfg.NoSync,
 	})
-	return &DB{cluster: mc, conn: mc.Connector()}
+	if err != nil {
+		return nil, err
+	}
+	return &DB{cluster: mc, conn: mc.Connector()}, nil
 }
+
+// Close shuts the cluster down cleanly. For a durable cluster it
+// persists the manifest and syncs and closes every write-ahead log;
+// for an in-memory cluster it is a no-op.
+func (db *DB) Close() error { return db.cluster.Close() }
 
 // Connector exposes the low-level Accumulo-style client for advanced
 // use (table ops, custom scans, iterator attachment).
@@ -226,13 +261,25 @@ type TableGraph struct {
 	name   string
 }
 
-// CreateGraph creates the table trio for a named graph.
+// CreateGraph creates the table trio for a named graph. Tables that
+// already exist — e.g. recovered from a durable DataDir — are reused
+// with their persisted contents and iterator settings.
 func (db *DB) CreateGraph(name string) (*TableGraph, error) {
 	s, err := schema.NewAdjacencySchema(db.conn, name)
 	if err != nil {
 		return nil, err
 	}
 	return &TableGraph{db: db, schema: s, name: name}, nil
+}
+
+// OpenGraph reattaches to a graph recovered from a durable DataDir (or
+// simply created earlier in this process). It fails if the graph's
+// adjacency table does not exist.
+func (db *DB) OpenGraph(name string) (*TableGraph, error) {
+	if !db.conn.TableOperations().Exists(name) {
+		return nil, fmt.Errorf("graphulo: graph %q does not exist", name)
+	}
+	return db.CreateGraph(name)
 }
 
 // Ingest loads an undirected edge-list graph.

@@ -8,6 +8,16 @@ import (
 // The public-API tests exercise the facade end to end: in-memory
 // kernels, table-backed algorithms, and the agreement between the two.
 
+// mustOpen starts a cluster that cannot fail to open (in-memory, or a
+// test tempdir) and fails the test otherwise.
+func mustOpen(cfg ClusterConfig) *DB {
+	db, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
 func TestInMemoryKernelSurface(t *testing.T) {
 	a := NewMatrix(2, 2, []Triple{{Row: 0, Col: 1, Val: 2}, {Row: 1, Col: 0, Val: 3}}, PlusTimes)
 	c := SpGEMM(a, a, PlusTimes)
@@ -32,7 +42,7 @@ func TestAssocSurface(t *testing.T) {
 }
 
 func TestEndToEndTableGraph(t *testing.T) {
-	db := Open(ClusterConfig{TabletServers: 2, MemLimit: 256})
+	db := mustOpen(ClusterConfig{TabletServers: 2, MemLimit: 256})
 	g, err := db.CreateGraph("Web")
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +107,7 @@ func TestEndToEndTableGraph(t *testing.T) {
 }
 
 func TestEndToEndKTrussAndJaccard(t *testing.T) {
-	db := Open(ClusterConfig{})
+	db := mustOpen(ClusterConfig{})
 	g, err := db.CreateGraph("Soc")
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +142,7 @@ func TestEndToEndKTrussAndJaccard(t *testing.T) {
 }
 
 func TestTableMultFacade(t *testing.T) {
-	db := Open(ClusterConfig{})
+	db := mustOpen(ClusterConfig{})
 	a := NewAssoc([]AssocEntry{
 		{Row: "i", Col: "x", Val: 2},
 		{Row: "i", Col: "y", Val: 3},
@@ -154,7 +164,7 @@ func TestTableMultFacade(t *testing.T) {
 }
 
 func TestNMFTopicsFacade(t *testing.T) {
-	db := Open(ClusterConfig{})
+	db := mustOpen(ClusterConfig{})
 	corpus := NewTweets(TweetCorpusConfig{NumTweets: 150, Seed: 8})
 	if err := db.WriteAssoc("Tweets", corpus.A); err != nil {
 		t.Fatal(err)
@@ -178,7 +188,7 @@ func TestNMFTopicsFacade(t *testing.T) {
 // Derived-output methods must be idempotent: calling them twice must
 // not fold stale results into fresh ones through the sum combiner.
 func TestTableGraphMethodsAreRerunSafe(t *testing.T) {
-	db := Open(ClusterConfig{})
+	db := mustOpen(ClusterConfig{})
 	g, err := db.CreateGraph("RR")
 	if err != nil {
 		t.Fatal(err)
@@ -218,7 +228,7 @@ func TestTableGraphMethodsAreRerunSafe(t *testing.T) {
 }
 
 func TestNMFTopicsRerunSafe(t *testing.T) {
-	db := Open(ClusterConfig{})
+	db := mustOpen(ClusterConfig{})
 	corpus := NewTweets(TweetCorpusConfig{NumTweets: 80, Seed: 3})
 	if err := db.WriteAssoc("RT", corpus.A); err != nil {
 		t.Fatal(err)

@@ -1,12 +1,14 @@
 package accumulo
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"graphulo/internal/iterator"
 	"graphulo/internal/skv"
+	"graphulo/internal/store"
 	"graphulo/internal/tablet"
 )
 
@@ -38,6 +40,9 @@ func (t *TableOperations) Create(name string) error {
 }
 
 // CreateWithSplits makes a table pre-split at the given row boundaries.
+// On a durable cluster the table — splits, iterator settings, and
+// per-tablet storage — is registered in the manifest before the call
+// returns.
 func (t *TableOperations) CreateWithSplits(name string, splits []string) error {
 	if name == "" {
 		return fmt.Errorf("accumulo: empty table name")
@@ -59,13 +64,35 @@ func (t *TableOperations) CreateWithSplits(name string, splits []string) error {
 	sort.Strings(sorted)
 	meta.splits = sorted
 	bounds := append([]string{""}, sorted...)
+	ranges := make([][2]string, len(bounds))
 	for i, start := range bounds {
 		end := ""
 		if i < len(sorted) {
 			end = sorted[i]
 		}
+		ranges[i] = [2]string{start, end}
+	}
+	var backings []*store.TabletStore
+	if t.mc.dir != nil {
+		iters := map[string][]iterator.Setting{}
+		for s, list := range meta.iters {
+			iters[scopeNames[s]] = list
+		}
+		var err error
+		backings, err = t.mc.dir.CreateTable(name, sorted, iters, ranges)
+		if err != nil {
+			return fmt.Errorf("accumulo: persisting table %q: %w", name, err)
+		}
+	}
+	for i, rng := range ranges {
+		var tab *tablet.Tablet
+		if backings != nil {
+			tab = tablet.NewDurable(rng[0], rng[1], t.mc.cfg.MemLimit, t.mc.seed.Add(1), backings[i], nil, nil)
+		} else {
+			tab = tablet.New(rng[0], rng[1], t.mc.cfg.MemLimit, t.mc.seed.Add(1))
+		}
 		meta.tablets = append(meta.tablets, &tabletRef{
-			tab:    tablet.New(start, end, t.mc.cfg.MemLimit, t.mc.seed.Add(1)),
+			tab:    tab,
 			server: i % t.mc.cfg.TabletServers,
 		})
 	}
@@ -73,12 +100,17 @@ func (t *TableOperations) CreateWithSplits(name string, splits []string) error {
 	return nil
 }
 
-// Delete removes a table.
+// Delete removes a table, including its on-disk files in durable mode.
 func (t *TableOperations) Delete(name string) error {
 	t.mc.mu.Lock()
 	defer t.mc.mu.Unlock()
 	if _, ok := t.mc.tables[name]; !ok {
 		return fmt.Errorf("accumulo: table %q does not exist", name)
+	}
+	if t.mc.dir != nil {
+		if err := t.mc.dir.DropTable(name); err != nil {
+			return fmt.Errorf("accumulo: dropping table %q: %w", name, err)
+		}
 	}
 	delete(t.mc.tables, name)
 	return nil
@@ -117,10 +149,14 @@ func (t *TableOperations) AddSplits(name string, splits []string) error {
 		if idx < len(meta.splits) && meta.splits[idx] == s {
 			continue // already a boundary
 		}
-		// Find the tablet containing s and split it.
+		// Find the tablet containing s and split it. Durable tablets
+		// swap their on-disk state for the two halves' atomically.
 		tIdx := idx // tablets[idx] covers (splits[idx-1], splits[idx])
 		old := meta.tablets[tIdx]
-		left, right := old.tab.SplitAt(s)
+		left, right, err := old.tab.SplitAt(s)
+		if err != nil {
+			return fmt.Errorf("accumulo: splitting %q at %q: %w", name, s, err)
+		}
 		meta.splits = append(meta.splits, "")
 		copy(meta.splits[idx+1:], meta.splits[idx:])
 		meta.splits[idx] = s
@@ -167,7 +203,7 @@ func (t *TableOperations) AttachIterator(name string, setting iterator.Setting, 
 		}
 		meta.iters[s] = append(meta.iters[s], setting)
 	}
-	return nil
+	return t.mc.persistIters(meta)
 }
 
 // RemoveIterator removes the named iterator from the given scopes
@@ -191,7 +227,7 @@ func (t *TableOperations) RemoveIterator(name, iterName string, scopes ...Scope)
 		}
 		meta.iters[s] = kept
 	}
-	return nil
+	return t.mc.persistIters(meta)
 }
 
 // Flush minor-compacts every tablet, applying the minc stack.
@@ -248,7 +284,11 @@ func (t *TableOperations) Clone(src, dst string) error {
 	}
 	dstMeta.mu.Lock()
 	dstMeta.iters = iters
+	err = t.mc.persistIters(dstMeta)
 	dstMeta.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	// Copy the data through the normal read/write paths so combiner
 	// semantics stay intact.
 	entries, err := t.mc.scan(src, skv.FullRange(), nil)
@@ -353,6 +393,11 @@ func (w *BatchWriter) PutFloat(row, colF, colQ string, v float64) error {
 }
 
 // Flush ships all buffered mutations, retrying transient failures.
+// Only ErrTransient failures — which happen before any tablet absorbed
+// entries — are retried; a failure mid-batch (e.g. a WAL I/O error on
+// one of several tablets) returns immediately, because re-sending
+// would re-stamp entries some tablets already hold and double their
+// values under sum combiners.
 func (w *BatchWriter) Flush() error {
 	w.mu.Lock()
 	batch := w.buf
@@ -365,6 +410,9 @@ func (w *BatchWriter) Flush() error {
 	for attempt := 0; attempt <= w.cfg.MaxRetries; attempt++ {
 		if err = w.mc.write(w.table, batch); err == nil {
 			return nil
+		}
+		if !errors.Is(err, ErrTransient) {
+			return fmt.Errorf("accumulo: batch writer: %w", err)
 		}
 	}
 	return fmt.Errorf("accumulo: batch writer gave up after %d retries: %w", w.cfg.MaxRetries, err)

@@ -9,9 +9,20 @@
 // ts) → value entries, range scans, server-side iterators at scan/minc/
 // majc scopes — matches what a thin Accumulo client sees, so the
 // Graphulo kernels built on top exercise the same code paths.
+//
+// The cluster runs in one of two durability modes. With an empty
+// Config.DataDir everything lives in memory, as a test harness expects.
+// With DataDir set, the cluster persists like Accumulo does: tables,
+// splits, and iterator settings live in a manifest, each tablet appends
+// writes to a write-ahead log before acknowledging them, and
+// compactions produce immutable on-disk rfiles. OpenMiniCluster on the
+// same directory recovers the full cluster state — manifest first, then
+// WAL replay into the memtables — so even an unclean shutdown loses no
+// acknowledged write. Close flushes and releases the directory.
 package accumulo
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -19,6 +30,7 @@ import (
 
 	"graphulo/internal/iterator"
 	"graphulo/internal/skv"
+	"graphulo/internal/store"
 	"graphulo/internal/tablet"
 )
 
@@ -35,6 +47,18 @@ const (
 // AllScopes lists every scope, for convenience when attaching combiners.
 var AllScopes = []Scope{ScanScope, MincScope, MajcScope}
 
+// scopeNames maps scopes to the stable names used in the manifest.
+var scopeNames = map[Scope]string{ScanScope: "scan", MincScope: "minc", MajcScope: "majc"}
+
+func scopeFromName(name string) (Scope, bool) {
+	for s, n := range scopeNames {
+		if n == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
 // Config sizes the mini-cluster.
 type Config struct {
 	// TabletServers is the number of server instances (default 2).
@@ -45,6 +69,13 @@ type Config struct {
 	// WireBatch is the number of entries per simulated RPC batch
 	// (default 4096).
 	WireBatch int
+	// DataDir, when non-empty, makes the cluster durable: tables and
+	// data persist under this directory (manifest + WAL + rfiles) and
+	// OpenMiniCluster recovers them. Empty keeps everything in memory.
+	DataDir string
+	// NoSync skips per-append WAL fsyncs in durable mode (benchmarks
+	// and bulk loads; crash durability is reduced to OS buffering).
+	NoSync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +109,9 @@ type MiniCluster struct {
 	mu     sync.RWMutex
 	tables map[string]*tableMeta
 
+	// dir is the durable data directory; nil for in-memory clusters.
+	dir *store.Dir
+
 	// failWrites > 0 makes the next N write RPCs fail, for testing the
 	// BatchWriter retry path.
 	failWrites atomic.Int64
@@ -97,11 +131,108 @@ type tableMeta struct {
 	iters   map[Scope][]iterator.Setting
 }
 
-// NewMiniCluster starts an embedded cluster.
+// NewMiniCluster starts an embedded in-memory cluster. For a durable
+// cluster (Config.DataDir set) use OpenMiniCluster; NewMiniCluster
+// panics on I/O errors, which cannot occur in memory.
 func NewMiniCluster(cfg Config) *MiniCluster {
+	mc, err := OpenMiniCluster(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("accumulo: NewMiniCluster: %v", err))
+	}
+	return mc
+}
+
+// OpenMiniCluster starts an embedded cluster. With cfg.DataDir set it
+// opens (or initialises) the durable data directory and recovers every
+// table: splits and iterator settings from the manifest, on-disk runs
+// from the recorded rfiles, and unflushed writes by WAL replay. The
+// logical timestamp clock resumes past every recovered timestamp, so
+// versioning semantics survive restarts.
+func OpenMiniCluster(cfg Config) (*MiniCluster, error) {
 	mc := &MiniCluster{cfg: cfg.withDefaults(), tables: map[string]*tableMeta{}}
 	mc.seed.Store(42)
-	return mc
+	if cfg.DataDir == "" {
+		return mc, nil
+	}
+	dir, err := store.Open(cfg.DataDir, store.Options{NoSync: cfg.NoSync})
+	if err != nil {
+		return nil, err
+	}
+	mc.dir = dir
+	clockFloor := dir.Clock()
+	for _, ti := range dir.Tables() {
+		meta := &tableMeta{
+			name:   ti.Name,
+			splits: ti.Splits,
+			iters:  map[Scope][]iterator.Setting{},
+		}
+		for scopeName, settings := range ti.Iters {
+			if s, ok := scopeFromName(scopeName); ok {
+				meta.iters[s] = settings
+			}
+		}
+		for i, tbi := range ti.Tablets {
+			ts, runs, replay, maxTs, err := dir.OpenTablet(ti.Name, tbi)
+			if err != nil {
+				return nil, fmt.Errorf("accumulo: recovering table %q: %w", ti.Name, err)
+			}
+			if maxTs > clockFloor {
+				clockFloor = maxTs
+			}
+			tab := tablet.NewDurable(tbi.Start, tbi.End, mc.cfg.MemLimit, mc.seed.Add(1), ts, runs, replay)
+			meta.tablets = append(meta.tablets, &tabletRef{
+				tab:    tab,
+				server: i % mc.cfg.TabletServers,
+			})
+		}
+		mc.tables[ti.Name] = meta
+	}
+	mc.clock.Store(clockFloor)
+	dir.SetClock(func() int64 { return mc.clock.Load() })
+	return mc, nil
+}
+
+// Close shuts a durable cluster down cleanly: every tablet's memtable
+// is flushed to an rfile (applying the minc stack, and reclaiming its
+// WAL segments), then the manifest is persisted with the current
+// logical clock and every WAL is synced and closed. A reopen after
+// Close therefore recovers purely from the manifest and rfiles; WAL
+// replay is the crash path. In-memory clusters need no Close; calling
+// it is a no-op.
+func (mc *MiniCluster) Close() error {
+	if mc.dir == nil {
+		return nil
+	}
+	mc.mu.RLock()
+	var names []string
+	for name := range mc.tables {
+		names = append(names, name)
+	}
+	mc.mu.RUnlock()
+	ops := &TableOperations{mc: mc}
+	var firstErr error
+	for _, name := range names {
+		if err := ops.Flush(name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := mc.dir.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// persistIters writes a table's iterator settings to the manifest in
+// durable mode. Caller holds meta.mu (read suffices).
+func (mc *MiniCluster) persistIters(meta *tableMeta) error {
+	if mc.dir == nil {
+		return nil
+	}
+	out := map[string][]iterator.Setting{}
+	for s, list := range meta.iters {
+		out[scopeNames[s]] = list
+	}
+	return mc.dir.SetIters(meta.name, out)
 }
 
 // Connector returns a client connection, as Instance.getConnector would.
@@ -109,6 +240,13 @@ func (mc *MiniCluster) Connector() *Connector { return &Connector{mc: mc} }
 
 // nextTs returns a fresh logical timestamp.
 func (mc *MiniCluster) nextTs() int64 { return mc.clock.Add(1) }
+
+// ErrTransient marks a write failure that happened before any tablet
+// absorbed entries, so the whole batch may safely be retried. Failures
+// past that point (e.g. a WAL I/O error on one tablet of several) are
+// NOT transient: some tablets already hold the entries, and a retry
+// would re-stamp and double them under sum combiners.
+var ErrTransient = errors.New("transient write failure")
 
 // InjectWriteFailures makes the next n write RPCs return a transient
 // error; used by tests and failure-injection benches.
@@ -191,7 +329,8 @@ func (mc *MiniCluster) write(table string, entries []skv.Entry) error {
 		return err
 	}
 	if mc.failWrites.Load() > 0 && mc.failWrites.Add(-1) >= 0 {
-		return fmt.Errorf("accumulo: transient write failure injected")
+		// Fails before any tablet absorbed entries, so a retry is safe.
+		return fmt.Errorf("accumulo: %w", ErrTransient)
 	}
 	// Group by tablet.
 	groups := map[*tabletRef][]skv.Entry{}
@@ -208,7 +347,9 @@ func (mc *MiniCluster) write(table string, entries []skv.Entry) error {
 		if err != nil {
 			return fmt.Errorf("accumulo: wire corruption: %w", err)
 		}
-		tr.tab.Write(decoded)
+		if err := tr.tab.Write(decoded); err != nil {
+			return fmt.Errorf("accumulo: tablet write: %w", err)
+		}
 		mc.Metrics.EntriesWritten.Add(int64(len(decoded)))
 		// Auto-minc applies the minc stack when the memtable spills; the
 		// tablet handles the spill itself with a nil stack, so re-apply

@@ -1,0 +1,423 @@
+// Package rfile implements the on-disk immutable sorted key-value file
+// — the analog of an Accumulo RFile — that minor and major compaction
+// write and scans read. A file is a sequence of data blocks holding
+// wire-encoded entries, followed by an index block recording each data
+// block's first key, offset, length, entry count, and CRC-32C, and a
+// fixed-size trailer locating the index. The writer streams entries in
+// sorted order without buffering the whole file; the reader keeps only
+// the index in memory and serves seekable SKVI iterators that verify
+// every block checksum on load.
+//
+// Layout:
+//
+//	[data block]...[index][trailer]
+//	index:   uvarint nblocks, then per block
+//	         (firstKey as a valueless entry, uvarint off, len, count, u32 crc),
+//	         then uvarint total entry count
+//	trailer: u64 indexOff | u32 indexLen | u32 indexCRC |
+//	         u32 version | u32 magic ("GRF1"), little-endian
+package rfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"graphulo/internal/iterator"
+	"graphulo/internal/skv"
+)
+
+const (
+	magic   = 0x31465247 // "GRF1" little-endian
+	version = 1
+	// trailerLen is the fixed byte length of the file trailer.
+	trailerLen = 8 + 4 + 4 + 4 + 4
+	// DefaultBlockSize is the uncompressed data-block size target.
+	DefaultBlockSize = 32 << 10
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// blockMeta is one index entry describing a data block.
+type blockMeta struct {
+	firstKey skv.Key
+	off      uint64
+	len      uint64
+	count    int
+	crc      uint32
+}
+
+// --- Writer ---
+
+// Writer streams sorted entries into a new rfile.
+type Writer struct {
+	f         *os.File
+	blockSize int
+	buf       []byte // current block under construction
+	bufCount  int
+	off       uint64
+	blocks    []blockMeta
+	firstKey  skv.Key
+	haveFirst bool
+	lastKey   skv.Key
+	haveLast  bool
+	count     int
+}
+
+// Create opens path for writing. blockSize <= 0 selects the default.
+func Create(path string, blockSize int) (*Writer, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{f: f, blockSize: blockSize}, nil
+}
+
+// Append adds the next entry, which must not sort before its
+// predecessor.
+func (w *Writer) Append(e skv.Entry) error {
+	if w.haveLast && skv.Compare(e.K, w.lastKey) < 0 {
+		return fmt.Errorf("rfile: out-of-order append: %v after %v", e.K, w.lastKey)
+	}
+	if !w.haveFirst {
+		w.firstKey, w.haveFirst = e.K, true
+	}
+	w.lastKey, w.haveLast = e.K, true
+	w.buf = skv.EncodeEntry(w.buf, e)
+	w.bufCount++
+	w.count++
+	if len(w.buf) >= w.blockSize {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *Writer) flushBlock() error {
+	if w.bufCount == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return err
+	}
+	w.blocks = append(w.blocks, blockMeta{
+		firstKey: w.firstKey,
+		off:      w.off,
+		len:      uint64(len(w.buf)),
+		count:    w.bufCount,
+		crc:      crc32.Checksum(w.buf, castagnoli),
+	})
+	w.off += uint64(len(w.buf))
+	w.buf = w.buf[:0]
+	w.bufCount = 0
+	w.haveFirst = false
+	return nil
+}
+
+// Finish flushes the last block, writes index and trailer, and fsyncs.
+// The Writer is unusable afterwards.
+func (w *Writer) Finish() error {
+	if err := w.flushBlock(); err != nil {
+		w.f.Close()
+		return err
+	}
+	index := binary.AppendUvarint(nil, uint64(len(w.blocks)))
+	for _, b := range w.blocks {
+		index = skv.EncodeEntry(index, skv.Entry{K: b.firstKey})
+		index = binary.AppendUvarint(index, b.off)
+		index = binary.AppendUvarint(index, b.len)
+		index = binary.AppendUvarint(index, uint64(b.count))
+		index = binary.LittleEndian.AppendUint32(index, b.crc)
+	}
+	index = binary.AppendUvarint(index, uint64(w.count))
+	if _, err := w.f.Write(index); err != nil {
+		w.f.Close()
+		return err
+	}
+	var tr [trailerLen]byte
+	binary.LittleEndian.PutUint64(tr[0:], w.off)
+	binary.LittleEndian.PutUint32(tr[8:], uint32(len(index)))
+	binary.LittleEndian.PutUint32(tr[12:], crc32.Checksum(index, castagnoli))
+	binary.LittleEndian.PutUint32(tr[16:], version)
+	binary.LittleEndian.PutUint32(tr[20:], magic)
+	if _, err := w.f.Write(tr[:]); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Abort discards a partially-written file.
+func (w *Writer) Abort() {
+	name := w.f.Name()
+	w.f.Close()
+	os.Remove(name)
+}
+
+// WriteAll streams a sorted entry slice into path in one call.
+func WriteAll(path string, entries []skv.Entry, blockSize int) error {
+	w, err := Create(path, blockSize)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := w.Append(e); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	return w.Finish()
+}
+
+// --- Reader ---
+
+// Reader serves seekable iterators over one rfile. It keeps only the
+// index in memory; data blocks are read with pread and CRC-verified on
+// every load, so one Reader may back any number of concurrent Iters.
+type Reader struct {
+	f      *os.File
+	path   string
+	blocks []blockMeta
+	count  int
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open maps an rfile for reading, verifying trailer and index. The
+// returned Reader carries a finalizer, so a Reader displaced by a major
+// compaction keeps serving in-flight scans and releases its descriptor
+// on collection; explicit Close is still preferred where lifetime is
+// known.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < trailerLen {
+		f.Close()
+		return nil, fmt.Errorf("rfile: %s: too short (%d bytes)", path, st.Size())
+	}
+	var tr [trailerLen]byte
+	if _, err := f.ReadAt(tr[:], st.Size()-trailerLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint32(tr[20:]); got != magic {
+		f.Close()
+		return nil, fmt.Errorf("rfile: %s: bad magic %#x", path, got)
+	}
+	if v := binary.LittleEndian.Uint32(tr[16:]); v != version {
+		f.Close()
+		return nil, fmt.Errorf("rfile: %s: unsupported version %d", path, v)
+	}
+	indexOff := binary.LittleEndian.Uint64(tr[0:])
+	indexLen := binary.LittleEndian.Uint32(tr[8:])
+	if int64(indexOff)+int64(indexLen)+trailerLen != st.Size() {
+		return nil, closeWith(f, fmt.Errorf("rfile: %s: index bounds corrupt", path))
+	}
+	index := make([]byte, indexLen)
+	if _, err := f.ReadAt(index, int64(indexOff)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if crc32.Checksum(index, castagnoli) != binary.LittleEndian.Uint32(tr[12:]) {
+		return nil, closeWith(f, fmt.Errorf("rfile: %s: index checksum mismatch", path))
+	}
+	r := &Reader{f: f, path: path}
+	if err := r.parseIndex(index); err != nil {
+		f.Close()
+		return nil, err
+	}
+	runtime.SetFinalizer(r, func(r *Reader) { r.Close() })
+	return r, nil
+}
+
+func closeWith(f *os.File, err error) error {
+	f.Close()
+	return err
+}
+
+func (r *Reader) parseIndex(index []byte) error {
+	nblocks, k := binary.Uvarint(index)
+	if k <= 0 {
+		return fmt.Errorf("rfile: %s: truncated index header", r.path)
+	}
+	index = index[k:]
+	r.blocks = make([]blockMeta, 0, nblocks)
+	for i := uint64(0); i < nblocks; i++ {
+		var b blockMeta
+		e, rest, err := skv.DecodeEntry(index)
+		if err != nil {
+			return fmt.Errorf("rfile: %s: index entry %d: %w", r.path, i, err)
+		}
+		b.firstKey = e.K
+		index = rest
+		var fields [3]uint64
+		for j := range fields {
+			v, k := binary.Uvarint(index)
+			if k <= 0 {
+				return fmt.Errorf("rfile: %s: truncated index entry %d", r.path, i)
+			}
+			fields[j] = v
+			index = index[k:]
+		}
+		if len(index) < 4 {
+			return fmt.Errorf("rfile: %s: truncated index crc %d", r.path, i)
+		}
+		b.off, b.len, b.count = fields[0], fields[1], int(fields[2])
+		b.crc = binary.LittleEndian.Uint32(index)
+		index = index[4:]
+		r.blocks = append(r.blocks, b)
+	}
+	total, k := binary.Uvarint(index)
+	if k <= 0 {
+		return fmt.Errorf("rfile: %s: truncated entry count", r.path)
+	}
+	r.count = int(total)
+	return nil
+}
+
+// Count returns the number of entries in the file.
+func (r *Reader) Count() int { return r.count }
+
+// Path returns the file path backing the reader.
+func (r *Reader) Path() string { return r.path }
+
+// Close releases the file descriptor. Idempotent; in-flight Iters will
+// fail on their next block load.
+func (r *Reader) Close() error {
+	r.closeOnce.Do(func() {
+		runtime.SetFinalizer(r, nil)
+		r.closeErr = r.f.Close()
+	})
+	return r.closeErr
+}
+
+// loadBlock reads and verifies data block i, returning its decoded
+// entries.
+func (r *Reader) loadBlock(i int) ([]skv.Entry, error) {
+	b := r.blocks[i]
+	raw := make([]byte, b.len)
+	if _, err := r.f.ReadAt(raw, int64(b.off)); err != nil {
+		return nil, fmt.Errorf("rfile: %s: block %d read: %w", r.path, i, err)
+	}
+	if crc32.Checksum(raw, castagnoli) != b.crc {
+		return nil, fmt.Errorf("rfile: %s: block %d checksum mismatch", r.path, i)
+	}
+	entries := make([]skv.Entry, 0, b.count)
+	for len(raw) > 0 {
+		e, rest, err := skv.DecodeEntry(raw)
+		if err != nil {
+			return nil, fmt.Errorf("rfile: %s: block %d decode: %w", r.path, i, err)
+		}
+		entries = append(entries, e)
+		raw = rest
+	}
+	return entries, nil
+}
+
+// Iter returns a fresh, unseeked iterator over the file; it implements
+// iterator.SKVI.
+func (r *Reader) Iter() *Iter { return &Iter{r: r, blk: -1} }
+
+// Iter is a seekable sorted iterator over one rfile.
+type Iter struct {
+	r       *Reader
+	rng     skv.Range
+	blk     int // current block index; -1 before Seek / len(blocks) at EOF
+	entries []skv.Entry
+	pos     int
+	err     error
+}
+
+var _ iterator.SKVI = (*Iter)(nil)
+
+// Seek implements SKVI.
+func (it *Iter) Seek(rng skv.Range) error {
+	it.rng = rng
+	it.err = nil
+	it.entries = nil
+	if len(it.r.blocks) == 0 {
+		it.blk = 0
+		return nil
+	}
+	blk := 0
+	if rng.HasStart {
+		// Last block whose firstKey <= start could contain the start key.
+		n := sort.Search(len(it.r.blocks), func(i int) bool {
+			return skv.Compare(it.r.blocks[i].firstKey, rng.Start) > 0
+		})
+		if n > 0 {
+			blk = n - 1
+		}
+	}
+	if err := it.loadBlock(blk); err != nil {
+		return err
+	}
+	if rng.HasStart {
+		it.pos = sort.Search(len(it.entries), func(i int) bool {
+			return skv.Compare(it.entries[i].K, rng.Start) >= 0
+		})
+	} else {
+		it.pos = 0
+	}
+	return it.settle()
+}
+
+func (it *Iter) loadBlock(i int) error {
+	it.blk = i
+	it.pos = 0
+	if i >= len(it.r.blocks) {
+		it.entries = nil
+		return nil
+	}
+	entries, err := it.r.loadBlock(i)
+	if err != nil {
+		it.err = err
+		it.entries = nil
+		return err
+	}
+	it.entries = entries
+	return nil
+}
+
+// settle advances across block boundaries until a current entry exists
+// or the file ends.
+func (it *Iter) settle() error {
+	for it.pos >= len(it.entries) && it.blk < len(it.r.blocks) {
+		if err := it.loadBlock(it.blk + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HasTop implements SKVI.
+func (it *Iter) HasTop() bool {
+	return it.err == nil && it.pos < len(it.entries) && !it.rng.AfterEnd(it.entries[it.pos].K)
+}
+
+// Top implements SKVI.
+func (it *Iter) Top() skv.Entry { return it.entries[it.pos] }
+
+// Next implements SKVI.
+func (it *Iter) Next() error {
+	it.pos++
+	return it.settle()
+}

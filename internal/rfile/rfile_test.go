@@ -1,0 +1,213 @@
+package rfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphulo/internal/iterator"
+	"graphulo/internal/skv"
+)
+
+func ent(i int) skv.Entry {
+	return skv.Entry{
+		K: skv.Key{Row: fmt.Sprintf("row%05d", i), ColF: "f", ColQ: fmt.Sprintf("q%d", i%3), Ts: int64(i + 1)},
+		V: skv.Value(fmt.Sprintf("value-%d", i)),
+	}
+}
+
+func buildEntries(n int) []skv.Entry {
+	out := make([]skv.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, ent(i))
+	}
+	return out
+}
+
+func writeFile(t *testing.T, entries []skv.Entry, blockSize int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.rf")
+	if err := WriteAll(path, entries, blockSize); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoundTripMultiBlock(t *testing.T) {
+	entries := buildEntries(5000)
+	// Tiny blocks force many index entries and block crossings.
+	path := writeFile(t, entries, 256)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Count() != len(entries) {
+		t.Fatalf("Count = %d, want %d", r.Count(), len(entries))
+	}
+	if len(r.blocks) < 50 {
+		t.Fatalf("expected many blocks at 256-byte target, got %d", len(r.blocks))
+	}
+	it := r.Iter()
+	if err := it.Seek(skv.FullRange()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := iterator.Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("scanned %d entries, want %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i].K != entries[i].K || string(got[i].V) != string(entries[i].V) {
+			t.Fatalf("entry %d = %v, want %v", i, got[i], entries[i])
+		}
+	}
+}
+
+// TestSeekMatchesSliceIter cross-checks rfile seek semantics against the
+// reference in-memory iterator on many ranges, including block-boundary
+// starts and empty ranges.
+func TestSeekMatchesSliceIter(t *testing.T) {
+	entries := buildEntries(1000)
+	path := writeFile(t, entries, 512)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ranges := []skv.Range{
+		skv.FullRange(),
+		skv.RowRange("row00100", "row00200"),
+		skv.RowRange("", "row00003"),
+		skv.RowRange("row00998", ""),
+		skv.RowRange("zzz", ""),
+		skv.ExactRow("row00500"),
+		skv.PrefixRange("row0007"),
+		skv.RowRange("row00099x", "row00101"), // start between keys
+	}
+	for _, rng := range ranges {
+		ref := iterator.NewSliceIter(entries)
+		if err := ref.Seek(rng); err != nil {
+			t.Fatal(err)
+		}
+		want, _ := iterator.Collect(ref)
+		it := r.Iter()
+		if err := it.Seek(rng); err != nil {
+			t.Fatal(err)
+		}
+		got, err := iterator.Collect(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("range %v: got %d entries, want %d", rng, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].K != want[i].K {
+				t.Fatalf("range %v entry %d: %v want %v", rng, i, got[i].K, want[i].K)
+			}
+		}
+	}
+}
+
+func TestReseekSameIter(t *testing.T) {
+	entries := buildEntries(300)
+	path := writeFile(t, entries, 512)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	it := r.Iter()
+	for _, start := range []int{250, 10, 120, 0} {
+		rng := skv.RowRange(fmt.Sprintf("row%05d", start), fmt.Sprintf("row%05d", start+5))
+		if err := it.Seek(rng); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := iterator.Collect(it)
+		if len(got) != 5 {
+			t.Fatalf("reseek at %d: got %d entries, want 5", start, len(got))
+		}
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	path := writeFile(t, nil, 0)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Count() != 0 {
+		t.Fatalf("empty file Count = %d", r.Count())
+	}
+	it := r.Iter()
+	if err := it.Seek(skv.FullRange()); err != nil {
+		t.Fatal(err)
+	}
+	if it.HasTop() {
+		t.Fatal("empty file has a top")
+	}
+}
+
+func TestOutOfOrderAppendRejected(t *testing.T) {
+	w, err := Create(filepath.Join(t.TempDir(), "bad.rf"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Abort()
+	if err := w.Append(ent(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(ent(3)); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+}
+
+func TestBlockCorruptionDetected(t *testing.T) {
+	entries := buildEntries(2000)
+	path := writeFile(t, entries, 512)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte early in the data region (inside some data block).
+	data[100] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path) // index is intact; open succeeds
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	it := r.Iter()
+	err = it.Seek(skv.FullRange())
+	if err == nil {
+		_, err = iterator.Collect(it)
+	}
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted block not detected: %v", err)
+	}
+}
+
+func TestTrailerCorruptionDetected(t *testing.T) {
+	entries := buildEntries(100)
+	path := writeFile(t, entries, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smash the index (after the data region, before the trailer).
+	data[len(data)-trailerLen-2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("corrupt index accepted")
+	}
+}

@@ -36,10 +36,10 @@ func BenchmarkRunSeek(b *testing.B) {
 	it := iterator.NewSliceIter(entries)
 	it.Seek(skv.FullRange())
 	sorted, _ := iterator.Collect(it)
-	r := newRun(sorted)
+	r := newMemRun(sorted)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ri := r.iterator()
+		ri := r.iter()
 		ri.Seek(skv.RowRange(fmt.Sprintf("row%07d", i%(1<<16)), ""))
 		if ri.HasTop() {
 			_ = ri.Top()

@@ -3,13 +3,24 @@ package tablet
 import (
 	"sort"
 
+	"graphulo/internal/iterator"
+	"graphulo/internal/rfile"
 	"graphulo/internal/skv"
 )
 
-// run is an immutable sorted file of entries — the in-memory stand-in
-// for an Accumulo RFile. A sparse block index accelerates seeks the way
-// RFile index blocks do.
-type run struct {
+// A run is one immutable sorted file of entries produced by compaction.
+// In-memory tablets hold memRuns (the original stand-in for an Accumulo
+// RFile); durable tablets hold diskRuns backed by on-disk rfiles.
+type run interface {
+	// iter returns a fresh, unseeked sorted iterator over the run.
+	iter() iterator.SKVI
+	// count returns the number of entries stored.
+	count() int
+}
+
+// memRun is an in-memory run. A sparse block index accelerates seeks
+// the way RFile index blocks do.
+type memRun struct {
 	entries []skv.Entry
 	// index holds every indexStride-th key for a first-stage binary
 	// search; purely an access-path optimisation.
@@ -19,17 +30,20 @@ type run struct {
 
 const defaultIndexStride = 64
 
-// newRun builds a run from entries that must already be sorted.
-func newRun(entries []skv.Entry) *run {
-	r := &run{entries: entries, indexStride: defaultIndexStride}
+// newMemRun builds a run from entries that must already be sorted.
+func newMemRun(entries []skv.Entry) *memRun {
+	r := &memRun{entries: entries, indexStride: defaultIndexStride}
 	for i := 0; i < len(entries); i += r.indexStride {
 		r.index = append(r.index, entries[i].K)
 	}
 	return r
 }
 
+func (r *memRun) iter() iterator.SKVI { return &memRunIter{r: r} }
+func (r *memRun) count() int          { return len(r.entries) }
+
 // seekPos returns the position of the first entry with key >= k.
-func (r *run) seekPos(k skv.Key) int {
+func (r *memRun) seekPos(k skv.Key) int {
 	if len(r.entries) == 0 {
 		return 0
 	}
@@ -51,17 +65,15 @@ func (r *run) seekPos(k skv.Key) int {
 	})
 }
 
-// runIter iterates a run within a range; implements iterator.SKVI.
-type runIter struct {
-	r   *run
+// memRunIter iterates a memRun within a range; implements iterator.SKVI.
+type memRunIter struct {
+	r   *memRun
 	rng skv.Range
 	pos int
 }
 
-func (r *run) iterator() *runIter { return &runIter{r: r} }
-
 // Seek implements SKVI.
-func (it *runIter) Seek(rng skv.Range) error {
+func (it *memRunIter) Seek(rng skv.Range) error {
 	it.rng = rng
 	if rng.HasStart {
 		it.pos = it.r.seekPos(rng.Start)
@@ -72,15 +84,23 @@ func (it *runIter) Seek(rng skv.Range) error {
 }
 
 // HasTop implements SKVI.
-func (it *runIter) HasTop() bool {
+func (it *memRunIter) HasTop() bool {
 	return it.pos < len(it.r.entries) && !it.rng.AfterEnd(it.r.entries[it.pos].K)
 }
 
 // Top implements SKVI.
-func (it *runIter) Top() skv.Entry { return it.r.entries[it.pos] }
+func (it *memRunIter) Top() skv.Entry { return it.r.entries[it.pos] }
 
 // Next implements SKVI.
-func (it *runIter) Next() error {
+func (it *memRunIter) Next() error {
 	it.pos++
 	return nil
 }
+
+// diskRun is a run backed by an on-disk rfile.
+type diskRun struct {
+	rd *rfile.Reader
+}
+
+func (d diskRun) iter() iterator.SKVI { return d.rd.Iter() }
+func (d diskRun) count() int          { return d.rd.Count() }

@@ -1,3 +1,21 @@
+// Package tablet implements the storage engine under each tablet server:
+// a skip-list memtable absorbing writes, immutable sorted runs ("RFiles")
+// produced by minor compaction, k-way merged reads, and major compaction
+// folding runs together with the table's compaction iterator stack.
+//
+// A tablet owns a contiguous row range of one table, exactly as in
+// Accumulo; splitting a tablet at a row boundary yields two tablets that
+// partition its range.
+//
+// Tablets come in two durability modes. An in-memory tablet (New) keeps
+// its runs on the heap and loses everything at process exit. A durable
+// tablet (NewDurable) is wired to a Backing — implemented by
+// internal/store — and follows the Accumulo write path: every write
+// batch is appended to a write-ahead log before entering the memtable,
+// minor compaction flushes the memtable to an on-disk rfile and drops
+// the WAL segments it covers, and major compaction replaces all rfiles
+// with one merged file. After a crash, the store replays the WAL into
+// the memtable, so scans see exactly the acknowledged writes.
 package tablet
 
 import (
@@ -5,8 +23,43 @@ import (
 	"sync"
 
 	"graphulo/internal/iterator"
+	"graphulo/internal/rfile"
 	"graphulo/internal/skv"
 )
+
+// Backing is the durability hook a durable tablet calls into; the
+// internal/store package implements it on a data directory. All entry
+// slices handed over are sorted and fully merged.
+type Backing interface {
+	// LogAsync appends one write batch to the tablet's WAL without
+	// waiting for the fsync, returning a token for WaitDurable. Called
+	// under the tablet lock so the WAL order and the memtable order
+	// agree.
+	LogAsync(batch []skv.Entry) (seq uint64, err error)
+	// WaitDurable blocks until the batch identified by seq is on stable
+	// storage; called outside the tablet lock so concurrent writers
+	// share fsyncs (group commit).
+	WaitDurable(seq uint64) error
+	// Rotate starts a fresh WAL segment and returns a mark covering all
+	// records logged so far. Called under the tablet lock at memtable
+	// snapshot time, so the snapshot and the mark agree.
+	Rotate() (mark uint64, err error)
+	// Flush persists a minor compaction: entries become a new rfile
+	// registered as the tablet's newest run, and WAL segments <= mark
+	// are dropped. With no entries it only drops the segments and
+	// returns a nil reader.
+	Flush(entries []skv.Entry, mark uint64) (*rfile.Reader, error)
+	// Compact persists a major compaction: entries replace every
+	// existing rfile, and WAL segments <= mark are dropped. With no
+	// entries the tablet becomes empty on disk and the reader is nil.
+	Compact(entries []skv.Entry, mark uint64) (*rfile.Reader, error)
+	// Split atomically replaces this tablet's on-disk state with two
+	// halves at the row boundary, returning each half's backing and its
+	// initial run (nil when that half is empty).
+	Split(row string, left, right []skv.Entry) (lb, rb Backing, lrun, rrun *rfile.Reader, err error)
+	// Drop deletes the tablet's files (table deletion).
+	Drop() error
+}
 
 // Tablet owns the contiguous row range [StartRow, EndRow) of one table
 // ("" bounds are infinite). Writes land in the memtable; minor
@@ -19,12 +72,22 @@ type Tablet struct {
 
 	mu       sync.Mutex
 	mem      *memtable
-	runs     []*run
+	runs     []run
 	memLimit int // entries before automatic minor compaction
 	seed     int64
+	backing  Backing // nil for in-memory tablets
+
+	// compactMu serialises minor/major compactions and splits against
+	// each other (writes and scans stay concurrent, guarded by mu).
+	// Without it, two overlapping compactions could each rotate the WAL
+	// and the later one drop segments whose entries the earlier one has
+	// snapshotted but not yet persisted — losing acknowledged writes on
+	// crash — or a major compaction could clobber the run a concurrent
+	// auto-minc just added.
+	compactMu sync.Mutex
 }
 
-// New creates an empty tablet over [startRow, endRow).
+// New creates an empty in-memory tablet over [startRow, endRow).
 func New(startRow, endRow string, memLimit int, seed int64) *Tablet {
 	if memLimit <= 0 {
 		memLimit = 1 << 14
@@ -37,6 +100,24 @@ func New(startRow, endRow string, memLimit int, seed int64) *Tablet {
 		seed:     seed,
 	}
 }
+
+// NewDurable creates a tablet wired to a durable backing. runs are the
+// recovered on-disk runs, oldest first, and replay holds WAL entries to
+// restore into the memtable (both nil for a fresh tablet).
+func NewDurable(startRow, endRow string, memLimit int, seed int64, b Backing, runs []*rfile.Reader, replay []skv.Entry) *Tablet {
+	t := New(startRow, endRow, memLimit, seed)
+	t.backing = b
+	for _, rd := range runs {
+		t.runs = append(t.runs, diskRun{rd})
+	}
+	for _, e := range replay {
+		t.mem.insert(e)
+	}
+	return t
+}
+
+// Backing returns the tablet's durability hook (nil when in-memory).
+func (t *Tablet) Backing() Backing { return t.backing }
 
 // OwnsRow reports whether the tablet's range contains row.
 func (t *Tablet) OwnsRow(row string) bool {
@@ -52,44 +133,123 @@ func (t *Tablet) OwnsRow(row string) bool {
 // Range returns the tablet's row range.
 func (t *Tablet) Range() skv.Range { return skv.RowRange(t.StartRow, t.EndRow) }
 
-// Write inserts entries (which must belong to this tablet's range) and
-// triggers a minor compaction if the memtable exceeds its limit.
-func (t *Tablet) Write(entries []skv.Entry) {
+// Write logs entries (which must belong to this tablet's range) to the
+// WAL when durable, inserts them, and triggers a minor compaction if
+// the memtable exceeds its limit. WAL append and memtable insert happen
+// under the tablet lock so a concurrent minor compaction can never
+// observe an entry in only one of the two; the fsync wait happens
+// outside it, so concurrent writers group-commit.
+func (t *Tablet) Write(entries []skv.Entry) error {
+	t.mu.Lock()
+	var seq uint64
+	if t.backing != nil {
+		var err error
+		if seq, err = t.backing.LogAsync(entries); err != nil {
+			t.mu.Unlock()
+			return err
+		}
+	}
 	for _, e := range entries {
 		t.mem.insert(e)
 	}
-	if t.mem.count() >= t.memLimit {
-		t.MinorCompact(nil)
+	needFlush := t.mem.count() >= t.memLimit
+	t.mu.Unlock()
+	if t.backing != nil {
+		if err := t.backing.WaitDurable(seq); err != nil {
+			return err
+		}
 	}
+	if needFlush {
+		return t.MinorCompact(nil)
+	}
+	return nil
+}
+
+// restoreSnap puts a memtable snapshot back into the live memtable
+// after a failed compaction, so the entries stay visible to scans and
+// the next flush persists them again. Restoring into the memtable (not
+// a run) preserves the durability invariant that everything outside an
+// rfile is covered by both the memtable and live WAL segments — the
+// failed compaction never dropped the segments, and the next
+// successful flush writes the entries to an rfile before dropping
+// them. The entries are raw (pre-stack), which is semantically
+// equivalent: scan and majc stacks re-apply the combiners.
+func (t *Tablet) restoreSnap(snap []skv.Entry) {
+	t.mu.Lock()
+	for _, e := range snap {
+		t.mem.insert(e)
+	}
+	t.mu.Unlock()
 }
 
 // MinorCompact freezes the current memtable into a run, applying the
 // optional compaction iterator stack (e.g. a summing combiner) on the
-// way out — Accumulo's minc scope.
+// way out — Accumulo's minc scope. Durable tablets write the run as an
+// rfile and reclaim the WAL segments it covers.
 func (t *Tablet) MinorCompact(stack func(iterator.SKVI) (iterator.SKVI, error)) error {
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
 	t.mu.Lock()
 	snap := t.mem.snapshot()
 	if len(snap) == 0 {
+		// Nothing buffered, so every logged record is already flushed:
+		// rotate and reclaim stale WAL segments (they pile up across
+		// reopens otherwise). Rotate is a no-op when the log is empty.
+		var mark uint64
+		var err error
+		if t.backing != nil {
+			mark, err = t.backing.Rotate()
+		}
 		t.mu.Unlock()
-		return nil
+		if err == nil && t.backing != nil {
+			_, err = t.backing.Flush(nil, mark)
+		}
+		return err
 	}
 	t.mem = newMemtable(t.seed + int64(len(t.runs)) + 1)
+	var mark uint64
+	if t.backing != nil {
+		var err error
+		if mark, err = t.backing.Rotate(); err != nil {
+			t.mu.Unlock()
+			return err
+		}
+	}
 	t.mu.Unlock()
 
 	entries, err := applyStack(iterator.NewSliceIter(snap), stack)
 	if err != nil {
+		t.restoreSnap(snap)
 		return err
 	}
-	t.mu.Lock()
-	t.runs = append(t.runs, newRun(entries))
-	t.mu.Unlock()
+	var newRun run
+	if t.backing != nil {
+		rd, err := t.backing.Flush(entries, mark)
+		if err != nil {
+			t.restoreSnap(snap)
+			return err
+		}
+		if rd != nil {
+			newRun = diskRun{rd}
+		}
+	} else if len(entries) > 0 {
+		newRun = newMemRun(entries)
+	}
+	if newRun != nil {
+		t.mu.Lock()
+		t.runs = append(t.runs, newRun)
+		t.mu.Unlock()
+	}
 	return nil
 }
 
 // MajorCompact merges all runs (and the memtable) into a single run,
 // applying the optional compaction stack — Accumulo's majc scope with
-// the flush flag.
+// the flush flag. Durable tablets replace every rfile with the merged
+// one and reclaim all covered WAL segments.
 func (t *Tablet) MajorCompact(stack func(iterator.SKVI) (iterator.SKVI, error)) error {
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
 	t.mu.Lock()
 	snap := t.mem.snapshot()
 	t.mem = newMemtable(t.seed + int64(len(t.runs)) + 101)
@@ -98,22 +258,44 @@ func (t *Tablet) MajorCompact(stack func(iterator.SKVI) (iterator.SKVI, error)) 
 		sources = append(sources, iterator.NewSliceIter(snap))
 	}
 	for i := len(t.runs) - 1; i >= 0; i-- {
-		sources = append(sources, t.runs[i].iterator())
+		sources = append(sources, t.runs[i].iter())
+	}
+	var mark uint64
+	if t.backing != nil {
+		var err error
+		if mark, err = t.backing.Rotate(); err != nil {
+			t.mu.Unlock()
+			return err
+		}
 	}
 	t.mu.Unlock()
 
-	if len(sources) == 0 {
+	if len(sources) == 0 && t.backing == nil {
 		return nil
 	}
 	entries, err := applyStack(iterator.NewDedupMergeIter(sources...), stack)
 	if err != nil {
+		t.restoreSnap(snap)
 		return err
 	}
+	var merged run
+	if t.backing != nil {
+		rd, err := t.backing.Compact(entries, mark)
+		if err != nil {
+			t.restoreSnap(snap)
+			return err
+		}
+		if rd != nil {
+			merged = diskRun{rd}
+		}
+	} else if len(entries) > 0 {
+		merged = newMemRun(entries)
+	}
 	t.mu.Lock()
-	if len(entries) == 0 {
+	if merged == nil {
 		t.runs = nil
 	} else {
-		t.runs = []*run{newRun(entries)}
+		t.runs = []run{merged}
 	}
 	t.mu.Unlock()
 	return nil
@@ -145,7 +327,7 @@ func (t *Tablet) Snapshot() iterator.SKVI {
 		sources = append(sources, iterator.NewSliceIter(snap))
 	}
 	for i := len(t.runs) - 1; i >= 0; i-- {
-		sources = append(sources, t.runs[i].iterator())
+		sources = append(sources, t.runs[i].iter())
 	}
 	t.mu.Unlock()
 	return iterator.NewDedupMergeIter(sources...)
@@ -158,35 +340,55 @@ func (t *Tablet) EntryEstimate() int {
 	defer t.mu.Unlock()
 	n := t.mem.count()
 	for _, r := range t.runs {
-		n += len(r.entries)
+		n += r.count()
 	}
 	return n
 }
 
 // SplitAt partitions the tablet at row boundary (which must lie strictly
 // inside its range), returning the two halves [start, row) and
-// [row, end). The receiver must not be used afterwards.
-func (t *Tablet) SplitAt(row string) (*Tablet, *Tablet) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+// [row, end). The receiver must not be used afterwards. Durable tablets
+// atomically swap their on-disk state for the two halves'.
+func (t *Tablet) SplitAt(row string) (*Tablet, *Tablet, error) {
+	// Callers serialise splits against writes; the compaction lock
+	// additionally fences out an in-flight auto-minc.
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
+	// Collect the merged view.
+	it := t.Snapshot()
+	if err := it.Seek(skv.FullRange()); err != nil {
+		return nil, nil, err
+	}
+	entries, err := iterator.Collect(it)
+	if err != nil {
+		return nil, nil, err
+	}
+	cut := sort.Search(len(entries), func(i int) bool {
+		return entries[i].K.Row >= row
+	})
+	leftE, rightE := entries[:cut], entries[cut:]
+
 	left := New(t.StartRow, row, t.memLimit, t.seed*2+1)
 	right := New(row, t.EndRow, t.memLimit, t.seed*2+2)
-	move := func(entries []skv.Entry) {
-		cut := sort.Search(len(entries), func(i int) bool {
-			return entries[i].K.Row >= row
-		})
-		if cut > 0 {
-			left.runs = append(left.runs, newRun(entries[:cut]))
+	if t.backing == nil {
+		if len(leftE) > 0 {
+			left.runs = append(left.runs, newMemRun(leftE))
 		}
-		if cut < len(entries) {
-			right.runs = append(right.runs, newRun(entries[cut:]))
+		if len(rightE) > 0 {
+			right.runs = append(right.runs, newMemRun(rightE))
 		}
+		return left, right, nil
 	}
-	for _, r := range t.runs {
-		move(r.entries)
+	lb, rb, lrun, rrun, err := t.backing.Split(row, leftE, rightE)
+	if err != nil {
+		return nil, nil, err
 	}
-	if snap := t.mem.snapshot(); len(snap) > 0 {
-		move(snap)
+	left.backing, right.backing = lb, rb
+	if lrun != nil {
+		left.runs = append(left.runs, diskRun{lrun})
 	}
-	return left, right
+	if rrun != nil {
+		right.runs = append(right.runs, diskRun{rrun})
+	}
+	return left, right, nil
 }

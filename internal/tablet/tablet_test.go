@@ -75,8 +75,8 @@ func TestRunSeek(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		entries = append(entries, ent(fmt.Sprintf("row%04d", i), "q", 1, float64(i)))
 	}
-	r := newRun(entries)
-	it := r.iterator()
+	r := newMemRun(entries)
+	it := r.iter()
 	if err := it.Seek(skv.RowRange("row0500", "row0503")); err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,10 @@ func TestTabletSplit(t *testing.T) {
 			tab.MinorCompact(nil)
 		}
 	}
-	left, right := tab.SplitAt("r25")
+	left, right, err := tab.SplitAt("r25")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if left.EndRow != "r25" || right.StartRow != "r25" {
 		t.Fatalf("split bounds wrong: %q %q", left.EndRow, right.StartRow)
 	}

@@ -1,0 +1,277 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"graphulo/internal/skv"
+)
+
+func ent(row string, ts int64, v string) skv.Entry {
+	return skv.Entry{K: skv.Key{Row: row, ColF: "f", ColQ: "q", Ts: ts}, V: skv.Value(v)}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, "t000001", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []skv.Entry
+	for i := 0; i < 10; i++ {
+		batch := []skv.Entry{
+			ent(fmt.Sprintf("r%03d", 2*i), int64(2*i+1), "a"),
+			ent(fmt.Sprintf("r%03d", 2*i+1), int64(2*i+2), "b"),
+		}
+		want = append(want, batch...)
+		if err := l.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deliberately no Close: replay must see synced appends.
+	got, maxTs, err := Replay(dir, "t000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].K != want[i].K || string(got[i].V) != string(want[i].V) {
+			t.Fatalf("entry %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if maxTs != 20 {
+		t.Fatalf("maxTs = %d, want 20", maxTs)
+	}
+	l.Close()
+}
+
+func TestReplayTornTailStopsAtLastValidRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, "t000001", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]skv.Entry{ent(fmt.Sprintf("r%d", i), int64(i+1), "v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: chop a few bytes off the last record.
+	seg := filepath.Join(dir, segmentName("t000001", 1))
+	st, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Replay(dir, "t000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("torn-tail replay kept %d records, want 4", len(got))
+	}
+	for i, e := range got {
+		if e.K.Row != fmt.Sprintf("r%d", i) {
+			t.Fatalf("record %d = %v", i, e.K)
+		}
+	}
+
+	// Corrupt a byte inside the last still-valid record (all five
+	// records are the same size here): CRC must reject it.
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSize := int(st.Size()) / 5
+	data[4*recSize-1] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = Replay(dir, "t000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("corrupt-record replay kept %d records, want 3", len(got))
+	}
+}
+
+func TestRotateAndDropThrough(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, "t000001", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]skv.Entry{ent("a", 1, "1")}); err != nil {
+		t.Fatal(err)
+	}
+	mark, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]skv.Entry{ent("b", 2, "2")}); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the pre-rotation segments, as a minor compaction would after
+	// flushing entry "a" to an rfile.
+	if err := l.DropThrough(mark); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Replay(dir, "t000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].K.Row != "b" {
+		t.Fatalf("post-drop replay = %v, want only b", got)
+	}
+	l.Close()
+}
+
+func TestSegmentSizeRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, "t000001", Options{MaxSegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := l.Append([]skv.Entry{ent(fmt.Sprintf("row%05d", i), int64(i+1), "value")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	seqs, err := segments(dir, "t000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) < 3 {
+		t.Fatalf("expected auto-rotation to produce several segments, got %d", len(seqs))
+	}
+	got, _, err := Replay(dir, "t000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("multi-segment replay = %d entries, want 20", len(got))
+	}
+}
+
+func TestConcurrentAppendGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, "t000001", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				e := ent(fmt.Sprintf("w%02d-%03d", w, i), int64(w*perWriter+i+1), "v")
+				if err := l.Append([]skv.Entry{e}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Replay(dir, "t000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != writers*perWriter {
+		t.Fatalf("replayed %d entries, want %d", len(got), writers*perWriter)
+	}
+	seen := map[string]bool{}
+	for _, e := range got {
+		seen[e.K.Row] = true
+	}
+	if len(seen) != writers*perWriter {
+		t.Fatalf("lost or duplicated rows: %d distinct", len(seen))
+	}
+}
+
+func TestOpenNeverAppendsToExistingSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, "t000001", Options{})
+	l.Append([]skv.Entry{ent("a", 1, "1")})
+	l.Close()
+	l2, err := Open(dir, "t000001", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.activeSeq != 2 {
+		t.Fatalf("reopen should start segment 2, got %d", l2.activeSeq)
+	}
+	l2.Append([]skv.Entry{ent("b", 2, "2")})
+	l2.Close()
+	got, _, err := Replay(dir, "t000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replay across reopen = %d entries, want 2", len(got))
+	}
+}
+
+func TestRotateNoOpOnEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, "t000001", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Idle flush loop: an empty log must not churn segment files.
+	for i := 0; i < 5; i++ {
+		mark, err := l.Rotate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.DropThrough(mark); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs, err := segments(dir, "t000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || seqs[0] != 1 {
+		t.Fatalf("empty rotations churned segments: %v", seqs)
+	}
+	// A real record makes the next rotation rotate for real again.
+	if err := l.Append([]skv.Entry{ent("a", 1, "v")}); err != nil {
+		t.Fatal(err)
+	}
+	mark, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mark != 1 {
+		t.Fatalf("mark = %d, want 1", mark)
+	}
+	if err := l.DropThrough(mark); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Replay(dir, "t000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("dropped record still replayed: %v", got)
+	}
+}
