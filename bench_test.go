@@ -660,3 +660,136 @@ func BenchmarkDurableVsInMemoryScan(b *testing.B) {
 		benchScan(b, ClusterConfig{TabletServers: 2, DataDir: "x", NoSync: true}, n)
 	})
 }
+
+// --- Streaming scan pipeline (PR 2) ---
+//
+// BenchmarkScanStreamingVsMaterialized pins the memory contrast of the
+// cursor scan: a materialized whole-table scan holds every entry at
+// once (peak-entries/op ≈ table size) while the streaming cursor holds
+// wire batches (peak-entries/op ≈ WireBatch × ScanParallelism).
+// BenchmarkTableMultScanParallelism pins the throughput side: the same
+// TableMult over a table pre-split into 4 tablets, executed with a
+// serial tablet walk vs the parallel worker pool.
+
+// benchStreamTable builds a pre-split, pre-flushed table of rows×cols
+// entries inside a fresh cluster.
+func benchStreamTable(b *testing.B, cfg ClusterConfig, table string, rows, cols int) *DB {
+	b.Helper()
+	db := mustOpen(cfg)
+	splits := []string{
+		fmt.Sprintf("r%05d", rows/4),
+		fmt.Sprintf("r%05d", rows/2),
+		fmt.Sprintf("r%05d", 3*rows/4),
+	}
+	if err := db.Connector().TableOperations().CreateWithSplits(table, splits); err != nil {
+		b.Fatal(err)
+	}
+	w, err := db.Connector().CreateBatchWriter(table, accumulo.BatchWriterConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if err := w.PutFloat(fmt.Sprintf("r%05d", i), "", fmt.Sprintf("c%03d", j), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func BenchmarkScanStreamingVsMaterialized(b *testing.B) {
+	const rows, cols = 4096, 8 // 32768 entries
+	cfg := ClusterConfig{TabletServers: 4, WireBatch: 512, ScanParallelism: 4}
+	b.Run("materialized", func(b *testing.B) {
+		db := benchStreamTable(b, cfg, "T", rows, cols)
+		defer db.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		peak := 0
+		for i := 0; i < b.N; i++ {
+			sc, err := db.Connector().CreateScanner("T")
+			if err != nil {
+				b.Fatal(err)
+			}
+			entries, err := sc.Entries()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(entries) > peak {
+				peak = len(entries)
+			}
+		}
+		b.ReportMetric(float64(peak), "peak-entries/op")
+	})
+	b.Run("streaming", func(b *testing.B) {
+		db := benchStreamTable(b, cfg, "T", rows, cols)
+		defer db.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sc, err := db.Connector().CreateScanner("T")
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := sc.Stream()
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for _, ok := st.Next(); ok; _, ok = st.Next() {
+				n++
+			}
+			if err := st.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if n != rows*cols {
+				b.Fatalf("streamed %d entries, want %d", n, rows*cols)
+			}
+		}
+		b.StopTimer()
+		_, _, maxBuffered := db.ScanMetrics()
+		b.ReportMetric(float64(maxBuffered), "peak-entries/op")
+	})
+}
+
+func BenchmarkTableMultScanParallelism(b *testing.B) {
+	g := rmatGraph(8)
+	splits := []string{
+		VertexName(g.N / 4), VertexName(g.N / 2), VertexName(3 * g.N / 4),
+	}
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := mustOpen(ClusterConfig{TabletServers: 4, ScanParallelism: par})
+				tg, err := db.CreateGraph("B")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tg.Ingest(g); err != nil {
+					b.Fatal(err)
+				}
+				a, at, _ := tg.Tables()
+				ops := db.Connector().TableOperations()
+				for _, tbl := range []string{a, at} {
+					if err := ops.AddSplits(tbl, splits); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				if _, err := db.TableMult(at, a, "Sq", "plus.times"); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := db.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -35,6 +35,7 @@ var (
 	source    = flag.Int("source", 0, "BFS/SSSP source vertex")
 	useDB     = flag.Bool("db", false, "run through the embedded NoSQL cluster where supported")
 	dataDir   = flag.String("data-dir", "", "durable cluster directory: graphs built in one invocation are queried in the next (implies -db)")
+	scanPar   = flag.Int("scan-parallelism", 0, "tablets scanned concurrently per kernel pass (0 = cluster default)")
 )
 
 // openDB starts the embedded cluster, durable when -data-dir is set,
@@ -42,7 +43,7 @@ var (
 // exists in the data dir (skipping re-ingest), a freshly ingested one
 // otherwise.
 func openDB(g graphulo.Graph) (*graphulo.DB, *graphulo.TableGraph, error) {
-	db, err := graphulo.Open(graphulo.ClusterConfig{DataDir: *dataDir})
+	db, err := graphulo.Open(graphulo.ClusterConfig{DataDir: *dataDir, ScanParallelism: *scanPar})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -129,6 +130,7 @@ func run(algorithm string) error {
 				return err
 			}
 			fmt.Printf("visited %d vertices within %d hops (server-side)\n", len(levels), *kFlag)
+			reportScanPipeline(db)
 			return nil
 		}
 		levels := graphulo.BFSLevels(adj, *source)
@@ -150,6 +152,7 @@ func run(algorithm string) error {
 				return err
 			}
 			fmt.Printf("degree table built server-side: %d vertices\n", len(degs))
+			reportScanPipeline(db)
 			return nil
 		}
 		printTop("degree", graphulo.DegreeCentrality(adj))
@@ -208,6 +211,7 @@ func run(algorithm string) error {
 				return err
 			}
 			fmt.Printf("%d-truss: %d directed entries (server-side)\n", *kFlag, truss.NNZ())
+			reportScanPipeline(db)
 			return nil
 		}
 		E := graphulo.Incidence(g)
@@ -263,6 +267,17 @@ func run(algorithm string) error {
 		return fmt.Errorf("unknown algorithm %q", algorithm)
 	}
 	return nil
+}
+
+// reportScanPipeline prints the streaming-scan gauges after a
+// cluster-backed run: how many tablet scans ran at once (per-tablet
+// parallelism) and the peak entries buffered across scan pipelines (the
+// streaming memory bound — wire batches, not table size).
+func reportScanPipeline(db *graphulo.DB) {
+	wire, rpcs, _, scanned := db.Metrics()
+	_, maxInFlight, maxBuffered := db.ScanMetrics()
+	fmt.Printf("scan pipeline: %d RPCs, %d wire bytes, %d entries scanned, max %d tablet scans in flight, peak %d entries buffered\n",
+		rpcs, wire, scanned, maxInFlight, maxBuffered)
 }
 
 func weighted(g graphulo.Graph, seed uint64) *graphulo.Matrix {

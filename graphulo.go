@@ -17,6 +17,24 @@
 //     structured graphs, the paper's Fig. 1 example, and the synthetic
 //     tweet corpus used for the Fig. 3 topic-modeling experiment.
 //
+// # Execution model
+//
+// Server-side kernels follow the paper's tablet-server data flow
+// (§I.A, §IV): a kernel is a scan over the hosted table whose iterator
+// stack does the work — TwoTableIterator aligns the remote operand and
+// emits ⊗ products, RemoteWriteIterator batches them into the result
+// table — and only monitoring entries return to the client. Scans
+// execute as a streaming pipeline: each tablet runs its share of the
+// stack where it lives, up to ClusterConfig.ScanParallelism tablets
+// concurrently, shipping results to the consumer one wire batch at a
+// time with backpressure. Memory is therefore bounded by wire batches ×
+// parallelism on every side — a whole-table TableMult never holds a
+// table in client or server memory — and a pre-split table's kernel
+// passes run on multiple cores at once, which is how the paper's
+// kernels scale with the number of tablet servers. The
+// Metrics.ScansInFlight and Metrics.MaxEntriesBuffered gauges make both
+// properties observable.
+//
 // # Persistence
 //
 // By default the cluster is in-memory and vanishes at process exit.
@@ -43,7 +61,6 @@ import (
 	"graphulo/internal/gen"
 	"graphulo/internal/schema"
 	"graphulo/internal/semiring"
-	"graphulo/internal/skv"
 	"graphulo/internal/sparse"
 )
 
@@ -205,6 +222,11 @@ type ClusterConfig struct {
 	MemLimit int
 	// WireBatch is the entries-per-RPC batch size.
 	WireBatch int
+	// ScanParallelism bounds how many tablets one scan or kernel pass
+	// executes concurrently (default 4). Pre-split tables let TableMult
+	// and friends use up to this many cores per call; each scan buffers
+	// only this many wire batches regardless of table size.
+	ScanParallelism int
 	// DataDir, when non-empty, makes the cluster durable: all tables
 	// persist under this directory and a later Open on it recovers
 	// them (manifest + WAL replay). Empty keeps the cluster in memory.
@@ -226,11 +248,12 @@ type DB struct {
 // writes that were never flushed, e.g. after a crash).
 func Open(cfg ClusterConfig) (*DB, error) {
 	mc, err := accumulo.OpenMiniCluster(accumulo.Config{
-		TabletServers: cfg.TabletServers,
-		MemLimit:      cfg.MemLimit,
-		WireBatch:     cfg.WireBatch,
-		DataDir:       cfg.DataDir,
-		NoSync:        cfg.NoSync,
+		TabletServers:   cfg.TabletServers,
+		MemLimit:        cfg.MemLimit,
+		WireBatch:       cfg.WireBatch,
+		ScanParallelism: cfg.ScanParallelism,
+		DataDir:         cfg.DataDir,
+		NoSync:          cfg.NoSync,
 	})
 	if err != nil {
 		return nil, err
@@ -251,6 +274,16 @@ func (db *DB) Connector() *accumulo.Connector { return db.conn }
 func (db *DB) Metrics() (wireBytes, rpcs, written, scanned int64) {
 	m := &db.cluster.Metrics
 	return m.WireBytes.Load(), m.RPCs.Load(), m.EntriesWritten.Load(), m.EntriesScanned.Load()
+}
+
+// ScanMetrics returns the streaming-pipeline gauges: tablet scan
+// workers currently executing, the high-water mark of concurrent
+// workers (evidence of per-tablet parallelism), and the high-water mark
+// of entries buffered across scan pipelines (the streaming memory
+// bound).
+func (db *DB) ScanMetrics() (scansInFlight, maxScansInFlight, maxEntriesBuffered int64) {
+	m := &db.cluster.Metrics
+	return m.ScansInFlight.Load(), m.MaxScansInFlight.Load(), m.MaxEntriesBuffered.Load()
 }
 
 // TableGraph is a graph stored in adjacency tables (A, Aᵀ, degree),
@@ -334,17 +367,11 @@ func (g *TableGraph) Degrees() (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	entries, err := sc.Entries()
+	st, err := sc.Stream()
 	if err != nil {
 		return nil, err
 	}
-	res := make(map[string]float64, len(entries))
-	for _, e := range entries {
-		if v, ok := skv.DecodeFloat(e.V); ok {
-			res[e.K.Row] = v
-		}
-	}
-	return res, nil
+	return st.CollectFloatByRow()
 }
 
 // KTruss computes the k-truss server-side, returning the surviving

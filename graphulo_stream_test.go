@@ -1,0 +1,148 @@
+package graphulo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// These tests pin the streaming pipeline's concurrency story: kernel
+// passes (TableMult) and plain scans share a cluster safely while each
+// kernel's tablet workers run in parallel. Run them under -race (CI
+// does) — they are the regression net for the per-tablet worker pool.
+
+// splitGraphTables ingests an RMAT graph and pre-splits its adjacency
+// tables into >= 4 tablets so kernel passes actually fan out.
+func splitGraphTables(t *testing.T, db *DB) (a, at string, n int) {
+	t.Helper()
+	g := DedupGraph(RMAT(Graph500(7, 5)))
+	tg, err := db.CreateGraph("G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.Ingest(g); err != nil {
+		t.Fatal(err)
+	}
+	a, at, _ = tg.Tables()
+	ops := db.Connector().TableOperations()
+	splits := []string{
+		VertexName(g.N / 4), VertexName(g.N / 2), VertexName(3 * g.N / 4),
+	}
+	for _, tbl := range []string{a, at} {
+		if err := ops.AddSplits(tbl, splits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a, at, g.N
+}
+
+func runConcurrentKernelsAndScans(t *testing.T, cfg ClusterConfig) {
+	db := mustOpen(cfg)
+	defer db.Close()
+	a, at, _ := splitGraphTables(t, db)
+
+	// Baseline read of A before any concurrency.
+	baseline, err := db.ReadAssoc(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.NNZ() == 0 {
+		t.Fatal("empty adjacency table")
+	}
+
+	const mults = 2
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+
+	// Kernel workers: concurrent TableMults into distinct result tables.
+	for i := 0; i < mults; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := db.TableMult(at, a, fmt.Sprintf("Sq%d", i), "plus.times"); err != nil {
+				errs <- fmt.Errorf("TableMult %d: %w", i, err)
+			}
+		}(i)
+	}
+	// Plain scan workers: whole-table streaming reads of A while the
+	// kernels run.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for pass := 0; pass < 3; pass++ {
+				got, err := db.ReadAssoc(a)
+				if err != nil {
+					errs <- fmt.Errorf("scan %d pass %d: %w", i, pass, err)
+					return
+				}
+				if got.NNZ() != baseline.NNZ() {
+					errs <- fmt.Errorf("scan %d pass %d: %d entries, want %d", i, pass, got.NNZ(), baseline.NNZ())
+					return
+				}
+			}
+		}(i)
+	}
+	// In durable mode, flush concurrently so minc/WAL paths overlap the
+	// parallel scan workers too.
+	if cfg.DataDir != "" {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 3; pass++ {
+				if err := db.Connector().TableOperations().Flush(a); err != nil {
+					errs <- fmt.Errorf("flush pass %d: %w", pass, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The concurrent multiplies must agree entry for entry.
+	first, err := db.ReadAssoc("Sq0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.NNZ() == 0 {
+		t.Fatal("TableMult produced no entries")
+	}
+	for i := 1; i < mults; i++ {
+		other, err := db.ReadAssoc(fmt.Sprintf("Sq%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if other.NNZ() != first.NNZ() {
+			t.Fatalf("Sq%d has %d entries, Sq0 has %d", i, other.NNZ(), first.NNZ())
+		}
+		for _, e := range first.Entries() {
+			if other.At(e.Row, e.Col) != e.Val {
+				t.Fatalf("Sq%d[%s][%s] = %v, Sq0 has %v", i, e.Row, e.Col, other.At(e.Row, e.Col), e.Val)
+			}
+		}
+	}
+	// Evidence that kernel passes fanned out across tablets.
+	if _, maxInFlight, _ := db.ScanMetrics(); maxInFlight < 2 {
+		t.Fatalf("MaxScansInFlight = %d, want >= 2 (no per-tablet parallelism observed)", maxInFlight)
+	}
+}
+
+func TestConcurrentKernelsAndScans(t *testing.T) {
+	runConcurrentKernelsAndScans(t, ClusterConfig{
+		TabletServers: 4, MemLimit: 512, WireBatch: 64, ScanParallelism: 4,
+	})
+}
+
+func TestConcurrentKernelsAndScansDurable(t *testing.T) {
+	runConcurrentKernelsAndScans(t, ClusterConfig{
+		TabletServers: 4, MemLimit: 512, WireBatch: 64, ScanParallelism: 4,
+		DataDir: t.TempDir(), NoSync: true,
+	})
+}

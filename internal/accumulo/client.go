@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"graphulo/internal/iterator"
 	"graphulo/internal/skv"
@@ -445,7 +446,16 @@ func (s *Scanner) SetRange(rng skv.Range) { s.rng = rng }
 // AddScanIterator attaches a per-scan iterator setting.
 func (s *Scanner) AddScanIterator(setting iterator.Setting) { s.extra = append(s.extra, setting) }
 
-// Entries executes the scan and returns the sorted results.
+// Stream executes the scan as a streaming cursor: entries arrive in key
+// order while up to ScanParallelism tablets are scanned concurrently,
+// and the client holds wire batches rather than the full result. The
+// caller should Close the stream (a full drain also releases it).
+func (s *Scanner) Stream() (*EntryStream, error) {
+	return s.mc.openStream(s.table, s.rng, s.extra)
+}
+
+// Entries executes the scan and returns the sorted results — the
+// collect-all convenience over Stream for small results.
 func (s *Scanner) Entries() ([]skv.Entry, error) {
 	return s.mc.scan(s.table, s.rng, s.extra)
 }
@@ -462,7 +472,9 @@ type BatchScanner struct {
 	threads int
 }
 
-// CreateBatchScanner opens a parallel scanner.
+// CreateBatchScanner opens a parallel scanner. threads ≤ 0 selects the
+// default of 4; the effective worker count is clamped to the number of
+// ranges at scan time.
 func (c *Connector) CreateBatchScanner(table string, threads int) (*BatchScanner, error) {
 	if _, err := c.mc.getTable(table); err != nil {
 		return nil, err
@@ -473,51 +485,104 @@ func (c *Connector) CreateBatchScanner(table string, threads int) (*BatchScanner
 	return &BatchScanner{mc: c.mc, table: table, threads: threads}, nil
 }
 
+// clampThreads bounds a scan worker count to [1, n]: zero or negative
+// requests and requests past the number of ranges both collapse to a
+// sane pool size. Every BatchScanner execution path sizes its pool
+// through this one function.
+func clampThreads(threads, n int) int {
+	if threads > n {
+		threads = n
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return threads
+}
+
 // SetRanges assigns the ranges to scan.
 func (b *BatchScanner) SetRanges(ranges []skv.Range) { b.ranges = ranges }
 
 // AddScanIterator attaches a per-scan iterator setting.
 func (b *BatchScanner) AddScanIterator(setting iterator.Setting) { b.extra = append(b.extra, setting) }
 
-// Entries runs all range scans across worker goroutines and returns the
-// concatenated (unordered) results.
-func (b *BatchScanner) Entries() ([]skv.Entry, error) {
-	if len(b.ranges) == 0 {
-		b.ranges = []skv.Range{skv.FullRange()}
+// ForEach streams every entry of every configured range through fn
+// without materialising results: ranges are distributed over a clamped
+// worker pool and each worker consumes its scan one wire batch at a
+// time. Calls to fn are serialised (fn needs no locking), but entries
+// from different ranges interleave and are NOT globally sorted. The
+// first fn error or scan failure cancels the remaining work and is
+// returned.
+func (b *BatchScanner) ForEach(fn func(skv.Entry) error) error {
+	ranges := b.ranges
+	if len(ranges) == 0 {
+		ranges = []skv.Range{skv.FullRange()}
 	}
-	type result struct {
-		entries []skv.Entry
-		err     error
-	}
-	work := make(chan skv.Range, len(b.ranges))
-	results := make(chan result, len(b.ranges))
-	for _, r := range b.ranges {
+	threads := clampThreads(b.threads, len(ranges))
+	work := make(chan skv.Range, len(ranges))
+	for _, r := range ranges {
 		work <- r
 	}
 	close(work)
-	threads := b.threads
-	if threads > len(b.ranges) {
-		threads = len(b.ranges)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // serialises fn and guards firstErr
+		firstErr error
+		failed   atomic.Bool
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		failed.Store(true)
 	}
-	var wg sync.WaitGroup
 	for i := 0; i < threads; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for rng := range work {
-				entries, err := b.mc.scan(b.table, rng, b.extra)
-				results <- result{entries, err}
+				if failed.Load() {
+					continue
+				}
+				s, err := b.mc.openStream(b.table, rng, b.extra)
+				if err != nil {
+					setErr(err)
+					continue
+				}
+				for e, ok := s.Next(); ok; e, ok = s.Next() {
+					mu.Lock()
+					err := fn(e)
+					mu.Unlock()
+					if err != nil {
+						setErr(err)
+						break
+					}
+					if failed.Load() {
+						break
+					}
+				}
+				if err := s.Err(); err != nil {
+					setErr(err)
+				}
+				s.Close()
 			}
 		}()
 	}
 	wg.Wait()
-	close(results)
+	return firstErr
+}
+
+// Entries runs all range scans across worker goroutines and returns the
+// concatenated (unordered) results — the collect-all convenience over
+// ForEach.
+func (b *BatchScanner) Entries() ([]skv.Entry, error) {
 	var out []skv.Entry
-	for r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
-		out = append(out, r.entries...)
+	if err := b.ForEach(func(e skv.Entry) error {
+		out = append(out, e)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -10,6 +10,15 @@
 // majc scopes — matches what a thin Accumulo client sees, so the
 // Graphulo kernels built on top exercise the same code paths.
 //
+// Scans are streaming: every scan is an EntryStream cursor fed by
+// per-tablet workers that each round-trip one wire batch at a time, up
+// to Config.ScanParallelism tablets concurrently. A whole-table scan or
+// kernel pass therefore buffers wire batches, never the table, and the
+// heavy per-tablet work (iterator stacks, TwoTableIterator products,
+// RemoteWrite batching) runs in parallel across tablets exactly as the
+// paper's tablet servers do. Scanner.Entries and BatchScanner.Entries
+// remain as collect-all conveniences on top of the cursor.
+//
 // The cluster runs in one of two durability modes. With an empty
 // Config.DataDir everything lives in memory, as a test harness expects.
 // With DataDir set, the cluster persists like Accumulo does: tables,
@@ -69,6 +78,13 @@ type Config struct {
 	// WireBatch is the number of entries per simulated RPC batch
 	// (default 4096).
 	WireBatch int
+	// ScanParallelism bounds how many tablets one scan (or one
+	// server-side kernel pass) executes concurrently (default 4). With 1
+	// tablets are scanned strictly in sequence; higher values let
+	// whole-table kernels such as TableMult run on several tablets at
+	// once while each scan still buffers only ScanParallelism wire
+	// batches.
+	ScanParallelism int
 	// DataDir, when non-empty, makes the cluster durable: tables and
 	// data persist under this directory (manifest + WAL + rfiles) and
 	// OpenMiniCluster recovers them. Empty keeps everything in memory.
@@ -88,6 +104,9 @@ func (c Config) withDefaults() Config {
 	if c.WireBatch <= 0 {
 		c.WireBatch = 4096
 	}
+	if c.ScanParallelism <= 0 {
+		c.ScanParallelism = 4
+	}
 	return c
 }
 
@@ -97,7 +116,44 @@ type Metrics struct {
 	RPCs           atomic.Int64 // simulated RPC round trips
 	EntriesWritten atomic.Int64 // entries ingested by tablet servers
 	EntriesScanned atomic.Int64 // entries returned to scan clients
+
+	// ScansStarted counts scans issued — client streams plus every
+	// remote scan opened by server-side iterators. The regression tests
+	// for the streaming RemoteSource pin kernel behaviour with it.
+	ScansStarted atomic.Int64
+	// ScansInFlight gauges tablet scan workers currently executing;
+	// MaxScansInFlight records its high-water mark (evidence of
+	// per-tablet parallelism).
+	ScansInFlight    atomic.Int64
+	MaxScansInFlight atomic.Int64
+	// EntriesBuffered gauges entries currently held across all scan
+	// pipelines (decoded wire batches in flight plus batches under
+	// consumption, summed over concurrent streams, client and remote);
+	// MaxEntriesBuffered records its high-water mark. Bounded scans keep
+	// the peak near WireBatch × ScanParallelism × concurrent streams
+	// regardless of table size — the observable form of the streaming
+	// refactor's memory claim.
+	EntriesBuffered    atomic.Int64
+	MaxEntriesBuffered atomic.Int64
 }
+
+// atomicMax folds n into an atomic high-water mark.
+func atomicMax(max *atomic.Int64, n int64) {
+	for {
+		cur := max.Load()
+		if n <= cur || max.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// noteBuffered folds an observed buffered-entry count into the
+// MaxEntriesBuffered high-water mark.
+func (m *Metrics) noteBuffered(n int64) { atomicMax(&m.MaxEntriesBuffered, n) }
+
+// noteScanStart bumps ScansInFlight and folds the new value into its
+// high-water mark.
+func (m *Metrics) noteScanStart() { atomicMax(&m.MaxScansInFlight, m.ScansInFlight.Add(1)) }
 
 // MiniCluster is the embedded cluster.
 type MiniCluster struct {
@@ -294,32 +350,6 @@ func (t *tableMeta) scopeStack(s Scope) []iterator.Setting {
 	return append([]iterator.Setting(nil), t.iters[s]...)
 }
 
-// env implements iterator.Env for server-side iterators: scanners opened
-// from inside a tablet server still route through the wire codec,
-// because in Accumulo a RemoteSourceIterator is an ordinary client of
-// the remote tablet server.
-type env struct {
-	mc *MiniCluster
-}
-
-// OpenScanner implements iterator.Env.
-func (e env) OpenScanner(table string, rng skv.Range) (iterator.SKVI, error) {
-	entries, err := e.mc.scan(table, rng, nil)
-	if err != nil {
-		return nil, err
-	}
-	it := iterator.NewSliceIter(entries)
-	if err := it.Seek(skv.FullRange()); err != nil {
-		return nil, err
-	}
-	return it, nil
-}
-
-// WriteEntries implements iterator.Env.
-func (e env) WriteEntries(table string, entries []skv.Entry) error {
-	return e.mc.write(table, entries)
-}
-
 // write is the server-side ingest path: entries are stamped with fresh
 // timestamps, routed to their tablets, and inserted. It simulates the
 // RPC by round-tripping each tablet batch through the wire codec.
@@ -359,84 +389,52 @@ func (mc *MiniCluster) write(table string, entries []skv.Entry) error {
 	return nil
 }
 
-// scan executes a range scan server-side: per overlapping tablet, the
-// table's scan stack plus any extra per-scan settings run over a
-// snapshot, and the results are round-tripped through the wire codec in
-// batches. Results across tablets are concatenated in tablet order, so
-// the stream is globally sorted.
+// scan executes a range scan server-side and collects the whole result —
+// the materialising convenience over openStream, kept for callers whose
+// results are small (monitoring entries, vectors, admin copies).
+// Streaming consumers use Scanner.Stream / EntryStream directly.
 func (mc *MiniCluster) scan(table string, rng skv.Range, extra []iterator.Setting) ([]skv.Entry, error) {
-	meta, err := mc.getTable(table)
+	s, err := mc.openStream(table, rng, extra)
 	if err != nil {
 		return nil, err
 	}
-	var out []skv.Entry
-	for _, tr := range meta.tabletsOverlapping(rng) {
-		entries, err := mc.scanTablet(meta, tr, rng, extra)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, entries...)
-	}
-	return out, nil
-}
-
-// scanTablet runs one tablet's share of a scan.
-func (mc *MiniCluster) scanTablet(meta *tableMeta, tr *tabletRef, rng skv.Range, extra []iterator.Setting) ([]skv.Entry, error) {
-	settings := append(meta.scopeStack(ScanScope), extra...)
-	stack, err := iterator.BuildStack(tr.tab.Snapshot(), settings, env{mc})
-	if err != nil {
-		return nil, err
-	}
-	clipped := rng.Clip(tr.tab.Range())
-	if clipped.IsEmpty() {
-		return nil, nil
-	}
-	if err := stack.Seek(clipped); err != nil {
-		return nil, err
-	}
-	var out []skv.Entry
-	batch := make([]skv.Entry, 0, mc.cfg.WireBatch)
-	flush := func() error {
-		if len(batch) == 0 {
-			return nil
-		}
-		wire := skv.EncodeBatch(batch)
-		mc.Metrics.WireBytes.Add(int64(len(wire)))
-		mc.Metrics.RPCs.Add(1)
-		decoded, err := skv.DecodeBatch(wire)
-		if err != nil {
-			return err
-		}
-		out = append(out, decoded...)
-		mc.Metrics.EntriesScanned.Add(int64(len(decoded)))
-		batch = batch[:0]
-		return nil
-	}
-	for stack.HasTop() {
-		batch = append(batch, stack.Top())
-		if len(batch) >= mc.cfg.WireBatch {
-			if err := flush(); err != nil {
-				return nil, err
-			}
-		}
-		if err := stack.Next(); err != nil {
-			return nil, err
-		}
-	}
-	if err := flush(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return s.Collect()
 }
 
 // compactionStack adapts a scope's settings to the tablet compaction
-// callback signature.
+// callback signature. The stack's env is released as soon as the
+// compaction drains the stack (envClosingIter), so remote streams
+// opened by compaction-scope iterators do not linger until GC.
 func (mc *MiniCluster) compactionStack(meta *tableMeta, scope Scope) func(iterator.SKVI) (iterator.SKVI, error) {
 	settings := meta.scopeStack(scope)
 	if len(settings) == 0 {
 		return nil
 	}
 	return func(src iterator.SKVI) (iterator.SKVI, error) {
-		return iterator.BuildStack(src, settings, env{mc})
+		env := &scanEnv{mc: mc}
+		stack, err := iterator.BuildStack(src, settings, env)
+		if err != nil {
+			env.close()
+			return nil, err
+		}
+		return &envClosingIter{SKVI: stack, env: env}, nil
 	}
+}
+
+// envClosingIter wraps a stack built over a scanEnv and closes the env
+// the moment the stack reports exhaustion — the only end-of-use signal
+// the compaction callback contract offers. A stack abandoned mid-drain
+// (compaction error) is still reclaimed by the stream finalizers.
+type envClosingIter struct {
+	iterator.SKVI
+	env *scanEnv
+}
+
+func (c *envClosingIter) HasTop() bool {
+	has := c.SKVI.HasTop()
+	if !has && c.env != nil {
+		c.env.close()
+		c.env = nil
+	}
+	return has
 }

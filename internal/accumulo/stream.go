@@ -1,0 +1,374 @@
+package accumulo
+
+// This file implements the streaming scan pipeline: instead of
+// materialising a scan's full result as one slice, the cluster hands the
+// client an EntryStream cursor fed by per-tablet workers. Each worker
+// runs its tablet's iterator stack over a snapshot and round-trips
+// results through the wire codec one batch at a time; a bounded pool
+// (Config.ScanParallelism) lets workers for several tablets execute
+// concurrently while the cursor serves tablets in key order, so the
+// stream stays globally sorted and the memory held by a scan is bounded
+// by wire batches × parallelism, never by table size. This mirrors the
+// paper's execution model: kernels run where the tablets live, in
+// parallel across tablet servers, and the client consumes a trickle.
+
+import (
+	"runtime"
+	"sync"
+
+	"graphulo/internal/iterator"
+	"graphulo/internal/skv"
+)
+
+// EntryStream is a streaming cursor over one scan's sorted results.
+// Next returns entries until the scan is exhausted or fails; Err reports
+// the failure after Next returns false; Close releases the tablet
+// workers early. A stream is single-consumer: Next, Err, and Close must
+// not be called concurrently with each other. A fully drained stream
+// needs no Close (its workers have already exited), and an abandoned
+// stream is reclaimed at GC, but closing promptly frees worker
+// goroutines and their buffered batches.
+type EntryStream struct {
+	scans []*tabletScan
+	idx   int
+	cur   []skv.Entry
+	pos   int
+	err   error
+
+	done      chan struct{}
+	closeOnce sync.Once
+	metrics   *Metrics
+}
+
+// tabletScan carries one tablet worker's output: decoded wire batches,
+// then a channel close. err is written before the close when the worker
+// failed, so the consumer may read it after the receive fails.
+type tabletScan struct {
+	batches chan []skv.Entry
+	err     error
+}
+
+// openStream starts a streaming scan: per overlapping tablet, a worker
+// runs the table's scan stack (plus extra per-scan settings) over a
+// snapshot and ships results through the wire codec one batch at a
+// time. Workers start in tablet order under the ScanParallelism bound;
+// the cursor consumes tablets in the same order, so the stream is
+// globally sorted while later tablets prefetch concurrently.
+func (mc *MiniCluster) openStream(table string, rng skv.Range, extra []iterator.Setting) (*EntryStream, error) {
+	meta, err := mc.getTable(table)
+	if err != nil {
+		return nil, err
+	}
+	mc.Metrics.ScansStarted.Add(1)
+	tablets := meta.tabletsOverlapping(rng)
+	s := &EntryStream{
+		scans:   make([]*tabletScan, len(tablets)),
+		done:    make(chan struct{}),
+		metrics: &mc.Metrics,
+	}
+	for i := range s.scans {
+		// Capacity 1: beyond the batch its worker is filling, each tablet
+		// holds at most one decoded batch in flight.
+		s.scans[i] = &tabletScan{batches: make(chan []skv.Entry, 1)}
+	}
+	par := mc.cfg.ScanParallelism
+	if par < 1 {
+		par = 1
+	}
+	// The dispatcher and workers must not capture s itself, only its
+	// channels, so an abandoned stream becomes unreachable and its
+	// finalizer can release them.
+	done, scans := s.done, s.scans
+	go func() {
+		sem := make(chan struct{}, par)
+		for i, tr := range tablets {
+			select {
+			case sem <- struct{}{}:
+			case <-done:
+				// Close the channels of workers that never started so a
+				// draining consumer does not wait on them forever.
+				for _, ts := range scans[i:] {
+					close(ts.batches)
+				}
+				return
+			}
+			go func(tr *tabletRef, out *tabletScan) {
+				defer func() { <-sem }()
+				defer close(out.batches)
+				mc.streamTablet(meta, tr, rng, extra, out, done)
+			}(tr, scans[i])
+		}
+	}()
+	runtime.SetFinalizer(s, (*EntryStream).Close)
+	return s, nil
+}
+
+// streamTablet is one tablet worker: it runs the scan stack over a
+// tablet snapshot and ships results one wire batch at a time, blocking
+// when the consumer falls a batch behind (backpressure) and aborting
+// when the stream is closed.
+func (mc *MiniCluster) streamTablet(meta *tableMeta, tr *tabletRef, rng skv.Range, extra []iterator.Setting, out *tabletScan, done <-chan struct{}) {
+	clipped := rng.Clip(tr.tab.Range())
+	if clipped.IsEmpty() {
+		return
+	}
+	mc.Metrics.noteScanStart()
+	defer mc.Metrics.ScansInFlight.Add(-1)
+	env := &scanEnv{mc: mc}
+	defer env.close()
+	settings := append(meta.scopeStack(ScanScope), extra...)
+	stack, err := iterator.BuildStack(tr.tab.Snapshot(), settings, env)
+	if err != nil {
+		out.err = err
+		return
+	}
+	if err := stack.Seek(clipped); err != nil {
+		out.err = err
+		return
+	}
+	batch := make([]skv.Entry, 0, mc.cfg.WireBatch)
+	ship := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		select {
+		case <-done:
+			return false
+		default:
+		}
+		wire := skv.EncodeBatch(batch)
+		mc.Metrics.WireBytes.Add(int64(len(wire)))
+		mc.Metrics.RPCs.Add(1)
+		decoded, err := skv.DecodeBatch(wire)
+		if err != nil {
+			out.err = err
+			return false
+		}
+		mc.Metrics.noteBuffered(mc.Metrics.EntriesBuffered.Add(int64(len(decoded))))
+		select {
+		case out.batches <- decoded:
+			// Only batches the consumer can still receive count as
+			// returned to the scan client.
+			mc.Metrics.EntriesScanned.Add(int64(len(decoded)))
+		case <-done:
+			mc.Metrics.EntriesBuffered.Add(-int64(len(decoded)))
+			return false
+		}
+		batch = batch[:0]
+		return true
+	}
+	for stack.HasTop() {
+		batch = append(batch, stack.Top())
+		if len(batch) >= mc.cfg.WireBatch && !ship() {
+			return
+		}
+		if err := stack.Next(); err != nil {
+			out.err = err
+			return
+		}
+	}
+	ship()
+}
+
+// Next returns the next entry in key order, or ok=false when the stream
+// is exhausted, failed (see Err), or closed.
+func (s *EntryStream) Next() (skv.Entry, bool) {
+	for s.err == nil {
+		if s.pos < len(s.cur) {
+			e := s.cur[s.pos]
+			s.pos++
+			return e, true
+		}
+		s.metrics.EntriesBuffered.Add(-int64(len(s.cur)))
+		s.cur, s.pos = nil, 0
+		if s.idx >= len(s.scans) {
+			break
+		}
+		ts := s.scans[s.idx]
+		batch, ok := <-ts.batches
+		if !ok {
+			if ts.err != nil {
+				s.err = ts.err
+				break
+			}
+			s.idx++
+			continue
+		}
+		s.cur = batch
+	}
+	return skv.Entry{}, false
+}
+
+// Err reports the first scan failure; valid once Next has returned
+// false.
+func (s *EntryStream) Err() error { return s.err }
+
+// Close releases the stream's tablet workers. It is idempotent and safe
+// at any point, including after a full drain.
+func (s *EntryStream) Close() {
+	s.closeOnce.Do(func() {
+		runtime.SetFinalizer(s, nil)
+		close(s.done)
+		// Drain so blocked workers observe the close or complete their
+		// final send, and the buffered-entries gauge drops batches that
+		// never reached the consumer.
+		for _, ts := range s.scans {
+			for batch := range ts.batches {
+				s.metrics.EntriesBuffered.Add(-int64(len(batch)))
+			}
+		}
+		s.metrics.EntriesBuffered.Add(-int64(len(s.cur)))
+		s.cur = nil
+	})
+}
+
+// Collect drains the stream into a slice and closes it — the
+// materialising convenience the streaming callers fall back to.
+func (s *EntryStream) Collect() ([]skv.Entry, error) {
+	defer s.Close()
+	var out []skv.Entry
+	for e, ok := s.Next(); ok; e, ok = s.Next() {
+		out = append(out, e)
+	}
+	return out, s.Err()
+}
+
+// CollectFloatByRow drains the stream into a row → decoded-float map
+// and closes it — the shape of every vector read (degree tables, rank
+// vectors, reduce outputs). Entries whose values do not decode as
+// floats are skipped; rows with several numeric entries keep the last.
+func (s *EntryStream) CollectFloatByRow() (map[string]float64, error) {
+	defer s.Close()
+	out := map[string]float64{}
+	for e, ok := s.Next(); ok; e, ok = s.Next() {
+		if v, ok := skv.DecodeFloat(e.V); ok {
+			out[e.K.Row] = v
+		}
+	}
+	return out, s.Err()
+}
+
+// --- server-side iterator environment ---
+
+// scanEnv implements iterator.Env for server-side iterators: scanners
+// opened from inside a tablet server still route through the wire codec,
+// because in Accumulo a RemoteSourceIterator is an ordinary client of
+// the remote tablet server. The env records every remote stream its
+// iterators open so the tablet worker can release them when its pass
+// completes — a TwoTableIterator abandons the remote side mid-stream
+// when the hosted side runs dry.
+type scanEnv struct {
+	mc     *MiniCluster
+	opened []*EntryStream
+}
+
+// OpenScanner implements iterator.Env. The returned SKVI is streaming:
+// it holds wire batches, not the remote table, and is positioned at the
+// first entry of rng (callers may iterate without an initial Seek). The
+// underlying stream is always opened end-unbounded — rng's end bound is
+// applied at HasTop — so a later forward Seek past rng.End is served by
+// the same stream instead of silently running dry.
+func (e *scanEnv) OpenScanner(table string, rng skv.Range) (iterator.SKVI, error) {
+	it := &streamIter{env: e, table: table}
+	if err := it.reopen(rng); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// WriteEntries implements iterator.Env.
+func (e *scanEnv) WriteEntries(table string, entries []skv.Entry) error {
+	return e.mc.write(table, entries)
+}
+
+// close releases every remote stream this env's iterators opened.
+func (e *scanEnv) close() {
+	for _, s := range e.opened {
+		s.Close()
+	}
+	e.opened = nil
+}
+
+// streamIter adapts an EntryStream to the SKVI contract for server-side
+// remote reads. Forward seeks — ranges starting at or past the current
+// position — are served by skipping within the open stream, so a tablet
+// pass issues exactly one remote scan no matter how often the kernel
+// re-seeks (Graphulo's streaming RemoteSourceIterator contract). Only a
+// seek that demonstrably needs already-consumed entries re-issues the
+// remote scan.
+type streamIter struct {
+	env    *scanEnv
+	table  string
+	stream *EntryStream
+	open   skv.Range // start-only range the stream was opened with
+	rng    skv.Range
+	cur    skv.Entry
+	has    bool
+	moved  bool // entries before cur have been consumed since (re)open
+}
+
+// reopen issues a fresh remote scan, end-unbounded from rng's start (end
+// bounds are applied by HasTop), and positions the iterator at its first
+// entry.
+func (it *streamIter) reopen(rng skv.Range) error {
+	if it.stream != nil {
+		it.stream.Close()
+	}
+	open := skv.Range{Start: rng.Start, HasStart: rng.HasStart}
+	s, err := it.env.mc.openStream(it.table, open, nil)
+	if err != nil {
+		return err
+	}
+	it.env.opened = append(it.env.opened, s)
+	it.stream = s
+	it.open = open
+	it.rng = rng
+	it.moved = false
+	it.cur, it.has = s.Next()
+	if !it.has {
+		return s.Err()
+	}
+	return nil
+}
+
+// Seek implements SKVI.
+func (it *streamIter) Seek(rng skv.Range) error {
+	// The stream can serve rng in place unless it needs entries the
+	// stream cannot produce: entries before the opened start (never
+	// fetched), or — once the cursor has moved — entries before the
+	// current one (consumed), including the tail of an exhausted stream.
+	needEarlier := it.open.HasStart &&
+		(!rng.HasStart || skv.Compare(rng.Start, it.open.Start) < 0)
+	consumed := it.moved &&
+		(!rng.HasStart || !it.has || skv.Compare(rng.Start, it.cur.K) < 0)
+	if it.stream == nil || needEarlier || consumed {
+		if err := it.reopen(rng); err != nil {
+			return err
+		}
+	}
+	it.rng = rng
+	for it.has && rng.BeforeStart(it.cur.K) {
+		if err := it.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (it *streamIter) advance() error {
+	it.moved = true
+	it.cur, it.has = it.stream.Next()
+	if !it.has {
+		return it.stream.Err()
+	}
+	return nil
+}
+
+// HasTop implements SKVI.
+func (it *streamIter) HasTop() bool { return it.has && !it.rng.AfterEnd(it.cur.K) }
+
+// Top implements SKVI.
+func (it *streamIter) Top() skv.Entry { return it.cur }
+
+// Next implements SKVI.
+func (it *streamIter) Next() error { return it.advance() }

@@ -1,0 +1,41 @@
+package assoc
+
+import "graphulo/internal/semiring"
+
+// Builder accumulates entries incrementally — the streaming counterpart
+// of New for callers that receive entries from a cursor (e.g. a table
+// scan) rather than holding them all. Duplicate (row, col) keys fold
+// with the ring's ⊕ as they arrive, so the builder's memory is bounded
+// by the array's support, not by the raw entry count.
+type Builder struct {
+	ring semiring.Semiring
+	vals map[[2]string]float64
+}
+
+// NewBuilder returns an empty builder over the given semiring.
+func NewBuilder(ring semiring.Semiring) *Builder {
+	return &Builder{ring: ring, vals: map[[2]string]float64{}}
+}
+
+// Add folds one entry into the builder.
+func (b *Builder) Add(row, col string, val float64) {
+	k := [2]string{row, col}
+	if cur, ok := b.vals[k]; ok {
+		b.vals[k] = b.ring.Add(cur, val)
+	} else {
+		b.vals[k] = val
+	}
+}
+
+// Len returns the number of distinct (row, col) keys folded so far.
+func (b *Builder) Len() int { return len(b.vals) }
+
+// Build finalises the associative array. The builder may keep receiving
+// Adds afterwards; a later Build reflects them.
+func (b *Builder) Build() *Assoc {
+	entries := make([]Entry, 0, len(b.vals))
+	for k, v := range b.vals {
+		entries = append(entries, Entry{Row: k[0], Col: k[1], Val: v})
+	}
+	return New(entries, b.ring)
+}

@@ -1,0 +1,43 @@
+package assoc
+
+import (
+	"testing"
+
+	"graphulo/internal/semiring"
+)
+
+func TestBuilderMatchesNew(t *testing.T) {
+	entries := []Entry{
+		{Row: "a", Col: "x", Val: 2},
+		{Row: "b", Col: "y", Val: 3},
+		{Row: "a", Col: "x", Val: 5}, // duplicate folds with ⊕
+		{Row: "c", Col: "x", Val: 1},
+	}
+	want := New(entries, semiring.PlusTimes)
+	b := NewBuilder(semiring.PlusTimes)
+	for _, e := range entries {
+		b.Add(e.Row, e.Col, e.Val)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("builder holds %d keys, want 3", b.Len())
+	}
+	got := b.Build()
+	if got.NNZ() != want.NNZ() {
+		t.Fatalf("builder NNZ = %d, New NNZ = %d", got.NNZ(), want.NNZ())
+	}
+	for _, e := range want.Entries() {
+		if got.At(e.Row, e.Col) != e.Val {
+			t.Fatalf("builder[%s][%s] = %v, want %v", e.Row, e.Col, got.At(e.Row, e.Col), e.Val)
+		}
+	}
+}
+
+func TestBuilderMinPlusFoldsWithMin(t *testing.T) {
+	b := NewBuilder(semiring.MinPlus)
+	b.Add("a", "x", 7)
+	b.Add("a", "x", 3)
+	b.Add("a", "x", 9)
+	if got := b.Build().At("a", "x"); got != 3 {
+		t.Fatalf("min.plus builder folded to %v, want 3", got)
+	}
+}

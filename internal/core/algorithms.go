@@ -70,21 +70,25 @@ func AdjBFS(conn *accumulo.Connector, table string, seeds []string, hops int, op
 			ranges[i] = skv.ExactRow(v)
 		}
 		bs.SetRanges(ranges)
-		entries, err := bs.Entries()
-		if err != nil {
-			return nil, err
-		}
+		// Stream the frontier expansion: neighbour entries fold into the
+		// visited set as each row scan produces them, so a hop never
+		// materialises the expansion (which can approach the edge count
+		// on dense frontiers).
 		var next []string
-		for _, e := range entries {
+		err = bs.ForEach(func(e skv.Entry) error {
 			nb := e.K.ColQ
 			if _, seen := visited[nb]; seen {
-				continue
+				return nil
 			}
 			if !degOK(nb) {
-				continue
+				return nil
 			}
 			visited[nb] = hop
 			next = append(next, nb)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		frontier = next
 	}
@@ -96,17 +100,11 @@ func readDegrees(conn *accumulo.Connector, table string) (map[string]float64, er
 	if err != nil {
 		return nil, err
 	}
-	entries, err := sc.Entries()
+	st, err := sc.Stream()
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]float64, len(entries))
-	for _, e := range entries {
-		if v, ok := skv.DecodeFloat(e.V); ok {
-			out[e.K.Row] = v
-		}
-	}
-	return out, nil
+	return st.CollectFloatByRow()
 }
 
 // KTrussAdjTable computes the k-truss of the graph stored in an

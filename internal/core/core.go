@@ -5,6 +5,22 @@
 // Apply/Scale/filter; TableRowReduce is the Reduce kernel; on top of
 // these sit the table-resident graph algorithms (BFS, degree, k-truss,
 // Jaccard, NMF staging).
+//
+// # Execution model
+//
+// A kernel call is one scan over the hosted table carrying the kernel's
+// iterator stack. The scan executes as a streaming pipeline: each of the
+// table's tablets runs the stack — remote-source alignment, ⊗ products,
+// RemoteWrite batching — where the tablet lives, and up to
+// ScanParallelism tablets execute concurrently, matching the paper's
+// §I.A/§IV data flow in which tablet servers work in parallel and
+// results move tablet→tablet. The client consumes a cursor of
+// monitoring entries (one per tablet, carrying the count written), so
+// kernel memory on every side is bounded by wire batches: the remote
+// side of a TwoTableIterator is itself a streaming scan, not a
+// materialised copy of the operand table. Drivers that do read data
+// back (degree vectors, peel sets) consume the same cursor API and fold
+// entries as they arrive.
 package core
 
 import (
@@ -67,17 +83,27 @@ func TableMult(conn *accumulo.Connector, tableAT, tableB, tableC string, opts Mu
 		"table":     tableC,
 		"batchSize": strconv.Itoa(opts.BatchSize),
 	}})
-	monitors, err := sc.Entries()
+	return collectMonitor(sc)
+}
+
+// collectMonitor runs a kernel scan as a stream and sums the per-tablet
+// monitoring counts as they arrive. The stream triggers the kernel: by
+// the time a tablet's monitoring entry is served, that tablet's results
+// are in the target table; tablets execute concurrently under the
+// cluster's ScanParallelism bound.
+func collectMonitor(sc *accumulo.Scanner) (int, error) {
+	st, err := sc.Stream()
 	if err != nil {
 		return 0, err
 	}
+	defer st.Close()
 	total := 0
-	for _, m := range monitors {
-		if v, ok := skv.DecodeFloat(m.V); ok {
+	for e, ok := st.Next(); ok; e, ok = st.Next() {
+		if v, ok := skv.DecodeFloat(e.V); ok {
 			total += int(v)
 		}
 	}
-	return total, nil
+	return total, st.Err()
 }
 
 // ensureResultTable creates tableC if needed and installs the ⊕
@@ -127,15 +153,16 @@ func TableMultClient(conn *accumulo.Connector, tableAT, tableB, tableC string, o
 		if err != nil {
 			return nil, err
 		}
-		entries, err := sc.Entries()
+		st, err := sc.Stream()
 		if err != nil {
 			return nil, err
 		}
+		defer st.Close()
 		rows := map[string][]skv.Entry{}
-		for _, e := range entries {
+		for e, ok := st.Next(); ok; e, ok = st.Next() {
 			rows[e.K.Row] = append(rows[e.K.Row], e)
 		}
-		return rows, nil
+		return rows, st.Err()
 	}
 	at, err := scanRows(tableAT)
 	if err != nil {
@@ -201,17 +228,7 @@ func OneTable(conn *accumulo.Connector, tableIn, tableOut string, settings []ite
 	}
 	sc.AddScanIterator(iterator.Setting{Name: "remoteWrite", Priority: 90,
 		Opts: map[string]string{"table": tableOut}})
-	monitors, err := sc.Entries()
-	if err != nil {
-		return 0, err
-	}
-	total := 0
-	for _, m := range monitors {
-		if v, ok := skv.DecodeFloat(m.V); ok {
-			total += int(v)
-		}
-	}
-	return total, nil
+	return collectMonitor(sc)
 }
 
 // TableRowReduce folds each row of tableIn with the monoid ("plus",

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -163,6 +164,72 @@ func TestTableMultServerMovesFewerClientBytes(t *testing.T) {
 	// source's internal scans); the client path pulls both operands.
 	if serverScanned >= clientScanned {
 		t.Logf("server scanned %d, client %d", serverScanned, clientScanned)
+	}
+}
+
+func TestTableMultOneRemoteScanPerTabletPass(t *testing.T) {
+	// The streaming RemoteSourceIterator must serve TwoTableIterator's
+	// forward re-seeks (row alignment, seekRowFrom) by skipping within
+	// its one open stream. Pin the scan count: a TableMult over a B
+	// table with 4 tablets issues exactly 1 client scan of B plus 1
+	// remote scan of AT per tablet pass — 5 total — no matter how many
+	// row skips the alignment performs.
+	conn := testConn(t)
+	ops := conn.TableOperations()
+	for _, tbl := range []string{"ATsplit", "Bsplit"} {
+		splits := []string(nil)
+		if tbl == "Bsplit" {
+			splits = []string{"i010", "i020", "i030"}
+		}
+		if err := ops.CreateWithSplits(tbl, splits); err != nil {
+			t.Fatal(err)
+		}
+		if err := ops.RemoveIterator(tbl, "versioning"); err != nil {
+			t.Fatal(err)
+		}
+		if err := ops.AttachIterator(tbl, iterator.Setting{Name: "sum", Priority: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 40 inner rows spread across B's 4 tablets, with gaps in AT so the
+	// alignment exercises both Next-probing and re-seeking.
+	wAT, err := conn.CreateBatchWriter("ATsplit", accumulo.BatchWriterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wB, err := conn.CreateBatchWriter("Bsplit", accumulo.BatchWriterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		inner := fmt.Sprintf("i%03d", i)
+		if i%3 == 0 { // sparse AT: long runs of B-only rows force seekRowFrom
+			if err := wAT.PutFloat(inner, "", fmt.Sprintf("a%d", i%4), 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := wB.PutFloat(inner, "", fmt.Sprintf("b%d", i%5), 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wAT.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := &conn.Cluster().Metrics
+	before := m.ScansStarted.Load()
+	n, err := TableMult(conn, "ATsplit", "Bsplit", "Csplit", MultOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no partial products written")
+	}
+	scans := m.ScansStarted.Load() - before
+	if want := int64(1 + 4); scans != want {
+		t.Fatalf("TableMult issued %d scans, want %d (1 client + 1 remote per tablet pass)", scans, want)
 	}
 }
 

@@ -309,17 +309,17 @@ func AdjBFSServerFiltered(conn *accumulo.Connector, table, degTable string, seed
 			opts["max"] = strconv.FormatFloat(maxDeg, 'g', -1, 64)
 		}
 		bs.AddScanIterator(iterator.Setting{Name: "degreeFilter", Priority: 30, Opts: opts})
-		entries, err := bs.Entries()
-		if err != nil {
-			return nil, err
-		}
 		var next []string
-		for _, e := range entries {
+		err = bs.ForEach(func(e skv.Entry) error {
 			nb := e.K.ColQ
 			if _, seen := visited[nb]; !seen {
 				visited[nb] = hop
 				next = append(next, nb)
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		frontier = next
 	}

@@ -6,7 +6,6 @@ import (
 
 	"graphulo/internal/accumulo"
 	"graphulo/internal/iterator"
-	"graphulo/internal/skv"
 )
 
 // PageRankTableResult reports a table-resident PageRank run.
@@ -83,24 +82,6 @@ func PageRankTable(conn *accumulo.Connector, table, degTable string, alpha, tol 
 		}
 		return w.Close()
 	}
-	readVector := func(name string) (map[string]float64, error) {
-		sc, err := conn.CreateScanner(name)
-		if err != nil {
-			return nil, err
-		}
-		entries, err := sc.Entries()
-		if err != nil {
-			return nil, err
-		}
-		out := make(map[string]float64, len(entries))
-		for _, e := range entries {
-			if v, ok := skv.DecodeFloat(e.V); ok {
-				out[e.K.Row] = v
-			}
-		}
-		return out, nil
-	}
-
 	for it := 1; it <= maxIter; it++ {
 		if err := writeVector(vec, x); err != nil {
 			return PageRankTableResult{}, err
@@ -115,7 +96,9 @@ func PageRankTable(conn *accumulo.Connector, table, degTable string, alpha, tol 
 		if _, err := TableMult(conn, mt, vec, next, MultOptions{}); err != nil {
 			return PageRankTableResult{}, err
 		}
-		walked, err := readVector(next)
+		// Read the small rank vector back through the row-keyed stream
+		// fold (the same read path the degree tables use).
+		walked, err := readDegrees(conn, next)
 		if err != nil {
 			return PageRankTableResult{}, err
 		}

@@ -29,10 +29,14 @@ import (
 // server-side client. Its options: "table" (required).
 //
 // The first Seek opens one remote scan covering the union of all ranges
-// this iterator will see (the full range); later Seeks reposition within
-// the already-fetched stream. TwoTableIterator only ever seeks forward,
-// so this matches Graphulo's streaming RemoteSourceIterator without
-// re-issuing a remote scan per row skip.
+// this iterator will see (the full range). The scan is streaming — the
+// env hands back a cursor-backed SKVI holding wire batches, not a copy
+// of the remote table — and later forward seeks skip within that open
+// stream rather than re-issuing a remote scan. TwoTableIterator only
+// ever seeks forward (row alignment and the seekRowFrom heuristic), so
+// one tablet pass costs exactly one remote scan, matching Graphulo's
+// streaming RemoteSourceIterator; only a backward seek, which no kernel
+// issues, would force the source to re-open.
 type RemoteSourceIterator struct {
 	table string
 	env   Env

@@ -162,29 +162,30 @@ func (s *AdjacencySchema) IngestDirected(g gen.Graph) error {
 	return nil
 }
 
-// ReadAssoc scans a whole table back into an associative array.
+// ReadAssoc scans a whole table back into an associative array. The
+// scan is consumed as a stream: entries fold into the array's builder
+// one wire batch at a time, so the transfer never holds the table twice
+// (raw entries plus array).
 func ReadAssoc(conn *accumulo.Connector, table string) (*assoc.Assoc, error) {
 	sc, err := conn.CreateScanner(table)
 	if err != nil {
 		return nil, err
 	}
-	entries, err := sc.Entries()
+	st, err := sc.Stream()
 	if err != nil {
 		return nil, err
 	}
-	return EntriesToAssoc(entries), nil
-}
-
-// EntriesToAssoc converts scan entries to an associative array keyed by
-// (row, colQ) with decoded numeric values.
-func EntriesToAssoc(entries []skv.Entry) *assoc.Assoc {
-	var es []assoc.Entry
-	for _, e := range entries {
+	defer st.Close()
+	b := assoc.NewBuilder(semiring.PlusTimes)
+	for e, ok := st.Next(); ok; e, ok = st.Next() {
 		if v, ok := skv.DecodeFloat(e.V); ok {
-			es = append(es, assoc.Entry{Row: e.K.Row, Col: e.K.ColQ, Val: v})
+			b.Add(e.K.Row, e.K.ColQ, v)
 		}
 	}
-	return assoc.New(es, semiring.PlusTimes)
+	if err := st.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
 }
 
 // WriteAssoc writes an associative array into a table (row → colQ).
@@ -369,23 +370,18 @@ func (d *D4M) Ingest(records []Record) error {
 	return nil
 }
 
-// Degrees reads Tdeg back as column → count.
+// Degrees reads Tdeg back as column → count, consuming the scan as a
+// stream.
 func (d *D4M) Degrees() (map[string]float64, error) {
 	sc, err := d.conn.CreateScanner(d.Tdeg)
 	if err != nil {
 		return nil, err
 	}
-	entries, err := sc.Entries()
+	st, err := sc.Stream()
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]float64, len(entries))
-	for _, e := range entries {
-		if v, ok := skv.DecodeFloat(e.V); ok {
-			out[e.K.Row] = v
-		}
-	}
-	return out, nil
+	return st.CollectFloatByRow()
 }
 
 // Raw reads one record's flattened text back from Traw.
