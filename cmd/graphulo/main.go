@@ -36,6 +36,9 @@ var (
 	useDB     = flag.Bool("db", false, "run through the embedded NoSQL cluster where supported")
 	dataDir   = flag.String("data-dir", "", "durable cluster directory: graphs built in one invocation are queried in the next (implies -db)")
 	scanPar   = flag.Int("scan-parallelism", 0, "tablets scanned concurrently per kernel pass (0 = cluster default)")
+	cacheBy   = flag.Int64("block-cache-bytes", 0, "rfile block cache capacity in bytes (0 = 32 MiB default, negative disables)")
+	bloomBits = flag.Int("bloom-bits", 0, "bloom filter bits per distinct row in each rfile (0 = default of 10, negative disables)")
+	maxRuns   = flag.Int("max-runs-per-tablet", 8, "background-majc run threshold per tablet (0 disables the compaction scheduler)")
 )
 
 // openDB starts the embedded cluster, durable when -data-dir is set,
@@ -43,7 +46,13 @@ var (
 // exists in the data dir (skipping re-ingest), a freshly ingested one
 // otherwise.
 func openDB(g graphulo.Graph) (*graphulo.DB, *graphulo.TableGraph, error) {
-	db, err := graphulo.Open(graphulo.ClusterConfig{DataDir: *dataDir, ScanParallelism: *scanPar})
+	db, err := graphulo.Open(graphulo.ClusterConfig{
+		DataDir:          *dataDir,
+		ScanParallelism:  *scanPar,
+		BlockCacheBytes:  *cacheBy,
+		BloomFilterBits:  *bloomBits,
+		MaxRunsPerTablet: *maxRuns,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -275,9 +284,13 @@ func run(algorithm string) error {
 // streaming memory bound — wire batches, not table size).
 func reportScanPipeline(db *graphulo.DB) {
 	wire, rpcs, _, scanned := db.Metrics()
-	_, maxInFlight, maxBuffered := db.ScanMetrics()
+	st := db.ScanMetrics()
 	fmt.Printf("scan pipeline: %d RPCs, %d wire bytes, %d entries scanned, max %d tablet scans in flight, peak %d entries buffered\n",
-		rpcs, wire, scanned, maxInFlight, maxBuffered)
+		rpcs, wire, scanned, st.MaxScansInFlight, st.MaxEntriesBuffered)
+	if *dataDir != "" {
+		fmt.Printf("storage: %d block-cache hits, %d misses, %d bloom negatives, %d major compactions\n",
+			st.CacheHits, st.CacheMisses, st.BloomNegatives, st.MajorCompactions)
+	}
 }
 
 func weighted(g graphulo.Graph, seed uint64) *graphulo.Matrix {

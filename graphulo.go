@@ -49,6 +49,15 @@
 // flushed — including after a crash, where replay stops cleanly at the
 // last record whose checksum verifies. Use OpenGraph to reattach to a
 // recovered TableGraph, and Close for a clean shutdown.
+//
+// The durable read path is served through a shared block cache (each
+// rfile block is read, CRC-checked, and decoded once while resident)
+// and per-rfile bloom filters over rows (single-row reads skip files
+// that cannot contain the row); ClusterConfig.MaxRunsPerTablet
+// additionally enables a background compaction scheduler that keeps
+// per-tablet run counts — scan merge width — bounded under sustained
+// ingest. DB.ScanMetrics exposes all of it: cache hits and misses,
+// bloom negatives, and major compaction counts.
 package graphulo
 
 import (
@@ -234,6 +243,22 @@ type ClusterConfig struct {
 	// NoSync skips per-write WAL fsyncs in durable mode, trading crash
 	// durability for ingest speed (benchmarks, bulk loads).
 	NoSync bool
+	// BlockCacheBytes bounds the shared rfile block cache of a durable
+	// cluster, so repeated kernel scans decode each block once instead
+	// of re-reading it from disk (0 selects the 32 MiB default;
+	// negative disables caching).
+	BlockCacheBytes int64
+	// BloomFilterBits sizes per-rfile row bloom filters in bits per
+	// distinct row, letting single-row reads (BFS expansions, point
+	// lookups) skip files that cannot contain the row (0 selects the
+	// default of 10; negative disables the filters).
+	BloomFilterBits int
+	// MaxRunsPerTablet, when positive, enables the background
+	// compaction scheduler on durable tables: tablets whose run count
+	// exceeds the threshold are automatically major-compacted, keeping
+	// scan merge width bounded under sustained ingest. 0 or negative
+	// keeps major compaction manual.
+	MaxRunsPerTablet int
 }
 
 // DB is a handle to an embedded Graphulo cluster.
@@ -248,12 +273,15 @@ type DB struct {
 // writes that were never flushed, e.g. after a crash).
 func Open(cfg ClusterConfig) (*DB, error) {
 	mc, err := accumulo.OpenMiniCluster(accumulo.Config{
-		TabletServers:   cfg.TabletServers,
-		MemLimit:        cfg.MemLimit,
-		WireBatch:       cfg.WireBatch,
-		ScanParallelism: cfg.ScanParallelism,
-		DataDir:         cfg.DataDir,
-		NoSync:          cfg.NoSync,
+		TabletServers:    cfg.TabletServers,
+		MemLimit:         cfg.MemLimit,
+		WireBatch:        cfg.WireBatch,
+		ScanParallelism:  cfg.ScanParallelism,
+		DataDir:          cfg.DataDir,
+		NoSync:           cfg.NoSync,
+		BlockCacheBytes:  cfg.BlockCacheBytes,
+		BloomFilterBits:  cfg.BloomFilterBits,
+		MaxRunsPerTablet: cfg.MaxRunsPerTablet,
 	})
 	if err != nil {
 		return nil, err
@@ -276,14 +304,52 @@ func (db *DB) Metrics() (wireBytes, rpcs, written, scanned int64) {
 	return m.WireBytes.Load(), m.RPCs.Load(), m.EntriesWritten.Load(), m.EntriesScanned.Load()
 }
 
-// ScanMetrics returns the streaming-pipeline gauges: tablet scan
-// workers currently executing, the high-water mark of concurrent
-// workers (evidence of per-tablet parallelism), and the high-water mark
-// of entries buffered across scan pipelines (the streaming memory
-// bound).
-func (db *DB) ScanMetrics() (scansInFlight, maxScansInFlight, maxEntriesBuffered int64) {
+// ScanStats snapshots the read-path metrics: the streaming-pipeline
+// gauges plus the storage-subsystem counters of a durable cluster
+// (block cache, bloom filters, background major compaction).
+type ScanStats struct {
+	// ScansInFlight gauges tablet scan workers currently executing;
+	// MaxScansInFlight is its high-water mark (evidence of per-tablet
+	// parallelism).
+	ScansInFlight    int64
+	MaxScansInFlight int64
+	// MaxEntriesBuffered is the high-water mark of entries buffered
+	// across scan pipelines — the streaming memory bound.
+	MaxEntriesBuffered int64
+	// CacheHits/CacheMisses count rfile block-cache lookups: a hit
+	// serves decoded entries from memory, a miss pays the disk read,
+	// CRC check, and decode.
+	CacheHits   int64
+	CacheMisses int64
+	// BloomNegatives counts single-row seeks answered by a bloom
+	// filter without touching a data block.
+	BloomNegatives int64
+	// MajorCompactions counts completed major compactions, manual and
+	// scheduler-triggered alike.
+	MajorCompactions int64
+}
+
+// ScanMetrics snapshots the read-path gauges and counters; the storage
+// fields are zero for an in-memory cluster.
+func (db *DB) ScanMetrics() ScanStats {
 	m := &db.cluster.Metrics
-	return m.ScansInFlight.Load(), m.MaxScansInFlight.Load(), m.MaxEntriesBuffered.Load()
+	hits, misses, bloomNeg := db.cluster.StorageStats()
+	return ScanStats{
+		ScansInFlight:      m.ScansInFlight.Load(),
+		MaxScansInFlight:   m.MaxScansInFlight.Load(),
+		MaxEntriesBuffered: m.MaxEntriesBuffered.Load(),
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		BloomNegatives:     bloomNeg,
+		MajorCompactions:   m.MajorCompactions.Load(),
+	}
+}
+
+// TabletRuns returns a table's per-tablet immutable-run counts — the
+// merge width its scans pay, bounded by ClusterConfig.MaxRunsPerTablet
+// when the background compaction scheduler is enabled.
+func (db *DB) TabletRuns(table string) ([]int, error) {
+	return db.conn.TableOperations().TabletRuns(table)
 }
 
 // TableGraph is a graph stored in adjacency tables (A, Aᵀ, degree),

@@ -129,7 +129,7 @@ func runConcurrentKernelsAndScans(t *testing.T, cfg ClusterConfig) {
 		}
 	}
 	// Evidence that kernel passes fanned out across tablets.
-	if _, maxInFlight, _ := db.ScanMetrics(); maxInFlight < 2 {
+	if maxInFlight := db.ScanMetrics().MaxScansInFlight; maxInFlight < 2 {
 		t.Fatalf("MaxScansInFlight = %d, want >= 2 (no per-tablet parallelism observed)", maxInFlight)
 	}
 }

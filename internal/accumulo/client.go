@@ -97,24 +97,45 @@ func (t *TableOperations) CreateWithSplits(name string, splits []string) error {
 			server: i % t.mc.cfg.TabletServers,
 		})
 	}
+	t.mc.startScheduler(meta)
 	t.mc.tables[name] = meta
 	return nil
 }
 
 // Delete removes a table, including its on-disk files in durable mode.
 func (t *TableOperations) Delete(name string) error {
-	t.mc.mu.Lock()
-	defer t.mc.mu.Unlock()
-	if _, ok := t.mc.tables[name]; !ok {
-		return fmt.Errorf("accumulo: table %q does not exist", name)
-	}
-	if t.mc.dir != nil {
-		if err := t.mc.dir.DropTable(name); err != nil {
-			return fmt.Errorf("accumulo: dropping table %q: %w", name, err)
+	// Stop the table's compaction scheduler before taking the cluster
+	// lock: Stop waits out any in-flight scheduled compaction, which
+	// may itself need cluster reads (remote majc-scope iterators).
+	// Stopping happens outside the lock, so re-check that the meta we
+	// stopped is still the one registered — a concurrent delete+create
+	// may have replaced it with one whose scheduler is live.
+	for {
+		t.mc.mu.RLock()
+		meta := t.mc.tables[name]
+		t.mc.mu.RUnlock()
+		if meta != nil && meta.sched != nil {
+			meta.sched.Stop()
 		}
+		t.mc.mu.Lock()
+		cur, ok := t.mc.tables[name]
+		if !ok {
+			t.mc.mu.Unlock()
+			return fmt.Errorf("accumulo: table %q does not exist", name)
+		}
+		if cur != meta {
+			t.mc.mu.Unlock()
+			continue
+		}
+		defer t.mc.mu.Unlock()
+		if t.mc.dir != nil {
+			if err := t.mc.dir.DropTable(name); err != nil {
+				return fmt.Errorf("accumulo: dropping table %q: %w", name, err)
+			}
+		}
+		delete(t.mc.tables, name)
+		return nil
 	}
-	delete(t.mc.tables, name)
-	return nil
 }
 
 // Exists reports whether the table exists.
@@ -207,6 +228,19 @@ func (t *TableOperations) AttachIterator(name string, setting iterator.Setting, 
 	return t.mc.persistIters(meta)
 }
 
+// IteratorSettings returns a copy of the table's iterator stack at one
+// scope, so callers can verify a table's combiner configuration before
+// writing through it.
+func (t *TableOperations) IteratorSettings(name string, scope Scope) ([]iterator.Setting, error) {
+	meta, err := t.mc.getTable(name)
+	if err != nil {
+		return nil, err
+	}
+	meta.mu.RLock()
+	defer meta.mu.RUnlock()
+	return append([]iterator.Setting(nil), meta.iters[scope]...), nil
+}
+
 // RemoveIterator removes the named iterator from the given scopes
 // (default all).
 func (t *TableOperations) RemoveIterator(name, iterName string, scopes ...Scope) error {
@@ -243,6 +277,10 @@ func (t *TableOperations) Flush(name string) error {
 			return err
 		}
 	}
+	if meta.sched != nil {
+		// Each flush adds a run; let the scheduler fold promptly.
+		meta.sched.Kick()
+	}
 	return nil
 }
 
@@ -257,8 +295,27 @@ func (t *TableOperations) Compact(name string) error {
 		if err := tr.tab.MajorCompact(stack); err != nil {
 			return err
 		}
+		t.mc.Metrics.MajorCompactions.Add(1)
 	}
 	return nil
+}
+
+// TabletRuns returns the table's per-tablet immutable-run counts, in
+// tablet order — the k-way merge width each tablet's scans pay. The
+// background compaction scheduler keeps these at or under
+// Config.MaxRunsPerTablet.
+func (t *TableOperations) TabletRuns(name string) ([]int, error) {
+	meta, err := t.mc.getTable(name)
+	if err != nil {
+		return nil, err
+	}
+	meta.mu.RLock()
+	defer meta.mu.RUnlock()
+	out := make([]int, len(meta.tablets))
+	for i, tr := range meta.tablets {
+		out[i] = tr.tab.RunCount()
+	}
+	return out, nil
 }
 
 // Clone copies a table's current contents and iterator configuration

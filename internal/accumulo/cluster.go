@@ -92,6 +92,23 @@ type Config struct {
 	// NoSync skips per-append WAL fsyncs in durable mode (benchmarks
 	// and bulk loads; crash durability is reduced to OS buffering).
 	NoSync bool
+	// BlockCacheBytes bounds the shared rfile block cache of a durable
+	// cluster: repeated scans decode each resident block once instead
+	// of re-reading, re-CRCing, and re-decoding it from disk. 0 selects
+	// the default capacity (32 MiB); negative disables the cache.
+	BlockCacheBytes int64
+	// BloomFilterBits sizes the per-rfile row bloom filters, in bits
+	// per distinct row: single-row scans (BFS expansions, point reads)
+	// skip rfiles that cannot contain the row. 0 selects the default
+	// density (10); negative disables the filters.
+	BloomFilterBits int
+	// MaxRunsPerTablet, when positive, starts a background compaction
+	// scheduler per durable table: a tablet whose immutable-run count
+	// exceeds this threshold is automatically major-compacted (with the
+	// table's majc iterator stack), bounding k-way merge width under
+	// sustained ingest. 0 or negative keeps major compaction
+	// manual-only.
+	MaxRunsPerTablet int
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +152,14 @@ type Metrics struct {
 	// refactor's memory claim.
 	EntriesBuffered    atomic.Int64
 	MaxEntriesBuffered atomic.Int64
+
+	// MajorCompactions counts completed major compactions — manual
+	// (TableOperations.Compact, per tablet) and scheduled (background
+	// compaction scheduler) alike. MajorCompactionErrors counts
+	// scheduled compactions that failed; the scheduler retries on its
+	// next sweep.
+	MajorCompactions      atomic.Int64
+	MajorCompactionErrors atomic.Int64
 }
 
 // atomicMax folds n into an atomic high-water mark.
@@ -181,6 +206,12 @@ type tabletRef struct {
 type tableMeta struct {
 	name string
 
+	// sched is the table's background compaction scheduler (durable
+	// clusters with Config.MaxRunsPerTablet > 0; nil otherwise). Set
+	// once before the table becomes visible, stopped at table delete
+	// and cluster close.
+	sched *tablet.Scheduler
+
 	mu      sync.RWMutex
 	splits  []string // sorted row boundaries
 	tablets []*tabletRef
@@ -210,7 +241,11 @@ func OpenMiniCluster(cfg Config) (*MiniCluster, error) {
 	if cfg.DataDir == "" {
 		return mc, nil
 	}
-	dir, err := store.Open(cfg.DataDir, store.Options{NoSync: cfg.NoSync})
+	dir, err := store.Open(cfg.DataDir, store.Options{
+		NoSync:          cfg.NoSync,
+		BlockCacheBytes: cfg.BlockCacheBytes,
+		BloomFilterBits: cfg.BloomFilterBits,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -241,11 +276,49 @@ func OpenMiniCluster(cfg Config) (*MiniCluster, error) {
 				server: i % mc.cfg.TabletServers,
 			})
 		}
+		mc.startScheduler(meta)
 		mc.tables[ti.Name] = meta
 	}
 	mc.clock.Store(clockFloor)
 	dir.SetClock(func() int64 { return mc.clock.Load() })
 	return mc, nil
+}
+
+// startScheduler launches the table's background compaction scheduler
+// when the cluster is durable and Config.MaxRunsPerTablet asks for one.
+// Must run before the table becomes visible to other goroutines, so
+// meta.sched is immutable afterwards.
+func (mc *MiniCluster) startScheduler(meta *tableMeta) {
+	if mc.dir == nil || mc.cfg.MaxRunsPerTablet <= 0 {
+		return
+	}
+	meta.sched = tablet.StartScheduler(tablet.SchedulerConfig{
+		MaxRuns: mc.cfg.MaxRunsPerTablet,
+		Tablets: func() []*tablet.Tablet {
+			meta.mu.RLock()
+			defer meta.mu.RUnlock()
+			out := make([]*tablet.Tablet, len(meta.tablets))
+			for i, tr := range meta.tablets {
+				out[i] = tr.tab
+			}
+			return out
+		},
+		Stack: func() func(iterator.SKVI) (iterator.SKVI, error) {
+			return mc.compactionStack(meta, MajcScope)
+		},
+		OnCompact: func(*tablet.Tablet) { mc.Metrics.MajorCompactions.Add(1) },
+		OnError:   func(error) { mc.Metrics.MajorCompactionErrors.Add(1) },
+	})
+}
+
+// StorageStats snapshots the durable read-path counters: block-cache
+// hits and misses, and bloom-filter negative row lookups. All zero for
+// in-memory clusters.
+func (mc *MiniCluster) StorageStats() (cacheHits, cacheMisses, bloomNegatives int64) {
+	if mc.dir == nil {
+		return 0, 0, 0
+	}
+	return mc.dir.StorageStats()
 }
 
 // Close shuts a durable cluster down cleanly: every tablet's memtable
@@ -261,10 +334,20 @@ func (mc *MiniCluster) Close() error {
 	}
 	mc.mu.RLock()
 	var names []string
-	for name := range mc.tables {
+	var scheds []*tablet.Scheduler
+	for name, meta := range mc.tables {
 		names = append(names, name)
+		if meta.sched != nil {
+			scheds = append(scheds, meta.sched)
+		}
 	}
 	mc.mu.RUnlock()
+	// Stop every compaction scheduler first: Stop returns only once any
+	// in-flight scheduled compaction has finished, so nothing races the
+	// final flushes or writes after the directory closes.
+	for _, s := range scheds {
+		s.Stop()
+	}
 	ops := &TableOperations{mc: mc}
 	var firstErr error
 	for _, name := range names {
@@ -385,6 +468,11 @@ func (mc *MiniCluster) write(table string, entries []skv.Entry) error {
 		// tablet handles the spill itself with a nil stack, so re-apply
 		// the configured minc stack lazily at the next compaction. To
 		// keep combiner semantics exact we rely on scan/majc stacks.
+	}
+	if meta.sched != nil {
+		// Prompt the compaction scheduler: an auto-minc above may have
+		// pushed a tablet past its run threshold.
+		meta.sched.Kick()
 	}
 	return nil
 }

@@ -1,0 +1,190 @@
+// Package cache implements the shared block cache of the read path: a
+// size-bounded LRU over decoded rfile data blocks, keyed by (file,
+// block index). Every rfile Reader in a data directory consults one
+// BlockCache, so a block that several scans touch — repeated kernel
+// passes, TwoTableIterator remote seeks, BFS rounds re-reading the same
+// adjacency rows — is read from disk, CRC-verified, and decoded exactly
+// once while it stays resident. Eviction is strict LRU by decoded byte
+// size; hit and miss counters are atomic so the cluster metrics can
+// snapshot them without locking the cache.
+//
+// A nil *BlockCache is a valid "cache disabled" value: every method is
+// nil-receiver safe and behaves as a permanent miss, so callers thread
+// the pointer through unconditionally.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"graphulo/internal/skv"
+)
+
+// DefaultMaxBytes is the block-cache capacity used when a caller asks
+// for a cache without sizing it.
+const DefaultMaxBytes = 32 << 20
+
+// entryOverhead approximates the fixed per-entry heap cost (string
+// headers, slice header, key struct) added to the payload bytes when
+// charging a block against the capacity.
+const entryOverhead = 64
+
+// blockKey identifies one data block of one rfile.
+type blockKey struct {
+	file  string
+	block int
+}
+
+// block is one resident cache element.
+type block struct {
+	key     blockKey
+	entries []skv.Entry
+	size    int64
+}
+
+// BlockCache is a thread-safe LRU cache of decoded rfile blocks.
+type BlockCache struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	mu    sync.Mutex
+	max   int64
+	size  int64
+	ll    *list.List // front = most recently used; values are *block
+	items map[blockKey]*list.Element
+}
+
+// New creates a cache bounded by maxBytes of decoded entries
+// (maxBytes <= 0 selects DefaultMaxBytes).
+func New(maxBytes int64) *BlockCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &BlockCache{
+		max:   maxBytes,
+		ll:    list.New(),
+		items: map[blockKey]*list.Element{},
+	}
+}
+
+// entriesSize charges a decoded block by payload bytes plus a fixed
+// per-entry overhead.
+func entriesSize(entries []skv.Entry) int64 {
+	var n int64
+	for _, e := range entries {
+		n += int64(len(e.K.Row)+len(e.K.ColF)+len(e.K.ColQ)+len(e.V)) + entryOverhead
+	}
+	return n
+}
+
+// Get returns the cached block and records a hit or miss. The returned
+// slice is shared — callers must treat it as immutable.
+func (c *BlockCache) Get(file string, blockIdx int) ([]skv.Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[blockKey{file, blockIdx}]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*block).entries, true
+}
+
+// Put inserts (or refreshes) a decoded block and evicts from the LRU
+// tail until the cache fits its bound again. A block larger than the
+// whole cache is not admitted.
+func (c *BlockCache) Put(file string, blockIdx int, entries []skv.Entry) {
+	if c == nil {
+		return
+	}
+	size := entriesSize(entries)
+	if size > c.max {
+		return
+	}
+	key := blockKey{file, blockIdx}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, dup := c.items[key]; dup {
+		// Concurrent loaders of the same block race benignly: keep the
+		// resident copy fresh in the LRU and drop the duplicate.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&block{key: key, entries: entries, size: size})
+	c.size += size
+	for c.size > c.max {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		c.removeLocked(tail)
+	}
+}
+
+// removeLocked unlinks one element; caller holds c.mu.
+func (c *BlockCache) removeLocked(el *list.Element) {
+	b := el.Value.(*block)
+	c.ll.Remove(el)
+	delete(c.items, b.key)
+	c.size -= b.size
+}
+
+// EvictFile drops every resident block of one file — called when an
+// rfile is deleted (major compaction, table drop) so dead blocks stop
+// occupying capacity.
+func (c *BlockCache) EvictFile(file string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.items {
+		if key.file == file {
+			c.removeLocked(el)
+		}
+	}
+}
+
+// Hits returns the cumulative hit count.
+func (c *BlockCache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+// Misses returns the cumulative miss count.
+func (c *BlockCache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}
+
+// Bytes returns the resident decoded size.
+func (c *BlockCache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Len returns the number of resident blocks.
+func (c *BlockCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

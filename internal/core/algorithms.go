@@ -6,8 +6,8 @@ import (
 	"graphulo/internal/accumulo"
 	"graphulo/internal/algo"
 	"graphulo/internal/assoc"
-	"graphulo/internal/iterator"
 	"graphulo/internal/schema"
+	"graphulo/internal/semiring"
 	"graphulo/internal/skv"
 	"graphulo/internal/sparse"
 )
@@ -107,17 +107,38 @@ func readDegrees(conn *accumulo.Connector, table string) (map[string]float64, er
 	return st.CollectFloatByRow()
 }
 
+// dropScratch deletes the scratch tables a driver created, folding the
+// first delete failure into err when the driver itself succeeded.
+// Drivers defer it so intermediates are reclaimed on success and error
+// paths alike.
+func dropScratch(conn *accumulo.Connector, names []string, err *error) {
+	ops := conn.TableOperations()
+	for _, name := range names {
+		if !ops.Exists(name) {
+			continue
+		}
+		if derr := ops.Delete(name); derr != nil && *err == nil {
+			*err = fmt.Errorf("core: dropping scratch table %q: %w", name, derr)
+		}
+	}
+}
+
 // KTrussAdjTable computes the k-truss of the graph stored in an
 // adjacency table and writes the surviving adjacency matrix to outTable.
 // Per iteration, the triangle-support matrix A² is produced server-side
 // with TableMult (the adjacency table doubles as Aᵀ because the graph is
 // undirected); the peel set is decided client-side from the scanned
 // support entries, exactly the Graphulo kTrussAdj loop structure.
-// Returns the number of peel iterations.
-func KTrussAdjTable(conn *accumulo.Connector, table, outTable string, k int, scratch string) (int, error) {
+// Returns the number of peel iterations. Every `<scratch>_sq<N>` /
+// `<scratch>_it<N>` intermediate is deleted before returning, on
+// success and on error.
+func KTrussAdjTable(conn *accumulo.Connector, table, outTable string, k int, scratch string) (iterCount int, err error) {
 	ops := conn.TableOperations()
 	cur := table
-	iterCount := 0
+	var scratchTables []string
+	// Closure, not a direct defer: the slice grows as rounds allocate
+	// scratch tables and must be read at return time.
+	defer func() { dropScratch(conn, scratchTables, &err) }()
 	for round := 0; ; round++ {
 		tmp := fmt.Sprintf("%s_sq%d", scratch, round)
 		if ops.Exists(tmp) {
@@ -125,6 +146,7 @@ func KTrussAdjTable(conn *accumulo.Connector, table, outTable string, k int, scr
 				return iterCount, err
 			}
 		}
+		scratchTables = append(scratchTables, tmp)
 		// A² server-side (cur holds a symmetric matrix = its own
 		// transpose).
 		if _, err := TableMult(conn, cur, cur, tmp, MultOptions{}); err != nil {
@@ -150,20 +172,9 @@ func KTrussAdjTable(conn *accumulo.Connector, table, outTable string, k int, scr
 				removed = true
 			}
 		}
-		next := fmt.Sprintf("%s_it%d", scratch, round)
-		if ops.Exists(next) {
-			if err := ops.Delete(next); err != nil {
-				return iterCount, err
-			}
-		}
-		if err := createSumTable(conn, next); err != nil {
-			return iterCount, err
-		}
-		if err := schema.WriteAssoc(conn, next, assoc.New(keep, aCur.Ring())); err != nil {
-			return iterCount, err
-		}
 		if !removed {
-			// Fixed point: copy into outTable and clean up.
+			// Fixed point: copy into outTable; the deferred cleanup
+			// reclaims every intermediate.
 			if ops.Exists(outTable) {
 				if err := ops.Delete(outTable); err != nil {
 					return iterCount, err
@@ -177,22 +188,29 @@ func KTrussAdjTable(conn *accumulo.Connector, table, outTable string, k int, scr
 			}
 			return iterCount, nil
 		}
+		next := fmt.Sprintf("%s_it%d", scratch, round)
+		if ops.Exists(next) {
+			if err := ops.Delete(next); err != nil {
+				return iterCount, err
+			}
+		}
+		scratchTables = append(scratchTables, next)
+		if err := createSumTable(conn, next); err != nil {
+			return iterCount, err
+		}
+		if err := schema.WriteAssoc(conn, next, assoc.New(keep, aCur.Ring())); err != nil {
+			return iterCount, err
+		}
 		cur = next
 	}
 }
 
+// createSumTable makes name a sum-combined table, installing the
+// combiner even when the table pre-exists (see ensureResultTable — a
+// pre-created table would otherwise keep versioning semantics and drop
+// ⊕).
 func createSumTable(conn *accumulo.Connector, name string) error {
-	ops := conn.TableOperations()
-	if ops.Exists(name) {
-		return nil
-	}
-	if err := ops.Create(name); err != nil {
-		return err
-	}
-	if err := ops.RemoveIterator(name, "versioning"); err != nil {
-		return err
-	}
-	return ops.AttachIterator(name, iterator.Setting{Name: "sum", Priority: 10})
+	return ensureResultTable(conn, name, semiring.PlusTimes)
 }
 
 // JaccardTable computes Jaccard coefficients for the graph in an
@@ -200,8 +218,9 @@ func createSumTable(conn *accumulo.Connector, name string) error {
 // TableMult (A·A through the table kernels), the degree normalisation
 // from the degree table, and the result lands in outTable. Only the
 // strict upper triangle (by key order) is written, matching Algorithm
-// 2's output shape.
-func JaccardTable(conn *accumulo.Connector, table, degTable, outTable string) (int, error) {
+// 2's output shape. The `<out>_num` numerator table is deleted before
+// returning, on success and on error.
+func JaccardTable(conn *accumulo.Connector, table, degTable, outTable string) (written int, err error) {
 	ops := conn.TableOperations()
 	tmp := outTable + "_num"
 	if ops.Exists(tmp) {
@@ -209,6 +228,7 @@ func JaccardTable(conn *accumulo.Connector, table, degTable, outTable string) (i
 			return 0, err
 		}
 	}
+	defer dropScratch(conn, []string{tmp}, &err)
 	if _, err := TableMult(conn, table, table, tmp, MultOptions{}); err != nil {
 		return 0, err
 	}
@@ -227,7 +247,6 @@ func JaccardTable(conn *accumulo.Connector, table, degTable, outTable string) (i
 	if err != nil {
 		return 0, err
 	}
-	written := 0
 	for _, e := range num.Entries() {
 		if e.Row >= e.Col { // upper triangle only
 			continue
@@ -311,14 +330,16 @@ func TableDegrees(conn *accumulo.Connector, table, degTable string) (int, error)
 
 // TriangleCountTable counts triangles in the graph held by an adjacency
 // table: TableMult produces A² server-side; the client streams A once
-// and accumulates Σ A∘A² / 6.
-func TriangleCountTable(conn *accumulo.Connector, table, scratch string) (float64, error) {
+// and accumulates Σ A∘A² / 6. The scratch table is deleted before
+// returning, on success and on error.
+func TriangleCountTable(conn *accumulo.Connector, table, scratch string) (count float64, err error) {
 	ops := conn.TableOperations()
 	if ops.Exists(scratch) {
 		if err := ops.Delete(scratch); err != nil {
 			return 0, err
 		}
 	}
+	defer dropScratch(conn, []string{scratch}, &err)
 	if _, err := TableMult(conn, table, table, scratch, MultOptions{}); err != nil {
 		return 0, err
 	}

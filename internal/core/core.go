@@ -90,7 +90,9 @@ func TableMult(conn *accumulo.Connector, tableAT, tableB, tableC string, opts Mu
 // monitoring counts as they arrive. The stream triggers the kernel: by
 // the time a tablet's monitoring entry is served, that tablet's results
 // are in the target table; tablets execute concurrently under the
-// cluster's ScanParallelism bound.
+// cluster's ScanParallelism bound. A monitoring entry whose value does
+// not decode is an error — silently skipping it would under-report the
+// written count.
 func collectMonitor(sc *accumulo.Scanner) (int, error) {
 	st, err := sc.Stream()
 	if err != nil {
@@ -99,38 +101,106 @@ func collectMonitor(sc *accumulo.Scanner) (int, error) {
 	defer st.Close()
 	total := 0
 	for e, ok := st.Next(); ok; e, ok = st.Next() {
-		if v, ok := skv.DecodeFloat(e.V); ok {
-			total += int(v)
+		v, ok := skv.DecodeFloat(e.V)
+		if !ok {
+			return total, fmt.Errorf("core: monitoring entry %v carries undecodable count %q", e.K, string(e.V))
 		}
+		total += int(v)
 	}
 	return total, st.Err()
 }
 
-// ensureResultTable creates tableC if needed and installs the ⊕
-// combiner matching the semiring's Add at every scope.
-func ensureResultTable(conn *accumulo.Connector, tableC string, ring semiring.Semiring) error {
-	ops := conn.TableOperations()
-	if ops.Exists(tableC) {
-		return nil
-	}
-	if err := ops.Create(tableC); err != nil {
-		return err
-	}
-	combiner := ""
+// combinerForRing names the combiner iterator implementing a semiring's
+// ⊕ on a result table.
+func combinerForRing(ring semiring.Semiring) string {
 	switch ring.Name {
 	case "min.plus", "min.max":
-		combiner = "min"
+		return "min"
 	case "max.plus", "max.min":
-		combiner = "max"
+		return "max"
 	case "or.and":
-		combiner = "max" // OR over {0,1} is max
+		return "max" // OR over {0,1} is max
 	default:
-		combiner = "sum"
+		return "sum"
 	}
-	if err := ops.RemoveIterator(tableC, "versioning"); err != nil {
-		return err
+}
+
+// combinerNames is the set of iterator names that fold a cell's
+// versions with an ⊕ — derived from combinerForRing over the standard
+// semirings so it cannot drift when new rings map to new combiners. A
+// result table must carry exactly the kernel's.
+var combinerNames = func() map[string]bool {
+	names := map[string]bool{}
+	for _, ring := range semiring.Standard() {
+		names[combinerForRing(ring)] = true
 	}
-	return ops.AttachIterator(tableC, iterator.Setting{Name: combiner, Priority: 10})
+	return names
+}()
+
+// ensureResultTable makes tableC a valid ⊕ target for the semiring:
+// created with the matching combiner when absent, and — the case that
+// used to silently drop ⊕ — verified and upgraded when it already
+// exists. A pre-created table still carrying the default versioning
+// iterator keeps only the last write per cell, so TableMult partial
+// products would overwrite instead of summing; here the versioning
+// iterator is replaced with the semiring's combiner. A table configured
+// with a different combiner is a hard error rather than a silently
+// wrong answer.
+func ensureResultTable(conn *accumulo.Connector, tableC string, ring semiring.Semiring) error {
+	ops := conn.TableOperations()
+	combiner := combinerForRing(ring)
+	if !ops.Exists(tableC) {
+		if err := ops.Create(tableC); err != nil {
+			return err
+		}
+		if err := ops.RemoveIterator(tableC, "versioning"); err != nil {
+			return err
+		}
+		return ops.AttachIterator(tableC, iterator.Setting{Name: combiner, Priority: 10})
+	}
+	// Verify every scope before mutating any: a conflict at one scope
+	// must leave the user's table exactly as it was, not half-upgraded.
+	type install struct {
+		scope accumulo.Scope
+		prio  int
+	}
+	var installs []install
+	for _, scope := range accumulo.AllScopes {
+		settings, err := ops.IteratorSettings(tableC, scope)
+		if err != nil {
+			return err
+		}
+		present := false
+		usedPriority := map[int]bool{}
+		for _, s := range settings {
+			usedPriority[s.Priority] = true
+			if s.Name == combiner {
+				present = true
+				continue
+			}
+			if combinerNames[s.Name] {
+				return fmt.Errorf("core: result table %q already has combiner %q (scope %d), conflicting with required %q",
+					tableC, s.Name, scope, combiner)
+			}
+		}
+		if present {
+			continue
+		}
+		prio := 10
+		for usedPriority[prio] {
+			prio++
+		}
+		installs = append(installs, install{scope: scope, prio: prio})
+	}
+	for _, in := range installs {
+		if err := ops.RemoveIterator(tableC, "versioning", in.scope); err != nil {
+			return err
+		}
+		if err := ops.AttachIterator(tableC, iterator.Setting{Name: combiner, Priority: in.prio}, in.scope); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // TableMultClient is the thin-client baseline the Graphulo execution

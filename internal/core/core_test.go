@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"graphulo/internal/accumulo"
@@ -480,5 +481,223 @@ func TestTableMultMinPlus(t *testing.T) {
 	// D2[u][v] = min_i D[i][u] + D[i][v].
 	if out["v0"]["v0"] != 2 || out["v0"]["v1"] != 4 || out["v1"]["v1"] != 2 {
 		t.Fatalf("min.plus product wrong: %v", out)
+	}
+}
+
+// TestTableMultIntoPreCreatedTable is the regression test for the
+// combiner-less result-table bug: a result table created before the
+// kernel call used to keep its default versioning iterator, so ⊕ of
+// partial products silently became "last write wins". ensureResultTable
+// must now install the combiner on the existing table.
+func TestTableMultIntoPreCreatedTable(t *testing.T) {
+	conn := testConn(t)
+	ops := conn.TableOperations()
+	// Pre-create C exactly as a user would: versioning only.
+	if err := ops.Create("Cpre"); err != nil {
+		t.Fatal(err)
+	}
+	// Aᵀ has two inner-dimension entries feeding the same output cell,
+	// so C("a0","b0") is a genuine ⊕ of two partial products.
+	inner := []string{"i0", "i1"}
+	loadMatrix(t, conn, "ATpre", inner, []string{"a0"}, [][]float64{{2}, {3}})
+	loadMatrix(t, conn, "Bpre", inner, []string{"b0"}, [][]float64{{5}, {7}})
+	n, err := TableMult(conn, "ATpre", "Bpre", "Cpre", MultOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("TableMult wrote %d partial products, want 2", n)
+	}
+	got := readMatrix(t, conn, "Cpre")
+	if got["a0"]["b0"] != 2*5+3*7 {
+		t.Fatalf("C[a0][b0] = %v, want %v (⊕ dropped on pre-created table)", got["a0"]["b0"], 2*5+3*7)
+	}
+}
+
+// TestEnsureResultTableConflictingCombiner checks a result table whose
+// combiner contradicts the semiring is a hard error, not a wrong
+// answer.
+func TestEnsureResultTableConflictingCombiner(t *testing.T) {
+	conn := testConn(t)
+	ops := conn.TableOperations()
+	if err := ops.Create("Cmin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ops.RemoveIterator("Cmin", "versioning"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ops.AttachIterator("Cmin", iterator.Setting{Name: "min", Priority: 10}); err != nil {
+		t.Fatal(err)
+	}
+	loadMatrix(t, conn, "ATc", []string{"i0"}, []string{"a0"}, [][]float64{{1}})
+	loadMatrix(t, conn, "Bc", []string{"i0"}, []string{"b0"}, [][]float64{{1}})
+	if _, err := TableMult(conn, "ATc", "Bc", "Cmin", MultOptions{}); err == nil {
+		t.Fatal("plus.times TableMult into a min-combined table succeeded")
+	}
+}
+
+// TestEnsureResultTableConflictLeavesTableIntact checks the conflict
+// error does not half-upgrade the table: with a conflicting combiner at
+// only one scope, the other scopes must keep their original stacks.
+func TestEnsureResultTableConflictLeavesTableIntact(t *testing.T) {
+	conn := testConn(t)
+	ops := conn.TableOperations()
+	if err := ops.Create("Cpart"); err != nil {
+		t.Fatal(err)
+	}
+	// Conflicting 'min' at majc only; scan/minc keep default versioning.
+	if err := ops.RemoveIterator("Cpart", "versioning", accumulo.MajcScope); err != nil {
+		t.Fatal(err)
+	}
+	if err := ops.AttachIterator("Cpart", iterator.Setting{Name: "min", Priority: 10}, accumulo.MajcScope); err != nil {
+		t.Fatal(err)
+	}
+	loadMatrix(t, conn, "ATp", []string{"i0"}, []string{"a0"}, [][]float64{{1}})
+	loadMatrix(t, conn, "Bp", []string{"i0"}, []string{"b0"}, [][]float64{{1}})
+	if _, err := TableMult(conn, "ATp", "Bp", "Cpart", MultOptions{}); err == nil {
+		t.Fatal("conflicting combiner not detected")
+	}
+	for _, scope := range []accumulo.Scope{accumulo.ScanScope, accumulo.MincScope} {
+		settings, err := ops.IteratorSettings("Cpart", scope)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasVersioning := false
+		for _, s := range settings {
+			if s.Name == "sum" {
+				t.Fatalf("scope %d half-upgraded: sum installed despite conflict", scope)
+			}
+			if s.Name == "versioning" {
+				hasVersioning = true
+			}
+		}
+		if !hasVersioning {
+			t.Fatalf("scope %d lost its versioning iterator on a failed ensure", scope)
+		}
+	}
+}
+
+// TestTableSumIntoPreCreatedTable covers the same bug through TableSum:
+// summing two tables into a pre-created destination must fold values.
+func TestTableSumIntoPreCreatedTable(t *testing.T) {
+	conn := testConn(t)
+	ops := conn.TableOperations()
+	if err := ops.Create("SumOut"); err != nil {
+		t.Fatal(err)
+	}
+	loadMatrix(t, conn, "S1", []string{"r"}, []string{"c"}, [][]float64{{4}})
+	loadMatrix(t, conn, "S2", []string{"r"}, []string{"c"}, [][]float64{{9}})
+	if _, err := TableSum(conn, []string{"S1", "S2"}, "SumOut"); err != nil {
+		t.Fatal(err)
+	}
+	got := readMatrix(t, conn, "SumOut")
+	if got["r"]["c"] != 13 {
+		t.Fatalf("SumOut[r][c] = %v, want 13", got["r"]["c"])
+	}
+}
+
+// TestKTrussScratchTablesReclaimed is the regression test for the
+// scratch-table leak: no `<scratch>_sq<N>` or `<scratch>_it<N>`
+// intermediate may survive the call.
+func TestKTrussScratchTablesReclaimed(t *testing.T) {
+	conn := testConn(t)
+	g := gen.Dedup(gen.Barbell(4, 1))
+	sch, err := schema.NewAdjacencySchema(conn, "KL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.IngestGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := KTrussAdjTable(conn, sch.Table, "KLOut", 4, "KLscratch"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range conn.TableOperations().List() {
+		if strings.HasPrefix(name, "KLscratch_") {
+			t.Fatalf("scratch table %q leaked", name)
+		}
+	}
+	if !conn.TableOperations().Exists("KLOut") {
+		t.Fatal("output table missing after cleanup")
+	}
+}
+
+// TestJaccardNumeratorReclaimed checks JaccardTable deletes its
+// `<out>_num` intermediate on success and on error.
+func TestJaccardNumeratorReclaimed(t *testing.T) {
+	conn := testConn(t)
+	g := gen.Dedup(gen.Complete(4))
+	sch, err := schema.NewAdjacencySchema(conn, "JL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.IngestGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := JaccardTable(conn, sch.Table, sch.DegTable, "JLOut"); err != nil {
+		t.Fatal(err)
+	}
+	if conn.TableOperations().Exists("JLOut_num") {
+		t.Fatal("JLOut_num leaked on success path")
+	}
+	// Error path: a missing degree table fails after the numerator
+	// TableMult created the scratch — it must still be reclaimed.
+	if _, err := JaccardTable(conn, sch.Table, "no-such-deg-table", "JLErr"); err == nil {
+		t.Fatal("JaccardTable with missing degree table succeeded")
+	}
+	if conn.TableOperations().Exists("JLErr_num") {
+		t.Fatal("JLErr_num leaked on error path")
+	}
+}
+
+// TestTriangleScratchReclaimed checks TriangleCountTable deletes its A²
+// scratch table.
+func TestTriangleScratchReclaimed(t *testing.T) {
+	conn := testConn(t)
+	g := gen.Dedup(gen.Complete(5))
+	sch, err := schema.NewAdjacencySchema(conn, "TL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.IngestGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	n, err := TriangleCountTable(conn, sch.Table, "TLsq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 { // C(5,3) triangles in K5
+		t.Fatalf("triangles = %v, want 10", n)
+	}
+	if conn.TableOperations().Exists("TLsq") {
+		t.Fatal("triangle scratch table leaked")
+	}
+}
+
+// TestCollectMonitorRejectsBadValue is the regression test for silently
+// skipped monitoring entries: an undecodable count must surface as an
+// error instead of under-reporting.
+func TestCollectMonitorRejectsBadValue(t *testing.T) {
+	conn := testConn(t)
+	ops := conn.TableOperations()
+	if err := ops.Create("Mon"); err != nil {
+		t.Fatal(err)
+	}
+	w, err := conn.CreateBatchWriter("Mon", accumulo.BatchWriterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put("t0", "", "count", skv.Value("not-a-number")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := conn.CreateScanner("Mon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := collectMonitor(sc); err == nil {
+		t.Fatal("undecodable monitoring entry not surfaced as an error")
 	}
 }

@@ -1,0 +1,116 @@
+package rfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// This file implements the per-rfile bloom filter over row keys. The
+// writer collects one 64-bit hash per distinct row (rows arrive sorted,
+// so distinctness is a single comparison) and sizes the bit array at
+// Finish, LevelDB-style: nbits = distinctRows × bitsPerKey, k ≈
+// bitsPerKey·ln2 probes derived from the one hash by double hashing.
+// Readers probe the filter before seeking a single-row range, so point
+// and row lookups skip files that cannot contain the row without
+// touching a data block.
+
+// DefaultBloomBitsPerKey is the filter density used when a writer does
+// not choose one: ~1% false-positive rate at 10 bits per distinct row.
+const DefaultBloomBitsPerKey = 10
+
+// maxBloomProbes caps k; beyond ~30 probes more hashing buys nothing.
+const maxBloomProbes = 30
+
+// bloomHash is the one hash each row contributes; probe positions are
+// derived from it by double hashing, so the filter never re-hashes the
+// row string.
+func bloomHash(row string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(row))
+	return h.Sum64()
+}
+
+// bloomFilter is an immutable bloom filter over row hashes. A nil bits
+// slice means "no filter" (version-1 files, or blooms disabled at write
+// time) and admits every row.
+type bloomFilter struct {
+	bits []byte
+	k    int
+}
+
+// buildBloom sizes and populates a filter for the given row hashes.
+// With no rows it returns a one-byte all-zero filter that rejects every
+// probe — correct for an empty file, and distinct from the nil
+// "no filter" value.
+func buildBloom(hashes []uint64, bitsPerKey int) bloomFilter {
+	if bitsPerKey <= 0 {
+		bitsPerKey = DefaultBloomBitsPerKey
+	}
+	k := int(float64(bitsPerKey) * 0.69) // ≈ bitsPerKey·ln2
+	if k < 1 {
+		k = 1
+	}
+	if k > maxBloomProbes {
+		k = maxBloomProbes
+	}
+	nbits := len(hashes) * bitsPerKey
+	if nbits < 8 {
+		nbits = 8
+	}
+	f := bloomFilter{bits: make([]byte, (nbits+7)/8), k: k}
+	nbits = len(f.bits) * 8
+	for _, h := range hashes {
+		delta := h>>33 | h<<31
+		for i := 0; i < k; i++ {
+			pos := h % uint64(nbits)
+			f.bits[pos/8] |= 1 << (pos % 8)
+			h += delta
+		}
+	}
+	return f
+}
+
+// mayContain reports whether the filter admits the row hash; false
+// means the file definitely holds no entry with that row.
+func (f bloomFilter) mayContain(h uint64) bool {
+	if len(f.bits) == 0 {
+		return true
+	}
+	nbits := uint64(len(f.bits) * 8)
+	delta := h>>33 | h<<31
+	for i := 0; i < f.k; i++ {
+		pos := h % nbits
+		if f.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}
+
+// appendBloom serialises the filter onto the index blob: uvarint k,
+// uvarint byte length, then the bit array.
+func appendBloom(buf []byte, f bloomFilter) []byte {
+	buf = binary.AppendUvarint(buf, uint64(f.k))
+	buf = binary.AppendUvarint(buf, uint64(len(f.bits)))
+	return append(buf, f.bits...)
+}
+
+// parseBloom decodes a filter appended by appendBloom.
+func parseBloom(buf []byte) (bloomFilter, []byte, error) {
+	k, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return bloomFilter{}, nil, fmt.Errorf("truncated bloom probe count")
+	}
+	buf = buf[n:]
+	nbytes, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return bloomFilter{}, nil, fmt.Errorf("truncated bloom length")
+	}
+	buf = buf[n:]
+	if uint64(len(buf)) < nbytes {
+		return bloomFilter{}, nil, fmt.Errorf("truncated bloom bits")
+	}
+	return bloomFilter{bits: buf[:nbytes], k: int(k)}, buf[nbytes:], nil
+}

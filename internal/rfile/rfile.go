@@ -1,19 +1,41 @@
 // Package rfile implements the on-disk immutable sorted key-value file
 // — the analog of an Accumulo RFile — that minor and major compaction
 // write and scans read. A file is a sequence of data blocks holding
-// wire-encoded entries, followed by an index block recording each data
-// block's first key, offset, length, entry count, and CRC-32C, and a
-// fixed-size trailer locating the index. The writer streams entries in
-// sorted order without buffering the whole file; the reader keeps only
-// the index in memory and serves seekable SKVI iterators that verify
-// every block checksum on load.
+// wire-encoded entries, followed by an index region recording each data
+// block's first key, offset, length, entry count, and CRC-32C, plus a
+// bloom filter over the file's row keys, and a fixed-size trailer
+// locating the index. The writer streams entries in sorted order
+// without buffering the whole file; the reader keeps only the index and
+// bloom in memory and serves seekable SKVI iterators.
 //
-// Layout:
+// The read path is built for repeated scans, which dominate the kernel
+// workloads (TwoTableIterator remote seeks, degree reads, BFS rounds
+// re-visiting adjacency rows):
+//
+//   - Block cache. A Reader opened with a shared cache.BlockCache
+//     (OpenWithOptions) consults it before touching disk, so each block
+//     is read, CRC-verified, and decoded once while resident; repeat
+//     scans serve decoded entries straight from memory. Closing a
+//     Reader evicts its blocks, so files replaced by major compaction
+//     stop occupying cache capacity.
+//   - Bloom filter. Finish writes a bloom filter over the file's
+//     distinct rows (WriterOptions.BloomBitsPerKey). A seek confined to
+//     a single row — exact-row BFS expansions, point lookups — probes
+//     the filter first and skips the file entirely on a negative,
+//     avoiding both the index search and the block load. Negatives are
+//     counted in ReaderOptions.Stats.
+//
+// Every block checksum is verified on (disk) load; cache hits skip the
+// re-verification along with the read and decode.
+//
+// Layout (version 2; version-1 files, which lack the bloom section,
+// remain readable):
 //
 //	[data block]...[index][trailer]
 //	index:   uvarint nblocks, then per block
 //	         (firstKey as a valueless entry, uvarint off, len, count, u32 crc),
-//	         then uvarint total entry count
+//	         then uvarint total entry count,
+//	         then (v2, optional) bloom: uvarint k, uvarint nbytes, bits
 //	trailer: u64 indexOff | u32 indexLen | u32 indexCRC |
 //	         u32 version | u32 magic ("GRF1"), little-endian
 package rfile
@@ -26,19 +48,29 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"graphulo/internal/cache"
 	"graphulo/internal/iterator"
 	"graphulo/internal/skv"
 )
 
 const (
 	magic   = 0x31465247 // "GRF1" little-endian
-	version = 1
+	version = 2
 	// trailerLen is the fixed byte length of the file trailer.
 	trailerLen = 8 + 4 + 4 + 4 + 4
 	// DefaultBlockSize is the uncompressed data-block size target.
 	DefaultBlockSize = 32 << 10
 )
+
+// Stats aggregates read-path counters across the Readers that share it
+// (one per data directory); all fields are atomic.
+type Stats struct {
+	// BloomNegatives counts single-row seeks answered "not present"
+	// by a bloom filter without loading any block.
+	BloomNegatives atomic.Int64
+}
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -53,10 +85,22 @@ type blockMeta struct {
 
 // --- Writer ---
 
+// WriterOptions tunes a new rfile.
+type WriterOptions struct {
+	// BlockSize is the uncompressed data-block size target
+	// (<= 0 selects DefaultBlockSize).
+	BlockSize int
+	// BloomBitsPerKey sizes the row bloom filter in bits per distinct
+	// row. 0 selects DefaultBloomBitsPerKey; negative disables the
+	// filter.
+	BloomBitsPerKey int
+}
+
 // Writer streams sorted entries into a new rfile.
 type Writer struct {
 	f         *os.File
 	blockSize int
+	bloomBits int    // bits per distinct row; < 0 disables
 	buf       []byte // current block under construction
 	bufCount  int
 	off       uint64
@@ -66,18 +110,22 @@ type Writer struct {
 	lastKey   skv.Key
 	haveLast  bool
 	count     int
+	rowHashes []uint64 // one hash per distinct row, for the bloom
 }
 
-// Create opens path for writing. blockSize <= 0 selects the default.
-func Create(path string, blockSize int) (*Writer, error) {
-	if blockSize <= 0 {
-		blockSize = DefaultBlockSize
+// Create opens path for writing.
+func Create(path string, opts WriterOptions) (*Writer, error) {
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = DefaultBlockSize
+	}
+	if opts.BloomBitsPerKey == 0 {
+		opts.BloomBitsPerKey = DefaultBloomBitsPerKey
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &Writer{f: f, blockSize: blockSize}, nil
+	return &Writer{f: f, blockSize: opts.BlockSize, bloomBits: opts.BloomBitsPerKey}, nil
 }
 
 // Append adds the next entry, which must not sort before its
@@ -85,6 +133,11 @@ func Create(path string, blockSize int) (*Writer, error) {
 func (w *Writer) Append(e skv.Entry) error {
 	if w.haveLast && skv.Compare(e.K, w.lastKey) < 0 {
 		return fmt.Errorf("rfile: out-of-order append: %v after %v", e.K, w.lastKey)
+	}
+	if w.bloomBits >= 0 && (!w.haveLast || e.K.Row != w.lastKey.Row) {
+		// Sorted input groups rows, so a row change means a new
+		// distinct row.
+		w.rowHashes = append(w.rowHashes, bloomHash(e.K.Row))
 	}
 	if !w.haveFirst {
 		w.firstKey, w.haveFirst = e.K, true
@@ -136,6 +189,9 @@ func (w *Writer) Finish() error {
 		index = binary.LittleEndian.AppendUint32(index, b.crc)
 	}
 	index = binary.AppendUvarint(index, uint64(w.count))
+	if w.bloomBits >= 0 {
+		index = appendBloom(index, buildBloom(w.rowHashes, w.bloomBits))
+	}
 	if _, err := w.f.Write(index); err != nil {
 		w.f.Close()
 		return err
@@ -165,8 +221,8 @@ func (w *Writer) Abort() {
 }
 
 // WriteAll streams a sorted entry slice into path in one call.
-func WriteAll(path string, entries []skv.Entry, blockSize int) error {
-	w, err := Create(path, blockSize)
+func WriteAll(path string, entries []skv.Entry, opts WriterOptions) error {
+	w, err := Create(path, opts)
 	if err != nil {
 		return err
 	}
@@ -181,25 +237,52 @@ func WriteAll(path string, entries []skv.Entry, blockSize int) error {
 
 // --- Reader ---
 
+// ReaderOptions wires a Reader into the shared read-path subsystem.
+type ReaderOptions struct {
+	// Cache, when non-nil, is consulted before every disk block load
+	// and fed every block loaded. It is shared across Readers.
+	Cache *cache.BlockCache
+	// Stats, when non-nil, receives this Reader's bloom-negative
+	// counts. It is shared across Readers.
+	Stats *Stats
+}
+
 // Reader serves seekable iterators over one rfile. It keeps only the
-// index in memory; data blocks are read with pread and CRC-verified on
-// every load, so one Reader may back any number of concurrent Iters.
+// index and bloom filter in memory; data blocks are served from the
+// shared block cache when present, else read with pread and
+// CRC-verified on load, so one Reader may back any number of concurrent
+// Iters.
 type Reader struct {
 	f      *os.File
 	path   string
 	blocks []blockMeta
 	count  int
+	bloom  bloomFilter
+	cache  *cache.BlockCache
+	stats  *Stats
+
+	// dead marks a Reader whose file has been deleted (major
+	// compaction, table drop): in-flight Iters keep reading through the
+	// open descriptor, but their blocks must no longer be fed to the
+	// shared cache — nothing will reference them again.
+	dead atomic.Bool
 
 	closeOnce sync.Once
 	closeErr  error
 }
 
-// Open maps an rfile for reading, verifying trailer and index. The
-// returned Reader carries a finalizer, so a Reader displaced by a major
-// compaction keeps serving in-flight scans and releases its descriptor
-// on collection; explicit Close is still preferred where lifetime is
-// known.
+// Open maps an rfile for reading with no cache or stats wiring; see
+// OpenWithOptions.
 func Open(path string) (*Reader, error) {
+	return OpenWithOptions(path, ReaderOptions{})
+}
+
+// OpenWithOptions maps an rfile for reading, verifying trailer and
+// index. The returned Reader carries a finalizer, so a Reader displaced
+// by a major compaction keeps serving in-flight scans and releases its
+// descriptor on collection; explicit Close is still preferred where
+// lifetime is known.
+func OpenWithOptions(path string, opts ReaderOptions) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -222,7 +305,8 @@ func Open(path string) (*Reader, error) {
 		f.Close()
 		return nil, fmt.Errorf("rfile: %s: bad magic %#x", path, got)
 	}
-	if v := binary.LittleEndian.Uint32(tr[16:]); v != version {
+	v := binary.LittleEndian.Uint32(tr[16:])
+	if v < 1 || v > version {
 		f.Close()
 		return nil, fmt.Errorf("rfile: %s: unsupported version %d", path, v)
 	}
@@ -239,8 +323,8 @@ func Open(path string) (*Reader, error) {
 	if crc32.Checksum(index, castagnoli) != binary.LittleEndian.Uint32(tr[12:]) {
 		return nil, closeWith(f, fmt.Errorf("rfile: %s: index checksum mismatch", path))
 	}
-	r := &Reader{f: f, path: path}
-	if err := r.parseIndex(index); err != nil {
+	r := &Reader{f: f, path: path, cache: opts.Cache, stats: opts.Stats}
+	if err := r.parseIndex(index, v); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -253,7 +337,7 @@ func closeWith(f *os.File, err error) error {
 	return err
 }
 
-func (r *Reader) parseIndex(index []byte) error {
+func (r *Reader) parseIndex(index []byte, v uint32) error {
 	nblocks, k := binary.Uvarint(index)
 	if k <= 0 {
 		return fmt.Errorf("rfile: %s: truncated index header", r.path)
@@ -290,7 +374,24 @@ func (r *Reader) parseIndex(index []byte) error {
 		return fmt.Errorf("rfile: %s: truncated entry count", r.path)
 	}
 	r.count = int(total)
+	index = index[k:]
+	// Version 2 appends an optional bloom section; its absence (bloom
+	// disabled at write time, or a version-1 file) leaves a nil filter
+	// that admits every row.
+	if v >= 2 && len(index) > 0 {
+		bloom, _, err := parseBloom(index)
+		if err != nil {
+			return fmt.Errorf("rfile: %s: %v", r.path, err)
+		}
+		r.bloom = bloom
+	}
 	return nil
+}
+
+// MayContainRow reports whether the file could hold entries with the
+// given row: false only when the bloom filter proves absence.
+func (r *Reader) MayContainRow(row string) bool {
+	return r.bloom.mayContain(bloomHash(row))
 }
 
 // Count returns the number of entries in the file.
@@ -299,19 +400,37 @@ func (r *Reader) Count() int { return r.count }
 // Path returns the file path backing the reader.
 func (r *Reader) Path() string { return r.path }
 
-// Close releases the file descriptor. Idempotent; in-flight Iters will
-// fail on their next block load.
+// MarkDead records that the file backing the Reader has been deleted
+// and evicts its blocks from the shared cache. In-flight Iters keep
+// working through the open descriptor, but stop feeding the cache —
+// without this, a scan running through a major compaction would
+// repopulate the cache with blocks of a file nothing will open again,
+// displacing live blocks until the Reader is finalized.
+func (r *Reader) MarkDead() {
+	r.dead.Store(true)
+	r.cache.EvictFile(r.path)
+}
+
+// Close releases the file descriptor and evicts the file's blocks from
+// the shared cache. Idempotent; in-flight Iters will fail on their next
+// disk block load.
 func (r *Reader) Close() error {
 	r.closeOnce.Do(func() {
 		runtime.SetFinalizer(r, nil)
+		r.MarkDead()
 		r.closeErr = r.f.Close()
 	})
 	return r.closeErr
 }
 
-// loadBlock reads and verifies data block i, returning its decoded
-// entries.
+// loadBlock returns the decoded entries of data block i, from the
+// shared cache when resident, else by reading, CRC-verifying, and
+// decoding it from disk (and feeding the cache). Cached slices are
+// shared across iterators and must be treated as immutable.
 func (r *Reader) loadBlock(i int) ([]skv.Entry, error) {
+	if cached, ok := r.cache.Get(r.path, i); ok {
+		return cached, nil
+	}
 	b := r.blocks[i]
 	raw := make([]byte, b.len)
 	if _, err := r.f.ReadAt(raw, int64(b.off)); err != nil {
@@ -328,6 +447,9 @@ func (r *Reader) loadBlock(i int) ([]skv.Entry, error) {
 		}
 		entries = append(entries, e)
 		raw = rest
+	}
+	if !r.dead.Load() {
+		r.cache.Put(r.path, i, entries)
 	}
 	return entries, nil
 }
@@ -348,6 +470,23 @@ type Iter struct {
 
 var _ iterator.SKVI = (*Iter)(nil)
 
+// singleRowOf returns the one row a range is confined to, when it is.
+// It recognises exact-row ranges (skv.ExactRow's end is the smallest
+// key of the successor row) and ranges ending inside their start row.
+func singleRowOf(rng skv.Range) (string, bool) {
+	if !rng.HasStart || !rng.HasEnd {
+		return "", false
+	}
+	row := rng.Start.Row
+	if rng.End.Row == row {
+		return row, true
+	}
+	if rng.End.Row == row+"\x00" && rng.End.ColF == "" && rng.End.ColQ == "" && rng.End.Ts == skv.MaxTs {
+		return row, true
+	}
+	return "", false
+}
+
 // Seek implements SKVI.
 func (it *Iter) Seek(rng skv.Range) error {
 	it.rng = rng
@@ -355,6 +494,16 @@ func (it *Iter) Seek(rng skv.Range) error {
 	it.entries = nil
 	if len(it.r.blocks) == 0 {
 		it.blk = 0
+		return nil
+	}
+	// A seek confined to one row is answered by the bloom filter when
+	// the file cannot contain the row: no index search, no block load.
+	if row, ok := singleRowOf(rng); ok && !it.r.MayContainRow(row) {
+		if it.r.stats != nil {
+			it.r.stats.BloomNegatives.Add(1)
+		}
+		it.blk = len(it.r.blocks)
+		it.pos = 0
 		return nil
 	}
 	blk := 0

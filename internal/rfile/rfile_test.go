@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"graphulo/internal/cache"
 	"graphulo/internal/iterator"
 	"graphulo/internal/skv"
 )
@@ -29,7 +30,7 @@ func buildEntries(n int) []skv.Entry {
 func writeFile(t *testing.T, entries []skv.Entry, blockSize int) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "test.rf")
-	if err := WriteAll(path, entries, blockSize); err != nil {
+	if err := WriteAll(path, entries, WriterOptions{BlockSize: blockSize}); err != nil {
 		t.Fatal(err)
 	}
 	return path
@@ -155,7 +156,7 @@ func TestEmptyFile(t *testing.T) {
 }
 
 func TestOutOfOrderAppendRejected(t *testing.T) {
-	w, err := Create(filepath.Join(t.TempDir(), "bad.rf"), 0)
+	w, err := Create(filepath.Join(t.TempDir(), "bad.rf"), WriterOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,5 +210,263 @@ func TestTrailerCorruptionDetected(t *testing.T) {
 	}
 	if _, err := Open(path); err == nil {
 		t.Fatal("corrupt index accepted")
+	}
+}
+
+// TestSeekPastLastBlock seeks beyond the final key: the iterator must
+// land cleanly at EOF without error, including when re-seeked back.
+func TestSeekPastLastBlock(t *testing.T) {
+	entries := buildEntries(500)
+	path := writeFile(t, entries, 512)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	it := r.Iter()
+	if err := it.Seek(skv.RowRange("row99999", "")); err != nil {
+		t.Fatal(err)
+	}
+	if it.HasTop() {
+		t.Fatalf("seek past last block has top %v", it.Top())
+	}
+	// The same iterator must recover on a re-seek to real data.
+	if err := it.Seek(skv.ExactRow("row00042")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := iterator.Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].K.Row != "row00042" {
+		t.Fatalf("re-seek after EOF returned %v", got)
+	}
+}
+
+// TestSeekStartInsideBlockBoundary starts scans exactly at block first
+// keys and one key either side of them, cross-checking the slice
+// reference.
+func TestSeekStartInsideBlockBoundary(t *testing.T) {
+	entries := buildEntries(1000)
+	path := writeFile(t, entries, 256)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if len(r.blocks) < 10 {
+		t.Fatalf("want many blocks, got %d", len(r.blocks))
+	}
+	for _, bi := range []int{1, 2, len(r.blocks) / 2, len(r.blocks) - 1} {
+		first := r.blocks[bi].firstKey
+		for _, start := range []skv.Key{
+			first,
+			{Row: first.Row, ColF: first.ColF, ColQ: first.ColQ + "\x00", Ts: skv.MaxTs},
+			{Row: first.Row + "\x00", Ts: skv.MaxTs},
+		} {
+			rng := skv.Range{Start: start, HasStart: true}
+			ref := iterator.NewSliceIter(entries)
+			if err := ref.Seek(rng); err != nil {
+				t.Fatal(err)
+			}
+			want, _ := iterator.Collect(ref)
+			it := r.Iter()
+			if err := it.Seek(rng); err != nil {
+				t.Fatal(err)
+			}
+			got, err := iterator.Collect(it)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) || (len(got) > 0 && got[0].K != want[0].K) {
+				t.Fatalf("block %d start %v: got %d entries, want %d", bi, start, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestEmptyFileSeekVariants covers empty-file seeks over every range
+// shape, not just the full range.
+func TestEmptyFileSeekVariants(t *testing.T) {
+	path := writeFile(t, nil, 0)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for _, rng := range []skv.Range{skv.FullRange(), skv.ExactRow("a"), skv.RowRange("a", "b")} {
+		it := r.Iter()
+		if err := it.Seek(rng); err != nil {
+			t.Fatal(err)
+		}
+		if it.HasTop() {
+			t.Fatalf("empty file has top for %v", rng)
+		}
+		if err := it.Next(); err != nil {
+			t.Fatalf("Next at EOF: %v", err)
+		}
+	}
+}
+
+// TestBlockCacheAccounting pins the cache contract: a first scan is all
+// misses, a repeat scan over the same Reader is all hits, and closing
+// the Reader evicts its blocks.
+func TestBlockCacheAccounting(t *testing.T) {
+	entries := buildEntries(2000)
+	path := writeFile(t, entries, 512)
+	c := cache.New(1 << 20)
+	r, err := OpenWithOptions(path, ReaderOptions{Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := func() {
+		t.Helper()
+		it := r.Iter()
+		if err := it.Seek(skv.FullRange()); err != nil {
+			t.Fatal(err)
+		}
+		got, err := iterator.Collect(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(entries) {
+			t.Fatalf("scan = %d entries, want %d", len(got), len(entries))
+		}
+	}
+	scan()
+	nblocks := int64(len(r.blocks))
+	if c.Hits() != 0 || c.Misses() != nblocks {
+		t.Fatalf("cold scan: hits=%d misses=%d, want 0/%d", c.Hits(), c.Misses(), nblocks)
+	}
+	scan()
+	if c.Hits() != nblocks || c.Misses() != nblocks {
+		t.Fatalf("warm scan: hits=%d misses=%d, want %d/%d", c.Hits(), c.Misses(), nblocks, nblocks)
+	}
+	if c.Len() != int(nblocks) {
+		t.Fatalf("resident blocks = %d, want %d", c.Len(), nblocks)
+	}
+	r.Close()
+	if c.Len() != 0 {
+		t.Fatalf("Close left %d blocks resident", c.Len())
+	}
+}
+
+// TestBloomSkipsAbsentRows checks the end-to-end bloom path: seeks for
+// absent rows are answered without block loads and counted, and the
+// false-positive rate at the default density stays small.
+func TestBloomSkipsAbsentRows(t *testing.T) {
+	entries := buildEntries(2000)
+	path := writeFile(t, entries, 512)
+	var stats Stats
+	c := cache.New(1 << 20)
+	r, err := OpenWithOptions(path, ReaderOptions{Cache: c, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Present rows must never be filtered (no false negatives).
+	for i := 0; i < 2000; i += 97 {
+		it := r.Iter()
+		if err := it.Seek(skv.ExactRow(fmt.Sprintf("row%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if !it.HasTop() {
+			t.Fatalf("bloom false negative on present row %d", i)
+		}
+	}
+	// Absent rows: almost all seeks must short-circuit without a block
+	// load.
+	before := c.Misses() + c.Hits()
+	const probes = 2000
+	for i := 0; i < probes; i++ {
+		it := r.Iter()
+		if err := it.Seek(skv.ExactRow(fmt.Sprintf("absent%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if it.HasTop() {
+			t.Fatalf("absent row %d returned %v", i, it.Top())
+		}
+	}
+	neg := stats.BloomNegatives.Load()
+	fpRate := float64(probes-int(neg)) / probes
+	if fpRate > 0.05 {
+		t.Fatalf("bloom false-positive rate %.3f exceeds 5%% (negatives=%d)", fpRate, neg)
+	}
+	loads := c.Misses() + c.Hits() - before
+	if int(loads) != probes-int(neg) {
+		t.Fatalf("block lookups = %d, want one per false positive (%d)", loads, probes-int(neg))
+	}
+}
+
+// TestBloomDisabled writes a filterless file and checks every row seek
+// still works and nothing is counted as a negative.
+func TestBloomDisabled(t *testing.T) {
+	entries := buildEntries(100)
+	path := filepath.Join(t.TempDir(), "nobloom.rf")
+	if err := WriteAll(path, entries, WriterOptions{BlockSize: 512, BloomBitsPerKey: -1}); err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	r, err := OpenWithOptions(path, ReaderOptions{Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.MayContainRow("definitely-absent") {
+		t.Fatal("filterless reader claimed proof of absence")
+	}
+	it := r.Iter()
+	if err := it.Seek(skv.ExactRow("row00007")); err != nil {
+		t.Fatal(err)
+	}
+	if !it.HasTop() {
+		t.Fatal("present row not found without bloom")
+	}
+	if stats.BloomNegatives.Load() != 0 {
+		t.Fatalf("negatives counted without a filter: %d", stats.BloomNegatives.Load())
+	}
+}
+
+// TestMarkDeadStopsCacheFeeding pins the displaced-Reader contract: a
+// Reader whose file was deleted by compaction keeps serving in-flight
+// scans but must neither hold nor repopulate shared cache capacity.
+func TestMarkDeadStopsCacheFeeding(t *testing.T) {
+	entries := buildEntries(1000)
+	path := writeFile(t, entries, 512)
+	c := cache.New(1 << 20)
+	r, err := OpenWithOptions(path, ReaderOptions{Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	it := r.Iter()
+	if err := it.Seek(skv.FullRange()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iterator.Collect(it); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == 0 {
+		t.Fatal("live scan did not populate cache")
+	}
+	r.MarkDead()
+	if c.Len() != 0 {
+		t.Fatalf("MarkDead left %d blocks resident", c.Len())
+	}
+	// A scan on the dead reader still works (fd is open) but must not
+	// re-feed the cache.
+	it = r.Iter()
+	if err := it.Seek(skv.FullRange()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := iterator.Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("dead reader scan = %d entries, want %d", len(got), len(entries))
+	}
+	if c.Len() != 0 {
+		t.Fatalf("dead reader repopulated cache with %d blocks", c.Len())
 	}
 }

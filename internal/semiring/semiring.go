@@ -141,13 +141,20 @@ var (
 	PlusAnd = Semiring{Name: "plus.and", Add: add, Mul: andOp, Zero: 0, One: 1}
 )
 
+// Standard returns the named semirings ByName resolves, for callers
+// that enumerate them (e.g. deriving the set of result-table
+// combiners).
+func Standard() []Semiring {
+	return []Semiring{
+		PlusTimes, MinPlus, MaxPlus, OrAnd, MaxMin, MinMax, PlusMin,
+		PlusFirst, PlusSecond, PlusAnd,
+	}
+}
+
 // ByName resolves a standard semiring from its name, for iterator
 // options and CLI flags.
 func ByName(name string) (Semiring, bool) {
-	for _, s := range []Semiring{
-		PlusTimes, MinPlus, MaxPlus, OrAnd, MaxMin, MinMax, PlusMin,
-		PlusFirst, PlusSecond, PlusAnd,
-	} {
+	for _, s := range Standard() {
 		if s.Name == name {
 			return s, true
 		}

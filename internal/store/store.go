@@ -32,6 +32,7 @@ import (
 	"strings"
 	"sync"
 
+	"graphulo/internal/cache"
 	"graphulo/internal/iterator"
 	"graphulo/internal/rfile"
 	"graphulo/internal/skv"
@@ -72,6 +73,18 @@ type Dir struct {
 	opts  Options
 	clock func() int64
 
+	// blockCache is shared by every rfile Reader the directory opens;
+	// rfStats aggregates their bloom-filter counters.
+	blockCache *cache.BlockCache
+	rfStats    rfile.Stats
+
+	// readers tracks the open Reader per live rfile so deletion can
+	// mark it dead (stop it feeding the block cache) while in-flight
+	// scans finish; removeRFile drops the entry, making the Reader
+	// collectable again.
+	readersMu sync.Mutex
+	readers   map[string]*rfile.Reader
+
 	mu     sync.Mutex
 	man    manifest
 	stores map[int64]*TabletStore // open tablet stores by tablet id
@@ -85,6 +98,13 @@ type Options struct {
 	BlockSize int
 	// MaxWALSegmentBytes overrides the WAL rotation threshold.
 	MaxWALSegmentBytes int64
+	// BlockCacheBytes bounds the shared rfile block cache (0 selects
+	// cache.DefaultMaxBytes; negative disables caching).
+	BlockCacheBytes int64
+	// BloomFilterBits sizes per-rfile row bloom filters in bits per
+	// distinct row (0 selects rfile.DefaultBloomBitsPerKey; negative
+	// disables the filters).
+	BloomFilterBits int
 }
 
 // Open loads (or initialises) the data directory at path and
@@ -97,10 +117,14 @@ func Open(path string, opts Options) (*Dir, error) {
 		}
 	}
 	d := &Dir{
-		path:   path,
-		opts:   opts,
-		stores: map[int64]*TabletStore{},
-		man:    manifest{Version: 1, NextID: 1, Tables: map[string]*tableManifest{}},
+		path:    path,
+		opts:    opts,
+		stores:  map[int64]*TabletStore{},
+		readers: map[string]*rfile.Reader{},
+		man:     manifest{Version: 1, NextID: 1, Tables: map[string]*tableManifest{}},
+	}
+	if opts.BlockCacheBytes >= 0 {
+		d.blockCache = cache.New(opts.BlockCacheBytes)
 	}
 	d.clock = func() int64 { return d.man.Clock }
 	raw, err := os.ReadFile(filepath.Join(path, manifestName))
@@ -231,6 +255,29 @@ func (d *Dir) rfPath(name string) string {
 	return filepath.Join(d.path, rfDirName, name)
 }
 
+// trackReader registers the open Reader for a live rfile.
+func (d *Dir) trackReader(name string, rd *rfile.Reader) {
+	d.readersMu.Lock()
+	d.readers[name] = rd
+	d.readersMu.Unlock()
+}
+
+// removeRFile deletes an rfile, marking its Reader dead so blocks stop
+// occupying (and re-entering) the shared cache while in-flight scans
+// drain through the still-open descriptor.
+func (d *Dir) removeRFile(name string) {
+	d.readersMu.Lock()
+	rd := d.readers[name]
+	delete(d.readers, name)
+	d.readersMu.Unlock()
+	if rd != nil {
+		rd.MarkDead()
+	} else {
+		d.blockCache.EvictFile(d.rfPath(name))
+	}
+	os.Remove(d.rfPath(name))
+}
+
 // TableInfo describes a recovered table.
 type TableInfo struct {
 	Name    string
@@ -337,10 +384,11 @@ func (d *Dir) OpenTablet(table string, info TabletInfo) (ts *TabletStore, runs [
 		return nil, nil, nil, 0, fmt.Errorf("store: tablet %d not in table %q", info.ID, table)
 	}
 	for _, name := range tb.RFiles {
-		rd, err := rfile.Open(d.rfPath(name))
+		rd, err := rfile.OpenWithOptions(d.rfPath(name), d.readerOptions())
 		if err != nil {
 			return nil, nil, nil, 0, err
 		}
+		d.trackReader(name, rd)
 		runs = append(runs, rd)
 	}
 	// Replay before opening the new active segment so the replayed
@@ -394,7 +442,7 @@ func (d *Dir) DropTable(name string) error {
 			}
 		}
 		for _, f := range tb.RFiles {
-			os.Remove(d.rfPath(f))
+			d.removeRFile(f)
 		}
 	}
 	return nil
@@ -418,6 +466,18 @@ func (d *Dir) Close() error {
 	return firstErr
 }
 
+// readerOptions wires a new rfile Reader into the directory's shared
+// block cache and stats.
+func (d *Dir) readerOptions() rfile.ReaderOptions {
+	return rfile.ReaderOptions{Cache: d.blockCache, Stats: &d.rfStats}
+}
+
+// StorageStats snapshots the directory's read-path counters: block
+// cache hits and misses, and bloom-filter negative lookups.
+func (d *Dir) StorageStats() (cacheHits, cacheMisses, bloomNegatives int64) {
+	return d.blockCache.Hits(), d.blockCache.Misses(), d.rfStats.BloomNegatives.Load()
+}
+
 // newRFileLocked writes entries to a fresh rfile and opens a reader on
 // it. Caller holds d.mu. Empty entries yield ("", nil, nil).
 func (d *Dir) newRFileLocked(entries []skv.Entry) (string, *rfile.Reader, error) {
@@ -427,7 +487,8 @@ func (d *Dir) newRFileLocked(entries []skv.Entry) (string, *rfile.Reader, error)
 	name := rfileName(d.man.NextID)
 	d.man.NextID++
 	path := d.rfPath(name)
-	if err := rfile.WriteAll(path, entries, d.opts.BlockSize); err != nil {
+	wopts := rfile.WriterOptions{BlockSize: d.opts.BlockSize, BloomBitsPerKey: d.opts.BloomFilterBits}
+	if err := rfile.WriteAll(path, entries, wopts); err != nil {
 		return "", nil, err
 	}
 	// Sync the rf/ directory entry before the manifest can reference
@@ -436,10 +497,11 @@ func (d *Dir) newRFileLocked(entries []skv.Entry) (string, *rfile.Reader, error)
 	if err := syncDir(filepath.Join(d.path, rfDirName)); err != nil {
 		return "", nil, err
 	}
-	rd, err := rfile.Open(path)
+	rd, err := rfile.OpenWithOptions(path, d.readerOptions())
 	if err != nil {
 		return "", nil, err
 	}
+	d.trackReader(name, rd)
 	return name, rd, nil
 }
 
@@ -518,7 +580,7 @@ func (ts *TabletStore) Compact(entries []skv.Entry, mark uint64) (*rfile.Reader,
 		return nil, err
 	}
 	for _, f := range old {
-		os.Remove(d.rfPath(f))
+		d.removeRFile(f)
 	}
 	d.mu.Unlock()
 	// Best effort, as in Flush.
@@ -601,7 +663,7 @@ func (ts *TabletStore) Split(row string, left, right []skv.Entry) (tablet.Backin
 	d.mu.Unlock()
 	ts.log.Remove()
 	for _, f := range oldRFiles {
-		os.Remove(d.rfPath(f))
+		d.removeRFile(f)
 	}
 	return lts, rts, lrd, rrd, nil
 }
@@ -612,7 +674,7 @@ func (ts *TabletStore) Drop() error {
 	err := ts.log.Remove()
 	ts.dir.mu.Lock()
 	for _, f := range ts.rec.RFiles {
-		os.Remove(ts.dir.rfPath(f))
+		ts.dir.removeRFile(f)
 	}
 	delete(ts.dir.stores, ts.rec.ID)
 	ts.dir.mu.Unlock()

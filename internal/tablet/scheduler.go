@@ -1,0 +1,139 @@
+package tablet
+
+// This file implements the background compaction scheduler: the
+// component that keeps per-tablet run counts — and therefore k-way
+// merge width on every scan — bounded under sustained ingest without
+// anyone calling MajorCompact by hand. One Scheduler watches one
+// table's tablets; the cluster layer starts one per durable table and
+// stops it at shutdown.
+//
+// The scheduler is size-tiered in the simplest useful sense: it leaves
+// tablets alone until their run count exceeds MaxRuns, then folds all
+// runs into one with the table's majc iterator stack. Compactions are
+// serialised against concurrent minor compactions and splits by the
+// tablet's own compaction mutex, and scans remain live throughout — a
+// scan holds the pre-compaction runs via its snapshot, exactly as a
+// manual MajorCompact behaves.
+
+import (
+	"sync"
+	"time"
+
+	"graphulo/internal/iterator"
+)
+
+// DefaultSchedulerInterval is the fallback sweep period used when a
+// SchedulerConfig does not choose one. Kicks from the write path make
+// compactions prompt; the ticker only catches kicks lost to races.
+const DefaultSchedulerInterval = 500 * time.Millisecond
+
+// SchedulerConfig wires a Scheduler to one table.
+type SchedulerConfig struct {
+	// MaxRuns is the per-tablet run-count threshold: a sweep compacts
+	// every tablet whose RunCount exceeds it. Must be >= 1.
+	MaxRuns int
+	// Interval is the fallback sweep period (<= 0 selects
+	// DefaultSchedulerInterval).
+	Interval time.Duration
+	// Tablets returns the table's current tablets; called at every
+	// sweep so splits are picked up.
+	Tablets func() []*Tablet
+	// Stack returns the table's current majc iterator stack; called
+	// per compaction so iterator changes are picked up.
+	Stack func() func(iterator.SKVI) (iterator.SKVI, error)
+	// OnCompact, when non-nil, observes each completed automatic
+	// compaction (metrics).
+	OnCompact func(*Tablet)
+	// OnError, when non-nil, observes compaction failures. Failures
+	// never stop the scheduler: the next sweep retries.
+	OnError func(error)
+}
+
+// Scheduler drives automatic major compactions for one table in the
+// background. Start it with StartScheduler; Stop blocks until the
+// sweep goroutine has exited, so after Stop returns no compaction is in
+// flight and the underlying storage may be closed.
+type Scheduler struct {
+	cfg  SchedulerConfig
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	stopOnce sync.Once
+}
+
+// StartScheduler launches the sweep goroutine.
+func StartScheduler(cfg SchedulerConfig) *Scheduler {
+	if cfg.MaxRuns < 1 {
+		cfg.MaxRuns = 1
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultSchedulerInterval
+	}
+	s := &Scheduler{
+		cfg:  cfg,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+// Kick requests a prompt sweep — the write path calls it after ingest
+// batches so a tablet that just crossed the threshold compacts without
+// waiting out the ticker. Never blocks; a pending kick coalesces.
+func (s *Scheduler) Kick() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Stop shuts the scheduler down and waits for any in-flight compaction
+// to finish. Idempotent.
+func (s *Scheduler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+func (s *Scheduler) loop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.kick:
+		case <-ticker.C:
+		}
+		s.sweep()
+	}
+}
+
+// sweep compacts every tablet over the run threshold. It re-checks the
+// stop channel between tablets so Stop is honoured mid-sweep.
+func (s *Scheduler) sweep() {
+	for _, t := range s.cfg.Tablets() {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		// Retired tablets (split receivers) are skipped here and
+		// re-checked under the compaction lock by MajorCompact itself.
+		if t.Retired() || t.RunCount() <= s.cfg.MaxRuns {
+			continue
+		}
+		if err := t.MajorCompact(s.cfg.Stack()); err != nil {
+			if s.cfg.OnError != nil {
+				s.cfg.OnError(err)
+			}
+			continue
+		}
+		if s.cfg.OnCompact != nil {
+			s.cfg.OnCompact(t)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package tablet
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphulo/internal/iterator"
+	"graphulo/internal/skv"
+)
+
+func schedEntry(i int) skv.Entry {
+	return skv.Entry{
+		K: skv.Key{Row: fmt.Sprintf("r%05d", i), ColQ: "q", Ts: int64(i + 1)},
+		V: skv.EncodeFloat(float64(i)),
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestSchedulerBoundsRunCount ingests enough to spill many runs and
+// checks the scheduler folds them back under the threshold while scans
+// stay correct.
+func TestSchedulerBoundsRunCount(t *testing.T) {
+	tab := New("", "", 8, 1) // tiny memtable: every 8 entries spill a run
+	const maxRuns = 3
+	var compactions atomic.Int64
+	s := StartScheduler(SchedulerConfig{
+		MaxRuns:  maxRuns,
+		Interval: 5 * time.Millisecond,
+		Tablets:  func() []*Tablet { return []*Tablet{tab} },
+		Stack:    func() func(iterator.SKVI) (iterator.SKVI, error) { return nil },
+		OnCompact: func(*Tablet) {
+			compactions.Add(1)
+		},
+		OnError: func(err error) { t.Errorf("scheduled compaction failed: %v", err) },
+	})
+	defer s.Stop()
+
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := tab.Write([]skv.Entry{schedEntry(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			s.Kick()
+		}
+	}
+	s.Kick()
+	waitFor(t, "run count to settle under threshold", func() bool {
+		return tab.RunCount() <= maxRuns
+	})
+	if compactions.Load() == 0 {
+		t.Fatal("scheduler never compacted")
+	}
+	// Contents must be intact after automatic compactions.
+	it := tab.Snapshot()
+	if err := it.Seek(skv.FullRange()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := iterator.Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("post-compaction scan = %d entries, want %d", len(got), n)
+	}
+}
+
+// TestSchedulerStopWaitsForSweep checks Stop is clean and idempotent:
+// after Stop returns, no further compactions happen.
+func TestSchedulerStopWaitsForSweep(t *testing.T) {
+	tab := New("", "", 4, 1)
+	var compactions atomic.Int64
+	s := StartScheduler(SchedulerConfig{
+		MaxRuns:   1,
+		Interval:  time.Millisecond,
+		Tablets:   func() []*Tablet { return []*Tablet{tab} },
+		Stack:     func() func(iterator.SKVI) (iterator.SKVI, error) { return nil },
+		OnCompact: func(*Tablet) { compactions.Add(1) },
+	})
+	for i := 0; i < 40; i++ {
+		if err := tab.Write([]skv.Entry{schedEntry(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Kick()
+	waitFor(t, "a scheduled compaction", func() bool { return compactions.Load() > 0 })
+	s.Stop()
+	s.Stop() // idempotent
+	before := compactions.Load()
+	for i := 40; i < 120; i++ {
+		if err := tab.Write([]skv.Entry{schedEntry(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if compactions.Load() != before {
+		t.Fatal("scheduler compacted after Stop")
+	}
+}
+
+// TestSchedulerSkipsRetiredTablet pins the split race: a scheduler
+// holding a pre-split tablet pointer must not compact it.
+func TestSchedulerSkipsRetiredTablet(t *testing.T) {
+	tab := New("", "", 4, 1)
+	for i := 0; i < 40; i++ {
+		if err := tab.Write([]skv.Entry{schedEntry(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	left, right, err := tab.SplitAt("r00020")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Retired() {
+		t.Fatal("split receiver not retired")
+	}
+	// Direct MajorCompact on the retired tablet must be a no-op.
+	preRuns := tab.RunCount()
+	if err := tab.MajorCompact(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tab.RunCount() != preRuns {
+		t.Fatal("retired tablet was compacted")
+	}
+	if left.Retired() || right.Retired() {
+		t.Fatal("fresh halves marked retired")
+	}
+}

@@ -5,7 +5,8 @@
 //
 // A tablet owns a contiguous row range of one table, exactly as in
 // Accumulo; splitting a tablet at a row boundary yields two tablets that
-// partition its range.
+// partition its range (the split receiver is retired and refuses further
+// compactions).
 //
 // Tablets come in two durability modes. An in-memory tablet (New) keeps
 // its runs on the heap and loses everything at process exit. A durable
@@ -16,6 +17,25 @@
 // the WAL segments it covers, and major compaction replaces all rfiles
 // with one merged file. After a crash, the store replays the WAL into
 // the memtable, so scans see exactly the acknowledged writes.
+//
+// # Read-path maintenance
+//
+// Every scan k-way merges the memtable with all live runs, so scan cost
+// grows with the run count, which sustained ingest grows without bound:
+// each memtable spill adds a run and only major compaction removes
+// them. Two mechanisms keep the read path fast:
+//
+//   - The durable runs' rfiles carry bloom filters and share the data
+//     directory's block cache (see internal/rfile), so merged reads
+//     skip files that cannot contain a sought row and decode each
+//     resident block once across scans.
+//   - A background compaction Scheduler (one per durable table, started
+//     by the cluster layer) watches RunCount and folds a tablet's runs
+//     into one — with the table's majc iterator stack — whenever the
+//     count exceeds its threshold. Scheduled compactions serialise
+//     against manual compactions and splits on the per-tablet
+//     compaction mutex, and scans stay live and correct throughout: a
+//     scan's snapshot pins the pre-compaction runs until it finishes.
 package tablet
 
 import (
@@ -76,6 +96,7 @@ type Tablet struct {
 	memLimit int // entries before automatic minor compaction
 	seed     int64
 	backing  Backing // nil for in-memory tablets
+	retired  bool    // set by SplitAt; the tablet must absorb no more work
 
 	// compactMu serialises minor/major compactions and splits against
 	// each other (writes and scans stay concurrent, guarded by mu).
@@ -118,6 +139,23 @@ func NewDurable(startRow, endRow string, memLimit int, seed int64, b Backing, ru
 
 // Backing returns the tablet's durability hook (nil when in-memory).
 func (t *Tablet) Backing() Backing { return t.backing }
+
+// RunCount returns the number of live immutable runs — the k-way merge
+// width a scan pays on top of the memtable. The background compaction
+// scheduler polls it.
+func (t *Tablet) RunCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.runs)
+}
+
+// Retired reports whether the tablet has been split away and must not
+// absorb further work.
+func (t *Tablet) Retired() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.retired
+}
 
 // OwnsRow reports whether the tablet's range contains row.
 func (t *Tablet) OwnsRow(row string) bool {
@@ -251,6 +289,12 @@ func (t *Tablet) MajorCompact(stack func(iterator.SKVI) (iterator.SKVI, error)) 
 	t.compactMu.Lock()
 	defer t.compactMu.Unlock()
 	t.mu.Lock()
+	if t.retired {
+		// A background scheduler can race a split: it fetched this
+		// tablet, then SplitAt replaced it. The halves own the data now.
+		t.mu.Unlock()
+		return nil
+	}
 	snap := t.mem.snapshot()
 	t.mem = newMemtable(t.seed + int64(len(t.runs)) + 101)
 	sources := make([]iterator.SKVI, 0, len(t.runs)+1)
@@ -351,7 +395,8 @@ func (t *Tablet) EntryEstimate() int {
 // atomically swap their on-disk state for the two halves'.
 func (t *Tablet) SplitAt(row string) (*Tablet, *Tablet, error) {
 	// Callers serialise splits against writes; the compaction lock
-	// additionally fences out an in-flight auto-minc.
+	// additionally fences out an in-flight auto-minc and a background
+	// major compaction.
 	t.compactMu.Lock()
 	defer t.compactMu.Unlock()
 	// Collect the merged view.
@@ -377,6 +422,7 @@ func (t *Tablet) SplitAt(row string) (*Tablet, *Tablet, error) {
 		if len(rightE) > 0 {
 			right.runs = append(right.runs, newMemRun(rightE))
 		}
+		t.retire()
 		return left, right, nil
 	}
 	lb, rb, lrun, rrun, err := t.backing.Split(row, leftE, rightE)
@@ -390,5 +436,15 @@ func (t *Tablet) SplitAt(row string) (*Tablet, *Tablet, error) {
 	if rrun != nil {
 		right.runs = append(right.runs, diskRun{rrun})
 	}
+	t.retire()
 	return left, right, nil
+}
+
+// retire marks the tablet split-away: a compaction scheduler holding a
+// stale pointer must not fold it once its halves own the data. Caller
+// holds compactMu.
+func (t *Tablet) retire() {
+	t.mu.Lock()
+	t.retired = true
+	t.mu.Unlock()
 }
