@@ -1,9 +1,11 @@
 // Command graphulo runs the library's graph algorithms on generated
-// workloads, against the embedded NoSQL cluster or in memory.
+// workloads, against the embedded NoSQL cluster or in memory — and can
+// run as a standalone tablet server for a multi-process cluster.
 //
 // Usage:
 //
 //	graphulo <algorithm> [flags]
+//	graphulo serve -listen host:port
 //
 // Algorithms: bfs, degrees, pagerank, eigen, katz, betweenness, ktruss,
 // tricount, jaccard, nmf, sssp, components, info.
@@ -14,31 +16,42 @@
 //	-graph er      -n 500 -m 2000   Erdős–Rényi
 //	-graph paper                    the paper's Fig. 1 graph
 //	-graph clique  -n 100 -k 8      planted clique
+//
+// Cluster-backed runs (-db) choose their wire with -transport inproc
+// (default) or -transport tcp; -servers host:port,host:port points the
+// run at standalone tablet-server processes started with `graphulo
+// serve`, so the kernels' tablet→tablet flows cross process boundaries.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"strings"
+	"syscall"
 
 	"graphulo"
 )
 
 var (
-	graphKind = flag.String("graph", "paper", "workload: rmat | er | paper | clique")
-	scale     = flag.Int("scale", 8, "RMAT scale")
-	nFlag     = flag.Int("n", 200, "vertices (er, clique)")
-	mFlag     = flag.Int("m", 800, "edges (er)")
-	kFlag     = flag.Int("k", 4, "truss k / clique size / hops / topics")
-	seed      = flag.Uint64("seed", 1, "generator seed")
-	source    = flag.Int("source", 0, "BFS/SSSP source vertex")
-	useDB     = flag.Bool("db", false, "run through the embedded NoSQL cluster where supported")
-	dataDir   = flag.String("data-dir", "", "durable cluster directory: graphs built in one invocation are queried in the next (implies -db)")
-	scanPar   = flag.Int("scan-parallelism", 0, "tablets scanned concurrently per kernel pass (0 = cluster default)")
-	cacheBy   = flag.Int64("block-cache-bytes", 0, "rfile block cache capacity in bytes (0 = 32 MiB default, negative disables)")
-	bloomBits = flag.Int("bloom-bits", 0, "bloom filter bits per distinct row in each rfile (0 = default of 10, negative disables)")
-	maxRuns   = flag.Int("max-runs-per-tablet", 8, "background-majc run threshold per tablet (0 disables the compaction scheduler)")
+	graphKind  = flag.String("graph", "paper", "workload: rmat | er | paper | clique")
+	scale      = flag.Int("scale", 8, "RMAT scale")
+	nFlag      = flag.Int("n", 200, "vertices (er, clique)")
+	mFlag      = flag.Int("m", 800, "edges (er)")
+	kFlag      = flag.Int("k", 4, "truss k / clique size / hops / topics")
+	seed       = flag.Uint64("seed", 1, "generator seed")
+	source     = flag.Int("source", 0, "BFS/SSSP source vertex")
+	useDB      = flag.Bool("db", false, "run through the embedded NoSQL cluster where supported")
+	transportF = flag.String("transport", "", "cluster wire: inproc (default) or tcp — tcp runs every tablet server on its own socket")
+	servers    = flag.String("servers", "", "comma-separated tablet-server endpoints from `graphulo serve` (implies -db and tcp)")
+	listen     = flag.String("listen", "127.0.0.1:0", "serve mode: address to listen on")
+	dataDir    = flag.String("data-dir", "", "durable cluster directory: graphs built in one invocation are queried in the next (implies -db)")
+	scanPar    = flag.Int("scan-parallelism", 0, "tablets scanned concurrently per kernel pass (0 = cluster default)")
+	cacheBy    = flag.Int64("block-cache-bytes", 0, "rfile block cache capacity in bytes (0 = 32 MiB default, negative disables)")
+	bloomBits  = flag.Int("bloom-bits", 0, "bloom filter bits per distinct row in each rfile (0 = default of 10, negative disables)")
+	maxRuns    = flag.Int("max-runs-per-tablet", 8, "background-majc run threshold per tablet (0 disables the compaction scheduler)")
 )
 
 // openDB starts the embedded cluster, durable when -data-dir is set,
@@ -46,9 +59,19 @@ var (
 // exists in the data dir (skipping re-ingest), a freshly ingested one
 // otherwise.
 func openDB(g graphulo.Graph) (*graphulo.DB, *graphulo.TableGraph, error) {
+	var serverList []string
+	if *servers != "" {
+		for _, s := range strings.Split(*servers, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				serverList = append(serverList, s)
+			}
+		}
+	}
 	db, err := graphulo.Open(graphulo.ClusterConfig{
 		DataDir:          *dataDir,
 		ScanParallelism:  *scanPar,
+		Transport:        *transportF,
+		Servers:          serverList,
 		BlockCacheBytes:  *cacheBy,
 		BloomFilterBits:  *bloomBits,
 		MaxRunsPerTablet: *maxRuns,
@@ -88,10 +111,32 @@ func main() {
 	if err := flag.CommandLine.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
+	if algorithm == "serve" {
+		if err := serve(); err != nil {
+			fmt.Fprintln(os.Stderr, "graphulo:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(algorithm); err != nil {
 		fmt.Fprintln(os.Stderr, "graphulo:", err)
 		os.Exit(1)
 	}
+}
+
+// serve runs a standalone tablet server until SIGINT/SIGTERM: one per
+// process, addressed by a coordinator run with -servers.
+func serve() error {
+	srv, err := graphulo.ListenAndServeTablets(*listen, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tablet server listening on %s\n", srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return srv.Close()
 }
 
 func makeGraph() graphulo.Graph {
@@ -112,7 +157,7 @@ func run(algorithm string) error {
 	g := makeGraph()
 	adj := graphulo.AdjacencyPat(g)
 	fmt.Printf("graph: %d vertices, %d edges\n", g.N, len(g.Edges))
-	if *dataDir != "" {
+	if *dataDir != "" || *servers != "" {
 		*useDB = true
 	}
 

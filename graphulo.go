@@ -35,6 +35,16 @@
 // Metrics.ScansInFlight and Metrics.MaxEntriesBuffered gauges make both
 // properties observable.
 //
+// Every batch in that flow crosses a transport between client and
+// tablet server. ClusterConfig.Transport selects the wire: "inproc"
+// (default) keeps the servers in-process behind the serialised codec,
+// "tcp" gives each tablet server its own socket, and
+// ClusterConfig.Servers points the cluster at standalone tablet-server
+// processes started with ListenAndServeTablets (or `graphulo serve`),
+// so TableMult's tablet→tablet partial products cross process — or
+// machine — boundaries like the paper's Accumulo deployment. Kernels
+// produce identical results on every transport.
+//
 // # Persistence
 //
 // By default the cluster is in-memory and vanishes at process exit.
@@ -236,6 +246,20 @@ type ClusterConfig struct {
 	// and friends use up to this many cores per call; each scan buffers
 	// only this many wire batches regardless of table size.
 	ScanParallelism int
+	// Transport selects the wire the data plane crosses: "inproc"
+	// (default) keeps every tablet server in the process behind the
+	// serialised codec; "tcp" gives each tablet server its own loopback
+	// socket so every scan batch, write batch, and tablet→tablet kernel
+	// flow crosses a real connection. Kernels produce identical results
+	// on both.
+	Transport string
+	// Servers lists external tablet-server endpoints (host:port)
+	// started with `graphulo serve`: tablets are hosted by those
+	// processes and all data-plane traffic crosses process — or machine
+	// — boundaries. Implies the tcp transport; external clusters are
+	// in-memory only and do not support tablet-level admin (splits,
+	// flush, compact).
+	Servers []string
 	// DataDir, when non-empty, makes the cluster durable: all tables
 	// persist under this directory and a later Open on it recovers
 	// them (manifest + WAL replay). Empty keeps the cluster in memory.
@@ -261,6 +285,16 @@ type ClusterConfig struct {
 	MaxRunsPerTablet int
 }
 
+// TabletServer is a standalone tablet-server endpoint: start one per
+// process (or machine) with ListenAndServeTablets, then point
+// ClusterConfig.Servers at the addresses. `graphulo serve` wraps it.
+type TabletServer = accumulo.TabletServer
+
+// ListenAndServeTablets starts a standalone tablet server on addr
+// (host:port; "" picks an ephemeral loopback port). memLimit bounds
+// each hosted tablet's memtable (0 = default).
+var ListenAndServeTablets = accumulo.ListenAndServeTablets
+
 // DB is a handle to an embedded Graphulo cluster.
 type DB struct {
 	cluster *accumulo.MiniCluster
@@ -277,6 +311,8 @@ func Open(cfg ClusterConfig) (*DB, error) {
 		MemLimit:         cfg.MemLimit,
 		WireBatch:        cfg.WireBatch,
 		ScanParallelism:  cfg.ScanParallelism,
+		Transport:        cfg.Transport,
+		Servers:          cfg.Servers,
 		DataDir:          cfg.DataDir,
 		NoSync:           cfg.NoSync,
 		BlockCacheBytes:  cfg.BlockCacheBytes,

@@ -1,0 +1,74 @@
+package graphulo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestClusterTransportsProduceIdenticalResults drives the public API —
+// graph ingest, BFS, degrees, triangle count — over both transports and
+// over standalone tablet servers, demanding identical answers. This is
+// the equivalence claim at the surface users touch.
+func TestClusterTransportsProduceIdenticalResults(t *testing.T) {
+	g := PaperGraph()
+	type result struct {
+		bfs       map[string]int
+		degrees   map[string]float64
+		triangles float64
+	}
+	run := func(t *testing.T, cfg ClusterConfig) result {
+		db, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		tg, err := db.CreateGraph("G")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tg.Ingest(g); err != nil {
+			t.Fatal(err)
+		}
+		var res result
+		if res.bfs, err = tg.BFS([]int{1}, 2); err != nil {
+			t.Fatal(err)
+		}
+		if res.degrees, err = tg.Degrees(); err != nil {
+			t.Fatal(err)
+		}
+		if res.triangles, err = tg.TriangleCount(); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	configs := map[string]ClusterConfig{
+		"inproc": {Transport: "inproc"},
+		"tcp":    {Transport: "tcp"},
+	}
+	// Standalone tablet servers, as `graphulo serve` would run them.
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv, err := ListenAndServeTablets("127.0.0.1:0", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr())
+	}
+	configs["external"] = ClusterConfig{Servers: addrs}
+
+	results := map[string]result{}
+	for name, cfg := range configs {
+		results[name] = run(t, cfg)
+	}
+	base := results["inproc"]
+	if len(base.bfs) == 0 || len(base.degrees) == 0 || base.triangles == 0 {
+		t.Fatalf("inproc run produced empty results: %+v", base)
+	}
+	for name, res := range results {
+		if !reflect.DeepEqual(res, base) {
+			t.Errorf("%s results differ from inproc:\n%s: %+v\ninproc: %+v", name, name, res, base)
+		}
+	}
+}

@@ -86,16 +86,30 @@ func (t *TableOperations) CreateWithSplits(name string, splits []string) error {
 		}
 	}
 	for i, rng := range ranges {
-		var tab *tablet.Tablet
-		if backings != nil {
-			tab = tablet.NewDurable(rng[0], rng[1], t.mc.cfg.MemLimit, t.mc.seed.Add(1), backings[i], nil, nil)
-		} else {
-			tab = tablet.New(rng[0], rng[1], t.mc.cfg.MemLimit, t.mc.seed.Add(1))
+		server := i % t.mc.cfg.TabletServers
+		ref := &tabletRef{
+			server:   server,
+			start:    rng[0],
+			end:      rng[1],
+			endpoint: t.mc.endpoints[server],
 		}
-		meta.tablets = append(meta.tablets, &tabletRef{
-			tab:    tab,
-			server: i % t.mc.cfg.TabletServers,
-		})
+		switch {
+		case t.mc.external():
+			// The tablet lives in the external server process; assign it
+			// there and keep only the routing entry.
+			conn, err := t.mc.tr.Dial(ref.endpoint)
+			if err == nil {
+				_, err = conn.Call(opAssign, encodeAssignReq(assignReq{table: name, start: rng[0], end: rng[1]}))
+			}
+			if err != nil {
+				return fmt.Errorf("accumulo: assigning tablet of %q to %s: %w", name, ref.endpoint, err)
+			}
+		case backings != nil:
+			ref.tab = tablet.NewDurable(rng[0], rng[1], t.mc.cfg.MemLimit, t.mc.seed.Add(1), backings[i], nil, nil)
+		default:
+			ref.tab = tablet.New(rng[0], rng[1], t.mc.cfg.MemLimit, t.mc.seed.Add(1))
+		}
+		meta.tablets = append(meta.tablets, ref)
 	}
 	t.mc.startScheduler(meta)
 	t.mc.tables[name] = meta
@@ -134,6 +148,25 @@ func (t *TableOperations) Delete(name string) error {
 			}
 		}
 		delete(t.mc.tables, name)
+		if t.mc.external() {
+			// Release the hosted tablets so a recreated table of the same
+			// name starts empty on the servers too. The local entry is
+			// already gone — a per-endpoint failure must not leave a
+			// half-dropped table still routable — and every endpoint is
+			// attempted before reporting the first error; tablets on an
+			// endpoint whose drop failed are replaced at the next assign.
+			var firstErr error
+			for _, ep := range t.mc.endpoints {
+				conn, err := t.mc.tr.Dial(ep)
+				if err == nil {
+					_, err = conn.Call(opDrop, appendStr(nil, name))
+				}
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("accumulo: dropping table %q on %s: %w", name, ep, err)
+				}
+			}
+			return firstErr
+		}
 		return nil
 	}
 }
@@ -160,6 +193,9 @@ func (t *TableOperations) List() []string {
 
 // AddSplits splits existing tablets at the given row boundaries.
 func (t *TableOperations) AddSplits(name string, splits []string) error {
+	if err := t.mc.errExternal("AddSplits"); err != nil {
+		return err
+	}
 	meta, err := t.mc.getTable(name)
 	if err != nil {
 		return err
@@ -184,9 +220,21 @@ func (t *TableOperations) AddSplits(name string, splits []string) error {
 		meta.splits[idx] = s
 		meta.tablets = append(meta.tablets, nil)
 		copy(meta.tablets[tIdx+2:], meta.tablets[tIdx+1:])
-		meta.tablets[tIdx] = &tabletRef{tab: left, server: old.server}
-		meta.tablets[tIdx+1] = &tabletRef{tab: right,
-			server: (old.server + 1) % t.mc.cfg.TabletServers}
+		rightServer := (old.server + 1) % t.mc.cfg.TabletServers
+		meta.tablets[tIdx] = &tabletRef{tab: left, server: old.server,
+			start: old.start, end: s, endpoint: t.mc.endpoints[old.server]}
+		meta.tablets[tIdx+1] = &tabletRef{tab: right, server: rightServer,
+			start: s, end: old.end, endpoint: t.mc.endpoints[rightServer]}
+	}
+	return nil
+}
+
+// errExternal rejects tablet-level admin operations on clusters whose
+// tablets live in external server processes: the minimal control plane
+// those servers speak (assign/drop/write/scan) does not cover them.
+func (mc *MiniCluster) errExternal(op string) error {
+	if mc.external() {
+		return fmt.Errorf("accumulo: %s is not supported with external tablet servers", op)
 	}
 	return nil
 }
@@ -267,6 +315,9 @@ func (t *TableOperations) RemoveIterator(name, iterName string, scopes ...Scope)
 
 // Flush minor-compacts every tablet, applying the minc stack.
 func (t *TableOperations) Flush(name string) error {
+	if err := t.mc.errExternal("Flush"); err != nil {
+		return err
+	}
 	meta, err := t.mc.getTable(name)
 	if err != nil {
 		return err
@@ -286,6 +337,9 @@ func (t *TableOperations) Flush(name string) error {
 
 // Compact major-compacts every tablet, applying the majc stack.
 func (t *TableOperations) Compact(name string) error {
+	if err := t.mc.errExternal("Compact"); err != nil {
+		return err
+	}
 	meta, err := t.mc.getTable(name)
 	if err != nil {
 		return err
@@ -305,6 +359,9 @@ func (t *TableOperations) Compact(name string) error {
 // background compaction scheduler keeps these at or under
 // Config.MaxRunsPerTablet.
 func (t *TableOperations) TabletRuns(name string) ([]int, error) {
+	if err := t.mc.errExternal("TabletRuns"); err != nil {
+		return nil, err
+	}
 	meta, err := t.mc.getTable(name)
 	if err != nil {
 		return nil, err
@@ -363,6 +420,9 @@ func (t *TableOperations) Clone(src, dst string) error {
 // (empty bounds are infinite), by rewriting the affected tablets —
 // Accumulo's deleteRows.
 func (t *TableOperations) DeleteRows(name, startRow, endRow string) error {
+	if err := t.mc.errExternal("DeleteRows"); err != nil {
+		return err
+	}
 	meta, err := t.mc.getTable(name)
 	if err != nil {
 		return err
@@ -385,6 +445,9 @@ func (t *TableOperations) DeleteRows(name, startRow, endRow string) error {
 
 // EntryEstimate sums the per-tablet entry estimates.
 func (t *TableOperations) EntryEstimate(name string) (int, error) {
+	if err := t.mc.errExternal("EntryEstimate"); err != nil {
+		return 0, err
+	}
 	meta, err := t.mc.getTable(name)
 	if err != nil {
 		return 0, err

@@ -2,7 +2,7 @@
 // multiple tablet servers hosting row-range tablets, tables with splits
 // and per-scope iterator stacks, and thin clients (BatchWriter, Scanner,
 // BatchScanner) that talk to the servers through a serialised wire
-// codec.
+// protocol.
 //
 // This is the substitution for the paper's Apache Accumulo deployment
 // (see DESIGN.md §2): the storage contract — sorted (row, colF, colQ,
@@ -10,14 +10,29 @@
 // majc scopes — matches what a thin Accumulo client sees, so the
 // Graphulo kernels built on top exercise the same code paths.
 //
+// Every data-plane exchange — write batches, scan batches, and the
+// scans and writes issued by server-side iterators (RemoteSource,
+// TwoTableIterator, RemoteWrite) — crosses a transport between client
+// and tablet server (internal/transport). Config.Transport selects the
+// wire: "inproc" (default) hands the codec-serialised batches across
+// channels inside the process, "tcp" gives every tablet server its own
+// socket so TableMult's tablet→tablet partial-product flow crosses real
+// connections, and Config.Servers points the cluster at standalone
+// tablet-server processes (cmd/graphulo serve) so the flow crosses OS
+// process — or machine — boundaries, as in the paper's deployment. The
+// kernels produce identical results on every transport; the equivalence
+// tests pin it.
+//
 // Scans are streaming: every scan is an EntryStream cursor fed by
-// per-tablet workers that each round-trip one wire batch at a time, up
-// to Config.ScanParallelism tablets concurrently. A whole-table scan or
-// kernel pass therefore buffers wire batches, never the table, and the
-// heavy per-tablet work (iterator stacks, TwoTableIterator products,
-// RemoteWrite batching) runs in parallel across tablets exactly as the
-// paper's tablet servers do. Scanner.Entries and BatchScanner.Entries
-// remain as collect-all conveniences on top of the cursor.
+// per-tablet fetch workers that each relay one remote tablet scan, up
+// to Config.ScanParallelism tablets concurrently. The server runs the
+// iterator stack where the tablet lives and streams back one wire batch
+// at a time with backpressure, so a whole-table scan or kernel pass
+// buffers wire batches, never the table, and the heavy per-tablet work
+// (iterator stacks, TwoTableIterator products, RemoteWrite batching)
+// runs in parallel across tablets exactly as the paper's tablet servers
+// do. Scanner.Entries and BatchScanner.Entries remain as collect-all
+// conveniences on top of the cursor.
 //
 // The cluster runs in one of two durability modes. With an empty
 // Config.DataDir everything lives in memory, as a test harness expects.
@@ -31,6 +46,7 @@
 package accumulo
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -41,6 +57,7 @@ import (
 	"graphulo/internal/skv"
 	"graphulo/internal/store"
 	"graphulo/internal/tablet"
+	"graphulo/internal/transport"
 )
 
 // Scope identifies where an iterator stack applies, as in Accumulo.
@@ -68,6 +85,16 @@ func scopeFromName(name string) (Scope, bool) {
 	return 0, false
 }
 
+// Transport selector values for Config.Transport.
+const (
+	// TransportInProc keeps every tablet server in the process; the wire
+	// codec round-trips every batch across a channel boundary.
+	TransportInProc = "inproc"
+	// TransportTCP launches every tablet server on its own loopback
+	// socket; all data-plane traffic crosses real TCP connections.
+	TransportTCP = "tcp"
+)
+
 // Config sizes the mini-cluster.
 type Config struct {
 	// TabletServers is the number of server instances (default 2).
@@ -75,8 +102,7 @@ type Config struct {
 	// MemLimit is the per-tablet memtable entry limit before an
 	// automatic minor compaction (default 1<<14).
 	MemLimit int
-	// WireBatch is the number of entries per simulated RPC batch
-	// (default 4096).
+	// WireBatch is the number of entries per RPC batch (default 4096).
 	WireBatch int
 	// ScanParallelism bounds how many tablets one scan (or one
 	// server-side kernel pass) executes concurrently (default 4). With 1
@@ -85,6 +111,18 @@ type Config struct {
 	// once while each scan still buffers only ScanParallelism wire
 	// batches.
 	ScanParallelism int
+	// Transport selects the data-plane wire: TransportInProc (default)
+	// or TransportTCP. Kernels behave identically on both; TCP makes
+	// every client↔server and server↔server exchange cross a real
+	// socket. Ignored when Servers is set (which implies TCP).
+	Transport string
+	// Servers lists external tablet-server endpoints (host:port)
+	// started with `graphulo serve`. When set, the cluster launches no
+	// tablet servers of its own: tablets are assigned to the listed
+	// processes and every scan and write crosses process boundaries.
+	// External clusters are in-memory only (no DataDir) and do not
+	// support tablet-level admin ops (splits, flush, compact).
+	Servers []string
 	// DataDir, when non-empty, makes the cluster durable: tables and
 	// data persist under this directory (manifest + WAL + rfiles) and
 	// OpenMiniCluster recovers them. Empty keeps everything in memory.
@@ -112,6 +150,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if len(c.Servers) > 0 {
+		c.TabletServers = len(c.Servers)
+	}
 	if c.TabletServers <= 0 {
 		c.TabletServers = 2
 	}
@@ -129,8 +170,8 @@ func (c Config) withDefaults() Config {
 
 // Metrics counts cluster activity; all fields are atomic.
 type Metrics struct {
-	WireBytes      atomic.Int64 // bytes serialised through the codec
-	RPCs           atomic.Int64 // simulated RPC round trips
+	WireBytes      atomic.Int64 // payload bytes crossing the transport
+	RPCs           atomic.Int64 // RPC round trips (calls + stream batches)
 	EntriesWritten atomic.Int64 // entries ingested by tablet servers
 	EntriesScanned atomic.Int64 // entries returned to scan clients
 
@@ -138,9 +179,9 @@ type Metrics struct {
 	// remote scan opened by server-side iterators. The regression tests
 	// for the streaming RemoteSource pin kernel behaviour with it.
 	ScansStarted atomic.Int64
-	// ScansInFlight gauges tablet scan workers currently executing;
-	// MaxScansInFlight records its high-water mark (evidence of
-	// per-tablet parallelism).
+	// ScansInFlight gauges tablet scan passes currently executing on
+	// this process's tablet servers; MaxScansInFlight records its
+	// high-water mark (evidence of per-tablet parallelism).
 	ScansInFlight    atomic.Int64
 	MaxScansInFlight atomic.Int64
 	// EntriesBuffered gauges entries currently held across all scan
@@ -180,12 +221,22 @@ func (m *Metrics) noteBuffered(n int64) { atomicMax(&m.MaxEntriesBuffered, n) }
 // high-water mark.
 func (m *Metrics) noteScanStart() { atomicMax(&m.MaxScansInFlight, m.ScansInFlight.Add(1)) }
 
-// MiniCluster is the embedded cluster.
+// MiniCluster is the embedded cluster: the metadata authority (tables,
+// splits, iterator settings, tablet→server assignment) plus the client
+// router that moves all data-plane traffic over the transport.
 type MiniCluster struct {
 	cfg     Config
 	clock   atomic.Int64
 	seed    atomic.Int64
 	Metrics Metrics
+
+	// tr carries the data plane; endpoints[i] is the dialable address
+	// of tablet server i. locals holds the servers this cluster
+	// launched (empty when Config.Servers points at external
+	// processes).
+	tr        transport.Transport
+	endpoints []string
+	locals    []transport.Server
 
 	mu     sync.RWMutex
 	tables map[string]*tableMeta
@@ -198,9 +249,15 @@ type MiniCluster struct {
 	failWrites atomic.Int64
 }
 
+// tabletRef is the coordinator's handle to one tablet: its hosted row
+// range, the server that owns it, and — for locally launched servers —
+// the tablet state itself (nil when the tablet lives in an external
+// process).
 type tabletRef struct {
-	tab    *tablet.Tablet
-	server int
+	tab        *tablet.Tablet
+	server     int
+	start, end string // hosted row range [start, end); "" = unbounded
+	endpoint   string // transport address of the owning tablet server
 }
 
 type tableMeta struct {
@@ -218,9 +275,13 @@ type tableMeta struct {
 	iters   map[Scope][]iterator.Setting
 }
 
+// external reports whether the tablet servers are external processes.
+func (mc *MiniCluster) external() bool { return len(mc.cfg.Servers) > 0 }
+
 // NewMiniCluster starts an embedded in-memory cluster. For a durable
 // cluster (Config.DataDir set) use OpenMiniCluster; NewMiniCluster
-// panics on I/O errors, which cannot occur in memory.
+// panics on I/O errors, which in-process in-memory configurations
+// cannot hit.
 func NewMiniCluster(cfg Config) *MiniCluster {
 	mc, err := OpenMiniCluster(cfg)
 	if err != nil {
@@ -238,6 +299,9 @@ func NewMiniCluster(cfg Config) *MiniCluster {
 func OpenMiniCluster(cfg Config) (*MiniCluster, error) {
 	mc := &MiniCluster{cfg: cfg.withDefaults(), tables: map[string]*tableMeta{}}
 	mc.seed.Store(42)
+	if err := mc.openTransport(); err != nil {
+		return nil, err
+	}
 	if cfg.DataDir == "" {
 		return mc, nil
 	}
@@ -247,6 +311,7 @@ func OpenMiniCluster(cfg Config) (*MiniCluster, error) {
 		BloomFilterBits: cfg.BloomFilterBits,
 	})
 	if err != nil {
+		mc.closeTransport()
 		return nil, err
 	}
 	mc.dir = dir
@@ -271,9 +336,13 @@ func OpenMiniCluster(cfg Config) (*MiniCluster, error) {
 				clockFloor = maxTs
 			}
 			tab := tablet.NewDurable(tbi.Start, tbi.End, mc.cfg.MemLimit, mc.seed.Add(1), ts, runs, replay)
+			server := i % mc.cfg.TabletServers
 			meta.tablets = append(meta.tablets, &tabletRef{
-				tab:    tab,
-				server: i % mc.cfg.TabletServers,
+				tab:      tab,
+				server:   server,
+				start:    tbi.Start,
+				end:      tbi.End,
+				endpoint: mc.endpoints[server],
 			})
 		}
 		mc.startScheduler(meta)
@@ -282,6 +351,127 @@ func OpenMiniCluster(cfg Config) (*MiniCluster, error) {
 	mc.clock.Store(clockFloor)
 	dir.SetClock(func() int64 { return mc.clock.Load() })
 	return mc, nil
+}
+
+// openTransport brings up the data plane: the transport implementation
+// plus — unless Config.Servers points at external processes — one
+// listening endpoint per tablet server, all serving the shared cluster
+// handler.
+func (mc *MiniCluster) openTransport() error {
+	if mc.external() {
+		if mc.cfg.DataDir != "" {
+			return fmt.Errorf("accumulo: external tablet servers (Config.Servers) do not support DataDir")
+		}
+		if mc.cfg.Transport == TransportInProc {
+			return fmt.Errorf("accumulo: external tablet servers require the tcp transport")
+		}
+		mc.tr = transport.NewTCP()
+		mc.endpoints = append([]string(nil), mc.cfg.Servers...)
+		// Stamp-clock handshake, which doubles as failing fast on
+		// unreachable servers. Phase 1 learns every server's current
+		// clock; phase 2 assigns each a distinct band strictly above the
+		// highest band any of them (or a previous coordinator) has used,
+		// so no two servers — across restarts and reorderings — can ever
+		// stamp the same timestamp. Band 0 stays with this coordinator's
+		// client-stamped writes.
+		ping := func(ep string, req []byte) (int64, error) {
+			conn, err := mc.tr.Dial(ep)
+			if err != nil {
+				return 0, err
+			}
+			resp, err := conn.Call(opPing, req)
+			if err != nil {
+				return 0, err
+			}
+			clock, _, err := readUint(resp)
+			return int64(clock), err
+		}
+		var maxBand int64
+		for _, ep := range mc.endpoints {
+			clock, err := ping(ep, nil)
+			if err != nil {
+				mc.tr.Close()
+				return fmt.Errorf("accumulo: tablet server %s: %w", ep, err)
+			}
+			if band := clock >> 32; band > maxBand {
+				maxBand = band
+			}
+		}
+		for i, ep := range mc.endpoints {
+			band := maxBand + 1 + int64(i)
+			if _, err := ping(ep, binary.AppendUvarint(nil, uint64(band))); err != nil {
+				mc.tr.Close()
+				return fmt.Errorf("accumulo: tablet server %s: %w", ep, err)
+			}
+		}
+		return nil
+	}
+	switch mc.cfg.Transport {
+	case "", TransportInProc:
+		mc.tr = transport.NewInProc()
+	case TransportTCP:
+		mc.tr = transport.NewTCP()
+	default:
+		return fmt.Errorf("accumulo: unknown transport %q", mc.cfg.Transport)
+	}
+	h := &clusterHandler{mc: mc}
+	for i := 0; i < mc.cfg.TabletServers; i++ {
+		srv, err := mc.tr.Listen("", h)
+		if err != nil {
+			mc.closeTransport()
+			return err
+		}
+		mc.locals = append(mc.locals, srv)
+		mc.endpoints = append(mc.endpoints, srv.Addr())
+	}
+	return nil
+}
+
+// closeTransport shuts the data plane down: local tablet servers stop
+// serving (waiting out in-flight passes), then the transport drops its
+// pooled connections.
+func (mc *MiniCluster) closeTransport() error {
+	var firstErr error
+	for _, srv := range mc.locals {
+		if err := srv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if mc.tr != nil {
+		if err := mc.tr.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// scanTopology snapshots the routing topology shipped with scan
+// requests to external tablet servers (nil otherwise — locally launched
+// servers resolve against the shared metadata).
+func (mc *MiniCluster) scanTopology() *topology {
+	if !mc.external() {
+		return nil
+	}
+	mc.mu.RLock()
+	metas := make([]*tableMeta, 0, len(mc.tables))
+	for _, meta := range mc.tables {
+		metas = append(metas, meta)
+	}
+	mc.mu.RUnlock()
+	topo := &topology{wireBatch: mc.cfg.WireBatch, scanPar: mc.cfg.ScanParallelism}
+	for _, meta := range metas {
+		meta.mu.RLock()
+		tt := topoTable{
+			name: meta.name,
+			scan: append([]iterator.Setting(nil), meta.iters[ScanScope]...),
+		}
+		for _, tr := range meta.tablets {
+			tt.tablets = append(tt.tablets, topoTablet{start: tr.start, end: tr.end, endpoint: tr.endpoint})
+		}
+		meta.mu.RUnlock()
+		topo.tables = append(topo.tables, tt)
+	}
+	return topo
 }
 
 // startScheduler launches the table's background compaction scheduler
@@ -321,41 +511,47 @@ func (mc *MiniCluster) StorageStats() (cacheHits, cacheMisses, bloomNegatives in
 	return mc.dir.StorageStats()
 }
 
-// Close shuts a durable cluster down cleanly: every tablet's memtable
-// is flushed to an rfile (applying the minc stack, and reclaiming its
-// WAL segments), then the manifest is persisted with the current
-// logical clock and every WAL is synced and closed. A reopen after
-// Close therefore recovers purely from the manifest and rfiles; WAL
-// replay is the crash path. In-memory clusters need no Close; calling
-// it is a no-op.
+// Close shuts the cluster down cleanly. For a durable cluster every
+// tablet's memtable is flushed to an rfile (applying the minc stack,
+// and reclaiming its WAL segments), then the manifest is persisted with
+// the current logical clock and every WAL is synced and closed — a
+// reopen after Close recovers purely from the manifest and rfiles, WAL
+// replay being the crash path. In every mode Close then stops the
+// locally launched tablet servers and releases the transport (listeners
+// and pooled connections), so a TCP cluster must be Closed to free its
+// sockets. Close is idempotent; an in-memory in-process cluster that is
+// never Closed leaks nothing beyond its heap.
 func (mc *MiniCluster) Close() error {
-	if mc.dir == nil {
-		return nil
-	}
-	mc.mu.RLock()
-	var names []string
-	var scheds []*tablet.Scheduler
-	for name, meta := range mc.tables {
-		names = append(names, name)
-		if meta.sched != nil {
-			scheds = append(scheds, meta.sched)
-		}
-	}
-	mc.mu.RUnlock()
-	// Stop every compaction scheduler first: Stop returns only once any
-	// in-flight scheduled compaction has finished, so nothing races the
-	// final flushes or writes after the directory closes.
-	for _, s := range scheds {
-		s.Stop()
-	}
-	ops := &TableOperations{mc: mc}
 	var firstErr error
-	for _, name := range names {
-		if err := ops.Flush(name); err != nil && firstErr == nil {
+	if mc.dir != nil {
+		mc.mu.RLock()
+		var names []string
+		var scheds []*tablet.Scheduler
+		for name, meta := range mc.tables {
+			names = append(names, name)
+			if meta.sched != nil {
+				scheds = append(scheds, meta.sched)
+			}
+		}
+		mc.mu.RUnlock()
+		// Stop every compaction scheduler first: Stop returns only once
+		// any in-flight scheduled compaction has finished, so nothing
+		// races the final flushes or writes after the directory closes.
+		for _, s := range scheds {
+			s.Stop()
+		}
+		ops := &TableOperations{mc: mc}
+		for _, name := range names {
+			if err := ops.Flush(name); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if err := mc.dir.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		mc.dir = nil
 	}
-	if err := mc.dir.Close(); err != nil && firstErr == nil {
+	if err := mc.closeTransport(); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	return firstErr
@@ -381,10 +577,13 @@ func (mc *MiniCluster) Connector() *Connector { return &Connector{mc: mc} }
 func (mc *MiniCluster) nextTs() int64 { return mc.clock.Add(1) }
 
 // ErrTransient marks a write failure that happened before any tablet
-// absorbed entries, so the whole batch may safely be retried. Failures
-// past that point (e.g. a WAL I/O error on one tablet of several) are
-// NOT transient: some tablets already hold the entries, and a retry
-// would re-stamp and double them under sum combiners.
+// absorbed entries, so the whole batch may safely be retried. That
+// covers failure injection and tablet servers that are unreachable
+// (transport.ErrUnavailable — the request was never sent). Failures
+// past that point (e.g. a WAL I/O error on one tablet of several, or a
+// connection dying after the request went out) are NOT transient: some
+// tablet may already hold the entries, and a retry would re-stamp and
+// double them under sum combiners.
 var ErrTransient = errors.New("transient write failure")
 
 // InjectWriteFailures makes the next n write RPCs return a transient
@@ -419,7 +618,7 @@ func (t *tableMeta) tabletsOverlapping(rng skv.Range) []*tabletRef {
 	defer t.mu.RUnlock()
 	var out []*tabletRef
 	for _, tr := range t.tablets {
-		if !rng.Clip(tr.tab.Range()).IsEmpty() {
+		if !rng.Clip(skv.RowRange(tr.start, tr.end)).IsEmpty() {
 			out = append(out, tr)
 		}
 	}
@@ -433,9 +632,9 @@ func (t *tableMeta) scopeStack(s Scope) []iterator.Setting {
 	return append([]iterator.Setting(nil), t.iters[s]...)
 }
 
-// write is the server-side ingest path: entries are stamped with fresh
-// timestamps, routed to their tablets, and inserted. It simulates the
-// RPC by round-tripping each tablet batch through the wire codec.
+// write is the client-side ingest path: entries are stamped with fresh
+// timestamps, routed to their tablets, and shipped to each tablet's
+// server over the transport as one codec-serialised batch per tablet.
 func (mc *MiniCluster) write(table string, entries []skv.Entry) error {
 	meta, err := mc.getTable(table)
 	if err != nil {
@@ -452,18 +651,27 @@ func (mc *MiniCluster) write(table string, entries []skv.Entry) error {
 		tr := meta.tabletForRow(e.K.Row)
 		groups[tr] = append(groups[tr], e)
 	}
+	wrote := false
 	for tr, batch := range groups {
 		wire := skv.EncodeBatch(batch)
 		mc.Metrics.WireBytes.Add(int64(len(wire)))
 		mc.Metrics.RPCs.Add(1)
-		decoded, err := skv.DecodeBatch(wire)
-		if err != nil {
-			return fmt.Errorf("accumulo: wire corruption: %w", err)
+		conn, err := mc.tr.Dial(tr.endpoint)
+		if err == nil {
+			_, err = conn.Call(opWrite, encodeWriteReq(writeReq{
+				table: table, start: tr.start, end: tr.end, batch: wire,
+			}))
 		}
-		if err := tr.tab.Write(decoded); err != nil {
+		if err != nil {
+			if !wrote && errors.Is(err, transport.ErrUnavailable) {
+				// The server was unreachable before any tablet absorbed
+				// entries: the whole batch is retriable.
+				return fmt.Errorf("accumulo: tablet server %s: %w (%w)", tr.endpoint, ErrTransient, err)
+			}
 			return fmt.Errorf("accumulo: tablet write: %w", err)
 		}
-		mc.Metrics.EntriesWritten.Add(int64(len(decoded)))
+		wrote = true
+		mc.Metrics.EntriesWritten.Add(int64(len(batch)))
 		// Auto-minc applies the minc stack when the memtable spills; the
 		// tablet handles the spill itself with a nil stack, so re-apply
 		// the configured minc stack lazily at the next compaction. To
@@ -475,6 +683,13 @@ func (mc *MiniCluster) write(table string, entries []skv.Entry) error {
 		meta.sched.Kick()
 	}
 	return nil
+}
+
+// writeEntries implements scanBackend for the coordinator: server-side
+// iterators (RemoteWrite) write through the same routed path clients
+// use.
+func (mc *MiniCluster) writeEntries(table string, entries []skv.Entry) error {
+	return mc.write(table, entries)
 }
 
 // scan executes a range scan server-side and collects the whole result —
@@ -499,7 +714,7 @@ func (mc *MiniCluster) compactionStack(meta *tableMeta, scope Scope) func(iterat
 		return nil
 	}
 	return func(src iterator.SKVI) (iterator.SKVI, error) {
-		env := &scanEnv{mc: mc}
+		env := &scanEnv{backend: mc}
 		stack, err := iterator.BuildStack(src, settings, env)
 		if err != nil {
 			env.close()

@@ -1,0 +1,138 @@
+package accumulo
+
+// This file is the server half of the cluster's data plane: the
+// transport handler that MiniCluster-launched tablet servers run, and
+// serveScan, the scan executor shared with the standalone tablet server
+// (daemon.go). Every write batch and every scan — client-issued or
+// opened by a server-side iterator — arrives here through the
+// transport, whether that meant a channel hand-off or a TCP socket.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"graphulo/internal/iterator"
+	"graphulo/internal/skv"
+	"graphulo/internal/tablet"
+	"graphulo/internal/transport"
+)
+
+// clusterHandler serves the tablet-server ops for servers launched by a
+// MiniCluster. All of the cluster's servers share the coordinator's
+// metadata in-process — what distributes the work across endpoints is
+// the router always dialing the endpoint that owns the tablet, so scan
+// stacks and write ingestion run on the connection's server goroutines
+// after genuinely crossing the wire.
+type clusterHandler struct {
+	mc *MiniCluster
+}
+
+// resolveTablet locates a hosted tablet by its exact row range. A miss
+// means the tablet was split or retired after the client snapshotted its
+// routing — surfacing an error is strictly better than silently serving
+// a different range.
+func (mc *MiniCluster) resolveTablet(table, start, end string) (*tablet.Tablet, error) {
+	meta, err := mc.getTable(table)
+	if err != nil {
+		return nil, err
+	}
+	meta.mu.RLock()
+	defer meta.mu.RUnlock()
+	for _, tr := range meta.tablets {
+		if tr.start == start && tr.end == end {
+			return tr.tab, nil
+		}
+	}
+	return nil, fmt.Errorf("accumulo: tablet [%q,%q) of table %q is not hosted (split raced the request?)",
+		start, end, table)
+}
+
+// Call implements transport.Handler.
+func (h *clusterHandler) Call(op byte, req []byte) ([]byte, error) {
+	switch op {
+	case opPing:
+		// Cluster-launched servers share the coordinator clock; answer
+		// the handshake with it and ignore band assignments.
+		return binary.AppendUvarint(nil, uint64(h.mc.clock.Load())), nil
+	case opWrite:
+		wr, err := decodeWriteReq(req)
+		if err != nil {
+			return nil, err
+		}
+		entries, err := skv.DecodeBatch(wr.batch)
+		if err != nil {
+			return nil, fmt.Errorf("accumulo: wire corruption: %w", err)
+		}
+		tab, err := h.mc.resolveTablet(wr.table, wr.start, wr.end)
+		if err != nil {
+			return nil, err
+		}
+		if err := tab.Write(entries); err != nil {
+			return nil, fmt.Errorf("accumulo: tablet write: %w", err)
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("accumulo: unknown unary op %d", op)
+	}
+}
+
+// Stream implements transport.Handler: opScan is the only streaming op.
+func (h *clusterHandler) Stream(op byte, req []byte, send func([]byte) error) error {
+	if op != opScan {
+		return fmt.Errorf("accumulo: unknown streaming op %d", op)
+	}
+	sr, err := decodeScanReq(req)
+	if err != nil {
+		return err
+	}
+	tab, err := h.mc.resolveTablet(sr.table, sr.start, sr.end)
+	if err != nil {
+		return err
+	}
+	h.mc.Metrics.noteScanStart()
+	defer h.mc.Metrics.ScansInFlight.Add(-1)
+	env := &scanEnv{backend: h.mc}
+	defer env.close()
+	return serveScan(tab.Snapshot(), sr.rng, sr.settings, env, sr.batch, send)
+}
+
+// serveScan runs a fully merged scan stack over a tablet snapshot and
+// ships the results through send one skv-codec batch at a time — the
+// server half of every scan. send blocking is the backpressure; a send
+// failure means the consumer went away, which cancels the pass.
+func serveScan(src iterator.SKVI, rng skv.Range, settings []iterator.Setting, env iterator.Env, batchSize int, send func([]byte) error) error {
+	if batchSize <= 0 {
+		batchSize = 4096
+	}
+	stack, err := iterator.BuildStack(src, settings, env)
+	if err != nil {
+		return err
+	}
+	if err := stack.Seek(rng); err != nil {
+		return err
+	}
+	batch := make([]skv.Entry, 0, batchSize)
+	ship := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := send(skv.EncodeBatch(batch))
+		batch = batch[:0]
+		return err
+	}
+	for stack.HasTop() {
+		batch = append(batch, stack.Top())
+		if len(batch) >= batchSize {
+			if err := ship(); err != nil {
+				return err
+			}
+		}
+		if err := stack.Next(); err != nil {
+			return err
+		}
+	}
+	return ship()
+}
+
+// interface check: MiniCluster-launched servers speak the transport.
+var _ transport.Handler = (*clusterHandler)(nil)

@@ -1,23 +1,29 @@
 package accumulo
 
-// This file implements the streaming scan pipeline: instead of
-// materialising a scan's full result as one slice, the cluster hands the
-// client an EntryStream cursor fed by per-tablet workers. Each worker
-// runs its tablet's iterator stack over a snapshot and round-trips
-// results through the wire codec one batch at a time; a bounded pool
+// This file implements the client half of the streaming scan pipeline:
+// instead of materialising a scan's full result as one slice, the
+// caller gets an EntryStream cursor fed by per-tablet fetch workers.
+// Each worker opens one remote scan on the tablet's endpoint through
+// the transport — the server runs the iterator stack where the tablet
+// lives and streams back skv-codec batches — and a bounded pool
 // (Config.ScanParallelism) lets workers for several tablets execute
-// concurrently while the cursor serves tablets in key order, so the
-// stream stays globally sorted and the memory held by a scan is bounded
-// by wire batches × parallelism, never by table size. This mirrors the
-// paper's execution model: kernels run where the tablets live, in
-// parallel across tablet servers, and the client consumes a trickle.
+// concurrently while the cursor serves tablets in key order. The
+// stream stays globally sorted and the memory held by a scan is
+// bounded by wire batches × parallelism, never by table size. This
+// mirrors the paper's execution model: kernels run where the tablets
+// live, in parallel across tablet servers, and the client consumes a
+// trickle.
 
 import (
+	"errors"
+	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
 	"graphulo/internal/iterator"
 	"graphulo/internal/skv"
+	"graphulo/internal/transport"
 )
 
 // EntryStream is a streaming cursor over one scan's sorted results.
@@ -48,30 +54,32 @@ type tabletScan struct {
 	err     error
 }
 
-// openStream starts a streaming scan: per overlapping tablet, a worker
-// runs the table's scan stack (plus extra per-scan settings) over a
-// snapshot and ships results through the wire codec one batch at a
-// time. Workers start in tablet order under the ScanParallelism bound;
-// the cursor consumes tablets in the same order, so the stream is
-// globally sorted while later tablets prefetch concurrently.
-func (mc *MiniCluster) openStream(table string, rng skv.Range, extra []iterator.Setting) (*EntryStream, error) {
-	meta, err := mc.getTable(table)
-	if err != nil {
-		return nil, err
-	}
-	mc.Metrics.ScansStarted.Add(1)
-	tablets := meta.tabletsOverlapping(rng)
+// scanBackend abstracts "the rest of the cluster" for scan pipelines
+// and the server-side iterator environment: the MiniCluster implements
+// it against its table metadata; the standalone tablet server
+// (daemon.go) implements it against the routing topology shipped with
+// each scan request. Both route the actual traffic through the
+// transport.
+type scanBackend interface {
+	openStream(table string, rng skv.Range, extra []iterator.Setting) (*EntryStream, error)
+	writeEntries(table string, entries []skv.Entry) error
+}
+
+// startStream builds the cursor and launches per-tablet fetch workers
+// in tablet order under the parallelism bound; the cursor consumes
+// tablets in the same order, so the stream is globally sorted while
+// later tablets prefetch concurrently.
+func startStream(metrics *Metrics, par, n int, fetch func(i int, out *tabletScan, done <-chan struct{})) *EntryStream {
 	s := &EntryStream{
-		scans:   make([]*tabletScan, len(tablets)),
+		scans:   make([]*tabletScan, n),
 		done:    make(chan struct{}),
-		metrics: &mc.Metrics,
+		metrics: metrics,
 	}
 	for i := range s.scans {
-		// Capacity 1: beyond the batch its worker is filling, each tablet
+		// Capacity 1: beyond the batch its worker is relaying, each tablet
 		// holds at most one decoded batch in flight.
 		s.scans[i] = &tabletScan{batches: make(chan []skv.Entry, 1)}
 	}
-	par := mc.cfg.ScanParallelism
 	if par < 1 {
 		par = 1
 	}
@@ -81,7 +89,7 @@ func (mc *MiniCluster) openStream(table string, rng skv.Range, extra []iterator.
 	done, scans := s.done, s.scans
 	go func() {
 		sem := make(chan struct{}, par)
-		for i, tr := range tablets {
+		for i := 0; i < n; i++ {
 			select {
 			case sem <- struct{}{}:
 			case <-done:
@@ -92,82 +100,106 @@ func (mc *MiniCluster) openStream(table string, rng skv.Range, extra []iterator.
 				}
 				return
 			}
-			go func(tr *tabletRef, out *tabletScan) {
+			go func(i int) {
 				defer func() { <-sem }()
-				defer close(out.batches)
-				mc.streamTablet(meta, tr, rng, extra, out, done)
-			}(tr, scans[i])
+				defer close(scans[i].batches)
+				fetch(i, scans[i], done)
+			}(i)
 		}
 	}()
 	runtime.SetFinalizer(s, (*EntryStream).Close)
-	return s, nil
+	return s
 }
 
-// streamTablet is one tablet worker: it runs the scan stack over a
-// tablet snapshot and ships results one wire batch at a time, blocking
-// when the consumer falls a batch behind (backpressure) and aborting
-// when the stream is closed.
-func (mc *MiniCluster) streamTablet(meta *tableMeta, tr *tabletRef, rng skv.Range, extra []iterator.Setting, out *tabletScan, done <-chan struct{}) {
-	clipped := rng.Clip(tr.tab.Range())
-	if clipped.IsEmpty() {
-		return
+// openStream starts a streaming scan: per overlapping tablet, a fetch
+// worker opens a remote scan on the tablet's endpoint carrying the
+// fully merged stack (table scan scope + per-scan extras), and relays
+// the streamed batches to the cursor.
+func (mc *MiniCluster) openStream(table string, rng skv.Range, extra []iterator.Setting) (*EntryStream, error) {
+	meta, err := mc.getTable(table)
+	if err != nil {
+		return nil, err
 	}
-	mc.Metrics.noteScanStart()
-	defer mc.Metrics.ScansInFlight.Add(-1)
-	env := &scanEnv{mc: mc}
-	defer env.close()
+	mc.Metrics.ScansStarted.Add(1)
+	tablets := meta.tabletsOverlapping(rng)
 	settings := append(meta.scopeStack(ScanScope), extra...)
-	stack, err := iterator.BuildStack(tr.tab.Snapshot(), settings, env)
+	// The routing topology is identical for every tablet of the scan;
+	// encode it once and splice the bytes into each request.
+	topoRaw := appendTopology(nil, mc.scanTopology())
+	return startStream(&mc.Metrics, mc.cfg.ScanParallelism, len(tablets),
+		func(i int, out *tabletScan, done <-chan struct{}) {
+			tr := tablets[i]
+			clipped := rng.Clip(skv.RowRange(tr.start, tr.end))
+			if clipped.IsEmpty() {
+				return
+			}
+			req := encodeScanReq(scanReq{
+				table: table, start: tr.start, end: tr.end,
+				rng: clipped, settings: settings,
+				batch: mc.cfg.WireBatch, topoRaw: topoRaw,
+			})
+			relayScan(mc.tr, &mc.Metrics, tr.endpoint, req, out, done)
+		}), nil
+}
+
+// relayScan is one per-tablet fetch worker: it opens the remote scan and
+// relays decoded batches to the cursor channel with backpressure,
+// honouring cancellation from the consumer side (done) and failure from
+// the server side (Recv errors). Shared by the MiniCluster client and
+// the standalone tablet server's nested scans.
+func relayScan(tr transport.Transport, metrics *Metrics, endpoint string, req []byte, out *tabletScan, done <-chan struct{}) {
+	conn, err := tr.Dial(endpoint)
 	if err != nil {
 		out.err = err
 		return
 	}
-	if err := stack.Seek(clipped); err != nil {
+	st, err := conn.OpenStream(opScan, req)
+	if err != nil {
 		out.err = err
 		return
 	}
-	batch := make([]skv.Entry, 0, mc.cfg.WireBatch)
-	ship := func() bool {
-		if len(batch) == 0 {
-			return true
-		}
+	// A worker blocked in Recv cannot watch done itself; a sentinel
+	// closes the stream on cancellation, which unblocks Recv.
+	fin := make(chan struct{})
+	defer close(fin)
+	go func() {
 		select {
 		case <-done:
-			return false
-		default:
+			st.Close()
+		case <-fin:
 		}
-		wire := skv.EncodeBatch(batch)
-		mc.Metrics.WireBytes.Add(int64(len(wire)))
-		mc.Metrics.RPCs.Add(1)
-		decoded, err := skv.DecodeBatch(wire)
+	}()
+	defer st.Close()
+	for {
+		payload, err := st.Recv()
+		if err == io.EOF {
+			return
+		}
+		if errors.Is(err, transport.ErrClosed) {
+			return // cancelled by the consumer via done
+		}
 		if err != nil {
 			out.err = err
-			return false
+			return
 		}
-		mc.Metrics.noteBuffered(mc.Metrics.EntriesBuffered.Add(int64(len(decoded))))
+		metrics.WireBytes.Add(int64(len(payload)))
+		metrics.RPCs.Add(1)
+		batch, err := skv.DecodeBatch(payload)
+		if err != nil {
+			out.err = fmt.Errorf("accumulo: wire corruption: %w", err)
+			return
+		}
+		metrics.noteBuffered(metrics.EntriesBuffered.Add(int64(len(batch))))
 		select {
-		case out.batches <- decoded:
+		case out.batches <- batch:
 			// Only batches the consumer can still receive count as
 			// returned to the scan client.
-			mc.Metrics.EntriesScanned.Add(int64(len(decoded)))
+			metrics.EntriesScanned.Add(int64(len(batch)))
 		case <-done:
-			mc.Metrics.EntriesBuffered.Add(-int64(len(decoded)))
-			return false
-		}
-		batch = batch[:0]
-		return true
-	}
-	for stack.HasTop() {
-		batch = append(batch, stack.Top())
-		if len(batch) >= mc.cfg.WireBatch && !ship() {
-			return
-		}
-		if err := stack.Next(); err != nil {
-			out.err = err
+			metrics.EntriesBuffered.Add(-int64(len(batch)))
 			return
 		}
 	}
-	ship()
 }
 
 // Next returns the next entry in key order, or ok=false when the stream
@@ -251,15 +283,15 @@ func (s *EntryStream) CollectFloatByRow() (map[string]float64, error) {
 // --- server-side iterator environment ---
 
 // scanEnv implements iterator.Env for server-side iterators: scanners
-// opened from inside a tablet server still route through the wire codec,
+// opened from inside a tablet server still route through the transport,
 // because in Accumulo a RemoteSourceIterator is an ordinary client of
 // the remote tablet server. The env records every remote stream its
-// iterators open so the tablet worker can release them when its pass
-// completes — a TwoTableIterator abandons the remote side mid-stream
-// when the hosted side runs dry.
+// iterators open so the tablet pass can release them when it completes —
+// a TwoTableIterator abandons the remote side mid-stream when the
+// hosted side runs dry.
 type scanEnv struct {
-	mc     *MiniCluster
-	opened []*EntryStream
+	backend scanBackend
+	opened  []*EntryStream
 }
 
 // OpenScanner implements iterator.Env. The returned SKVI is streaming:
@@ -278,7 +310,7 @@ func (e *scanEnv) OpenScanner(table string, rng skv.Range) (iterator.SKVI, error
 
 // WriteEntries implements iterator.Env.
 func (e *scanEnv) WriteEntries(table string, entries []skv.Entry) error {
-	return e.mc.write(table, entries)
+	return e.backend.writeEntries(table, entries)
 }
 
 // close releases every remote stream this env's iterators opened.
@@ -315,7 +347,7 @@ func (it *streamIter) reopen(rng skv.Range) error {
 		it.stream.Close()
 	}
 	open := skv.Range{Start: rng.Start, HasStart: rng.HasStart}
-	s, err := it.env.mc.openStream(it.table, open, nil)
+	s, err := it.env.backend.openStream(it.table, open, nil)
 	if err != nil {
 		return err
 	}

@@ -86,6 +86,12 @@ func DecodeBatch(src []byte) ([]Entry, error) {
 		return nil, fmt.Errorf("skv: truncated batch header")
 	}
 	src = src[k:]
+	// The smallest possible entry (all fields empty) is 5 bytes; a count
+	// beyond what the payload can hold is corruption, caught here before
+	// it becomes an allocation panic on a network-supplied count.
+	if n > uint64(len(src)/5) {
+		return nil, fmt.Errorf("skv: batch count %d exceeds payload (%d bytes)", n, len(src))
+	}
 	out := make([]Entry, 0, n)
 	for i := uint64(0); i < n; i++ {
 		var e Entry

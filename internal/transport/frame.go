@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire framing, shared by the TCP transport and documented in
+// docs/ARCHITECTURE.md. Every frame is
+//
+//	[1 byte frame type][4 bytes big-endian payload length][payload]
+//
+// and a connection carries one request at a time: the client writes a
+// request frame (whose payload begins with the 1-byte op code), reads
+// the response frame(s), and only then may reuse the connection.
+//
+//	frameCall   c->s  payload = op byte + request body
+//	frameStream c->s  payload = op byte + request body
+//	frameOK     s->c  unary response body
+//	frameData   s->c  one streamed payload (scan batch)
+//	frameEnd    s->c  clean end of stream (empty payload)
+//	frameErr    s->c  handler failure: UTF-8 message
+//
+// frameErr terminates either kind of exchange; after frameOK, frameEnd,
+// or frameErr the connection is back in its idle state.
+const (
+	frameCall   byte = 0x01
+	frameStream byte = 0x02
+	frameOK     byte = 0x03
+	frameData   byte = 0x04
+	frameEnd    byte = 0x05
+	frameErr    byte = 0x06
+)
+
+// writeFrame emits one frame. The caller flushes any buffering.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame", len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, rejecting oversized length prefixes before
+// allocating.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("transport: incoming frame of %d bytes exceeds MaxFrame", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}

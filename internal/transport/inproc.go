@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// InProc is the in-process transport: endpoints are named slots in a
+// registry and payloads move across channels. It preserves the
+// mini-cluster's original execution model — the payload bytes handed
+// over are the same codec-serialised batches that would cross a socket,
+// so serialisation cost stays on the path — while keeping everything in
+// one process.
+type InProc struct {
+	mu      sync.Mutex
+	servers map[string]*inprocServer
+	n       int
+	closed  bool
+}
+
+// NewInProc returns an empty in-process transport.
+func NewInProc() *InProc {
+	return &InProc{servers: map[string]*inprocServer{}}
+}
+
+type inprocServer struct {
+	t    *InProc
+	addr string
+	h    Handler
+
+	// done closes when the server shuts down, cancelling in-flight
+	// streams; wg tracks handler invocations so Close can wait them out.
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// Listen implements Transport.
+func (t *InProc) Listen(addr string, h Handler) (Server, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if addr == "" {
+		addr = fmt.Sprintf("inproc-%d", t.n)
+		t.n++
+	}
+	if _, dup := t.servers[addr]; dup {
+		return nil, fmt.Errorf("transport: inproc endpoint %q already listening", addr)
+	}
+	s := &inprocServer{t: t, addr: addr, h: h, done: make(chan struct{})}
+	t.servers[addr] = s
+	return s, nil
+}
+
+// Addr implements Server.
+func (s *inprocServer) Addr() string { return s.addr }
+
+// Close implements Server: the endpoint becomes unreachable, in-flight
+// stream sends fail, and Close returns once every handler has exited.
+func (s *inprocServer) Close() error {
+	s.closeOnce.Do(func() {
+		s.t.mu.Lock()
+		delete(s.t.servers, s.addr)
+		s.t.mu.Unlock()
+		close(s.done)
+	})
+	s.wg.Wait()
+	return nil
+}
+
+// Dial implements Transport. Resolution happens per operation, so a
+// handle outlives server restarts on the same name.
+func (t *InProc) Dial(addr string) (Conn, error) {
+	return &inprocConn{t: t, addr: addr}, nil
+}
+
+// Close implements Transport.
+func (t *InProc) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	servers := make([]*inprocServer, 0, len(t.servers))
+	for _, s := range t.servers {
+		servers = append(servers, s)
+	}
+	t.mu.Unlock()
+	for _, s := range servers {
+		s.Close()
+	}
+	return nil
+}
+
+type inprocConn struct {
+	t    *InProc
+	addr string
+}
+
+// lookup checks out the live server behind the handle, registering the
+// operation with its WaitGroup. Callers must call wg.Done when the
+// operation finishes.
+func (c *inprocConn) lookup() (*inprocServer, error) {
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	s, ok := c.t.servers[c.addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: inproc endpoint %q", ErrUnavailable, c.addr)
+	}
+	s.wg.Add(1)
+	return s, nil
+}
+
+// Call implements Conn.
+func (c *inprocConn) Call(op byte, req []byte) ([]byte, error) {
+	s, err := c.lookup()
+	if err != nil {
+		return nil, err
+	}
+	defer s.wg.Done()
+	resp, err := s.h.Call(op, req)
+	if err != nil {
+		// Handler errors cross the boundary as RemoteError, exactly as
+		// they would after an error frame round-trip.
+		return nil, &RemoteError{Msg: err.Error()}
+	}
+	return resp, nil
+}
+
+// OpenStream implements Conn. The handler runs in its own goroutine;
+// each send is a channel rendezvous with Recv, so the producer is
+// backpressured one payload at a time like the original scan pipeline.
+func (c *inprocConn) OpenStream(op byte, req []byte) (Stream, error) {
+	s, err := c.lookup()
+	if err != nil {
+		return nil, err
+	}
+	st := &inprocStream{
+		payloads: make(chan []byte),
+		fin:      make(chan struct{}),
+		closed:   make(chan struct{}),
+	}
+	go func() {
+		defer s.wg.Done()
+		err := s.h.Stream(op, req, func(b []byte) error {
+			select {
+			case st.payloads <- b:
+				return nil
+			case <-st.closed:
+				return ErrClosed
+			case <-s.done:
+				return fmt.Errorf("%w: inproc endpoint %q shut down", ErrUnavailable, c.addr)
+			}
+		})
+		st.err = err
+		close(st.fin)
+	}()
+	return st, nil
+}
+
+type inprocStream struct {
+	payloads chan []byte
+	fin      chan struct{} // closed by the producer after err is set
+	closed   chan struct{} // closed by the consumer's Close
+	once     sync.Once
+	err      error
+}
+
+// Recv implements Stream.
+func (st *inprocStream) Recv() ([]byte, error) {
+	select {
+	case <-st.closed:
+		return nil, ErrClosed
+	default:
+	}
+	select {
+	case b := <-st.payloads:
+		return b, nil
+	case <-st.closed:
+		return nil, ErrClosed
+	case <-st.fin:
+		if st.err != nil {
+			return nil, &RemoteError{Msg: st.err.Error()}
+		}
+		return nil, io.EOF
+	}
+}
+
+// Close implements Stream.
+func (st *inprocStream) Close() error {
+	st.once.Do(func() { close(st.closed) })
+	return nil
+}

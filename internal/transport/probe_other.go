@@ -1,0 +1,9 @@
+//go:build !unix
+
+package transport
+
+import "net"
+
+// probeIdle on platforms without raw non-blocking reads falls back to
+// the short-deadline probe.
+func probeIdle(c net.Conn) bool { return probeIdleDeadline(c) }

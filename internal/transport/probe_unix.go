@@ -1,0 +1,35 @@
+//go:build unix
+
+package transport
+
+import (
+	"net"
+	"syscall"
+)
+
+// probeIdle checks an idle pooled connection for a remote close with
+// one non-blocking read syscall: zero latency for a healthy connection
+// (EAGAIN), immediate detection of a delivered FIN (EOF) or unsolicited
+// bytes. Sockets under the Go runtime are already in non-blocking
+// mode, so the raw read returns without waiting for readability.
+func probeIdle(c net.Conn) bool {
+	sc, ok := c.(syscall.Conn)
+	if !ok {
+		return probeIdleDeadline(c)
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	alive := false
+	rerr := raw.Read(func(fd uintptr) bool {
+		var b [1]byte
+		n, err := syscall.Read(int(fd), b[:])
+		// Healthy and idle reads nothing yet (EAGAIN); anything else —
+		// data (protocol violation), EOF (n==0, err==nil), or a real
+		// error — means the connection must not be reused.
+		alive = n < 0 && (err == syscall.EAGAIN || err == syscall.EWOULDBLOCK)
+		return true // never wait for readiness
+	})
+	return rerr == nil && alive
+}

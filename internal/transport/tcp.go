@@ -1,0 +1,433 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCP is the socket transport: every endpoint is a real net.Listener
+// speaking the frame protocol (see frame.go), with one goroutine per
+// accepted connection on the server and a per-endpoint idle pool on the
+// client. A connection carries one request at a time and returns to the
+// pool after the response completes (HTTP/1.1-style keep-alive); a
+// stream abandoned mid-flight closes its connection instead, which is
+// how cancellation propagates to the server.
+type TCP struct {
+	dialTimeout time.Duration
+
+	mu      sync.Mutex
+	idle    map[string][]*tcpConn
+	servers []*tcpServer
+	closed  bool
+}
+
+// NewTCP returns a TCP transport.
+func NewTCP() *TCP {
+	return &TCP{dialTimeout: 5 * time.Second, idle: map[string][]*tcpConn{}}
+}
+
+// --- server ---
+
+type tcpServer struct {
+	ln net.Listener
+	h  Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	accepted atomic.Int64
+}
+
+// Listen implements Transport. An empty addr listens on an ephemeral
+// loopback port.
+func (t *TCP) Listen(addr string, h Handler) (Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &tcpServer{ln: ln, h: h, conns: map[net.Conn]struct{}{}}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ln.Close()
+		return nil, ErrClosed
+	}
+	t.servers = append(t.servers, s)
+	t.mu.Unlock()
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr implements Server.
+func (s *tcpServer) Addr() string { return s.ln.Addr().String() }
+
+// AcceptedConns reports how many connections the endpoint has accepted
+// over its lifetime — connection reuse makes this far smaller than the
+// request count, which tests pin.
+func (s *tcpServer) AcceptedConns() int64 { return s.accepted.Load() }
+
+func (s *tcpServer) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// Close implements Server: stop accepting, sever every connection (which
+// fails in-flight handler sends), and wait for connection goroutines.
+func (s *tcpServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// serveConn runs one connection's request loop: read a request frame,
+// dispatch to the handler, write the response frame(s), repeat until the
+// connection dies or misbehaves.
+func (s *tcpServer) serveConn(c net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+		s.wg.Done()
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if len(payload) < 1 {
+			return // request frames always begin with the op byte
+		}
+		op, body := payload[0], payload[1:]
+		switch typ {
+		case frameCall:
+			resp, herr := s.h.Call(op, body)
+			if herr != nil {
+				err = writeFrame(bw, frameErr, []byte(herr.Error()))
+			} else {
+				err = writeFrame(bw, frameOK, resp)
+			}
+		case frameStream:
+			herr := s.h.Stream(op, body, func(b []byte) error {
+				// Flush per payload so the consumer sees batches as they
+				// are produced; the blocking Write is the backpressure.
+				if err := writeFrame(bw, frameData, b); err != nil {
+					return err
+				}
+				return bw.Flush()
+			})
+			if herr != nil {
+				err = writeFrame(bw, frameErr, []byte(herr.Error()))
+			} else {
+				err = writeFrame(bw, frameEnd, nil)
+			}
+		default:
+			return
+		}
+		if err != nil || bw.Flush() != nil {
+			return
+		}
+	}
+}
+
+// --- client ---
+
+// tcpConn is one client-side socket with its buffers.
+type tcpConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func (pc *tcpConn) close() { pc.c.Close() }
+
+// alive probes an idle pooled connection for a remote close, so a peer
+// that shut down while the connection sat idle surfaces here (EOF on a
+// zero-latency non-blocking read — see probe_unix.go) instead of
+// poisoning the next request with an ambiguous mid-flight failure.
+func (pc *tcpConn) alive() bool { return probeIdle(pc.c) }
+
+// probeIdleDeadline is the portable probe: a read with a short future
+// deadline attempts the syscall immediately (an expired deadline would
+// short-circuit before touching the socket), detecting a delivered FIN
+// at the cost of blocking a healthy connection for up to the deadline.
+// The unix builds use a non-blocking raw read instead and fall back
+// here only for exotic net.Conn implementations.
+func probeIdleDeadline(c net.Conn) bool {
+	c.SetReadDeadline(time.Now().Add(time.Millisecond))
+	var b [1]byte
+	n, err := c.Read(b[:])
+	c.SetReadDeadline(time.Time{})
+	if n > 0 {
+		return false // unsolicited bytes: protocol violation, discard
+	}
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}
+
+// get checks a connection to addr out of the idle pool, discarding stale
+// ones, or dials a fresh one. Dial failures are ErrUnavailable: the
+// request was never sent, so the caller may retry elsewhere.
+func (t *TCP) get(addr string) (*tcpConn, error) {
+	for {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return nil, ErrClosed
+		}
+		list := t.idle[addr]
+		if len(list) == 0 {
+			t.mu.Unlock()
+			break
+		}
+		pc := list[len(list)-1]
+		t.idle[addr] = list[:len(list)-1]
+		t.mu.Unlock()
+		if pc.alive() {
+			return pc, nil
+		}
+		pc.close()
+	}
+	raw, err := net.DialTimeout("tcp", addr, t.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, addr, err)
+	}
+	return &tcpConn{c: raw, br: bufio.NewReader(raw), bw: bufio.NewWriter(raw)}, nil
+}
+
+// put returns a connection to the idle pool.
+func (t *TCP) put(addr string, pc *tcpConn) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		pc.close()
+		return
+	}
+	t.idle[addr] = append(t.idle[addr], pc)
+	t.mu.Unlock()
+}
+
+// Dial implements Transport. Handles are lazy; the first operation pays
+// the actual dial (or reuses a pooled connection).
+func (t *TCP) Dial(addr string) (Conn, error) {
+	return &tcpHandle{t: t, addr: addr}, nil
+}
+
+// Close implements Transport: drop every pooled connection and shut
+// down every server this transport started.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	idle := t.idle
+	servers := t.servers
+	t.idle = map[string][]*tcpConn{}
+	t.servers = nil
+	t.mu.Unlock()
+	for _, list := range idle {
+		for _, pc := range list {
+			pc.close()
+		}
+	}
+	for _, s := range servers {
+		s.Close()
+	}
+	return nil
+}
+
+type tcpHandle struct {
+	t    *TCP
+	addr string
+}
+
+// writeRequest frames op+req without concatenating them first.
+func writeRequest(pc *tcpConn, typ, op byte, req []byte) error {
+	if len(req)+1 > MaxFrame {
+		return fmt.Errorf("transport: request of %d bytes exceeds MaxFrame", len(req))
+	}
+	var hdr [6]byte
+	hdr[0] = typ
+	hdr[1] = byte((len(req) + 1) >> 24)
+	hdr[2] = byte((len(req) + 1) >> 16)
+	hdr[3] = byte((len(req) + 1) >> 8)
+	hdr[4] = byte(len(req) + 1)
+	hdr[5] = op
+	if _, err := pc.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := pc.bw.Write(req); err != nil {
+		return err
+	}
+	return pc.bw.Flush()
+}
+
+// Call implements Conn.
+func (h *tcpHandle) Call(op byte, req []byte) ([]byte, error) {
+	pc, err := h.t.get(h.addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeRequest(pc, frameCall, op, req); err != nil {
+		pc.close()
+		return nil, fmt.Errorf("transport: call %s: %w", h.addr, err)
+	}
+	typ, resp, err := readFrame(pc.br)
+	if err != nil {
+		pc.close()
+		return nil, fmt.Errorf("transport: call %s: %w", h.addr, err)
+	}
+	switch typ {
+	case frameOK:
+		h.t.put(h.addr, pc)
+		return resp, nil
+	case frameErr:
+		h.t.put(h.addr, pc)
+		return nil, &RemoteError{Msg: string(resp)}
+	default:
+		pc.close()
+		return nil, fmt.Errorf("transport: call %s: unexpected frame type %#x", h.addr, typ)
+	}
+}
+
+// OpenStream implements Conn.
+func (h *tcpHandle) OpenStream(op byte, req []byte) (Stream, error) {
+	pc, err := h.t.get(h.addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeRequest(pc, frameStream, op, req); err != nil {
+		pc.close()
+		return nil, fmt.Errorf("transport: stream %s: %w", h.addr, err)
+	}
+	return &tcpStream{t: h.t, addr: h.addr, pc: pc}, nil
+}
+
+type tcpStream struct {
+	t    *TCP
+	addr string
+	pc   *tcpConn
+
+	mu     sync.Mutex
+	done   bool // terminal frame consumed or Close called
+	closed bool // Close called
+}
+
+// Recv implements Stream.
+func (st *tcpStream) Recv() ([]byte, error) {
+	st.mu.Lock()
+	if st.done {
+		err := io.EOF
+		if st.closed {
+			err = ErrClosed
+		}
+		st.mu.Unlock()
+		return nil, err
+	}
+	st.mu.Unlock()
+	typ, payload, err := readFrame(st.pc.br)
+	if err != nil {
+		if st.abort() {
+			return nil, ErrClosed // our own Close unblocked the read
+		}
+		return nil, fmt.Errorf("transport: stream from %s broken: %w", st.addr, err)
+	}
+	switch typ {
+	case frameData:
+		return payload, nil
+	case frameEnd:
+		st.finish()
+		return nil, io.EOF
+	case frameErr:
+		st.finish()
+		return nil, &RemoteError{Msg: string(payload)}
+	default:
+		st.abort()
+		return nil, fmt.Errorf("transport: stream from %s: unexpected frame type %#x", st.addr, typ)
+	}
+}
+
+// finish marks a cleanly-terminated stream and recycles its connection.
+func (st *tcpStream) finish() {
+	st.mu.Lock()
+	if st.done {
+		st.mu.Unlock()
+		return
+	}
+	st.done = true
+	st.mu.Unlock()
+	st.t.put(st.addr, st.pc)
+}
+
+// abort tears the connection down after a failure, reporting whether the
+// failure was caused by a concurrent Close.
+func (st *tcpStream) abort() bool {
+	st.mu.Lock()
+	wasClosed := st.closed
+	already := st.done
+	st.done = true
+	st.mu.Unlock()
+	if !already {
+		st.pc.close()
+	}
+	return wasClosed
+}
+
+// Close implements Stream. Closing an undrained stream severs the
+// connection, which cancels the server-side handler on its next send.
+func (st *tcpStream) Close() error {
+	st.mu.Lock()
+	if st.done {
+		st.mu.Unlock()
+		return nil
+	}
+	st.done = true
+	st.closed = true
+	st.mu.Unlock()
+	st.pc.close()
+	return nil
+}

@@ -1,0 +1,127 @@
+// Package transport carries the cluster's data-plane traffic — write
+// batches and streaming scan results — between clients and tablet
+// servers. It is the seam that turns the embedded mini-cluster into a
+// multi-node system: the accumulo layer speaks one small RPC surface
+// (unary calls plus server-streamed responses, both moving opaque
+// payload bytes produced by the skv wire codec), and the transport
+// decides whether those bytes cross a goroutine boundary or a network
+// socket.
+//
+// Two implementations share the contract:
+//
+//   - InProc (NewInProc) keeps every tablet server in the process and
+//     hands payloads across channels. Because the payloads are already
+//     codec-serialised batches, the simulated deployment stays honest
+//     about serialisation cost — this is the original execution model of
+//     the mini-cluster, now behind the interface.
+//   - TCP (NewTCP) gives every tablet server a real listener and moves
+//     the same frames over net.Conn: length-prefixed frames, one
+//     in-flight request per connection (HTTP/1.1-style reuse through a
+//     per-endpoint idle pool), per-connection server goroutines, and
+//     graceful shutdown that unblocks in-flight streams. Tablet→tablet
+//     kernel flows (TableMult partial products, RemoteSource operand
+//     scans) cross sockets exactly as they cross machines in the
+//     paper's Accumulo deployment.
+//
+// The message model is deliberately narrow. A Conn issues either
+//
+//	Call(op, req) -> (resp, error)            // unary
+//	OpenStream(op, req) -> Stream of payloads // server-streamed
+//
+// and a Handler serves the mirror image. Streams are backpressured: the
+// server-side send blocks until the client consumes (channel rendezvous
+// in-process, TCP flow control on sockets), which is what bounds scan
+// memory end to end. See docs/ARCHITECTURE.md for the framing spec.
+package transport
+
+import (
+	"errors"
+)
+
+// MaxFrame bounds a single frame payload (64 MiB). Frames beyond it are
+// rejected on both sides; it exists to fail fast on corrupt length
+// prefixes rather than to size real traffic, which arrives in wire
+// batches far below it.
+const MaxFrame = 64 << 20
+
+// ErrUnavailable marks failures where the endpoint could not be reached
+// at all — dial refused, listener closed — so the request was certainly
+// never processed and the caller may safely retry or fail over. Errors
+// that happen after a request reached the wire are NOT ErrUnavailable,
+// because the server may have processed it.
+var ErrUnavailable = errors.New("transport: endpoint unavailable")
+
+// ErrClosed is returned by operations on a stream or transport that the
+// caller has already closed.
+var ErrClosed = errors.New("transport: closed")
+
+// RemoteError is an error returned by the remote handler itself (as
+// opposed to a transport failure): the request was delivered, the
+// handler rejected it. It round-trips as an error frame.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Handler is the server side of the contract: a tablet server
+// implements it and registers it with Listen. Both methods may be
+// called concurrently from many connections.
+type Handler interface {
+	// Call serves a unary op. The returned error travels to the client
+	// as a RemoteError.
+	Call(op byte, req []byte) ([]byte, error)
+	// Stream serves a streaming op, shipping response payloads through
+	// send. send blocks for backpressure and returns an error when the
+	// client has gone away, at which point the handler should abort.
+	// A non-nil return travels to the client as a RemoteError (unless
+	// it is the send error itself, which the client already knows as a
+	// broken stream).
+	Stream(op byte, req []byte, send func([]byte) error) error
+}
+
+// Stream is the client side of a streaming response.
+type Stream interface {
+	// Recv returns the next payload, io.EOF after a clean end of
+	// stream, a RemoteError if the handler failed, or a transport error
+	// if the connection died mid-stream.
+	Recv() ([]byte, error)
+	// Close releases the stream early. It is idempotent and safe to
+	// call concurrently with Recv, which then returns ErrClosed — this
+	// is how a consumer cancels a scan whose server has stalled.
+	Close() error
+}
+
+// Conn is a client handle to one endpoint. Handles are cheap (Dial with
+// the same address returns an equivalent handle) and safe for
+// concurrent use; each in-flight operation checks out its own
+// underlying connection.
+type Conn interface {
+	Call(op byte, req []byte) ([]byte, error)
+	OpenStream(op byte, req []byte) (Stream, error)
+}
+
+// Server is one listening endpoint.
+type Server interface {
+	// Addr returns the dialable address of the endpoint.
+	Addr() string
+	// Close stops the endpoint gracefully: no new connections are
+	// accepted, in-flight handler streams observe send failures, and
+	// Close returns once every connection goroutine has exited. It is
+	// idempotent.
+	Close() error
+}
+
+// Transport binds servers and clients over one medium.
+type Transport interface {
+	// Listen starts an endpoint serving h. addr is a hint: the TCP
+	// transport treats it as the listen address ("" means
+	// 127.0.0.1:0), the in-process transport generates a name when it
+	// is empty.
+	Listen(addr string, h Handler) (Server, error)
+	// Dial returns a handle to the endpoint at addr. Dialing is lazy
+	// where the medium allows it; an unreachable endpoint surfaces as
+	// ErrUnavailable from the first operation at the latest.
+	Dial(addr string) (Conn, error)
+	// Close shuts down every server and client connection owned by the
+	// transport. Idempotent.
+	Close() error
+}

@@ -1,0 +1,364 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoHandler serves both ops for the contract tests: Call echoes the
+// request with a prefix, Stream ships n copies of the request (n taken
+// from the op byte) and can be made to fail.
+type echoHandler struct {
+	failCall   bool
+	failStream bool
+}
+
+func (h *echoHandler) Call(op byte, req []byte) ([]byte, error) {
+	if h.failCall {
+		return nil, fmt.Errorf("call rejected: op %d", op)
+	}
+	return append([]byte{op}, req...), nil
+}
+
+func (h *echoHandler) Stream(op byte, req []byte, send func([]byte) error) error {
+	if h.failStream {
+		return fmt.Errorf("stream rejected: op %d", op)
+	}
+	for i := 0; i < int(op); i++ {
+		if err := send(append([]byte{byte(i)}, req...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// infiniteHandler streams payloads until the send fails — the shape of
+// a scan whose consumer goes away. It exits ONLY via a send failure, so
+// tests using it prove that cancellation reaches the handler.
+type infiniteHandler struct{}
+
+func (infiniteHandler) Call(byte, []byte) ([]byte, error) { return nil, nil }
+
+func (infiniteHandler) Stream(_ byte, _ []byte, send func([]byte) error) error {
+	for i := 0; ; i++ {
+		if err := send([]byte{byte(i)}); err != nil {
+			return err
+		}
+	}
+}
+
+// eachTransport runs the test body against both implementations.
+func eachTransport(t *testing.T, body func(t *testing.T, tr Transport)) {
+	t.Helper()
+	t.Run("inproc", func(t *testing.T) {
+		tr := NewInProc()
+		defer tr.Close()
+		body(t, tr)
+	})
+	t.Run("tcp", func(t *testing.T) {
+		tr := NewTCP()
+		defer tr.Close()
+		body(t, tr)
+	})
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	eachTransport(t, func(t *testing.T, tr Transport) {
+		srv, err := tr.Listen("", &echoHandler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := tr.Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := conn.Call(7, []byte("hello"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := append([]byte{7}, []byte("hello")...); !bytes.Equal(resp, want) {
+			t.Fatalf("resp = %q, want %q", resp, want)
+		}
+	})
+}
+
+func TestCallRemoteError(t *testing.T) {
+	eachTransport(t, func(t *testing.T, tr Transport) {
+		srv, err := tr.Listen("", &echoHandler{failCall: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, _ := tr.Dial(srv.Addr())
+		_, err = conn.Call(3, nil)
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			t.Fatalf("err = %v, want RemoteError", err)
+		}
+		if re.Msg != "call rejected: op 3" {
+			t.Fatalf("message = %q", re.Msg)
+		}
+	})
+}
+
+func TestStreamDeliversInOrder(t *testing.T) {
+	eachTransport(t, func(t *testing.T, tr Transport) {
+		srv, err := tr.Listen("", &echoHandler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, _ := tr.Dial(srv.Addr())
+		st, err := conn.OpenStream(5, []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		for i := 0; i < 5; i++ {
+			payload, err := st.Recv()
+			if err != nil {
+				t.Fatalf("payload %d: %v", i, err)
+			}
+			if want := []byte{byte(i), 'x'}; !bytes.Equal(payload, want) {
+				t.Fatalf("payload %d = %v, want %v", i, payload, want)
+			}
+		}
+		if _, err := st.Recv(); err != io.EOF {
+			t.Fatalf("after drain: err = %v, want io.EOF", err)
+		}
+	})
+}
+
+func TestStreamRemoteError(t *testing.T) {
+	eachTransport(t, func(t *testing.T, tr Transport) {
+		srv, err := tr.Listen("", &echoHandler{failStream: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, _ := tr.Dial(srv.Addr())
+		st, err := conn.OpenStream(2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		_, err = st.Recv()
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			t.Fatalf("err = %v, want RemoteError", err)
+		}
+	})
+}
+
+func TestDialUnreachableIsUnavailable(t *testing.T) {
+	eachTransport(t, func(t *testing.T, tr Transport) {
+		srv, err := tr.Listen("", &echoHandler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := srv.Addr()
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		conn, _ := tr.Dial(addr)
+		if _, err := conn.Call(1, nil); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("Call after server close: err = %v, want ErrUnavailable", err)
+		}
+		if _, err := conn.OpenStream(1, nil); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("OpenStream after server close: err = %v, want ErrUnavailable", err)
+		}
+	})
+}
+
+// TestPooledConnSurvivesServerRestartWindow pins the stale-connection
+// probe: a connection pooled before the server went away must not
+// poison the next call with a half-read failure — the client detects
+// the remote close and reports ErrUnavailable from the fresh dial.
+func TestPooledConnDetectsServerClose(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	srv, err := tr.Listen("", &echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, _ := tr.Dial(srv.Addr())
+	if _, err := conn.Call(1, []byte("warm")); err != nil {
+		t.Fatal(err) // leaves one idle pooled connection
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Call(1, []byte("after")); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("call on stale pool: err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestServerCloseMidStreamBreaksRecv(t *testing.T) {
+	eachTransport(t, func(t *testing.T, tr Transport) {
+		srv, err := tr.Listen("", infiniteHandler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, _ := tr.Dial(srv.Addr())
+		st, err := conn.OpenStream(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		for i := 0; i < 3; i++ {
+			if _, err := st.Recv(); err != nil {
+				t.Fatalf("payload %d: %v", i, err)
+			}
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Close() }()
+		// Drain until the close severs the stream; it must surface as an
+		// error, not an EOF and not a hang. (Payloads buffered before the
+		// close may still arrive first.)
+		for {
+			_, err := st.Recv()
+			if err == io.EOF {
+				t.Fatal("stream ended cleanly despite server close")
+			}
+			if err != nil {
+				break
+			}
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("server close: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server Close did not return — handler leaked")
+		}
+	})
+}
+
+func TestStreamCloseCancelsHandler(t *testing.T) {
+	eachTransport(t, func(t *testing.T, tr Transport) {
+		srv, err := tr.Listen("", infiniteHandler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, _ := tr.Dial(srv.Addr())
+		st, err := conn.OpenStream(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Recv(); err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+		if _, err := st.Recv(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Recv after Close: %v, want ErrClosed", err)
+		}
+		// The handler must observe the cancellation: server Close returns
+		// only once the handler goroutine exits.
+		done := make(chan struct{})
+		go func() { srv.Close(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("handler did not observe stream cancellation")
+		}
+	})
+}
+
+func TestConnectionReuse(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	srv, err := tr.Listen("", &echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, _ := tr.Dial(srv.Addr())
+	for i := 0; i < 20; i++ {
+		if _, err := conn.Call(1, []byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		st, err := conn.OpenStream(3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := st.Recv(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := srv.(*tcpServer).AcceptedConns(); got != 1 {
+		t.Fatalf("40 sequential requests used %d connections, want 1 (reuse)", got)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	eachTransport(t, func(t *testing.T, tr Transport) {
+		srv, err := tr.Listen("", &echoHandler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, _ := tr.Dial(srv.Addr())
+		var wg sync.WaitGroup
+		errs := make(chan error, 64)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 25; i++ {
+					req := []byte(fmt.Sprintf("g%d-%d", g, i))
+					resp, err := conn.Call(9, req)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !bytes.Equal(resp[1:], req) {
+						errs <- fmt.Errorf("cross-talk: sent %q got %q", req, resp[1:])
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameData, make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("writeFrame accepted an oversized payload")
+	}
+	// A corrupt length prefix must be rejected before allocation.
+	buf.Reset()
+	buf.Write([]byte{frameData, 0xff, 0xff, 0xff, 0xff})
+	if _, _, err := readFrame(&buf); err == nil {
+		t.Fatal("readFrame accepted an oversized length prefix")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("a"), bytes.Repeat([]byte("xyz"), 1000)}
+	for _, p := range payloads {
+		if err := writeFrame(&buf, frameData, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != frameData || !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: typ %#x payload %q, want %q", i, typ, got, p)
+		}
+	}
+}
