@@ -919,3 +919,104 @@ func BenchmarkBloomPointLookups(b *testing.B) {
 	b.Run("bloom-off", func(b *testing.B) { run(b, -1) })
 	b.Run("bloom-on", func(b *testing.B) { run(b, 0) })
 }
+
+// --- SpRef push-down + RemoteWrite pre-aggregation (PR 5) ---
+//
+// BenchmarkSubMatrixTableMult pins the value of range push-down: a
+// multiply constrained to a narrow row band of a 16-split table must
+// execute its kernel stack only on the overlapping tablets (reported as
+// tablet-passes/op and tablets-pruned/op) instead of paying for the
+// whole graph the way the full-scan path does.
+
+// benchBandedMultSetup builds a 16-split graph cluster for the banded
+// multiply.
+func benchBandedMultSetup(b *testing.B, scale int) (db *DB, a, at string) {
+	b.Helper()
+	g := rmatGraph(scale)
+	db = mustOpen(ClusterConfig{TabletServers: 4})
+	tg, err := db.CreateGraph("B")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tg.Ingest(g); err != nil {
+		b.Fatal(err)
+	}
+	var splits []string
+	for i := 1; i < 16; i++ {
+		splits = append(splits, VertexName(i*g.N/16))
+	}
+	a, at, _ = tg.Tables()
+	ops := db.Connector().TableOperations()
+	for _, tbl := range []string{a, at} {
+		if err := ops.AddSplits(tbl, splits); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db, a, at
+}
+
+func BenchmarkSubMatrixTableMult(b *testing.B) {
+	const scale = 9
+	run := func(b *testing.B, constraint ScanConstraint) {
+		db, a, at := benchBandedMultSetup(b, scale)
+		defer db.Close()
+		st0 := db.ScanMetrics()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.TableMultOpts(at, a, fmt.Sprintf("Sq%d", i),
+				MultOptions{Constraint: constraint}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := db.ScanMetrics()
+		b.ReportMetric(float64(st.TabletScans-st0.TabletScans)/float64(b.N), "tablet-passes/op")
+		b.ReportMetric(float64(st.TabletsPrunedByRange-st0.TabletsPrunedByRange)/float64(b.N), "tablets-pruned/op")
+	}
+	b.Run("fullscan", func(b *testing.B) { run(b, ScanConstraint{}) })
+	b.Run("rowband", func(b *testing.B) {
+		// The middle 2/16 of the vertex space: exactly 2 of the 16
+		// tablets overlap.
+		n := rmatGraph(scale).N
+		run(b, ScanConstraint{RowStart: VertexName(7 * n / 16), RowEnd: VertexName(9 * n / 16)})
+	})
+}
+
+// BenchmarkPreAggWriteVolume pins the pre-aggregation claim on a
+// power-law multiply: with the ⊕ fold buffer on, far fewer entries
+// cross the RemoteWrite path (entries-written/op), the folds appearing
+// in folded/op instead. Results are cell-identical either way (pinned
+// by TestPreAggIdenticalResultsAcrossSemirings and the three-way
+// equivalence test); only the write volume changes.
+func BenchmarkPreAggWriteVolume(b *testing.B) {
+	const scale = 9
+	run := func(b *testing.B, preAgg int) {
+		g := rmatGraph(scale)
+		db := mustOpen(ClusterConfig{TabletServers: 4})
+		defer db.Close()
+		tg, err := db.CreateGraph("B")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tg.Ingest(g); err != nil {
+			b.Fatal(err)
+		}
+		a, at, _ := tg.Tables()
+		st0 := db.ScanMetrics()
+		written := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n, err := db.TableMultOpts(at, a, fmt.Sprintf("Sq%d", i), MultOptions{PreAggBytes: preAgg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			written += n
+		}
+		b.StopTimer()
+		st := db.ScanMetrics()
+		b.ReportMetric(float64(written)/float64(b.N), "entries-written/op")
+		b.ReportMetric(float64(st.PartialProductsFolded-st0.PartialProductsFolded)/float64(b.N), "folded/op")
+	}
+	b.Run("off", func(b *testing.B) { run(b, -1) })
+	b.Run("on", func(b *testing.B) { run(b, 0) })
+}

@@ -1,0 +1,152 @@
+// Command benchjson converts `go test -bench` text output into
+// machine-readable JSON so CI can archive benchmark results as an
+// artifact and the perf trajectory can be compared across PRs without
+// scraping logs.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=20x . | benchjson -o BENCH.json
+//	benchjson -o BENCH.json bench-a.txt bench-b.txt
+//
+// Each `BenchmarkX <iters> <value> <unit> [<value> <unit>...]` line
+// becomes one record carrying every reported metric (ns/op, B/op,
+// custom b.ReportMetric units alike); goos/goarch/pkg/cpu context lines
+// are captured once per input stream. Lines that are not benchmark
+// results (PASS, ok, test logs) are ignored, so piping a whole `go
+// test` run through is fine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+	// Context carries the goos/goarch/pkg/cpu header values in effect
+	// where the line appeared.
+	Context map[string]string `json:"context,omitempty"`
+}
+
+// Output is the file-level shape.
+type Output struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var results []Result
+	if args := flag.Args(); len(args) > 0 {
+		for _, path := range args {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			rs, err := parse(f)
+			f.Close()
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", path, err))
+			}
+			results = append(results, rs...)
+		}
+	} else {
+		rs, err := parse(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		results = rs
+	}
+
+	enc, err := json.MarshalIndent(Output{Benchmarks: results}, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// contextKeys are the `key: value` header lines `go test -bench`
+// prints before results.
+var contextKeys = map[string]bool{"goos": true, "goarch": true, "pkg": true, "cpu": true}
+
+// parse extracts benchmark result lines from one stream.
+func parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	ctx := map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if key, val, ok := strings.Cut(line, ": "); ok && contextKeys[key] {
+			// A new pkg header starts a fresh context for later lines.
+			if key == "pkg" {
+				next := map[string]string{}
+				for k, v := range ctx {
+					if k != "pkg" {
+						next[k] = v
+					}
+				}
+				ctx = next
+			}
+			ctx[key] = strings.TrimSpace(val)
+			continue
+		}
+		res, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		res.Context = map[string]string{}
+		for k, v := range ctx {
+			res.Context[k] = v
+		}
+		results = append(results, res)
+	}
+	return results, sc.Err()
+}
+
+// parseBenchLine decodes `BenchmarkName-8  20  123 ns/op  4.5 unit/op ...`.
+func parseBenchLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	// Name, iterations, and at least one value+unit pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: graphulo
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSubMatrixTableMult/fullscan         	       3	2406837423 ns/op	        32.00 tablet-passes/op	       240.0 tablets-pruned/op
+BenchmarkSubMatrixTableMult/rowband          	       3	 204015255 ns/op	         4.000 tablet-passes/op	        44.00 tablets-pruned/op
+some test log line
+PASS
+ok  	graphulo	23.505s
+pkg: graphulo/internal/rfile
+BenchmarkRepeatedScan-8	      20	  1234567 ns/op	  512 B/op	       3 allocs/op
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkSubMatrixTableMult/fullscan" || r.Iterations != 3 {
+		t.Fatalf("first result = %+v", r)
+	}
+	if r.Metrics["ns/op"] != 2406837423 || r.Metrics["tablet-passes/op"] != 32 {
+		t.Fatalf("first metrics = %v", r.Metrics)
+	}
+	if r.Context["pkg"] != "graphulo" || r.Context["goos"] != "linux" {
+		t.Fatalf("first context = %v", r.Context)
+	}
+	if got := results[2]; got.Context["pkg"] != "graphulo/internal/rfile" {
+		t.Fatalf("pkg context did not advance: %v", got.Context)
+	}
+	if got := results[2].Metrics; got["B/op"] != 512 || got["allocs/op"] != 3 {
+		t.Fatalf("third metrics = %v", got)
+	}
+}
+
+func TestParseBenchLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"BenchmarkBroken", // no fields
+		"BenchmarkOdd 3 42",
+		"Benchmark 3 x ns/op",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine accepted %q", line)
+		}
+	}
+}

@@ -7,8 +7,15 @@
 //	graphulo <algorithm> [flags]
 //	graphulo serve -listen host:port
 //
-// Algorithms: bfs, degrees, pagerank, eigen, katz, betweenness, ktruss,
-// tricount, jaccard, nmf, sssp, components, info.
+// Algorithms: mult, bfs, degrees, pagerank, eigen, katz, betweenness,
+// ktruss, tricount, jaccard, nmf, sssp, components, info.
+//
+// The kernel subcommands honour SpRef push-down flags: -row-start /
+// -row-end restrict mult and bfs to a row band (only overlapping
+// tablets execute the kernel), -colq-start / -colq-end restrict mult's
+// output columns server-side, and -pre-agg-bytes sizes the RemoteWrite
+// ⊕ pre-aggregation buffer that folds partial products before they
+// cross the transport.
 //
 // The -graph flag selects the workload:
 //
@@ -52,6 +59,12 @@ var (
 	cacheBy    = flag.Int64("block-cache-bytes", 0, "rfile block cache capacity in bytes (0 = 32 MiB default, negative disables)")
 	bloomBits  = flag.Int("bloom-bits", 0, "bloom filter bits per distinct row in each rfile (0 = default of 10, negative disables)")
 	maxRuns    = flag.Int("max-runs-per-tablet", 8, "background-majc run threshold per tablet (0 disables the compaction scheduler)")
+	rowStart   = flag.String("row-start", "", "restrict mult/bfs to rows >= this key (SpRef push-down; empty = unbounded)")
+	rowEnd     = flag.String("row-end", "", "restrict mult/bfs to rows < this key (SpRef push-down; empty = unbounded)")
+	colqStart  = flag.String("colq-start", "", "restrict mult to column qualifiers >= this key (empty = unbounded)")
+	colqEnd    = flag.String("colq-end", "", "restrict mult to column qualifiers < this key (empty = unbounded)")
+	preAgg     = flag.Int("pre-agg-bytes", 0, "RemoteWrite ⊕ pre-aggregation buffer bytes per tablet pass (0 = 16 MiB default, negative disables)")
+	semiringF  = flag.String("semiring", "plus.times", "mult ⊕.⊗ semiring (plus.times, min.plus, max.plus, or.and, max.min)")
 )
 
 // openDB starts the embedded cluster, durable when -data-dir is set,
@@ -100,7 +113,7 @@ func openDB(g graphulo.Graph) (*graphulo.DB, *graphulo.TableGraph, error) {
 func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: graphulo <algorithm> [flags]\n")
-		fmt.Fprintf(os.Stderr, "algorithms: bfs degrees pagerank eigen katz betweenness closeness hits clustering svd nominate ktruss tricount jaccard nmf sssp components info\n\n")
+		fmt.Fprintf(os.Stderr, "algorithms: mult bfs degrees pagerank eigen katz betweenness closeness hits clustering svd nominate ktruss tricount jaccard nmf sssp components info\n\n")
 		flag.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -160,6 +173,12 @@ func run(algorithm string) error {
 	if *dataDir != "" || *servers != "" {
 		*useDB = true
 	}
+	if *rowStart != "" || *rowEnd != "" {
+		// Row bands are a server-side kernel option (SpRef push-down);
+		// the in-memory algorithms take no band, so these flags imply a
+		// cluster-backed run rather than being silently dropped.
+		*useDB = true
+	}
 
 	switch algorithm {
 	case "info":
@@ -172,6 +191,30 @@ func run(algorithm string) error {
 		}
 		fmt.Printf("max degree %v, triangles %v\n", maxD, graphulo.TriangleCount(adj))
 
+	case "mult":
+		// C ⊕= Aᵀ·A over the ingested graph — the raw TableMult kernel,
+		// honouring the SpRef constraint and pre-aggregation flags.
+		db, tg, err := openDB(g)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		a, at, _ := tg.Tables()
+		n, err := db.TableMultOpts(at, a, "Gsq", graphulo.MultOptions{
+			Semiring:    *semiringF,
+			PreAggBytes: *preAgg,
+			Constraint: graphulo.ScanConstraint{
+				RowStart: *rowStart, RowEnd: *rowEnd,
+				ColQStart: *colqStart, ColQEnd: *colqEnd,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("TableMult %s·%s → Gsq under %s: %d entries written (server-side)\n", at, a, *semiringF, n)
+		reportScanPipeline(db)
+		return nil
+
 	case "bfs":
 		if *useDB {
 			db, tg, err := openDB(g)
@@ -179,7 +222,9 @@ func run(algorithm string) error {
 				return err
 			}
 			defer db.Close()
-			levels, err := tg.BFS([]int{*source}, *kFlag)
+			levels, err := tg.BFSWithOptions([]int{*source}, *kFlag, graphulo.BFSOptions{
+				RowStart: *rowStart, RowEnd: *rowEnd,
+			})
 			if err != nil {
 				return err
 			}
@@ -332,6 +377,8 @@ func reportScanPipeline(db *graphulo.DB) {
 	st := db.ScanMetrics()
 	fmt.Printf("scan pipeline: %d RPCs, %d wire bytes, %d entries scanned, max %d tablet scans in flight, peak %d entries buffered\n",
 		rpcs, wire, scanned, st.MaxScansInFlight, st.MaxEntriesBuffered)
+	fmt.Printf("push-down: %d tablet passes ran, %d tablets pruned by range, %d entries pruned by column band, %d partial products pre-⊕-folded\n",
+		st.TabletScans, st.TabletsPrunedByRange, st.EntriesPrunedByRange, st.PartialProductsFolded)
 	if *dataDir != "" {
 		fmt.Printf("storage: %d block-cache hits, %d misses, %d bloom negatives, %d major compactions\n",
 			st.CacheHits, st.CacheMisses, st.BloomNegatives, st.MajorCompactions)

@@ -124,6 +124,17 @@ type (
 	SVDResult = algo.SVDResult
 	// HITSResult holds hub and authority scores.
 	HITSResult = algo.HITSResult
+	// MultOptions configures the server-side TableMult kernel: semiring,
+	// batch size, SpRef constraint, and pre-aggregation buffer.
+	MultOptions = core.MultOptions
+	// ScanConstraint restricts a kernel to a sub-associative-array (the
+	// paper's SpRef): a row band pushed into the scan so only
+	// overlapping tablets execute, plus an optional column-qualifier
+	// band filtered server-side.
+	ScanConstraint = core.ScanConstraint
+	// BFSOptions configures the server-side AdjBFS kernel (degree
+	// filtering and the row-band sub-graph constraint).
+	BFSOptions = core.AdjBFSOptions
 )
 
 // Standard semirings and monoids.
@@ -279,9 +290,10 @@ type ClusterConfig struct {
 	BloomFilterBits int
 	// MaxRunsPerTablet, when positive, enables the background
 	// compaction scheduler on durable tables: tablets whose run count
-	// exceeds the threshold are automatically major-compacted, keeping
-	// scan merge width bounded under sustained ingest. 0 or negative
-	// keeps major compaction manual.
+	// exceeds the threshold have a group of similar-sized runs merged
+	// (size-tiered picking), keeping scan merge width bounded under
+	// sustained ingest without rewriting the largest runs on every
+	// pass. 0 or negative keeps major compaction manual.
 	MaxRunsPerTablet int
 }
 
@@ -363,6 +375,22 @@ type ScanStats struct {
 	// MajorCompactions counts completed major compactions, manual and
 	// scheduler-triggered alike.
 	MajorCompactions int64
+	// TabletScans counts tablet scan passes that actually executed an
+	// iterator stack; TabletsPrunedByRange counts tablets skipped
+	// because a scan's pushed-down row ranges did not overlap their row
+	// band. Together they make SpRef range push-down observable: a
+	// banded kernel over a pre-split table shows TabletScans equal to
+	// the overlapping tablets only.
+	TabletScans          int64
+	TabletsPrunedByRange int64
+	// EntriesPrunedByRange counts entries dropped server-side by range
+	// filters (the column-qualifier band) before reaching kernel stages
+	// or the wire.
+	EntriesPrunedByRange int64
+	// PartialProductsFolded counts ⊗ partial products absorbed by
+	// RemoteWrite pre-aggregation (⊕-folded into a buffered output
+	// cell) instead of crossing the write path individually.
+	PartialProductsFolded int64
 }
 
 // ScanMetrics snapshots the read-path gauges and counters; the storage
@@ -378,6 +406,11 @@ func (db *DB) ScanMetrics() ScanStats {
 		CacheMisses:        misses,
 		BloomNegatives:     bloomNeg,
 		MajorCompactions:   m.MajorCompactions.Load(),
+
+		TabletScans:           m.TabletScans.Load(),
+		TabletsPrunedByRange:  m.TabletsPrunedByRange.Load(),
+		EntriesPrunedByRange:  m.EntriesPrunedByRange.Load(),
+		PartialProductsFolded: m.PartialProductsFolded.Load(),
 	}
 }
 
@@ -437,22 +470,27 @@ func ParseVertex(key string) (int, error) { return schema.ParseVertex(key) }
 // BFS runs a k-hop breadth-first search from the seed vertices,
 // returning vertex-key → hop level.
 func (g *TableGraph) BFS(seeds []int, hops int) (map[string]int, error) {
-	keys := make([]string, len(seeds))
-	for i, s := range seeds {
-		keys[i] = schema.VertexName(s)
-	}
-	return core.AdjBFS(g.db.conn, g.schema.Table, keys, hops, core.AdjBFSOptions{})
+	return g.BFSWithOptions(seeds, hops, BFSOptions{})
 }
 
 // BFSFiltered is BFS with degree-table filtering (Graphulo's AdjBFS).
 func (g *TableGraph) BFSFiltered(seeds []int, hops int, minDeg, maxDeg float64) (map[string]int, error) {
+	return g.BFSWithOptions(seeds, hops, BFSOptions{MinDegree: minDeg, MaxDegree: maxDeg})
+}
+
+// BFSWithOptions is BFS with full kernel options: degree filtering
+// (BFSOptions.MinDegree/MaxDegree against the graph's degree table)
+// and/or the RowStart/RowEnd sub-graph band, which is pushed into every
+// frontier scan so tablets outside the band never execute.
+func (g *TableGraph) BFSWithOptions(seeds []int, hops int, opts BFSOptions) (map[string]int, error) {
 	keys := make([]string, len(seeds))
 	for i, s := range seeds {
 		keys[i] = schema.VertexName(s)
 	}
-	return core.AdjBFS(g.db.conn, g.schema.Table, keys, hops, core.AdjBFSOptions{
-		MinDegree: minDeg, MaxDegree: maxDeg, DegTable: g.schema.DegTable,
-	})
+	if opts.DegTable == "" && (opts.MinDegree != 0 || opts.MaxDegree != 0) {
+		opts.DegTable = g.schema.DegTable
+	}
+	return core.AdjBFS(g.db.conn, g.schema.Table, keys, hops, opts)
 }
 
 // Degrees computes the degree table server-side and returns it.
@@ -539,6 +577,14 @@ func (g *TableGraph) Adjacency() (*Assoc, error) {
 // TableMult exposes the server-side C ⊕= Aᵀ·B kernel on raw tables.
 func (db *DB) TableMult(tableAT, tableB, tableC, semiringName string) (int, error) {
 	return core.TableMult(db.conn, tableAT, tableB, tableC, core.MultOptions{Semiring: semiringName})
+}
+
+// TableMultOpts is TableMult with full kernel options: the SpRef
+// constraint (row band pushed down to both operands' tablets, column
+// band filtered server-side) and the RemoteWrite pre-aggregation
+// buffer.
+func (db *DB) TableMultOpts(tableAT, tableB, tableC string, opts MultOptions) (int, error) {
+	return core.TableMult(db.conn, tableAT, tableB, tableC, opts)
 }
 
 // TableMultClient is the thin-client multiply baseline (ablation).

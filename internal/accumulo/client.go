@@ -544,12 +544,15 @@ func (w *BatchWriter) Close() error { return w.Flush() }
 
 // --- Scanner ---
 
-// Scanner is a single-threaded sorted scan over one range.
+// Scanner is a single-threaded sorted scan over one range — or, with
+// SetRanges, over several disjoint ranges served in key order by one
+// streaming pipeline. Either way only tablets overlapping the ranges
+// execute the scan's iterator stack (SpRef-style range push-down).
 type Scanner struct {
-	mc    *MiniCluster
-	table string
-	rng   skv.Range
-	extra []iterator.Setting
+	mc     *MiniCluster
+	table  string
+	ranges []skv.Range
+	extra  []iterator.Setting
 }
 
 // CreateScanner opens a scanner on the table (full range by default).
@@ -557,11 +560,29 @@ func (c *Connector) CreateScanner(table string) (*Scanner, error) {
 	if _, err := c.mc.getTable(table); err != nil {
 		return nil, err
 	}
-	return &Scanner{mc: c.mc, table: table, rng: skv.FullRange()}, nil
+	return &Scanner{mc: c.mc, table: table}, nil
 }
 
-// SetRange restricts the scan.
-func (s *Scanner) SetRange(rng skv.Range) { s.rng = rng }
+// SetRange restricts the scan to one range.
+func (s *Scanner) SetRange(rng skv.Range) { s.ranges = []skv.Range{rng} }
+
+// SetRanges restricts the scan to several ranges, served in one sorted
+// stream: the ranges are coalesced (sorted, overlaps merged) at scan
+// time, each tablet executes one pass covering its clips of every
+// range, and tablets no range touches never run the stack. An empty
+// list means an empty scan — zero ranges select zero keys, exactly as
+// a dynamically computed range set would expect — not the full table
+// (that is the scanner's default before any SetRange/SetRanges call).
+func (s *Scanner) SetRanges(ranges []skv.Range) {
+	if len(ranges) == 0 {
+		// A deliberately empty range: normalizeRanges coalesces it away
+		// and the scan returns nothing, distinct from the nil "never
+		// restricted" state.
+		s.ranges = []skv.Range{{HasStart: true, HasEnd: true}}
+		return
+	}
+	s.ranges = append([]skv.Range(nil), ranges...)
+}
 
 // AddScanIterator attaches a per-scan iterator setting.
 func (s *Scanner) AddScanIterator(setting iterator.Setting) { s.extra = append(s.extra, setting) }
@@ -571,13 +592,17 @@ func (s *Scanner) AddScanIterator(setting iterator.Setting) { s.extra = append(s
 // and the client holds wire batches rather than the full result. The
 // caller should Close the stream (a full drain also releases it).
 func (s *Scanner) Stream() (*EntryStream, error) {
-	return s.mc.openStream(s.table, s.rng, s.extra)
+	return s.mc.openStream(s.table, s.ranges, s.extra)
 }
 
 // Entries executes the scan and returns the sorted results — the
 // collect-all convenience over Stream for small results.
 func (s *Scanner) Entries() ([]skv.Entry, error) {
-	return s.mc.scan(s.table, s.rng, s.extra)
+	st, err := s.Stream()
+	if err != nil {
+		return nil, err
+	}
+	return st.Collect()
 }
 
 // --- BatchScanner ---
@@ -665,7 +690,7 @@ func (b *BatchScanner) ForEach(fn func(skv.Entry) error) error {
 				if failed.Load() {
 					continue
 				}
-				s, err := b.mc.openStream(b.table, rng, b.extra)
+				s, err := b.mc.openStream(b.table, []skv.Range{rng}, b.extra)
 				if err != nil {
 					setErr(err)
 					continue

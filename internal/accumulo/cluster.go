@@ -142,10 +142,11 @@ type Config struct {
 	BloomFilterBits int
 	// MaxRunsPerTablet, when positive, starts a background compaction
 	// scheduler per durable table: a tablet whose immutable-run count
-	// exceeds this threshold is automatically major-compacted (with the
-	// table's majc iterator stack), bounding k-way merge width under
-	// sustained ingest. 0 or negative keeps major compaction
-	// manual-only.
+	// exceeds this threshold has a contiguous group of similar-sized
+	// runs merged (size-tiered picking, with the table's majc iterator
+	// stack), bounding k-way merge width under sustained ingest without
+	// rewriting the largest runs on every pass. 0 or negative keeps
+	// major compaction manual-only.
 	MaxRunsPerTablet int
 }
 
@@ -179,6 +180,24 @@ type Metrics struct {
 	// remote scan opened by server-side iterators. The regression tests
 	// for the streaming RemoteSource pin kernel behaviour with it.
 	ScansStarted atomic.Int64
+	// TabletScans counts tablet scan passes served by this process's
+	// tablet servers — one per tablet that actually executed an
+	// iterator stack. A range-constrained kernel over a pre-split table
+	// shows TabletScans equal to the overlapping tablets, not the
+	// table's tablet count.
+	TabletScans atomic.Int64
+	// TabletsPrunedByRange counts tablets skipped without a scan pass
+	// because the scan's pushed-down ranges did not overlap their row
+	// band — the observable form of SpRef push-down.
+	TabletsPrunedByRange atomic.Int64
+	// EntriesPrunedByRange counts entries dropped server-side by range
+	// filters (the colRange column-qualifier band) before they reached
+	// kernel stages or the wire.
+	EntriesPrunedByRange atomic.Int64
+	// PartialProductsFolded counts partial products absorbed by
+	// RemoteWrite pre-aggregation (⊕-folded into an already-buffered
+	// output cell) instead of crossing the write path individually.
+	PartialProductsFolded atomic.Int64
 	// ScansInFlight gauges tablet scan passes currently executing on
 	// this process's tablet servers; MaxScansInFlight records its
 	// high-water mark (evidence of per-tablet parallelism).
@@ -217,9 +236,12 @@ func atomicMax(max *atomic.Int64, n int64) {
 // MaxEntriesBuffered high-water mark.
 func (m *Metrics) noteBuffered(n int64) { atomicMax(&m.MaxEntriesBuffered, n) }
 
-// noteScanStart bumps ScansInFlight and folds the new value into its
-// high-water mark.
-func (m *Metrics) noteScanStart() { atomicMax(&m.MaxScansInFlight, m.ScansInFlight.Add(1)) }
+// noteScanStart counts one served tablet pass, bumps ScansInFlight, and
+// folds the new value into its high-water mark.
+func (m *Metrics) noteScanStart() {
+	m.TabletScans.Add(1)
+	atomicMax(&m.MaxScansInFlight, m.ScansInFlight.Add(1))
+}
 
 // MiniCluster is the embedded cluster: the metadata authority (tables,
 // splits, iterator settings, tablet→server assignment) plus the client
@@ -614,15 +636,32 @@ func (t *tableMeta) tabletForRow(row string) *tabletRef {
 
 // tabletsOverlapping returns the tablets whose row ranges intersect rng.
 func (t *tableMeta) tabletsOverlapping(rng skv.Range) []*tabletRef {
+	hit, _ := t.tabletsOverlappingRanges([]skv.Range{rng})
+	return hit
+}
+
+// tabletsOverlappingRanges returns the tablets whose row ranges
+// intersect any of the given ranges, plus the count of tablets the
+// ranges pruned — the client half of range push-down.
+func (t *tableMeta) tabletsOverlappingRanges(ranges []skv.Range) (hit []*tabletRef, pruned int) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	var out []*tabletRef
 	for _, tr := range t.tablets {
-		if !rng.Clip(skv.RowRange(tr.start, tr.end)).IsEmpty() {
-			out = append(out, tr)
+		band := skv.RowRange(tr.start, tr.end)
+		overlaps := false
+		for _, rng := range ranges {
+			if !rng.Clip(band).IsEmpty() {
+				overlaps = true
+				break
+			}
+		}
+		if overlaps {
+			hit = append(hit, tr)
+		} else {
+			pruned++
 		}
 	}
-	return out
+	return hit, pruned
 }
 
 // scopeStack returns a copy of the iterator settings for a scope.
@@ -697,7 +736,7 @@ func (mc *MiniCluster) writeEntries(table string, entries []skv.Entry) error {
 // results are small (monitoring entries, vectors, admin copies).
 // Streaming consumers use Scanner.Stream / EntryStream directly.
 func (mc *MiniCluster) scan(table string, rng skv.Range, extra []iterator.Setting) ([]skv.Entry, error) {
-	s, err := mc.openStream(table, rng, extra)
+	s, err := mc.openStream(table, []skv.Range{rng}, extra)
 	if err != nil {
 		return nil, err
 	}

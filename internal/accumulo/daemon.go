@@ -206,7 +206,7 @@ func (h *daemonHandler) Stream(op byte, req []byte, send func([]byte) error) err
 	defer h.s.metrics.ScansInFlight.Add(-1)
 	env := &scanEnv{backend: &daemonBackend{s: h.s, topo: sr.topo, topoRaw: sr.topoRaw}}
 	defer env.close()
-	return serveScan(tab.Snapshot(), sr.rng, sr.settings, env, sr.batch, send)
+	return serveScan(tab.Snapshot(), sr.ranges, sr.settings, env, sr.batch, send)
 }
 
 // daemonBackend implements scanBackend against the routing topology a
@@ -220,7 +220,7 @@ type daemonBackend struct {
 	topoRaw []byte // encoded form of topo, passed through verbatim
 }
 
-func (b *daemonBackend) openStream(table string, rng skv.Range, extra []iterator.Setting) (*EntryStream, error) {
+func (b *daemonBackend) openStream(table string, ranges []skv.Range, extra []iterator.Setting) (*EntryStream, error) {
 	tt := b.topo.find(table)
 	if tt == nil {
 		return nil, fmt.Errorf("accumulo: table %q is not in the scan's routing topology", table)
@@ -230,24 +230,36 @@ func (b *daemonBackend) openStream(table string, rng skv.Range, extra []iterator
 	if batch <= 0 {
 		batch = 4096
 	}
+	ranges, empty := normalizeRanges(ranges)
+	if empty {
+		b.s.metrics.ScansStarted.Add(1)
+		return startStream(&b.s.metrics, 1, 0, nil), nil
+	}
 	var targets []topoTablet
+	pruned := 0
 	for _, tb := range tt.tablets {
-		if !rng.Clip(skv.RowRange(tb.start, tb.end)).IsEmpty() {
+		if len(clipRanges(ranges, tb.start, tb.end)) > 0 {
 			targets = append(targets, tb)
+		} else {
+			pruned++
 		}
 	}
 	b.s.metrics.ScansStarted.Add(1)
+	b.s.metrics.TabletsPrunedByRange.Add(int64(pruned))
 	return startStream(&b.s.metrics, b.topo.scanPar, len(targets),
 		func(i int, out *tabletScan, done <-chan struct{}) {
 			tb := targets[i]
 			req := encodeScanReq(scanReq{
 				table: table, start: tb.start, end: tb.end,
-				rng: rng.Clip(skv.RowRange(tb.start, tb.end)), settings: settings,
+				ranges: clipRanges(ranges, tb.start, tb.end), settings: settings,
 				batch: batch, topoRaw: b.topoRaw,
 			})
 			relayScan(b.s.tr, &b.s.metrics, tb.endpoint, req, out, done)
 		}), nil
 }
+
+// metrics implements scanBackend.
+func (b *daemonBackend) metrics() *Metrics { return &b.s.metrics }
 
 func (b *daemonBackend) writeEntries(table string, entries []skv.Entry) error {
 	tt := b.topo.find(table)

@@ -93,22 +93,25 @@ func (h *clusterHandler) Stream(op byte, req []byte, send func([]byte) error) er
 	defer h.mc.Metrics.ScansInFlight.Add(-1)
 	env := &scanEnv{backend: h.mc}
 	defer env.close()
-	return serveScan(tab.Snapshot(), sr.rng, sr.settings, env, sr.batch, send)
+	return serveScan(tab.Snapshot(), sr.ranges, sr.settings, env, sr.batch, send)
 }
 
 // serveScan runs a fully merged scan stack over a tablet snapshot and
 // ships the results through send one skv-codec batch at a time — the
-// server half of every scan. send blocking is the backpressure; a send
-// failure means the consumer went away, which cancels the pass.
-func serveScan(src iterator.SKVI, rng skv.Range, settings []iterator.Setting, env iterator.Env, batchSize int, send func([]byte) error) error {
+// server half of every scan. The stack is built once and sought per
+// request range (the ranges arrive sorted and disjoint, so the shipped
+// stream stays in key order); an empty range list means the tablet's
+// full range. send blocking is the backpressure; a send failure means
+// the consumer went away, which cancels the pass.
+func serveScan(src iterator.SKVI, ranges []skv.Range, settings []iterator.Setting, env iterator.Env, batchSize int, send func([]byte) error) error {
 	if batchSize <= 0 {
 		batchSize = 4096
 	}
+	if len(ranges) == 0 {
+		ranges = []skv.Range{skv.FullRange()}
+	}
 	stack, err := iterator.BuildStack(src, settings, env)
 	if err != nil {
-		return err
-	}
-	if err := stack.Seek(rng); err != nil {
 		return err
 	}
 	batch := make([]skv.Entry, 0, batchSize)
@@ -120,15 +123,20 @@ func serveScan(src iterator.SKVI, rng skv.Range, settings []iterator.Setting, en
 		batch = batch[:0]
 		return err
 	}
-	for stack.HasTop() {
-		batch = append(batch, stack.Top())
-		if len(batch) >= batchSize {
-			if err := ship(); err != nil {
+	for _, rng := range ranges {
+		if err := stack.Seek(rng); err != nil {
+			return err
+		}
+		for stack.HasTop() {
+			batch = append(batch, stack.Top())
+			if len(batch) >= batchSize {
+				if err := ship(); err != nil {
+					return err
+				}
+			}
+			if err := stack.Next(); err != nil {
 				return err
 			}
-		}
-		if err := stack.Next(); err != nil {
-			return err
 		}
 	}
 	return ship()

@@ -61,8 +61,12 @@ type tabletScan struct {
 // each scan request. Both route the actual traffic through the
 // transport.
 type scanBackend interface {
-	openStream(table string, rng skv.Range, extra []iterator.Setting) (*EntryStream, error)
+	openStream(table string, ranges []skv.Range, extra []iterator.Setting) (*EntryStream, error)
 	writeEntries(table string, entries []skv.Entry) error
+	// metrics returns the backend's metrics sink, so server-side
+	// iterator counters (range pruning, pre-aggregation folds) land in
+	// the right process's counters.
+	metrics() *Metrics
 }
 
 // startStream builds the cursor and launches per-tablet fetch workers
@@ -111,17 +115,27 @@ func startStream(metrics *Metrics, par, n int, fetch func(i int, out *tabletScan
 	return s
 }
 
-// openStream starts a streaming scan: per overlapping tablet, a fetch
-// worker opens a remote scan on the tablet's endpoint carrying the
-// fully merged stack (table scan scope + per-scan extras), and relays
-// the streamed batches to the cursor.
-func (mc *MiniCluster) openStream(table string, rng skv.Range, extra []iterator.Setting) (*EntryStream, error) {
+// openStream starts a streaming scan over one or more ranges: per
+// tablet overlapping any range, a fetch worker opens a remote scan on
+// the tablet's endpoint carrying the fully merged stack (table scan
+// scope + per-scan extras) and the per-tablet clip of every range, and
+// relays the streamed batches to the cursor. Tablets no range touches
+// are pruned without a scan pass (SpRef push-down), counted in
+// Metrics.TabletsPrunedByRange. An empty range list means the full
+// table.
+func (mc *MiniCluster) openStream(table string, ranges []skv.Range, extra []iterator.Setting) (*EntryStream, error) {
 	meta, err := mc.getTable(table)
 	if err != nil {
 		return nil, err
 	}
 	mc.Metrics.ScansStarted.Add(1)
-	tablets := meta.tabletsOverlapping(rng)
+	ranges, empty := normalizeRanges(ranges)
+	if empty {
+		// Every requested range is empty: a scan of nothing.
+		return startStream(&mc.Metrics, 1, 0, nil), nil
+	}
+	tablets, pruned := meta.tabletsOverlappingRanges(ranges)
+	mc.Metrics.TabletsPrunedByRange.Add(int64(pruned))
 	settings := append(meta.scopeStack(ScanScope), extra...)
 	// The routing topology is identical for every tablet of the scan;
 	// encode it once and splice the bytes into each request.
@@ -129,17 +143,44 @@ func (mc *MiniCluster) openStream(table string, rng skv.Range, extra []iterator.
 	return startStream(&mc.Metrics, mc.cfg.ScanParallelism, len(tablets),
 		func(i int, out *tabletScan, done <-chan struct{}) {
 			tr := tablets[i]
-			clipped := rng.Clip(skv.RowRange(tr.start, tr.end))
-			if clipped.IsEmpty() {
+			clipped := clipRanges(ranges, tr.start, tr.end)
+			if len(clipped) == 0 {
 				return
 			}
 			req := encodeScanReq(scanReq{
 				table: table, start: tr.start, end: tr.end,
-				rng: clipped, settings: settings,
+				ranges: clipped, settings: settings,
 				batch: mc.cfg.WireBatch, topoRaw: topoRaw,
 			})
 			relayScan(mc.tr, &mc.Metrics, tr.endpoint, req, out, done)
 		}), nil
+}
+
+// metrics implements scanBackend.
+func (mc *MiniCluster) metrics() *Metrics { return &mc.Metrics }
+
+// normalizeRanges coalesces a scan's requested ranges. No ranges at all
+// means the full range; ranges that are all empty mean an empty scan
+// (empty=true) — the two must not be conflated.
+func normalizeRanges(ranges []skv.Range) (_ []skv.Range, empty bool) {
+	if len(ranges) == 0 {
+		return []skv.Range{skv.FullRange()}, false
+	}
+	coalesced := skv.CoalesceRanges(ranges)
+	return coalesced, len(coalesced) == 0
+}
+
+// clipRanges intersects each (sorted, coalesced) range with a tablet's
+// row band, dropping empty intersections.
+func clipRanges(ranges []skv.Range, start, end string) []skv.Range {
+	band := skv.RowRange(start, end)
+	var out []skv.Range
+	for _, r := range ranges {
+		if c := r.Clip(band); !c.IsEmpty() {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // relayScan is one per-tablet fetch worker: it opens the remote scan and
@@ -297,9 +338,11 @@ type scanEnv struct {
 // OpenScanner implements iterator.Env. The returned SKVI is streaming:
 // it holds wire batches, not the remote table, and is positioned at the
 // first entry of rng (callers may iterate without an initial Seek). The
-// underlying stream is always opened end-unbounded — rng's end bound is
-// applied at HasTop — so a later forward Seek past rng.End is served by
-// the same stream instead of silently running dry.
+// underlying stream is opened with rng's bounds pushed down — tablets
+// (and, durably, rfiles) outside them are pruned — and a later Seek
+// whose range escapes the opened bounds re-issues the remote scan;
+// kernels clip their re-seeks to the first range, so a tablet pass
+// still costs exactly one remote scan.
 func (e *scanEnv) OpenScanner(table string, rng skv.Range) (iterator.SKVI, error) {
 	it := &streamIter{env: e, table: table}
 	if err := it.reopen(rng); err != nil {
@@ -313,6 +356,18 @@ func (e *scanEnv) WriteEntries(table string, entries []skv.Entry) error {
 	return e.backend.writeEntries(table, entries)
 }
 
+// CountRangePruned implements iterator.Counters: entries a server-side
+// range filter dropped.
+func (e *scanEnv) CountRangePruned(n int) {
+	e.backend.metrics().EntriesPrunedByRange.Add(int64(n))
+}
+
+// CountFolded implements iterator.Counters: partial products absorbed
+// by RemoteWrite pre-aggregation.
+func (e *scanEnv) CountFolded(n int) {
+	e.backend.metrics().PartialProductsFolded.Add(int64(n))
+}
+
 // close releases every remote stream this env's iterators opened.
 func (e *scanEnv) close() {
 	for _, s := range e.opened {
@@ -322,38 +377,40 @@ func (e *scanEnv) close() {
 }
 
 // streamIter adapts an EntryStream to the SKVI contract for server-side
-// remote reads. Forward seeks — ranges starting at or past the current
-// position — are served by skipping within the open stream, so a tablet
-// pass issues exactly one remote scan no matter how often the kernel
-// re-seeks (Graphulo's streaming RemoteSourceIterator contract). Only a
-// seek that demonstrably needs already-consumed entries re-issues the
-// remote scan.
+// remote reads. Forward seeks within the opened range — starting at or
+// past the current position — are served by skipping within the open
+// stream, so a tablet pass issues exactly one remote scan no matter how
+// often the kernel re-seeks (Graphulo's streaming RemoteSourceIterator
+// contract). Only a seek that demonstrably needs entries the stream
+// cannot produce — already consumed, before the opened start, or past
+// the opened end — re-issues the remote scan. The opened range's end is
+// pushed down to the remote side so its tablet and rfile pruning apply;
+// kernels (TwoTableIterator) clip their re-seeks to the range they
+// opened with, keeping the one-scan-per-pass property.
 type streamIter struct {
 	env    *scanEnv
 	table  string
 	stream *EntryStream
-	open   skv.Range // start-only range the stream was opened with
+	open   skv.Range // range the stream was opened with (both bounds pushed)
 	rng    skv.Range
 	cur    skv.Entry
 	has    bool
 	moved  bool // entries before cur have been consumed since (re)open
 }
 
-// reopen issues a fresh remote scan, end-unbounded from rng's start (end
-// bounds are applied by HasTop), and positions the iterator at its first
-// entry.
+// reopen issues a fresh remote scan over rng — both bounds pushed down
+// — and positions the iterator at its first entry.
 func (it *streamIter) reopen(rng skv.Range) error {
 	if it.stream != nil {
 		it.stream.Close()
 	}
-	open := skv.Range{Start: rng.Start, HasStart: rng.HasStart}
-	s, err := it.env.backend.openStream(it.table, open, nil)
+	s, err := it.env.backend.openStream(it.table, []skv.Range{rng}, nil)
 	if err != nil {
 		return err
 	}
 	it.env.opened = append(it.env.opened, s)
 	it.stream = s
-	it.open = open
+	it.open = rng
 	it.rng = rng
 	it.moved = false
 	it.cur, it.has = s.Next()
@@ -366,14 +423,17 @@ func (it *streamIter) reopen(rng skv.Range) error {
 // Seek implements SKVI.
 func (it *streamIter) Seek(rng skv.Range) error {
 	// The stream can serve rng in place unless it needs entries the
-	// stream cannot produce: entries before the opened start (never
-	// fetched), or — once the cursor has moved — entries before the
-	// current one (consumed), including the tail of an exhausted stream.
+	// stream cannot produce: entries before the opened start or past the
+	// opened end (never fetched), or — once the cursor has moved —
+	// entries before the current one (consumed), including the tail of
+	// an exhausted stream.
 	needEarlier := it.open.HasStart &&
 		(!rng.HasStart || skv.Compare(rng.Start, it.open.Start) < 0)
+	needLater := it.open.HasEnd &&
+		(!rng.HasEnd || skv.Compare(rng.End, it.open.End) > 0)
 	consumed := it.moved &&
 		(!rng.HasStart || !it.has || skv.Compare(rng.Start, it.cur.K) < 0)
-	if it.stream == nil || needEarlier || consumed {
+	if it.stream == nil || needEarlier || needLater || consumed {
 		if err := it.reopen(rng); err != nil {
 			return err
 		}

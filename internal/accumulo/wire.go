@@ -172,6 +172,33 @@ func readRange(src []byte) (skv.Range, []byte, error) {
 	return rng, src, nil
 }
 
+// appendRanges encodes a count-prefixed range list — the scan request's
+// constrained-range set (empty means the full range).
+func appendRanges(dst []byte, ranges []skv.Range) []byte {
+	dst = appendUint(dst, len(ranges))
+	for _, r := range ranges {
+		dst = appendRange(dst, r)
+	}
+	return dst
+}
+
+func readRanges(src []byte) ([]skv.Range, []byte, error) {
+	// A range is at least its flags byte.
+	n, src, err := readCount(src, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ranges []skv.Range
+	for i := 0; i < n; i++ {
+		var r skv.Range
+		if r, src, err = readRange(src); err != nil {
+			return nil, nil, err
+		}
+		ranges = append(ranges, r)
+	}
+	return ranges, src, nil
+}
+
 func appendSettings(dst []byte, settings []iterator.Setting) []byte {
 	dst = appendUint(dst, len(settings))
 	for _, s := range settings {
@@ -388,14 +415,15 @@ func decodeWriteReq(src []byte) (writeReq, error) {
 	return r, nil
 }
 
-// scanReq opens one tablet's scan: the already-clipped range, the fully
-// merged iterator stack (table scan scope + per-scan extras — merged
+// scanReq opens one tablet's scan: the already-clipped, sorted range
+// list (SpRef push-down; empty = the full tablet), the fully merged
+// iterator stack (table scan scope + per-scan extras — merged
 // client-side so external servers need no table metadata), the batch
 // size for the response stream, and the optional routing topology.
 type scanReq struct {
 	table      string
 	start, end string // tablet identity
-	rng        skv.Range
+	ranges     []skv.Range
 	settings   []iterator.Setting
 	batch      int
 	topo       *topology
@@ -411,7 +439,7 @@ func encodeScanReq(r scanReq) []byte {
 	dst := appendStr(nil, r.table)
 	dst = appendStr(dst, r.start)
 	dst = appendStr(dst, r.end)
-	dst = appendRange(dst, r.rng)
+	dst = appendRanges(dst, r.ranges)
 	dst = appendSettings(dst, r.settings)
 	dst = appendUint(dst, r.batch)
 	if r.topoRaw != nil {
@@ -432,7 +460,7 @@ func decodeScanReq(src []byte) (scanReq, error) {
 	if r.end, src, err = readStr(src); err != nil {
 		return r, err
 	}
-	if r.rng, src, err = readRange(src); err != nil {
+	if r.ranges, src, err = readRanges(src); err != nil {
 		return r, err
 	}
 	if r.settings, src, err = readSettings(src); err != nil {

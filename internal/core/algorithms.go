@@ -26,6 +26,23 @@ type AdjBFSOptions struct {
 	MaxDegree float64
 	// DegTable is required when a degree bound is set.
 	DegTable string
+	// RowStart/RowEnd restrict the search to a row band (sub-graph BFS,
+	// the SpRef form of the frontier expansion): vertices outside
+	// [RowStart, RowEnd) are neither expanded nor visited, so frontier
+	// scans never touch tablets outside the band. "" leaves that side
+	// unbounded.
+	RowStart, RowEnd string
+}
+
+// inBand reports whether a vertex row key lies in the options' row band.
+func (o AdjBFSOptions) inBand(v string) bool {
+	if o.RowStart != "" && v < o.RowStart {
+		return false
+	}
+	if o.RowEnd != "" && v >= o.RowEnd {
+		return false
+	}
+	return true
 }
 
 // AdjBFS runs a k-hop breadth-first search over an adjacency table:
@@ -57,6 +74,9 @@ func AdjBFS(conn *accumulo.Connector, table string, seeds []string, hops int, op
 	visited := map[string]int{}
 	frontier := make([]string, 0, len(seeds))
 	for _, s := range seeds {
+		if !opts.inBand(s) {
+			continue
+		}
 		visited[s] = 0
 		frontier = append(frontier, s)
 	}
@@ -80,7 +100,7 @@ func AdjBFS(conn *accumulo.Connector, table string, seeds []string, hops int, op
 			if _, seen := visited[nb]; seen {
 				return nil
 			}
-			if !degOK(nb) {
+			if !opts.inBand(nb) || !degOK(nb) {
 				return nil
 			}
 			visited[nb] = hop

@@ -33,21 +33,94 @@ import (
 	"graphulo/internal/skv"
 )
 
+// ScanConstraint restricts a kernel to a sub-associative-array — the
+// SpRef push-down of §II. The row band is pushed into the scan itself,
+// so only tablets it overlaps execute the kernel's iterator stack
+// (pruned tablets count in Metrics.TabletsPrunedByRange) and, on a
+// durable cluster, rfile row-index and bloom pruning apply; the
+// column-qualifier band runs as a server-side filter below the kernel
+// stages (dropped entries count in Metrics.EntriesPrunedByRange). The
+// zero value constrains nothing.
+type ScanConstraint struct {
+	// RowStart/RowEnd bound the scanned rows, half-open [RowStart,
+	// RowEnd); "" leaves that side unbounded.
+	RowStart, RowEnd string
+	// ColQStart/ColQEnd bound column qualifiers, half-open; "" leaves
+	// that side unbounded.
+	ColQStart, ColQEnd string
+}
+
+// rowRange returns the constraint's row band as a scan range.
+func (c ScanConstraint) rowRange() skv.Range { return skv.RowRange(c.RowStart, c.RowEnd) }
+
+// colSetting returns the server-side column-qualifier filter setting,
+// or ok=false when no column bound is set.
+func (c ScanConstraint) colSetting(priority int) (iterator.Setting, bool) {
+	if c.ColQStart == "" && c.ColQEnd == "" {
+		return iterator.Setting{}, false
+	}
+	return iterator.Setting{Name: "colRange", Priority: priority, Opts: map[string]string{
+		"minColQ": c.ColQStart, "maxColQ": c.ColQEnd,
+	}}, true
+}
+
+// DefaultPreAggBytes is the default RemoteWrite pre-aggregation buffer
+// capacity. Partial products for one output cell are spread across
+// inner rows, so a buffer that spills before a tablet pass's distinct
+// output cells fit folds very little; 16 MiB (~220k cells) holds the
+// working set of a power-law multiply at benchmark scale while keeping
+// a kernel pass memory-bounded (one buffer per concurrently scanned
+// tablet). Tune per kernel with MultOptions.PreAggBytes.
+const DefaultPreAggBytes = 16 << 20
+
 // MultOptions configures TableMult.
 type MultOptions struct {
 	// Semiring names the ⊕.⊗ pair (default "plus.times"). The ⊗ runs in
 	// the TwoTableIterator; the ⊕ is the summing combiner on the result
-	// table.
+	// table — and, with pre-aggregation on, the map-side fold in
+	// RemoteWrite.
 	Semiring string
 	// BatchSize is the RemoteWrite batch size (default 4096).
 	BatchSize int
+	// Constraint restricts the multiply to a sub-array: RowStart/RowEnd
+	// bound the inner dimension (the rows of both Aᵀ and B — only B
+	// tablets overlapping the band execute the kernel, and each pass
+	// seeds its remote Aᵀ scan with the same band so Aᵀ's tablets and
+	// rfiles prune too); ColQStart/ColQEnd bound B's column qualifiers,
+	// i.e. C's columns.
+	Constraint ScanConstraint
+	// PreAggBytes bounds the RemoteWrite pre-aggregation buffer: partial
+	// products are ⊕-folded per output cell where they are produced and
+	// only folded cells cross the write path, spilling at capacity. 0
+	// selects DefaultPreAggBytes; negative disables pre-aggregation.
+	// Results are cell-identical either way; only write volume changes.
+	PreAggBytes int
+}
+
+// preAggBytes resolves the option's 0-default/negative-disable coding.
+func (o MultOptions) preAggBytes() int {
+	switch {
+	case o.PreAggBytes < 0:
+		return 0
+	case o.PreAggBytes == 0:
+		return DefaultPreAggBytes
+	default:
+		return o.PreAggBytes
+	}
 }
 
 // TableMult computes C ⊕= Aᵀ·B entirely server-side: table tableAT must
 // hold Aᵀ (rows = inner dimension); a scan over tableB's tablets runs
 // the TwoTableIterator (⊗ and alignment) topped by a RemoteWriteIterator
-// that streams partial products into tableC, whose summing combiner
-// performs ⊕. Returns the number of partial-product entries written.
+// that ⊕-pre-aggregates partial products and streams the folded cells
+// into tableC, whose matching combiner performs the final ⊕. Returns the
+// number of entries written into tableC (with pre-aggregation off, the
+// raw partial-product count).
+//
+// The scan honours opts.Constraint: a row band restricts the inner
+// dimension and is pushed down both to B's tablets and each pass's
+// remote Aᵀ scan, so a sub-matrix multiply touches only overlapping
+// tablets of either operand.
 //
 // This is the Graphulo TableMult data flow: the client only triggers the
 // scan and reads back one monitoring entry per tablet.
@@ -75,13 +148,19 @@ func TableMult(conn *accumulo.Connector, tableAT, tableB, tableC string, opts Mu
 	if err != nil {
 		return 0, err
 	}
+	sc.SetRange(opts.Constraint.rowRange())
+	if colFilter, ok := opts.Constraint.colSetting(25); ok {
+		sc.AddScanIterator(colFilter)
+	}
 	sc.AddScanIterator(iterator.Setting{Name: "twoTable", Priority: 30, Opts: map[string]string{
 		"tableAT":  tableAT,
 		"semiring": opts.Semiring,
 	}})
 	sc.AddScanIterator(iterator.Setting{Name: "remoteWrite", Priority: 40, Opts: map[string]string{
-		"table":     tableC,
-		"batchSize": strconv.Itoa(opts.BatchSize),
+		"table":       tableC,
+		"batchSize":   strconv.Itoa(opts.BatchSize),
+		"preAggBytes": strconv.Itoa(opts.preAggBytes()),
+		"semiring":    opts.Semiring,
 	}})
 	return collectMonitor(sc)
 }
@@ -242,7 +321,10 @@ func TableMultClient(conn *accumulo.Connector, tableAT, tableB, tableC string, o
 	if err != nil {
 		return 0, err
 	}
-	w, err := conn.CreateBatchWriter(tableC, accumulo.BatchWriterConfig{})
+	// opts.BatchSize sizes the writer's buffer, exactly as it sizes the
+	// server-side RemoteWrite batches (it used to be silently ignored
+	// here, making the baseline's wire pattern incomparable).
+	w, err := conn.CreateBatchWriter(tableC, accumulo.BatchWriterConfig{MaxBufferEntries: opts.BatchSize})
 	if err != nil {
 		return 0, err
 	}
@@ -281,12 +363,23 @@ func TableMultClient(conn *accumulo.Connector, tableAT, tableB, tableC string, o
 // RemoteWrite). Use it for the Apply/Scale/filter kernels on tables,
 // e.g. settings = [{Name:"scale", Opts:{"factor":"2"}}].
 func OneTable(conn *accumulo.Connector, tableIn, tableOut string, settings []iterator.Setting) (int, error) {
+	return OneTableConstrained(conn, tableIn, tableOut, settings, ScanConstraint{})
+}
+
+// OneTableConstrained is OneTable over a sub-array: the constraint's
+// row band is pushed into the scan (only overlapping tablets run the
+// stack) and its column band filters server-side below the settings.
+func OneTableConstrained(conn *accumulo.Connector, tableIn, tableOut string, settings []iterator.Setting, c ScanConstraint) (int, error) {
 	if err := ensureResultTable(conn, tableOut, semiring.PlusTimes); err != nil {
 		return 0, err
 	}
 	sc, err := conn.CreateScanner(tableIn)
 	if err != nil {
 		return 0, err
+	}
+	sc.SetRange(c.rowRange())
+	if colFilter, ok := c.colSetting(25); ok {
+		sc.AddScanIterator(colFilter)
 	}
 	prio := 30
 	for _, s := range settings {
@@ -308,11 +401,18 @@ func OneTable(conn *accumulo.Connector, tableIn, tableOut string, settings []ite
 // tableOut should be fresh: like any combiner-backed table, existing
 // entries fold together with the new ones.
 func TableRowReduce(conn *accumulo.Connector, tableIn, tableOut, monoid, colF, colQ string) (int, error) {
-	return OneTable(conn, tableIn, tableOut, []iterator.Setting{
+	return TableRowReduceConstrained(conn, tableIn, tableOut, monoid, colF, colQ, ScanConstraint{})
+}
+
+// TableRowReduceConstrained is TableRowReduce over a sub-array: rows
+// outside the band never run the reduce, and a column band reduces only
+// the selected qualifiers of each row.
+func TableRowReduceConstrained(conn *accumulo.Connector, tableIn, tableOut, monoid, colF, colQ string, c ScanConstraint) (int, error) {
+	return OneTableConstrained(conn, tableIn, tableOut, []iterator.Setting{
 		{Name: "rowReduce", Priority: 30, Opts: map[string]string{
 			"monoid": monoid, "colF": colF, "colQ": colQ,
 		}},
-	})
+	}, c)
 }
 
 // TableSum unions the input tables into tableOut under a summing

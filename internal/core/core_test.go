@@ -501,7 +501,9 @@ func TestTableMultIntoPreCreatedTable(t *testing.T) {
 	inner := []string{"i0", "i1"}
 	loadMatrix(t, conn, "ATpre", inner, []string{"a0"}, [][]float64{{2}, {3}})
 	loadMatrix(t, conn, "Bpre", inner, []string{"b0"}, [][]float64{{5}, {7}})
-	n, err := TableMult(conn, "ATpre", "Bpre", "Cpre", MultOptions{})
+	// Pre-aggregation off, so both partial products reach the table and
+	// the ⊕ under test is the table's own combiner.
+	n, err := TableMult(conn, "ATpre", "Bpre", "Cpre", MultOptions{PreAggBytes: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

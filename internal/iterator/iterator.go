@@ -45,6 +45,33 @@ type Env interface {
 	WriteEntries(table string, entries []skv.Entry) error
 }
 
+// Counters is optionally implemented by Envs that surface kernel
+// counters (the accumulo scanEnv forwards them to cluster metrics).
+// Iterators type-assert and skip counting when the env does not
+// implement it, so test fakes need not.
+type Counters interface {
+	// CountRangePruned records entries dropped by a server-side range
+	// filter (e.g. the colRange column-qualifier band).
+	CountRangePruned(n int)
+	// CountFolded records partial products absorbed by a RemoteWrite
+	// pre-aggregation fold instead of crossing the write path.
+	CountFolded(n int)
+}
+
+// countRangePruned/countFolded forward to the env's Counters when
+// implemented.
+func countRangePruned(env Env, n int) {
+	if c, ok := env.(Counters); ok && n > 0 {
+		c.CountRangePruned(n)
+	}
+}
+
+func countFolded(env Env, n int) {
+	if c, ok := env.(Counters); ok && n > 0 {
+		c.CountFolded(n)
+	}
+}
+
 // Factory constructs a configured iterator over a source. opts carries
 // the per-instance configuration an IteratorSetting would in Accumulo.
 type Factory func(src SKVI, opts map[string]string, env Env) (SKVI, error)

@@ -28,15 +28,20 @@ import (
 // RemoteSourceIterator reads entries of another table through the
 // server-side client. Its options: "table" (required).
 //
-// The first Seek opens one remote scan covering the union of all ranges
-// this iterator will see (the full range). The scan is streaming — the
-// env hands back a cursor-backed SKVI holding wire batches, not a copy
-// of the remote table — and later forward seeks skip within that open
-// stream rather than re-issuing a remote scan. TwoTableIterator only
-// ever seeks forward (row alignment and the seekRowFrom heuristic), so
-// one tablet pass costs exactly one remote scan, matching Graphulo's
-// streaming RemoteSourceIterator; only a backward seek, which no kernel
-// issues, would force the source to re-open.
+// The first Seek opens one remote scan covering that seek's range — the
+// union of all ranges this iterator will see, which for a kernel pass
+// is the pushed-down range intersected with the hosted tablet's row
+// band, not the full table. Carrying both bounds to the remote scan
+// lets the remote side skip tablets (and, through the rfile row index
+// and bloom filters, files) that cannot overlap. The scan is streaming
+// — the env hands back a cursor-backed SKVI holding wire batches, not a
+// copy of the remote table — and later forward seeks within the opened
+// range skip inside that open stream rather than re-issuing a remote
+// scan. TwoTableIterator only ever seeks forward and clips its re-seeks
+// to the opened band, so one tablet pass costs exactly one remote scan,
+// matching Graphulo's streaming RemoteSourceIterator; only a seek
+// outside the opened range, which no kernel issues, would force the
+// source to re-open.
 type RemoteSourceIterator struct {
 	table string
 	env   Env
@@ -51,7 +56,7 @@ func NewRemoteSourceIterator(table string, env Env) *RemoteSourceIterator {
 // Seek implements SKVI.
 func (r *RemoteSourceIterator) Seek(rng skv.Range) error {
 	if r.inner == nil {
-		it, err := r.env.OpenScanner(r.table, skv.FullRange())
+		it, err := r.env.OpenScanner(r.table, rng)
 		if err != nil {
 			return fmt.Errorf("remoteSource(%s): %w", r.table, err)
 		}
@@ -79,6 +84,13 @@ type TwoTableIterator struct {
 	remote SKVI
 	ring   semiring.Semiring
 
+	// band is the whole-row projection of the current seek range: the
+	// only inner rows this pass can align on. Remote (and re-issued
+	// hosted) seeks are clipped to it, so the remote Aᵀ scan covers
+	// exactly the pushed-down range ∩ the hosted tablet's rows — the
+	// SpRef push-down — instead of the full table.
+	band skv.Range
+
 	buf []skv.Entry // partial products of the current inner row
 	pos int
 }
@@ -89,13 +101,16 @@ func NewTwoTableIterator(src, remote SKVI, ring semiring.Semiring) *TwoTableIter
 	return &TwoTableIterator{src: src, remote: remote, ring: ring}
 }
 
-// Seek implements SKVI. The range restricts B (the hosted side); AT is
-// always re-sought per matching row.
+// Seek implements SKVI. The range restricts B (the hosted side); the
+// remote Aᵀ side is sought with the range's row band — rows outside it
+// cannot align with anything this pass produces, so the remote scan
+// prunes non-overlapping tablets and rfiles.
 func (t *TwoTableIterator) Seek(rng skv.Range) error {
+	t.band = rng.RowBand()
 	if err := t.src.Seek(rng); err != nil {
 		return err
 	}
-	if err := t.remote.Seek(skv.FullRange()); err != nil {
+	if err := t.remote.Seek(t.band); err != nil {
 		return err
 	}
 	t.buf, t.pos = nil, 0
@@ -140,11 +155,13 @@ func (t *TwoTableIterator) fill() error {
 
 // seekRowFrom advances it until its row key is >= row. It uses Next for
 // short gaps and re-Seeks for long ones, the standard tablet-server
-// heuristic.
+// heuristic. Re-seeks are clipped to the pass's row band: the hosted
+// side must not escape the pushed-down range, and the remote side's
+// stream was only opened that wide.
 func (t *TwoTableIterator) seekRowFrom(it SKVI, row string) error {
 	for probes := 0; it.HasTop() && it.Top().K.Row < row; probes++ {
 		if probes >= 10 {
-			return it.Seek(skv.RowRange(row, ""))
+			return it.Seek(skv.RowRange(row, "").Clip(t.band))
 		}
 		if err := it.Next(); err != nil {
 			return err
@@ -211,11 +228,27 @@ func (t *TwoTableIterator) Next() error {
 // table in batches through the server-side client, then exposes a single
 // monitoring entry whose value is the count written. This is how
 // Graphulo returns results: into another table, not to the scan client.
+//
+// With a pre-aggregation buffer (preAggBytes > 0) the iterator performs
+// a map-side combine before anything crosses the write path: numeric
+// entries are ⊕-folded per output cell (row, colF, colQ) under the
+// configured semiring's add — which must match the target table's
+// combiner, exactly as the table's own ⊕ would fold them — and only the
+// folded cells are written. The buffer is bounded: when its estimated
+// footprint exceeds preAggBytes it spills to the target table and
+// refills, so a pass over a power-law tablet cannot hold the whole
+// output. Colliding spills (the same cell folded in two buffer
+// generations, or on two tablets) still meet the table's combiner, so
+// results are cell-identical to pre-aggregation off; only the write
+// volume shrinks. Non-numeric values cannot fold and pass through
+// directly.
 type RemoteWriteIterator struct {
-	src       SKVI
-	table     string
-	env       Env
-	batchSize int
+	src         SKVI
+	table       string
+	env         Env
+	batchSize   int
+	preAggBytes int
+	ring        semiring.Semiring
 
 	done    bool
 	written int
@@ -223,12 +256,34 @@ type RemoteWriteIterator struct {
 	top     skv.Entry
 }
 
-// NewRemoteWriteIterator builds a write-back sink over src.
+// NewRemoteWriteIterator builds a write-back sink over src with
+// pre-aggregation disabled.
 func NewRemoteWriteIterator(src SKVI, table string, batchSize int, env Env) *RemoteWriteIterator {
+	return NewPreAggRemoteWriteIterator(src, table, batchSize, 0, semiring.PlusTimes, env)
+}
+
+// NewPreAggRemoteWriteIterator builds a write-back sink whose partial
+// products are ⊕-folded in a buffer of at most preAggBytes before they
+// cross the write path (0 disables pre-aggregation). ring.Add must be
+// the target table's combiner ⊕.
+func NewPreAggRemoteWriteIterator(src SKVI, table string, batchSize, preAggBytes int, ring semiring.Semiring, env Env) *RemoteWriteIterator {
 	if batchSize <= 0 {
 		batchSize = 4096
 	}
-	return &RemoteWriteIterator{src: src, table: table, env: env, batchSize: batchSize}
+	return &RemoteWriteIterator{src: src, table: table, env: env,
+		batchSize: batchSize, preAggBytes: preAggBytes, ring: ring}
+}
+
+// flushBatch writes one batch through the env.
+func (w *RemoteWriteIterator) flushBatch(batch []skv.Entry) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := w.env.WriteEntries(w.table, batch); err != nil {
+		return fmt.Errorf("remoteWrite(%s): %w", w.table, err)
+	}
+	w.written += len(batch)
+	return nil
 }
 
 // Seek implements SKVI: it performs the entire drain eagerly so that by
@@ -239,30 +294,13 @@ func (w *RemoteWriteIterator) Seek(rng skv.Range) error {
 		return err
 	}
 	w.written = 0
-	batch := make([]skv.Entry, 0, w.batchSize)
-	flush := func() error {
-		if len(batch) == 0 {
-			return nil
-		}
-		if err := w.env.WriteEntries(w.table, batch); err != nil {
-			return fmt.Errorf("remoteWrite(%s): %w", w.table, err)
-		}
-		w.written += len(batch)
-		batch = batch[:0]
-		return nil
+	var err error
+	if w.preAggBytes > 0 {
+		err = w.drainFolded()
+	} else {
+		err = w.drainDirect()
 	}
-	for w.src.HasTop() {
-		batch = append(batch, w.src.Top())
-		if len(batch) >= w.batchSize {
-			if err := flush(); err != nil {
-				return err
-			}
-		}
-		if err := w.src.Next(); err != nil {
-			return err
-		}
-	}
-	if err := flush(); err != nil {
+	if err != nil {
 		return err
 	}
 	w.top = skv.Entry{
@@ -271,6 +309,99 @@ func (w *RemoteWriteIterator) Seek(rng skv.Range) error {
 	}
 	w.has = true
 	w.done = true
+	return nil
+}
+
+// drainDirect ships every source entry as-is, batchSize at a time.
+func (w *RemoteWriteIterator) drainDirect() error {
+	batch := make([]skv.Entry, 0, w.batchSize)
+	for w.src.HasTop() {
+		batch = append(batch, w.src.Top())
+		if len(batch) >= w.batchSize {
+			if err := w.flushBatch(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+		if err := w.src.Next(); err != nil {
+			return err
+		}
+	}
+	return w.flushBatch(batch)
+}
+
+// aggCellOverhead approximates the per-cell bookkeeping of the fold
+// buffer beyond the key strings (map bucket, float, key struct).
+const aggCellOverhead = 64
+
+// drainFolded is the pre-aggregating drain: numeric entries fold per
+// cell under ⊕, spilling when the buffer estimate passes preAggBytes.
+func (w *RemoteWriteIterator) drainFolded() error {
+	agg := make(map[skv.Key]float64)
+	aggBytes, folded := 0, 0
+	spill := func() error {
+		if len(agg) == 0 {
+			return nil
+		}
+		cells := make([]skv.Entry, 0, len(agg))
+		for k, v := range agg {
+			cells = append(cells, skv.Entry{K: k, V: skv.EncodeFloat(v)})
+		}
+		// Sorted spills keep batch boundaries deterministic for a given
+		// input, which the equivalence tests lean on.
+		sort.Slice(cells, func(i, j int) bool { return skv.Compare(cells[i].K, cells[j].K) < 0 })
+		for len(cells) > 0 {
+			n := w.batchSize
+			if n > len(cells) {
+				n = len(cells)
+			}
+			if err := w.flushBatch(cells[:n]); err != nil {
+				return err
+			}
+			cells = cells[n:]
+		}
+		agg = make(map[skv.Key]float64)
+		aggBytes = 0
+		return nil
+	}
+	var raw []skv.Entry // non-numeric values pass through unfolded
+	for w.src.HasTop() {
+		e := w.src.Top()
+		if v, ok := skv.DecodeFloat(e.V); ok {
+			cell := e.K
+			cell.Ts = 0 // fold per logical cell; stamps are assigned at write time
+			if acc, dup := agg[cell]; dup {
+				agg[cell] = w.ring.Add(acc, v)
+				folded++
+			} else {
+				agg[cell] = v
+				aggBytes += len(cell.Row) + len(cell.ColF) + len(cell.ColQ) + aggCellOverhead
+			}
+			if aggBytes >= w.preAggBytes {
+				if err := spill(); err != nil {
+					return err
+				}
+			}
+		} else {
+			raw = append(raw, e)
+			if len(raw) >= w.batchSize {
+				if err := w.flushBatch(raw); err != nil {
+					return err
+				}
+				raw = raw[:0]
+			}
+		}
+		if err := w.src.Next(); err != nil {
+			return err
+		}
+	}
+	if err := spill(); err != nil {
+		return err
+	}
+	if err := w.flushBatch(raw); err != nil {
+		return err
+	}
+	countFolded(w.env, folded)
 	return nil
 }
 
@@ -284,6 +415,68 @@ func (w *RemoteWriteIterator) Top() skv.Entry { return w.top }
 func (w *RemoteWriteIterator) Next() error {
 	w.has = false
 	return nil
+}
+
+// ColQRangeIter keeps entries whose column qualifier lies in the
+// half-open band [min, max) ("" disables that bound) — the
+// column-qualifier half of SpRef push-down, running server-side so
+// pruned entries never reach the partial-product stage or the wire.
+// Dropped entries are counted through the env's Counters
+// (Metrics.EntriesPrunedByRange on a cluster).
+type ColQRangeIter struct {
+	src      SKVI
+	min, max string
+	env      Env
+}
+
+// NewColQRangeIter wraps src with a column-qualifier band filter.
+func NewColQRangeIter(src SKVI, min, max string, env Env) *ColQRangeIter {
+	return &ColQRangeIter{src: src, min: min, max: max, env: env}
+}
+
+func (c *ColQRangeIter) admit(e skv.Entry) bool {
+	if c.min != "" && e.K.ColQ < c.min {
+		return false
+	}
+	if c.max != "" && e.K.ColQ >= c.max {
+		return false
+	}
+	return true
+}
+
+func (c *ColQRangeIter) skip() error {
+	dropped := 0
+	for c.src.HasTop() && !c.admit(c.src.Top()) {
+		dropped++
+		if err := c.src.Next(); err != nil {
+			countRangePruned(c.env, dropped)
+			return err
+		}
+	}
+	countRangePruned(c.env, dropped)
+	return nil
+}
+
+// Seek implements SKVI.
+func (c *ColQRangeIter) Seek(rng skv.Range) error {
+	if err := c.src.Seek(rng); err != nil {
+		return err
+	}
+	return c.skip()
+}
+
+// HasTop implements SKVI.
+func (c *ColQRangeIter) HasTop() bool { return c.src.HasTop() }
+
+// Top implements SKVI.
+func (c *ColQRangeIter) Top() skv.Entry { return c.src.Top() }
+
+// Next implements SKVI.
+func (c *ColQRangeIter) Next() error {
+	if err := c.src.Next(); err != nil {
+		return err
+	}
+	return c.skip()
 }
 
 // DegreeFilterIter drops entries whose column qualifier (the neighbour
@@ -497,6 +690,29 @@ func init() {
 			}
 			bs = v
 		}
-		return NewRemoteWriteIterator(src, table, bs, env), nil
+		preAgg := 0
+		if s := opts["preAggBytes"]; s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("remoteWrite: bad preAggBytes %q", s)
+			}
+			preAgg = v
+		}
+		ring := semiring.PlusTimes
+		if name := opts["semiring"]; name != "" {
+			r, ok := semiring.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("remoteWrite: unknown semiring %q", name)
+			}
+			ring = r
+		}
+		return NewPreAggRemoteWriteIterator(src, table, bs, preAgg, ring, env), nil
+	})
+	Register("colRange", func(src SKVI, opts map[string]string, env Env) (SKVI, error) {
+		min, max := opts["minColQ"], opts["maxColQ"]
+		if min == "" && max == "" {
+			return nil, fmt.Errorf("colRange: need minColQ and/or maxColQ")
+		}
+		return NewColQRangeIter(src, min, max, env), nil
 	})
 }

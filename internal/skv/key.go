@@ -13,6 +13,7 @@ package skv
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -164,6 +165,73 @@ func (r Range) Clip(o Range) Range {
 // IsEmpty reports whether the range can contain no key.
 func (r Range) IsEmpty() bool {
 	return r.HasStart && r.HasEnd && Compare(r.Start, r.End) >= 0
+}
+
+// RowBand widens r to whole-row bounds: the result covers every complete
+// row that r touches. Kernels that align tables on row keys (the
+// TwoTableIterator's inner dimension) use it to seed their remote
+// operand scan with exactly the rows the hosted range can produce.
+func (r Range) RowBand() Range {
+	out := Range{}
+	if r.HasStart {
+		out.Start = Key{Row: r.Start.Row, Ts: MaxTs}
+		out.HasStart = true
+	}
+	if r.HasEnd {
+		if r.End.ColF == "" && r.End.ColQ == "" && r.End.Ts == MaxTs {
+			// Already a row boundary: row End.Row is excluded entirely.
+			out.End = Key{Row: r.End.Row, Ts: MaxTs}
+		} else {
+			// The end cuts row End.Row mid-row; the band must include the
+			// whole row.
+			out.End = Key{Row: r.End.Row + "\x00", Ts: MaxTs}
+		}
+		out.HasEnd = true
+	}
+	return out
+}
+
+// CoalesceRanges sorts ranges by start and merges overlapping (and
+// empty-gap) neighbours, returning a minimal sorted cover of the same
+// key set. Scans over several ranges rely on the result being sorted
+// and disjoint so their output stays globally ordered.
+func CoalesceRanges(ranges []Range) []Range {
+	var live []Range
+	for _, r := range ranges {
+		if !r.IsEmpty() {
+			live = append(live, r)
+		}
+	}
+	if len(live) <= 1 {
+		return live
+	}
+	sort.SliceStable(live, func(i, j int) bool {
+		a, b := live[i], live[j]
+		switch {
+		case !a.HasStart:
+			return b.HasStart
+		case !b.HasStart:
+			return false
+		default:
+			return Compare(a.Start, b.Start) < 0
+		}
+	})
+	out := live[:1]
+	for _, r := range live[1:] {
+		cur := &out[len(out)-1]
+		if !cur.HasEnd || (r.HasStart && Compare(r.Start, cur.End) > 0) {
+			if !cur.HasEnd {
+				return out // an unbounded end swallows everything after it
+			}
+			out = append(out, r)
+			continue
+		}
+		// Overlapping or touching: extend the current range.
+		if !r.HasEnd || Compare(r.End, cur.End) > 0 {
+			cur.End, cur.HasEnd = r.End, r.HasEnd
+		}
+	}
+	return out
 }
 
 // String renders the range for diagnostics.

@@ -216,3 +216,65 @@ func TestQuickCodecRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRowBand(t *testing.T) {
+	// A plain row range is already whole-row: band = itself.
+	r := RowRange("b", "d").RowBand()
+	if !r.Contains(Key{Row: "b", Ts: 5}) || !r.Contains(Key{Row: "c", Ts: 0}) {
+		t.Fatalf("band excludes rows the range covers")
+	}
+	if r.Contains(Key{Row: "d", Ts: MaxTs}) {
+		t.Fatalf("band includes the excluded end row")
+	}
+	// A range cutting row "d" mid-row must widen to include all of "d".
+	cut := Range{
+		Start:    Key{Row: "b", Ts: MaxTs},
+		HasStart: true,
+		End:      Key{Row: "d", ColQ: "m", Ts: 7},
+		HasEnd:   true,
+	}
+	band := cut.RowBand()
+	if !band.Contains(Key{Row: "d", ColQ: "z", Ts: 0}) {
+		t.Fatalf("band lost the tail of the cut row")
+	}
+	if band.Contains(Key{Row: "d\x00", Ts: MaxTs}) {
+		t.Fatalf("band overshot the cut row")
+	}
+	// Unbounded sides stay unbounded.
+	open := Range{}.RowBand()
+	if open.HasStart || open.HasEnd {
+		t.Fatalf("full range grew bounds: %v", open)
+	}
+}
+
+func TestCoalesceRanges(t *testing.T) {
+	got := CoalesceRanges([]Range{
+		RowRange("m", "p"),
+		RowRange("a", "c"),
+		RowRange("b", "d"), // overlaps [a,c)
+		RowRange("d", "f"), // touches [b,d)
+		RowRange("x", "x"), // empty: dropped
+	})
+	if len(got) != 2 {
+		t.Fatalf("coalesced to %d ranges, want 2: %v", len(got), got)
+	}
+	if got[0].Start.Row != "a" || got[0].End.Row != "f" {
+		t.Fatalf("first range = %v, want [a, f)", got[0])
+	}
+	if got[1].Start.Row != "m" || got[1].End.Row != "p" {
+		t.Fatalf("second range = %v, want [m, p)", got[1])
+	}
+	// All empty in → empty out (distinct from the nil "full range").
+	if out := CoalesceRanges([]Range{RowRange("q", "q")}); len(out) != 0 {
+		t.Fatalf("all-empty input coalesced to %v", out)
+	}
+	// An unbounded end swallows everything after it.
+	open := CoalesceRanges([]Range{
+		RowRange("c", ""),
+		RowRange("d", "e"),
+		RowRange("a", "b"),
+	})
+	if len(open) != 2 || open[1].HasEnd {
+		t.Fatalf("open-ended coalesce = %v", open)
+	}
+}

@@ -588,6 +588,44 @@ func (ts *TabletStore) Compact(entries []skv.Entry, mark uint64) (*rfile.Reader,
 	return rd, nil
 }
 
+// Merge implements tablet.Backing: the merged rfile atomically replaces
+// the files at positions [lo, hi) of this tablet's oldest-first rfile
+// list (a size-tiered partial compaction). The WAL is untouched — the
+// merge only rewrites data already durable in rfiles.
+func (ts *TabletStore) Merge(entries []skv.Entry, lo, hi int) (*rfile.Reader, error) {
+	d := ts.dir
+	d.mu.Lock()
+	if lo < 0 || hi > len(ts.rec.RFiles) || lo >= hi {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("store: merge group [%d,%d) out of range (%d rfiles)", lo, hi, len(ts.rec.RFiles))
+	}
+	name, rd, err := d.newRFileLocked(entries)
+	if err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+	old := ts.rec.RFiles
+	replaced := append([]string(nil), old[lo:hi]...)
+	files := make([]string, 0, len(old)-len(replaced)+1)
+	files = append(files, old[:lo]...)
+	if name != "" {
+		files = append(files, name)
+	}
+	files = append(files, old[hi:]...)
+	ts.rec.RFiles = files
+	if err := d.writeManifestLocked(); err != nil {
+		ts.rec.RFiles = old
+		d.mu.Unlock()
+		return nil, err
+	}
+	// Past the commit point: reclaim the replaced files.
+	for _, f := range replaced {
+		d.removeRFile(f)
+	}
+	d.mu.Unlock()
+	return rd, nil
+}
+
 // Split implements tablet.Backing: both halves' rfiles are written and
 // committed in a single manifest swap before any old file is deleted.
 func (ts *TabletStore) Split(row string, left, right []skv.Entry) (tablet.Backing, tablet.Backing, *rfile.Reader, *rfile.Reader, error) {

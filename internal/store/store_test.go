@@ -260,3 +260,85 @@ func TestDropTableDeletesFiles(t *testing.T) {
 		t.Fatal("table still in manifest after drop")
 	}
 }
+
+// TestMergeRunsDurable drives a size-tiered partial compaction on a
+// durable tablet: the merged group's rfiles are swapped for one file in
+// the manifest, untouched runs keep their files, and recovery sees the
+// same data.
+func TestMergeRunsDurable(t *testing.T) {
+	path := t.TempDir()
+	d, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores, err := d.CreateTable("T", nil, nil, [][2]string{{"", ""}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tablet.NewDurable("", "", 0, 1, stores[0], nil, nil)
+	var want []skv.Entry
+	for i := 0; i < 40; i++ {
+		e := ent(fmt.Sprintf("r%03d", i), int64(i+1), fmt.Sprintf("v%d", i))
+		want = append(want, e)
+		if err := tab.Write([]skv.Entry{e}); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 9 { // 4 runs of 10
+			if err := tab.MinorCompact(nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tab.MergeRuns(1, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	sizes := tab.RunSizes()
+	wantSizes := []int{10, 20, 10}
+	if len(sizes) != len(wantSizes) {
+		t.Fatalf("post-merge run sizes = %v, want %v", sizes, wantSizes)
+	}
+	for i := range wantSizes {
+		if sizes[i] != wantSizes[i] {
+			t.Fatalf("post-merge run sizes = %v, want %v", sizes, wantSizes)
+		}
+	}
+	got := scanTablet(t, tab)
+	if len(got) != len(want) {
+		t.Fatalf("post-merge scan = %d entries, want %d", len(got), len(want))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly 3 live rfiles on disk, and recovery reproduces the data.
+	des, err := os.ReadDir(filepath.Join(path, rfDirName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 3 {
+		t.Fatalf("rf/ holds %d files after merge, want 3", len(des))
+	}
+	d2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	ti := d2.Tables()[0]
+	ts, runs, replay, _, err := d2.OpenTablet("T", ti.Tablets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("recovered %d runs, want 3", len(runs))
+	}
+	tab2 := tablet.NewDurable("", "", 0, 2, ts, runs, replay)
+	got = scanTablet(t, tab2)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].K != want[i].K || string(got[i].V) != string(want[i].V) {
+			t.Fatalf("entry %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -7,9 +7,14 @@ package tablet
 // table's tablets; the cluster layer starts one per durable table and
 // stops it at shutdown.
 //
-// The scheduler is size-tiered in the simplest useful sense: it leaves
-// tablets alone until their run count exceeds MaxRuns, then folds all
-// runs into one with the table's majc iterator stack. Compactions are
+// The scheduler is size-tiered: it leaves tablets alone until their run
+// count exceeds MaxRuns, then merges a contiguous group of
+// similar-sized runs (within MergeRatio of each other) with the table's
+// majc iterator stack, rather than folding everything into one. Under
+// steady ingest this repeatedly folds the tier of fresh small runs
+// while the large old runs sit untouched until a merged tier grows into
+// their size class — the write amplification of LSM size-tiering,
+// instead of rewriting the biggest run on every pass. Compactions are
 // serialised against concurrent minor compactions and splits by the
 // tablet's own compaction mutex, and scans remain live throughout — a
 // scan holds the pre-compaction runs via its snapshot, exactly as a
@@ -27,11 +32,21 @@ import (
 // compactions prompt; the ticker only catches kicks lost to races.
 const DefaultSchedulerInterval = 500 * time.Millisecond
 
+// DefaultMergeRatio is the size-similarity bound for tiered picking:
+// runs belong to one tier when the group's largest is at most this
+// multiple of its smallest.
+const DefaultMergeRatio = 2
+
 // SchedulerConfig wires a Scheduler to one table.
 type SchedulerConfig struct {
 	// MaxRuns is the per-tablet run-count threshold: a sweep compacts
 	// every tablet whose RunCount exceeds it. Must be >= 1.
 	MaxRuns int
+	// MergeRatio bounds how dissimilar the runs of one merge group may
+	// be: the group's largest run is at most MergeRatio times its
+	// smallest (<= 0 selects DefaultMergeRatio). Larger values converge
+	// on the old fold-everything behaviour.
+	MergeRatio int
 	// Interval is the fallback sweep period (<= 0 selects
 	// DefaultSchedulerInterval).
 	Interval time.Duration
@@ -66,6 +81,9 @@ type Scheduler struct {
 func StartScheduler(cfg SchedulerConfig) *Scheduler {
 	if cfg.MaxRuns < 1 {
 		cfg.MaxRuns = 1
+	}
+	if cfg.MergeRatio <= 0 {
+		cfg.MergeRatio = DefaultMergeRatio
 	}
 	if cfg.Interval <= 0 {
 		cfg.Interval = DefaultSchedulerInterval
@@ -112,8 +130,9 @@ func (s *Scheduler) loop() {
 	}
 }
 
-// sweep compacts every tablet over the run threshold. It re-checks the
-// stop channel between tablets so Stop is honoured mid-sweep.
+// sweep merges one run tier on every tablet over the run threshold. It
+// re-checks the stop channel between tablets so Stop is honoured
+// mid-sweep.
 func (s *Scheduler) sweep() {
 	for _, t := range s.cfg.Tablets() {
 		select {
@@ -122,11 +141,16 @@ func (s *Scheduler) sweep() {
 		default:
 		}
 		// Retired tablets (split receivers) are skipped here and
-		// re-checked under the compaction lock by MajorCompact itself.
-		if t.Retired() || t.RunCount() <= s.cfg.MaxRuns {
+		// re-checked under the compaction lock by MergeRuns itself.
+		if t.Retired() {
 			continue
 		}
-		if err := t.MajorCompact(s.cfg.Stack()); err != nil {
+		sizes := t.RunSizes()
+		if len(sizes) <= s.cfg.MaxRuns {
+			continue
+		}
+		lo, hi := pickMergeGroup(sizes, s.cfg.MergeRatio)
+		if err := t.MergeRuns(lo, hi, s.cfg.Stack()); err != nil {
 			if s.cfg.OnError != nil {
 				s.cfg.OnError(err)
 			}
@@ -136,4 +160,48 @@ func (s *Scheduler) sweep() {
 			s.cfg.OnCompact(t)
 		}
 	}
+}
+
+// pickMergeGroup chooses the contiguous run group [lo, hi) a sweep
+// folds, from the oldest-first size profile. It prefers the longest
+// window whose sizes lie within ratio of each other (ties broken by the
+// smallest total rewrite), so a tier of fresh small runs folds together
+// while dissimilar large runs stay untouched; when no two neighbours
+// are size-similar it falls back to the cheapest adjacent pair, which
+// keeps the run count bounded without rewriting the largest run unless
+// it truly is the cheapest option. len(sizes) must be >= 2.
+func pickMergeGroup(sizes []int, ratio int) (lo, hi int) {
+	bestLo, bestHi, bestTotal := -1, -1, 0
+	for i := 0; i < len(sizes); i++ {
+		min, max, total := sizes[i], sizes[i], sizes[i]
+		for j := i + 1; j < len(sizes); j++ {
+			if sizes[j] < min {
+				min = sizes[j]
+			}
+			if sizes[j] > max {
+				max = sizes[j]
+			}
+			total += sizes[j]
+			// An empty run is similar to anything.
+			if min > 0 && max > ratio*min {
+				break
+			}
+			length := j - i + 1
+			if bestLo < 0 || length > bestHi-bestLo ||
+				(length == bestHi-bestLo && total < bestTotal) {
+				bestLo, bestHi, bestTotal = i, j+1, total
+			}
+		}
+	}
+	if bestLo >= 0 {
+		return bestLo, bestHi
+	}
+	// No size-similar neighbours at all: merge the cheapest pair.
+	lo = 0
+	for i := 1; i+1 < len(sizes); i++ {
+		if sizes[i]+sizes[i+1] < sizes[lo]+sizes[lo+1] {
+			lo = i
+		}
+	}
+	return lo, lo + 2
 }

@@ -140,3 +140,130 @@ func TestSchedulerSkipsRetiredTablet(t *testing.T) {
 		t.Fatal("fresh halves marked retired")
 	}
 }
+
+// TestPickMergeGroup pins the size-tiered picker: similar-sized
+// contiguous runs fold together, dissimilar large runs stay out of the
+// group, and with no similar neighbours the cheapest pair is chosen.
+func TestPickMergeGroup(t *testing.T) {
+	cases := []struct {
+		name   string
+		sizes  []int
+		lo, hi int
+	}{
+		{"steady ingest tier", []int{1000, 8, 8, 8, 8}, 1, 5},
+		{"all similar folds everything", []int{8, 8, 8, 8}, 0, 4},
+		{"two big one tier of small", []int{900, 800, 10, 10, 12}, 2, 5},
+		{"within ratio includes both", []int{16, 8, 8}, 0, 3},
+		{"no similar neighbours: cheapest pair", []int{1000, 100, 10}, 1, 3},
+		{"cheapest pair not at the end", []int{10, 11, 400, 90}, 0, 2},
+	}
+	for _, c := range cases {
+		lo, hi := pickMergeGroup(c.sizes, DefaultMergeRatio)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("%s: pickMergeGroup(%v) = [%d,%d), want [%d,%d)",
+				c.name, c.sizes, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+// TestMergeRunsPartial folds a middle run group on an in-memory tablet
+// and checks the untouched runs keep their identity and the scan stays
+// byte-identical.
+func TestMergeRunsPartial(t *testing.T) {
+	tab := New("", "", 8, 1)
+	const n = 40 // 5 runs of 8
+	for i := 0; i < n; i++ {
+		if err := tab.Write([]skv.Entry{schedEntry(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tab.RunSizes(); len(got) != 5 {
+		t.Fatalf("run sizes = %v, want 5 runs", got)
+	}
+	before := scanAll(t, tab)
+	if err := tab.MergeRuns(1, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{8, 24, 8}
+	got := tab.RunSizes()
+	if len(got) != len(want) {
+		t.Fatalf("after merge run sizes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after merge run sizes = %v, want %v", got, want)
+		}
+	}
+	after := scanAll(t, tab)
+	if len(after) != len(before) {
+		t.Fatalf("merge changed entry count: %d -> %d", len(before), len(after))
+	}
+	for i := range after {
+		if after[i].K != before[i].K || string(after[i].V) != string(before[i].V) {
+			t.Fatalf("entry %d changed across merge: %v -> %v", i, before[i], after[i])
+		}
+	}
+	// Stale indices must error, not merge the wrong group.
+	if err := tab.MergeRuns(2, 5, nil); err == nil {
+		t.Fatal("MergeRuns with out-of-range group succeeded")
+	}
+}
+
+// TestSchedulerSizeTieredSkipsLargeRun pins the point of tiered
+// picking: under steady small ingest the scheduler folds the fresh
+// small tier and never rewrites the large old run (the old behaviour
+// folded everything, rewriting the biggest run on every pass).
+func TestSchedulerSizeTieredSkipsLargeRun(t *testing.T) {
+	tab := New("", "", 8, 1)
+	const bigN = 1000
+	for i := 0; i < bigN; i++ {
+		if err := tab.Write([]skv.Entry{schedEntry(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.MajorCompact(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.RunSizes(); len(got) != 1 || got[0] != bigN {
+		t.Fatalf("setup run sizes = %v, want [%d]", got, bigN)
+	}
+
+	const maxRuns = 4
+	var compactions atomic.Int64
+	s := StartScheduler(SchedulerConfig{
+		MaxRuns:   maxRuns,
+		Interval:  5 * time.Millisecond,
+		Tablets:   func() []*Tablet { return []*Tablet{tab} },
+		Stack:     func() func(iterator.SKVI) (iterator.SKVI, error) { return nil },
+		OnCompact: func(*Tablet) { compactions.Add(1) },
+		OnError:   func(err error) { t.Errorf("scheduled merge failed: %v", err) },
+	})
+	defer s.Stop()
+
+	const smallN = 200 // total small ingest stays well under bigN/2
+	for i := bigN; i < bigN+smallN; i++ {
+		if err := tab.Write([]skv.Entry{schedEntry(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if i%25 == 0 {
+			s.Kick()
+		}
+	}
+	s.Kick()
+	waitFor(t, "run count to settle under threshold", func() bool {
+		return tab.RunCount() <= maxRuns
+	})
+	if compactions.Load() == 0 {
+		t.Fatal("scheduler never merged")
+	}
+	// Every fold that included the big run would have produced a single
+	// larger run, so its size surviving unchanged proves it was never
+	// rewritten.
+	sizes := tab.RunSizes()
+	if sizes[0] != bigN {
+		t.Fatalf("large run was rewritten: run sizes = %v", sizes)
+	}
+	if got := scanAll(t, tab); len(got) != bigN+smallN {
+		t.Fatalf("post-merge scan = %d entries, want %d", len(got), bigN+smallN)
+	}
+}

@@ -30,15 +30,18 @@
 //     skip files that cannot contain a sought row and decode each
 //     resident block once across scans.
 //   - A background compaction Scheduler (one per durable table, started
-//     by the cluster layer) watches RunCount and folds a tablet's runs
-//     into one — with the table's majc iterator stack — whenever the
-//     count exceeds its threshold. Scheduled compactions serialise
-//     against manual compactions and splits on the per-tablet
+//     by the cluster layer) watches RunCount and, whenever the count
+//     exceeds its threshold, merges a contiguous group of similar-sized
+//     runs — size-tiered picking via MergeRuns, with the table's majc
+//     iterator stack — so steady ingest folds its tier of fresh small
+//     runs without rewriting the large old ones. Scheduled compactions
+//     serialise against manual compactions and splits on the per-tablet
 //     compaction mutex, and scans stay live and correct throughout: a
 //     scan's snapshot pins the pre-compaction runs until it finishes.
 package tablet
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -73,6 +76,12 @@ type Backing interface {
 	// existing rfile, and WAL segments <= mark are dropped. With no
 	// entries the tablet becomes empty on disk and the reader is nil.
 	Compact(entries []skv.Entry, mark uint64) (*rfile.Reader, error)
+	// Merge persists a partial (size-tiered) compaction: entries become
+	// one new rfile replacing exactly the files at positions [lo, hi)
+	// of the tablet's oldest-first rfile list, which matches the
+	// tablet's run order. The memtable and WAL are untouched. With no
+	// entries the group simply disappears and the reader is nil.
+	Merge(entries []skv.Entry, lo, hi int) (*rfile.Reader, error)
 	// Split atomically replaces this tablet's on-disk state with two
 	// halves at the row boundary, returning each half's backing and its
 	// initial run (nil when that half is empty).
@@ -147,6 +156,18 @@ func (t *Tablet) RunCount() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.runs)
+}
+
+// RunSizes returns the entry counts of the live runs, oldest first —
+// the size profile the size-tiered compaction picker works from.
+func (t *Tablet) RunSizes() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int, len(t.runs))
+	for i, r := range t.runs {
+		out[i] = r.count()
+	}
+	return out
 }
 
 // Retired reports whether the tablet has been split away and must not
@@ -341,6 +362,72 @@ func (t *Tablet) MajorCompact(stack func(iterator.SKVI) (iterator.SKVI, error)) 
 	} else {
 		t.runs = []run{merged}
 	}
+	t.mu.Unlock()
+	return nil
+}
+
+// MergeRuns folds the contiguous run group [lo, hi) — positions in the
+// oldest-first run list — into a single run, applying the optional
+// compaction stack. This is the size-tiered partial compaction: the
+// memtable and the runs outside the group are untouched, so merging a
+// tier of small runs never rewrites a large old run the way a full
+// MajorCompact would. The group is contiguous so the merged run keeps
+// its position, preserving newest-shadows-oldest order across the rest
+// of the run list; the compaction stack's ⊕ combiners are associative
+// and commutative, so folding a subset now and the rest at scan time
+// yields the same cells. Durable tablets atomically swap the group's
+// rfiles for the merged one; the WAL is untouched (the group's data is
+// already durable in rfiles).
+//
+// The indices are validated against the current run list under the
+// compaction lock, so a caller working from a stale RunSizes snapshot
+// gets an error rather than merging the wrong group.
+func (t *Tablet) MergeRuns(lo, hi int, stack func(iterator.SKVI) (iterator.SKVI, error)) error {
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
+	t.mu.Lock()
+	if t.retired {
+		// As in MajorCompact: a background scheduler can race a split.
+		t.mu.Unlock()
+		return nil
+	}
+	if lo < 0 || hi > len(t.runs) || hi-lo < 2 {
+		n := len(t.runs)
+		t.mu.Unlock()
+		return fmt.Errorf("tablet: merge group [%d,%d) invalid for %d runs", lo, hi, n)
+	}
+	sources := make([]iterator.SKVI, 0, hi-lo)
+	for i := hi - 1; i >= lo; i-- { // newest first, as Snapshot orders them
+		sources = append(sources, t.runs[i].iter())
+	}
+	t.mu.Unlock()
+
+	entries, err := applyStack(iterator.NewDedupMergeIter(sources...), stack)
+	if err != nil {
+		return err
+	}
+	var merged run
+	if t.backing != nil {
+		rd, err := t.backing.Merge(entries, lo, hi)
+		if err != nil {
+			return err
+		}
+		if rd != nil {
+			merged = diskRun{rd}
+		}
+	} else if len(entries) > 0 {
+		merged = newMemRun(entries)
+	}
+	t.mu.Lock()
+	// compactMu is held, so the run list (and the group's indices) are
+	// unchanged since the snapshot above.
+	runs := make([]run, 0, len(t.runs)-(hi-lo)+1)
+	runs = append(runs, t.runs[:lo]...)
+	if merged != nil {
+		runs = append(runs, merged)
+	}
+	runs = append(runs, t.runs[hi:]...)
+	t.runs = runs
 	t.mu.Unlock()
 	return nil
 }
