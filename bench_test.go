@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"graphulo/internal/accumulo"
 	"graphulo/internal/skv"
@@ -955,6 +956,45 @@ func benchBandedMultSetup(b *testing.B, scale int) (db *DB, a, at string) {
 	return db, a, at
 }
 
+// reportQueryMetrics turns the per-query telemetry of the b.N newest
+// TableMult queries into benchmark metrics: the fold and prune ratios
+// the paper's ablations argue about, plus scan-pass tail latency. The
+// ratios are dimensionless in [0,1]; the latencies are worst observed
+// per-query quantiles in nanoseconds so benchjson keeps them numeric.
+func reportQueryMetrics(b *testing.B, db *DB) {
+	b.Helper()
+	var scans, pruned, folded, written int64
+	var p50, p99 time.Duration
+	n := 0
+	for _, q := range db.QueryStats() {
+		if q.Kernel != "TableMult" || n == b.N {
+			break
+		}
+		n++
+		scans += q.Counters["tablet_scans"]
+		pruned += q.Counters["tablets_pruned_by_range"]
+		folded += q.Counters["partial_products_folded"]
+		written += q.Counters["entries_written"]
+		if q.ScanPassP50 > p50 {
+			p50 = q.ScanPassP50
+		}
+		if q.ScanPassP99 > p99 {
+			p99 = q.ScanPassP99
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if total := scans + pruned; total > 0 {
+		b.ReportMetric(float64(pruned)/float64(total), "prune-ratio")
+	}
+	if total := folded + written; total > 0 {
+		b.ReportMetric(float64(folded)/float64(total), "fold-ratio")
+	}
+	b.ReportMetric(float64(p50.Nanoseconds()), "scanpass-p50-ns")
+	b.ReportMetric(float64(p99.Nanoseconds()), "scanpass-p99-ns")
+}
+
 func BenchmarkSubMatrixTableMult(b *testing.B) {
 	const scale = 9
 	run := func(b *testing.B, constraint ScanConstraint) {
@@ -972,6 +1012,7 @@ func BenchmarkSubMatrixTableMult(b *testing.B) {
 		st := db.ScanMetrics()
 		b.ReportMetric(float64(st.TabletScans-st0.TabletScans)/float64(b.N), "tablet-passes/op")
 		b.ReportMetric(float64(st.TabletsPrunedByRange-st0.TabletsPrunedByRange)/float64(b.N), "tablets-pruned/op")
+		reportQueryMetrics(b, db)
 	}
 	b.Run("fullscan", func(b *testing.B) { run(b, ScanConstraint{}) })
 	b.Run("rowband", func(b *testing.B) {
@@ -1016,6 +1057,7 @@ func BenchmarkPreAggWriteVolume(b *testing.B) {
 		st := db.ScanMetrics()
 		b.ReportMetric(float64(written)/float64(b.N), "entries-written/op")
 		b.ReportMetric(float64(st.PartialProductsFolded-st0.PartialProductsFolded)/float64(b.N), "folded/op")
+		reportQueryMetrics(b, db)
 	}
 	b.Run("off", func(b *testing.B) { run(b, -1) })
 	b.Run("on", func(b *testing.B) { run(b, 0) })

@@ -8,7 +8,14 @@
 //	graphulo serve -listen host:port
 //
 // Algorithms: mult, bfs, degrees, pagerank, eigen, katz, betweenness,
-// ktruss, tricount, jaccard, nmf, sssp, components, info.
+// ktruss, tricount, jaccard, nmf, sssp, components, info. `trace` runs
+// the mult kernel and prints its telemetry span tree (coordinator scans
+// and flushes plus per-daemon tablet passes) with per-query counters.
+//
+// Observability: -metrics-addr serves /metrics (Prometheus text),
+// /queries (JSON span trees), and /debug/pprof over HTTP from kernel
+// runs and serve-mode daemons alike; -slow-query-threshold logs slow
+// kernels as JSON lines (to -slow-query-log or stderr).
 //
 // The kernel subcommands honour SpRef push-down flags: -row-start /
 // -row-end restrict mult and bfs to a row band (only overlapping
@@ -33,6 +40,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -65,6 +73,10 @@ var (
 	colqEnd    = flag.String("colq-end", "", "restrict mult to column qualifiers < this key (empty = unbounded)")
 	preAgg     = flag.Int("pre-agg-bytes", 0, "RemoteWrite ⊕ pre-aggregation buffer bytes per tablet pass (0 = 16 MiB default, negative disables)")
 	semiringF  = flag.String("semiring", "plus.times", "mult ⊕.⊗ semiring (plus.times, min.plus, max.plus, or.and, max.min)")
+
+	metricsAddr = flag.String("metrics-addr", "", "serve telemetry over HTTP on this address (/metrics, /queries, /debug/pprof); works for kernel runs and serve mode")
+	slowQuery   = flag.Duration("slow-query-threshold", 0, "log kernel queries at least this slow as JSON lines (0 disables)")
+	slowLogPath = flag.String("slow-query-log", "", "append slow-query lines to this file instead of stderr")
 )
 
 // openDB starts the embedded cluster, durable when -data-dir is set,
@@ -80,6 +92,14 @@ func openDB(g graphulo.Graph) (*graphulo.DB, *graphulo.TableGraph, error) {
 			}
 		}
 	}
+	var slowLog io.Writer
+	if *slowLogPath != "" {
+		f, err := os.OpenFile(*slowLogPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		slowLog = f
+	}
 	db, err := graphulo.Open(graphulo.ClusterConfig{
 		DataDir:          *dataDir,
 		ScanParallelism:  *scanPar,
@@ -88,9 +108,16 @@ func openDB(g graphulo.Graph) (*graphulo.DB, *graphulo.TableGraph, error) {
 		BlockCacheBytes:  *cacheBy,
 		BloomFilterBits:  *bloomBits,
 		MaxRunsPerTablet: *maxRuns,
+
+		MetricsAddr:        *metricsAddr,
+		SlowQueryThreshold: *slowQuery,
+		SlowQueryLog:       slowLog,
 	})
 	if err != nil {
 		return nil, nil, err
+	}
+	if addr := db.MetricsAddr(); addr != "" {
+		fmt.Printf("telemetry on http://%s (/metrics, /queries, /debug/pprof)\n", addr)
 	}
 	if *dataDir != "" {
 		if tg, err := db.OpenGraph("G"); err == nil {
@@ -113,7 +140,7 @@ func openDB(g graphulo.Graph) (*graphulo.DB, *graphulo.TableGraph, error) {
 func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: graphulo <algorithm> [flags]\n")
-		fmt.Fprintf(os.Stderr, "algorithms: mult bfs degrees pagerank eigen katz betweenness closeness hits clustering svd nominate ktruss tricount jaccard nmf sssp components info\n\n")
+		fmt.Fprintf(os.Stderr, "algorithms: mult trace bfs degrees pagerank eigen katz betweenness closeness hits clustering svd nominate ktruss tricount jaccard nmf sssp components info\n\n")
 		flag.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -145,6 +172,14 @@ func serve() error {
 		return err
 	}
 	fmt.Printf("tablet server listening on %s\n", srv.Addr())
+	if *metricsAddr != "" {
+		addr, err := srv.StartTelemetry(*metricsAddr)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		fmt.Printf("telemetry on http://%s (/metrics, /queries, /debug/pprof)\n", addr)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -191,9 +226,11 @@ func run(algorithm string) error {
 		}
 		fmt.Printf("max degree %v, triangles %v\n", maxD, graphulo.TriangleCount(adj))
 
-	case "mult":
+	case "mult", "trace":
 		// C ⊕= Aᵀ·A over the ingested graph — the raw TableMult kernel,
-		// honouring the SpRef constraint and pre-aggregation flags.
+		// honouring the SpRef constraint and pre-aggregation flags. The
+		// trace variant additionally prints the query's span tree and
+		// per-query counters after the multiply.
 		db, tg, err := openDB(g)
 		if err != nil {
 			return err
@@ -213,6 +250,9 @@ func run(algorithm string) error {
 		}
 		fmt.Printf("TableMult %s·%s → Gsq under %s: %d entries written (server-side)\n", at, a, *semiringF, n)
 		reportScanPipeline(db)
+		if algorithm == "trace" {
+			reportTraces(db)
+		}
 		return nil
 
 	case "bfs":
@@ -382,6 +422,23 @@ func reportScanPipeline(db *graphulo.DB) {
 	if *dataDir != "" {
 		fmt.Printf("storage: %d block-cache hits, %d misses, %d bloom negatives, %d major compactions\n",
 			st.CacheHits, st.CacheMisses, st.BloomNegatives, st.MajorCompactions)
+	}
+}
+
+// reportTraces prints every recorded kernel query: its span tree
+// (coordinator scans and flushes, per-daemon tablet passes) and the
+// per-query counter mirror with scan-pass latency quantiles.
+func reportTraces(db *graphulo.DB) {
+	stats := db.QueryStats()
+	trees := db.FormatQueryTraces()
+	for i, tree := range trees {
+		fmt.Print(tree)
+		if i < len(stats) {
+			q := stats[i]
+			fmt.Printf("  counters: %v\n", q.Counters)
+			fmt.Printf("  scan pass p50 %v p99 %v over %d passes; write batch p50 %v over %d batches\n",
+				q.ScanPassP50, q.ScanPassP99, q.ScanPasses, q.WriteBatchP50, q.WriteBatches)
+		}
 	}
 }
 

@@ -1,0 +1,93 @@
+// Scraping the telemetry endpoint: run a traced kernel with the HTTP
+// exporter on, then read back the Prometheus /metrics families and the
+// /queries span trees the way an external scraper (or a person with
+// curl) would.
+//
+//	go run ./examples/telemetry-scrape
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+
+	"graphulo"
+)
+
+func main() {
+	// ":0" picks any free port; db.MetricsAddr() reports the bound one.
+	db, err := graphulo.Open(graphulo.ClusterConfig{
+		TabletServers: 4,
+		MetricsAddr:   "127.0.0.1:0",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Something worth measuring: Aᵀ·A over an RMAT graph — the raw
+	// TableMult kernel, minted as one traced query.
+	g := graphulo.DedupGraph(graphulo.RMAT(graphulo.Graph500(8, 7)))
+	tg, err := db.CreateGraph("G")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tg.Ingest(g); err != nil {
+		log.Fatal(err)
+	}
+	a, at, _ := tg.Tables()
+	n, err := db.TableMultOpts(at, a, "Gsq", graphulo.MultOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TableMult %s·%s → Gsq: %d entries written\n\n", at, a, n)
+
+	base := "http://" + db.MetricsAddr()
+
+	// The Prometheus text exposition. A real deployment points a scrape
+	// job here; we just pick out the counter and histogram families the
+	// kernel moved.
+	fmt.Printf("GET %s/metrics\n", base)
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, want := range []string{
+			"graphulo_entries_scanned_total",
+			"graphulo_entries_written_total",
+			"graphulo_tablet_scans_total",
+			"graphulo_partial_products_folded_total",
+			"graphulo_queries_total",
+			"graphulo_scan_pass_seconds_count",
+			"graphulo_scan_pass_seconds_sum",
+		} {
+			if strings.HasPrefix(line, want+" ") {
+				fmt.Println("  " + line)
+			}
+		}
+	}
+	resp.Body.Close()
+
+	// The JSON span trees behind /queries — the same data
+	// db.QueryStats() and db.FormatQueryTraces() expose in-process.
+	fmt.Printf("\nGET %s/queries\n", base)
+	resp, err = http.Get(base + "/queries")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d bytes of span-tree JSON; rendered:\n\n", len(body))
+	for _, tree := range db.FormatQueryTraces() {
+		fmt.Print(tree)
+	}
+}

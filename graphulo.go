@@ -72,6 +72,8 @@ package graphulo
 
 import (
 	"fmt"
+	"io"
+	"time"
 
 	"graphulo/internal/accumulo"
 	"graphulo/internal/algo"
@@ -81,6 +83,7 @@ import (
 	"graphulo/internal/schema"
 	"graphulo/internal/semiring"
 	"graphulo/internal/sparse"
+	"graphulo/internal/telemetry"
 )
 
 // Re-exported core types. Aliases keep one set of method docs while
@@ -295,6 +298,18 @@ type ClusterConfig struct {
 	// sustained ingest without rewriting the largest runs on every
 	// pass. 0 or negative keeps major compaction manual.
 	MaxRunsPerTablet int
+	// MetricsAddr, when non-empty, serves the coordinator's telemetry
+	// over HTTP on the address (host:port; ":0" picks a port, see
+	// DB.MetricsAddr): Prometheus-text /metrics, JSON /queries with
+	// per-query span trees, and /debug/pprof. Empty keeps telemetry
+	// in-process only.
+	MetricsAddr string
+	// SlowQueryThreshold, when positive, logs every kernel query whose
+	// end-to-end duration reaches it as one structured JSON line on
+	// SlowQueryLog.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines (default os.Stderr).
+	SlowQueryLog io.Writer
 }
 
 // TabletServer is a standalone tablet-server endpoint: start one per
@@ -330,6 +345,10 @@ func Open(cfg ClusterConfig) (*DB, error) {
 		BlockCacheBytes:  cfg.BlockCacheBytes,
 		BloomFilterBits:  cfg.BloomFilterBits,
 		MaxRunsPerTablet: cfg.MaxRunsPerTablet,
+
+		MetricsAddr:        cfg.MetricsAddr,
+		SlowQueryThreshold: cfg.SlowQueryThreshold,
+		SlowQueryLog:       cfg.SlowQueryLog,
 	})
 	if err != nil {
 		return nil, err
@@ -412,6 +431,90 @@ func (db *DB) ScanMetrics() ScanStats {
 		EntriesPrunedByRange:  m.EntriesPrunedByRange.Load(),
 		PartialProductsFolded: m.PartialProductsFolded.Load(),
 	}
+}
+
+// QueryStats is the per-query mirror of the global counters: one record
+// per kernel call (TableMult, OneTable, AdjBFS, kTruss, Jaccard,
+// TriangleCount, PageRank, …), carrying the counters that call alone
+// moved plus latency quantiles from its fixed-bucket histograms.
+type QueryStats struct {
+	// TraceID is the query's trace id (hex), shared by every tablet
+	// pass — local or on a remote daemon — the kernel triggered.
+	TraceID string
+	// Kernel names the kernel that minted the query.
+	Kernel string
+	// Start and Duration bound the kernel call end-to-end. Duration is
+	// the elapsed time so far for a still-running query.
+	Start    time.Time
+	Duration time.Duration
+	// Done is false while the kernel is still executing; Err carries
+	// the kernel's error, if it finished with one.
+	Done bool
+	Err  string
+	// Counters maps counter names (the snake_case names /metrics uses,
+	// e.g. "entries_scanned", "partial_products_folded") to the amounts
+	// this query moved.
+	Counters map[string]int64
+	// ScanPassP50/P99 are latency quantiles over the query's tablet
+	// scan passes; WriteBatchP50/P99 over its write batches. Quantiles
+	// are upper bucket bounds of the fixed-bucket histogram.
+	ScanPassP50, ScanPassP99     time.Duration
+	WriteBatchP50, WriteBatchP99 time.Duration
+	// ScanPasses and WriteBatches count the histogram observations.
+	ScanPasses, WriteBatches int64
+	// Spans is the number of spans recorded in the query's trace
+	// (coordinator-side scans plus per-daemon tablet passes).
+	Spans int
+}
+
+// QueryStats returns recent kernel queries, newest first, including any
+// still in flight. The window is bounded (128 finished queries).
+func (db *DB) QueryStats() []QueryStats {
+	snaps := db.cluster.Telemetry().Snapshot()
+	out := make([]QueryStats, 0, len(snaps))
+	for _, s := range snaps {
+		counters := map[string]int64{}
+		for c := telemetry.Counter(0); c < telemetry.NumCounters; c++ {
+			if v := s.Stats.Get(c); v != 0 {
+				counters[c.String()] = v
+			}
+		}
+		out = append(out, QueryStats{
+			TraceID:       s.Trace,
+			Kernel:        s.Kernel,
+			Start:         s.Start,
+			Duration:      s.Duration,
+			Done:          s.Done,
+			Err:           s.Err,
+			Counters:      counters,
+			ScanPassP50:   s.ScanPass.Quantile(0.50),
+			ScanPassP99:   s.ScanPass.Quantile(0.99),
+			WriteBatchP50: s.WriteBatch.Quantile(0.50),
+			WriteBatchP99: s.WriteBatch.Quantile(0.99),
+			ScanPasses:    s.ScanPass.Count,
+			WriteBatches:  s.WriteBatch.Count,
+			Spans:         len(s.Spans),
+		})
+	}
+	return out
+}
+
+// MetricsAddr reports the telemetry endpoint's bound address, or ""
+// when ClusterConfig.MetricsAddr was unset.
+func (db *DB) MetricsAddr() string { return db.cluster.TelemetryAddr() }
+
+// FormatQueryTraces renders recent kernel queries' span trees as
+// indented text, newest query first — the `graphulo trace` output. Each
+// tree shows the kernel root, the coordinator's per-tablet scan and
+// flush spans, and, against external daemons, the per-daemon tablet
+// passes linked under the scan that triggered them.
+func (db *DB) FormatQueryTraces() []string {
+	snaps := db.cluster.Telemetry().Snapshot()
+	out := make([]string, len(snaps))
+	for i, s := range snaps {
+		out[i] = telemetry.FormatTree(s)
+	}
+	return out
 }
 
 // TabletRuns returns a table's per-tablet immutable-run counts — the

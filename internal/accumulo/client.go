@@ -11,6 +11,7 @@ import (
 	"graphulo/internal/skv"
 	"graphulo/internal/store"
 	"graphulo/internal/tablet"
+	"graphulo/internal/telemetry"
 )
 
 // Connector is a client handle to the cluster, mirroring Accumulo's
@@ -413,7 +414,7 @@ func (t *TableOperations) Clone(src, dst string) error {
 	if len(entries) == 0 {
 		return nil
 	}
-	return t.mc.write(dst, entries)
+	return t.mc.write(dst, entries, nil)
 }
 
 // DeleteRows removes every entry whose row lies in [startRow, endRow)
@@ -476,10 +477,16 @@ type BatchWriter struct {
 	mc    *MiniCluster
 	table string
 	cfg   BatchWriterConfig
+	q     *telemetry.Query
 
 	mu  sync.Mutex
 	buf []skv.Entry
 }
+
+// SetTrace attributes the writer's flushes to a kernel query: wire
+// bytes, RPCs, and written-entry counts land in the query's stats (nil
+// detaches).
+func (w *BatchWriter) SetTrace(q *telemetry.Query) { w.q = q }
 
 // CreateBatchWriter opens a writer for the table.
 func (c *Connector) CreateBatchWriter(table string, cfg BatchWriterConfig) (*BatchWriter, error) {
@@ -529,7 +536,7 @@ func (w *BatchWriter) Flush() error {
 	}
 	var err error
 	for attempt := 0; attempt <= w.cfg.MaxRetries; attempt++ {
-		if err = w.mc.write(w.table, batch); err == nil {
+		if err = w.mc.write(w.table, batch, w.q); err == nil {
 			return nil
 		}
 		if !errors.Is(err, ErrTransient) {
@@ -553,6 +560,7 @@ type Scanner struct {
 	table  string
 	ranges []skv.Range
 	extra  []iterator.Setting
+	q      *telemetry.Query
 }
 
 // CreateScanner opens a scanner on the table (full range by default).
@@ -587,12 +595,17 @@ func (s *Scanner) SetRanges(ranges []skv.Range) {
 // AddScanIterator attaches a per-scan iterator setting.
 func (s *Scanner) AddScanIterator(setting iterator.Setting) { s.extra = append(s.extra, setting) }
 
+// SetTrace attributes the scanner's streams to a kernel query: wire
+// counters land in the query's stats and each scan becomes a span in
+// its trace. nil (the default) leaves the scans untraced.
+func (s *Scanner) SetTrace(q *telemetry.Query) { s.q = q }
+
 // Stream executes the scan as a streaming cursor: entries arrive in key
 // order while up to ScanParallelism tablets are scanned concurrently,
 // and the client holds wire batches rather than the full result. The
 // caller should Close the stream (a full drain also releases it).
 func (s *Scanner) Stream() (*EntryStream, error) {
-	return s.mc.openStream(s.table, s.ranges, s.extra)
+	return s.mc.openStream(s.table, s.ranges, s.extra, traceCtx{q: s.q})
 }
 
 // Entries executes the scan and returns the sorted results — the
@@ -615,6 +628,7 @@ type BatchScanner struct {
 	ranges  []skv.Range
 	extra   []iterator.Setting
 	threads int
+	q       *telemetry.Query
 }
 
 // CreateBatchScanner opens a parallel scanner. threads ≤ 0 selects the
@@ -649,6 +663,10 @@ func (b *BatchScanner) SetRanges(ranges []skv.Range) { b.ranges = ranges }
 
 // AddScanIterator attaches a per-scan iterator setting.
 func (b *BatchScanner) AddScanIterator(setting iterator.Setting) { b.extra = append(b.extra, setting) }
+
+// SetTrace attributes the scanner's streams to a kernel query (nil
+// leaves them untraced).
+func (b *BatchScanner) SetTrace(q *telemetry.Query) { b.q = q }
 
 // ForEach streams every entry of every configured range through fn
 // without materialising results: ranges are distributed over a clamped
@@ -690,7 +708,7 @@ func (b *BatchScanner) ForEach(fn func(skv.Entry) error) error {
 				if failed.Load() {
 					continue
 				}
-				s, err := b.mc.openStream(b.table, []skv.Range{rng}, b.extra)
+				s, err := b.mc.openStream(b.table, []skv.Range{rng}, b.extra, traceCtx{q: b.q})
 				if err != nil {
 					setErr(err)
 					continue

@@ -49,14 +49,17 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"graphulo/internal/iterator"
 	"graphulo/internal/skv"
 	"graphulo/internal/store"
 	"graphulo/internal/tablet"
+	"graphulo/internal/telemetry"
 	"graphulo/internal/transport"
 )
 
@@ -140,6 +143,18 @@ type Config struct {
 	// skip rfiles that cannot contain the row. 0 selects the default
 	// density (10); negative disables the filters.
 	BloomFilterBits int
+	// MetricsAddr, when non-empty, serves the coordinator's telemetry
+	// HTTP endpoint (Prometheus /metrics, JSON /queries, /debug/pprof)
+	// on this address (host:port; ":0" picks an ephemeral port, read it
+	// back with TelemetryAddr). Empty keeps the endpoint off.
+	MetricsAddr string
+	// SlowQueryThreshold emits a structured JSON log line (to
+	// SlowQueryLog) for every kernel query at or over this duration.
+	// Zero disables the slow-query log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines; nil disables the log
+	// regardless of threshold.
+	SlowQueryLog io.Writer
 	// MaxRunsPerTablet, when positive, starts a background compaction
 	// scheduler per durable table: a tablet whose immutable-run count
 	// exceeds this threshold has a contiguous group of similar-sized
@@ -252,6 +267,12 @@ type MiniCluster struct {
 	seed    atomic.Int64
 	Metrics Metrics
 
+	// tel tracks the coordinator's kernel queries and process-global
+	// latency histograms; telSrv is the optional HTTP endpoint
+	// (Config.MetricsAddr) exposing them.
+	tel    *telemetry.Registry
+	telSrv *telemetry.Server
+
 	// tr carries the data plane; endpoints[i] is the dialable address
 	// of tablet server i. locals holds the servers this cluster
 	// launched (empty when Config.Servers points at external
@@ -321,8 +342,24 @@ func NewMiniCluster(cfg Config) *MiniCluster {
 func OpenMiniCluster(cfg Config) (*MiniCluster, error) {
 	mc := &MiniCluster{cfg: cfg.withDefaults(), tables: map[string]*tableMeta{}}
 	mc.seed.Store(42)
+	mc.tel = telemetry.NewRegistry(telemetry.Options{
+		Host:               "coordinator",
+		SlowQueryThreshold: cfg.SlowQueryThreshold,
+		SlowQueryLog:       cfg.SlowQueryLog,
+	})
 	if err := mc.openTransport(); err != nil {
 		return nil, err
+	}
+	if cfg.MetricsAddr != "" {
+		srv, err := telemetry.Serve(cfg.MetricsAddr, telemetry.ServerConfig{
+			Registry: mc.tel,
+			Counters: mc.counterSamples,
+		})
+		if err != nil {
+			mc.closeTransport()
+			return nil, err
+		}
+		mc.telSrv = srv
 	}
 	if cfg.DataDir == "" {
 		return mc, nil
@@ -331,9 +368,10 @@ func OpenMiniCluster(cfg Config) (*MiniCluster, error) {
 		NoSync:          cfg.NoSync,
 		BlockCacheBytes: cfg.BlockCacheBytes,
 		BloomFilterBits: cfg.BloomFilterBits,
+		WALSyncObserver: func(d time.Duration) { mc.tel.WALSync.Observe(d) },
 	})
 	if err != nil {
-		mc.closeTransport()
+		mc.Close()
 		return nil, err
 	}
 	mc.dir = dir
@@ -523,6 +561,54 @@ func (mc *MiniCluster) startScheduler(meta *tableMeta) {
 	})
 }
 
+// Telemetry returns the coordinator's telemetry registry: every kernel
+// query it has run (with per-query counters, latency histograms, and
+// span trees) plus the process-global latency histograms.
+func (mc *MiniCluster) Telemetry() *telemetry.Registry { return mc.tel }
+
+// TelemetryAddr returns the bound address of the telemetry HTTP
+// endpoint, or "" when Config.MetricsAddr did not enable one.
+func (mc *MiniCluster) TelemetryAddr() string {
+	if mc.telSrv == nil {
+		return ""
+	}
+	return mc.telSrv.Addr()
+}
+
+// counterSamples snapshots the cluster-global counters for /metrics:
+// the Metrics block plus the durable read-path stats.
+func (mc *MiniCluster) counterSamples() []telemetry.Sample {
+	samples := metricsSamples(&mc.Metrics)
+	hits, misses, bloom := mc.StorageStats()
+	return append(samples,
+		telemetry.Sample{Name: "cache_hits", Help: "Block-cache hits on the durable read path.", Value: hits},
+		telemetry.Sample{Name: "cache_misses", Help: "Block-cache misses on the durable read path.", Value: misses},
+		telemetry.Sample{Name: "bloom_negatives", Help: "Bloom-filter negative row lookups.", Value: bloom},
+	)
+}
+
+// metricsSamples renders a Metrics block as /metrics counter samples,
+// shared by the coordinator and standalone tablet servers.
+func metricsSamples(m *Metrics) []telemetry.Sample {
+	return []telemetry.Sample{
+		{Name: "wire_bytes", Help: "Payload bytes crossing the transport.", Value: m.WireBytes.Load()},
+		{Name: "rpcs", Help: "RPC round trips (calls plus stream batches).", Value: m.RPCs.Load()},
+		{Name: "entries_written", Help: "Entries ingested by tablet servers.", Value: m.EntriesWritten.Load()},
+		{Name: "entries_scanned", Help: "Entries returned to scan clients.", Value: m.EntriesScanned.Load()},
+		{Name: "scans_started", Help: "Scans issued, client and server-side.", Value: m.ScansStarted.Load()},
+		{Name: "tablet_scans", Help: "Tablet scan passes served.", Value: m.TabletScans.Load()},
+		{Name: "tablets_pruned_by_range", Help: "Tablets skipped by range push-down.", Value: m.TabletsPrunedByRange.Load()},
+		{Name: "entries_pruned_by_range", Help: "Entries dropped by server-side range filters.", Value: m.EntriesPrunedByRange.Load()},
+		{Name: "partial_products_folded", Help: "Partial products absorbed by pre-aggregation.", Value: m.PartialProductsFolded.Load()},
+		{Name: "major_compactions", Help: "Completed major compactions.", Value: m.MajorCompactions.Load()},
+		{Name: "major_compaction_errors", Help: "Failed scheduled major compactions.", Value: m.MajorCompactionErrors.Load()},
+		{Name: "scans_in_flight", Help: "Tablet scan passes currently executing.", Gauge: true, Value: m.ScansInFlight.Load()},
+		{Name: "max_scans_in_flight", Help: "High-water mark of concurrent tablet passes.", Gauge: true, Value: m.MaxScansInFlight.Load()},
+		{Name: "entries_buffered", Help: "Entries held across scan pipelines.", Gauge: true, Value: m.EntriesBuffered.Load()},
+		{Name: "max_entries_buffered", Help: "High-water mark of buffered entries.", Gauge: true, Value: m.MaxEntriesBuffered.Load()},
+	}
+}
+
 // StorageStats snapshots the durable read-path counters: block-cache
 // hits and misses, and bloom-filter negative row lookups. All zero for
 // in-memory clusters.
@@ -545,6 +631,10 @@ func (mc *MiniCluster) StorageStats() (cacheHits, cacheMisses, bloomNegatives in
 // never Closed leaks nothing beyond its heap.
 func (mc *MiniCluster) Close() error {
 	var firstErr error
+	if mc.telSrv != nil {
+		mc.telSrv.Close()
+		mc.telSrv = nil
+	}
 	if mc.dir != nil {
 		mc.mu.RLock()
 		var names []string
@@ -674,7 +764,8 @@ func (t *tableMeta) scopeStack(s Scope) []iterator.Setting {
 // write is the client-side ingest path: entries are stamped with fresh
 // timestamps, routed to their tablets, and shipped to each tablet's
 // server over the transport as one codec-serialised batch per tablet.
-func (mc *MiniCluster) write(table string, entries []skv.Entry) error {
+// q (nil = untraced) receives the batch's per-query wire counters.
+func (mc *MiniCluster) write(table string, entries []skv.Entry, q *telemetry.Query) error {
 	meta, err := mc.getTable(table)
 	if err != nil {
 		return err
@@ -683,6 +774,8 @@ func (mc *MiniCluster) write(table string, entries []skv.Entry) error {
 		// Fails before any tablet absorbed entries, so a retry is safe.
 		return fmt.Errorf("accumulo: %w", ErrTransient)
 	}
+	start := time.Now()
+	defer func() { mc.tel.WriteBatch.Observe(time.Since(start)) }()
 	// Group by tablet.
 	groups := map[*tabletRef][]skv.Entry{}
 	for _, e := range entries {
@@ -695,10 +788,13 @@ func (mc *MiniCluster) write(table string, entries []skv.Entry) error {
 		wire := skv.EncodeBatch(batch)
 		mc.Metrics.WireBytes.Add(int64(len(wire)))
 		mc.Metrics.RPCs.Add(1)
+		q.Add(telemetry.WireBytes, int64(len(wire)))
+		q.Add(telemetry.RPCs, 1)
 		conn, err := mc.tr.Dial(tr.endpoint)
 		if err == nil {
 			_, err = conn.Call(opWrite, encodeWriteReq(writeReq{
 				table: table, start: tr.start, end: tr.end, batch: wire,
+				traceID: uint64(q.Trace()),
 			}))
 		}
 		if err != nil {
@@ -711,6 +807,7 @@ func (mc *MiniCluster) write(table string, entries []skv.Entry) error {
 		}
 		wrote = true
 		mc.Metrics.EntriesWritten.Add(int64(len(batch)))
+		q.Add(telemetry.EntriesWritten, int64(len(batch)))
 		// Auto-minc applies the minc stack when the memtable spills; the
 		// tablet handles the spill itself with a nil stack, so re-apply
 		// the configured minc stack lazily at the next compaction. To
@@ -720,6 +817,7 @@ func (mc *MiniCluster) write(table string, entries []skv.Entry) error {
 		// Prompt the compaction scheduler: an auto-minc above may have
 		// pushed a tablet past its run threshold.
 		meta.sched.Kick()
+		q.Add(telemetry.CompactionKicks, 1)
 	}
 	return nil
 }
@@ -727,8 +825,8 @@ func (mc *MiniCluster) write(table string, entries []skv.Entry) error {
 // writeEntries implements scanBackend for the coordinator: server-side
 // iterators (RemoteWrite) write through the same routed path clients
 // use.
-func (mc *MiniCluster) writeEntries(table string, entries []skv.Entry) error {
-	return mc.write(table, entries)
+func (mc *MiniCluster) writeEntries(table string, entries []skv.Entry, q *telemetry.Query) error {
+	return mc.write(table, entries, q)
 }
 
 // scan executes a range scan server-side and collects the whole result —
@@ -736,7 +834,7 @@ func (mc *MiniCluster) writeEntries(table string, entries []skv.Entry) error {
 // results are small (monitoring entries, vectors, admin copies).
 // Streaming consumers use Scanner.Stream / EntryStream directly.
 func (mc *MiniCluster) scan(table string, rng skv.Range, extra []iterator.Setting) ([]skv.Entry, error) {
-	s, err := mc.openStream(table, []skv.Range{rng}, extra)
+	s, err := mc.openStream(table, []skv.Range{rng}, extra, traceCtx{})
 	if err != nil {
 		return nil, err
 	}

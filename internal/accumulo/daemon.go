@@ -20,10 +20,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"graphulo/internal/iterator"
 	"graphulo/internal/skv"
 	"graphulo/internal/tablet"
+	"graphulo/internal/telemetry"
 	"graphulo/internal/transport"
 )
 
@@ -35,6 +37,8 @@ type TabletServer struct {
 	clock    atomic.Int64
 	seed     atomic.Int64
 	metrics  Metrics
+	tel      *telemetry.Registry
+	telSrv   *telemetry.Server
 
 	mu     sync.RWMutex
 	tables map[string][]*hostedTablet
@@ -65,6 +69,9 @@ func ListenAndServeTablets(addr string, memLimit int) (*TabletServer, error) {
 		return nil, err
 	}
 	s.srv = srv
+	// The registry labels this server's pass spans with its dialable
+	// address, so a cross-process trace shows where each pass ran.
+	s.tel = telemetry.NewRegistry(telemetry.Options{Host: srv.Addr()})
 	// The stamp clock starts at zero; a coordinator raises it into a
 	// dedicated band (band<<32) through the opPing handshake before it
 	// routes any traffic here. Bands keep the entries this server stamps
@@ -80,9 +87,30 @@ func ListenAndServeTablets(addr string, memLimit int) (*TabletServer, error) {
 // Addr returns the server's dialable address.
 func (s *TabletServer) Addr() string { return s.srv.Addr() }
 
+// Telemetry returns the server's telemetry registry: the passes it has
+// served and its process-global latency histograms.
+func (s *TabletServer) Telemetry() *telemetry.Registry { return s.tel }
+
+// StartTelemetry starts the server's telemetry HTTP endpoint on addr
+// (/metrics, /queries, /debug/pprof) and returns its bound address.
+func (s *TabletServer) StartTelemetry(addr string) (string, error) {
+	srv, err := telemetry.Serve(addr, telemetry.ServerConfig{
+		Registry: s.tel,
+		Counters: func() []telemetry.Sample { return metricsSamples(&s.metrics) },
+	})
+	if err != nil {
+		return "", err
+	}
+	s.telSrv = srv
+	return srv.Addr(), nil
+}
+
 // Close stops serving: in-flight scan passes observe send failures, and
 // Close returns once the endpoint's connections have drained.
 func (s *TabletServer) Close() error {
+	if s.telSrv != nil {
+		s.telSrv.Close()
+	}
 	err := s.srv.Close()
 	if cerr := s.tr.Close(); err == nil {
 		err = cerr
@@ -204,9 +232,17 @@ func (h *daemonHandler) Stream(op byte, req []byte, send func([]byte) error) err
 	}
 	h.s.metrics.noteScanStart()
 	defer h.s.metrics.ScansInFlight.Add(-1)
-	env := &scanEnv{backend: &daemonBackend{s: h.s, topo: sr.topo, topoRaw: sr.topoRaw}}
+	// The pass is registered: a standalone server's /queries listing is
+	// the passes it served, each carrying the originating trace ID.
+	pass := h.s.tel.StartRemote(telemetry.TraceID(sr.traceID), sr.spanID, passName(sr))
+	env := &scanEnv{
+		backend: &daemonBackend{s: h.s, topo: sr.topo, topoRaw: sr.topoRaw},
+		tc:      traceCtx{q: pass},
+	}
 	defer env.close()
-	return serveScan(tab.Snapshot(), sr.ranges, sr.settings, env, sr.batch, send)
+	err = serveScan(tab.Snapshot(), sr.ranges, sr.settings, env, sr.batch, pass, send)
+	finishPass(pass, h.s.tel, err, send)
+	return err
 }
 
 // daemonBackend implements scanBackend against the routing topology a
@@ -220,7 +256,7 @@ type daemonBackend struct {
 	topoRaw []byte // encoded form of topo, passed through verbatim
 }
 
-func (b *daemonBackend) openStream(table string, ranges []skv.Range, extra []iterator.Setting) (*EntryStream, error) {
+func (b *daemonBackend) openStream(table string, ranges []skv.Range, extra []iterator.Setting, tc traceCtx) (*EntryStream, error) {
 	tt := b.topo.find(table)
 	if tt == nil {
 		return nil, fmt.Errorf("accumulo: table %q is not in the scan's routing topology", table)
@@ -233,6 +269,7 @@ func (b *daemonBackend) openStream(table string, ranges []skv.Range, extra []ite
 	ranges, empty := normalizeRanges(ranges)
 	if empty {
 		b.s.metrics.ScansStarted.Add(1)
+		tc.q.Add(telemetry.ScansStarted, 1)
 		return startStream(&b.s.metrics, 1, 0, nil), nil
 	}
 	var targets []topoTablet
@@ -246,26 +283,40 @@ func (b *daemonBackend) openStream(table string, ranges []skv.Range, extra []ite
 	}
 	b.s.metrics.ScansStarted.Add(1)
 	b.s.metrics.TabletsPrunedByRange.Add(int64(pruned))
-	return startStream(&b.s.metrics, b.topo.scanPar, len(targets),
+	tc.q.Add(telemetry.ScansStarted, 1)
+	tc.q.Add(telemetry.TabletsPrunedByRange, int64(pruned))
+	q := tc.q
+	span := q.StartSpan(tc.parent, "scan "+table)
+	// Nested trailers fold into this pass only; this server's globals
+	// count its own work, and the pass's trailer carries the aggregate
+	// up to the query's origin.
+	onTrailer := func(t *telemetry.Trailer) { q.FoldTrailer(t) }
+	s := startStream(&b.s.metrics, b.topo.scanPar, len(targets),
 		func(i int, out *tabletScan, done <-chan struct{}) {
 			tb := targets[i]
 			req := encodeScanReq(scanReq{
 				table: table, start: tb.start, end: tb.end,
 				ranges: clipRanges(ranges, tb.start, tb.end), settings: settings,
-				batch: batch, topoRaw: b.topoRaw,
+				batch:   batch,
+				traceID: uint64(q.Trace()), spanID: span.ID(),
+				topoRaw: b.topoRaw,
 			})
-			relayScan(b.s.tr, &b.s.metrics, tb.endpoint, req, out, done)
-		}), nil
+			relayScan(b.s.tr, &b.s.metrics, q, tb.endpoint, req, out, done, onTrailer)
+		})
+	s.onDone = span.End
+	return s, nil
 }
 
 // metrics implements scanBackend.
 func (b *daemonBackend) metrics() *Metrics { return &b.s.metrics }
 
-func (b *daemonBackend) writeEntries(table string, entries []skv.Entry) error {
+func (b *daemonBackend) writeEntries(table string, entries []skv.Entry, q *telemetry.Query) error {
 	tt := b.topo.find(table)
 	if tt == nil {
 		return fmt.Errorf("accumulo: table %q is not in the scan's routing topology", table)
 	}
+	start := time.Now()
+	defer func() { b.s.tel.WriteBatch.Observe(time.Since(start)) }()
 	groups := map[int][]skv.Entry{}
 	for _, e := range entries {
 		e.K.Ts = b.s.clock.Add(1)
@@ -277,15 +328,19 @@ func (b *daemonBackend) writeEntries(table string, entries []skv.Entry) error {
 		wire := skv.EncodeBatch(batch)
 		b.s.metrics.WireBytes.Add(int64(len(wire)))
 		b.s.metrics.RPCs.Add(1)
+		q.Add(telemetry.WireBytes, int64(len(wire)))
+		q.Add(telemetry.RPCs, 1)
 		conn, err := b.s.tr.Dial(tb.endpoint)
 		if err == nil {
 			_, err = conn.Call(opWrite, encodeWriteReq(writeReq{
 				table: table, start: tb.start, end: tb.end, batch: wire,
+				traceID: uint64(q.Trace()),
 			}))
 		}
 		if err != nil {
 			return fmt.Errorf("accumulo: remote write to %s: %w", tb.endpoint, err)
 		}
+		q.Add(telemetry.EntriesWritten, int64(len(batch)))
 	}
 	return nil
 }

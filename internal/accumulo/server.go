@@ -14,6 +14,7 @@ import (
 	"graphulo/internal/iterator"
 	"graphulo/internal/skv"
 	"graphulo/internal/tablet"
+	"graphulo/internal/telemetry"
 	"graphulo/internal/transport"
 )
 
@@ -91,9 +92,40 @@ func (h *clusterHandler) Stream(op byte, req []byte, send func([]byte) error) er
 	}
 	h.mc.Metrics.noteScanStart()
 	defer h.mc.Metrics.ScansInFlight.Add(-1)
-	env := &scanEnv{backend: h.mc}
+	// The pass record is detached: cluster-launched servers run in the
+	// coordinator process, whose /queries listing should stay kernel-only.
+	// TabletScans land in the global Metrics via noteScanStart above; the
+	// trailer's copy reaches only the query (the coordinator never folds
+	// local trailers into its globals).
+	pass := telemetry.NewPass(telemetry.TraceID(sr.traceID), sr.spanID,
+		passName(sr), h.mc.tel.Host())
+	env := &scanEnv{backend: h.mc, tc: traceCtx{q: pass}}
 	defer env.close()
-	return serveScan(tab.Snapshot(), sr.ranges, sr.settings, env, sr.batch, send)
+	hitsA, missA, bloomA := h.mc.StorageStats()
+	err = serveScan(tab.Snapshot(), sr.ranges, sr.settings, env, sr.batch, pass, send)
+	hitsB, missB, bloomB := h.mc.StorageStats()
+	// Storage deltas are attributed to this pass; concurrent passes in
+	// the same process blur the split, but the totals stay exact.
+	pass.Add(telemetry.CacheHits, hitsB-hitsA)
+	pass.Add(telemetry.CacheMisses, missB-missA)
+	pass.Add(telemetry.BloomNegatives, bloomB-bloomA)
+	finishPass(pass, h.mc.tel, err, send)
+	return err
+}
+
+// passName labels a tablet pass span with its table and hosted range.
+func passName(sr scanReq) string {
+	return fmt.Sprintf("pass %s [%s,%s)", sr.table, sr.start, sr.end)
+}
+
+// finishPass closes a pass record, feeds its duration to the serving
+// process's scan-pass histogram, and ships the telemetry trailer as the
+// stream's final frame. Trailer delivery is best-effort: a consumer that
+// already went away loses only telemetry, not data.
+func finishPass(pass *telemetry.Query, reg *telemetry.Registry, err error, send func([]byte) error) {
+	d := pass.FinishPass(err)
+	reg.ScanPass.Observe(d)
+	_ = send(append([]byte{frameTrailer}, telemetry.AppendTrailer(nil, pass.Trailer())...))
 }
 
 // serveScan runs a fully merged scan stack over a tablet snapshot and
@@ -103,14 +135,16 @@ func (h *clusterHandler) Stream(op byte, req []byte, send func([]byte) error) er
 // stream stays in key order); an empty range list means the tablet's
 // full range. send blocking is the backpressure; a send failure means
 // the consumer went away, which cancels the pass.
-func serveScan(src iterator.SKVI, ranges []skv.Range, settings []iterator.Setting, env iterator.Env, batchSize int, send func([]byte) error) error {
+func serveScan(src iterator.SKVI, ranges []skv.Range, settings []iterator.Setting, env iterator.Env, batchSize int, pass *telemetry.Query, send func([]byte) error) error {
 	if batchSize <= 0 {
 		batchSize = 4096
 	}
 	if len(ranges) == 0 {
 		ranges = []skv.Range{skv.FullRange()}
 	}
+	setup := pass.StartSpan(0, "stack setup")
 	stack, err := iterator.BuildStack(src, settings, env)
+	setup.End()
 	if err != nil {
 		return err
 	}
@@ -119,7 +153,7 @@ func serveScan(src iterator.SKVI, ranges []skv.Range, settings []iterator.Settin
 		if len(batch) == 0 {
 			return nil
 		}
-		err := send(skv.EncodeBatch(batch))
+		err := send(append([]byte{frameEntries}, skv.EncodeBatch(batch)...))
 		batch = batch[:0]
 		return err
 	}

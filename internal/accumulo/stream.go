@@ -20,11 +20,22 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"graphulo/internal/iterator"
 	"graphulo/internal/skv"
+	"graphulo/internal/telemetry"
 	"graphulo/internal/transport"
 )
+
+// traceCtx carries a scan's telemetry attribution through the backend:
+// the query (or server-side pass) the work belongs to, and the span the
+// opened scan should parent under (0 = the query's root). The zero
+// value means untraced — every consumer is nil-safe.
+type traceCtx struct {
+	q      *telemetry.Query
+	parent uint64
+}
 
 // EntryStream is a streaming cursor over one scan's sorted results.
 // Next returns entries until the scan is exhausted or fails; Err reports
@@ -44,6 +55,21 @@ type EntryStream struct {
 	done      chan struct{}
 	closeOnce sync.Once
 	metrics   *Metrics
+
+	// onDone fires once when the stream finishes — exhausted, failed, or
+	// closed — ending the client-side scan span. Set (if at all) before
+	// the consumer first calls Next.
+	onDone   func()
+	doneOnce sync.Once
+}
+
+// finished fires the stream's completion hook exactly once.
+func (s *EntryStream) finished() {
+	s.doneOnce.Do(func() {
+		if s.onDone != nil {
+			s.onDone()
+		}
+	})
 }
 
 // tabletScan carries one tablet worker's output: decoded wire batches,
@@ -61,8 +87,8 @@ type tabletScan struct {
 // each scan request. Both route the actual traffic through the
 // transport.
 type scanBackend interface {
-	openStream(table string, ranges []skv.Range, extra []iterator.Setting) (*EntryStream, error)
-	writeEntries(table string, entries []skv.Entry) error
+	openStream(table string, ranges []skv.Range, extra []iterator.Setting, tc traceCtx) (*EntryStream, error)
+	writeEntries(table string, entries []skv.Entry, q *telemetry.Query) error
 	// metrics returns the backend's metrics sink, so server-side
 	// iterator counters (range pruning, pre-aggregation folds) land in
 	// the right process's counters.
@@ -123,12 +149,13 @@ func startStream(metrics *Metrics, par, n int, fetch func(i int, out *tabletScan
 // are pruned without a scan pass (SpRef push-down), counted in
 // Metrics.TabletsPrunedByRange. An empty range list means the full
 // table.
-func (mc *MiniCluster) openStream(table string, ranges []skv.Range, extra []iterator.Setting) (*EntryStream, error) {
+func (mc *MiniCluster) openStream(table string, ranges []skv.Range, extra []iterator.Setting, tc traceCtx) (*EntryStream, error) {
 	meta, err := mc.getTable(table)
 	if err != nil {
 		return nil, err
 	}
 	mc.Metrics.ScansStarted.Add(1)
+	tc.q.Add(telemetry.ScansStarted, 1)
 	ranges, empty := normalizeRanges(ranges)
 	if empty {
 		// Every requested range is empty: a scan of nothing.
@@ -136,11 +163,26 @@ func (mc *MiniCluster) openStream(table string, ranges []skv.Range, extra []iter
 	}
 	tablets, pruned := meta.tabletsOverlappingRanges(ranges)
 	mc.Metrics.TabletsPrunedByRange.Add(int64(pruned))
+	tc.q.Add(telemetry.TabletsPrunedByRange, int64(pruned))
 	settings := append(meta.scopeStack(ScanScope), extra...)
 	// The routing topology is identical for every tablet of the scan;
 	// encode it once and splice the bytes into each request.
 	topoRaw := appendTopology(nil, mc.scanTopology())
-	return startStream(&mc.Metrics, mc.cfg.ScanParallelism, len(tablets),
+	q := tc.q
+	span := q.StartSpan(tc.parent, "scan "+table)
+	// Trailer folding: the pass's counters and spans always land in the
+	// query; they reach the cluster-global Metrics only when the serving
+	// process is external — MiniCluster-launched servers already share
+	// mc.Metrics, so folding would double count.
+	external := mc.external()
+	onTrailer := func(t *telemetry.Trailer) {
+		q.FoldTrailer(t)
+		if external {
+			foldTrailerMetrics(&mc.Metrics, t)
+			mc.tel.ScanPass.Fold(t.ScanPass)
+		}
+	}
+	s := startStream(&mc.Metrics, mc.cfg.ScanParallelism, len(tablets),
 		func(i int, out *tabletScan, done <-chan struct{}) {
 			tr := tablets[i]
 			clipped := clipRanges(ranges, tr.start, tr.end)
@@ -150,10 +192,30 @@ func (mc *MiniCluster) openStream(table string, ranges []skv.Range, extra []iter
 			req := encodeScanReq(scanReq{
 				table: table, start: tr.start, end: tr.end,
 				ranges: clipped, settings: settings,
-				batch: mc.cfg.WireBatch, topoRaw: topoRaw,
+				batch:   mc.cfg.WireBatch,
+				traceID: uint64(q.Trace()), spanID: span.ID(),
+				topoRaw: topoRaw,
 			})
-			relayScan(mc.tr, &mc.Metrics, tr.endpoint, req, out, done)
-		}), nil
+			relayScan(mc.tr, &mc.Metrics, q, tr.endpoint, req, out, done, onTrailer)
+		})
+	s.onDone = span.End
+	return s, nil
+}
+
+// foldTrailerMetrics adds an external pass's shipped counters into the
+// coordinator's cluster-global Metrics — the step that keeps ScanStats
+// accurate when tablet servers run in other processes. Counters with no
+// global mirror (cache, bloom, compaction kicks) stay query-scoped.
+func foldTrailerMetrics(m *Metrics, t *telemetry.Trailer) {
+	m.TabletScans.Add(t.Counts.Get(telemetry.TabletScans))
+	m.TabletsPrunedByRange.Add(t.Counts.Get(telemetry.TabletsPrunedByRange))
+	m.EntriesPrunedByRange.Add(t.Counts.Get(telemetry.EntriesPrunedByRange))
+	m.PartialProductsFolded.Add(t.Counts.Get(telemetry.PartialProductsFolded))
+	m.WireBytes.Add(t.Counts.Get(telemetry.WireBytes))
+	m.RPCs.Add(t.Counts.Get(telemetry.RPCs))
+	m.EntriesScanned.Add(t.Counts.Get(telemetry.EntriesScanned))
+	m.EntriesWritten.Add(t.Counts.Get(telemetry.EntriesWritten))
+	m.ScansStarted.Add(t.Counts.Get(telemetry.ScansStarted))
 }
 
 // metrics implements scanBackend.
@@ -187,8 +249,11 @@ func clipRanges(ranges []skv.Range, start, end string) []skv.Range {
 // relays decoded batches to the cursor channel with backpressure,
 // honouring cancellation from the consumer side (done) and failure from
 // the server side (Recv errors). Shared by the MiniCluster client and
-// the standalone tablet server's nested scans.
-func relayScan(tr transport.Transport, metrics *Metrics, endpoint string, req []byte, out *tabletScan, done <-chan struct{}) {
+// the standalone tablet server's nested scans. Wire traffic is counted
+// into both the process Metrics and the query q (nil = untraced); a
+// telemetry trailer frame — the stream's final payload — is handed to
+// onTrailer (nil = dropped).
+func relayScan(tr transport.Transport, metrics *Metrics, q *telemetry.Query, endpoint string, req []byte, out *tabletScan, done <-chan struct{}, onTrailer func(*telemetry.Trailer)) {
 	conn, err := tr.Dial(endpoint)
 	if err != nil {
 		out.err = err
@@ -224,8 +289,34 @@ func relayScan(tr transport.Transport, metrics *Metrics, endpoint string, req []
 			return
 		}
 		metrics.WireBytes.Add(int64(len(payload)))
+		q.Add(telemetry.WireBytes, int64(len(payload)))
+		if len(payload) == 0 {
+			out.err = fmt.Errorf("accumulo: wire corruption: empty scan frame")
+			return
+		}
+		// Every scan frame leads with a kind byte: entry batches make up
+		// the stream, a telemetry trailer ends it. Trailer frames are not
+		// RPC-counted — they ride the stream the entries already paid for.
+		kind, body := payload[0], payload[1:]
+		switch kind {
+		case frameTrailer:
+			t, err := telemetry.DecodeTrailer(body)
+			if err != nil {
+				out.err = fmt.Errorf("accumulo: wire corruption: %w", err)
+				return
+			}
+			if onTrailer != nil {
+				onTrailer(&t)
+			}
+			continue
+		case frameEntries:
+		default:
+			out.err = fmt.Errorf("accumulo: wire corruption: unknown scan frame kind %d", kind)
+			return
+		}
 		metrics.RPCs.Add(1)
-		batch, err := skv.DecodeBatch(payload)
+		q.Add(telemetry.RPCs, 1)
+		batch, err := skv.DecodeBatch(body)
 		if err != nil {
 			out.err = fmt.Errorf("accumulo: wire corruption: %w", err)
 			return
@@ -236,6 +327,7 @@ func relayScan(tr transport.Transport, metrics *Metrics, endpoint string, req []
 			// Only batches the consumer can still receive count as
 			// returned to the scan client.
 			metrics.EntriesScanned.Add(int64(len(batch)))
+			q.Add(telemetry.EntriesScanned, int64(len(batch)))
 		case <-done:
 			metrics.EntriesBuffered.Add(-int64(len(batch)))
 			return
@@ -269,6 +361,7 @@ func (s *EntryStream) Next() (skv.Entry, bool) {
 		}
 		s.cur = batch
 	}
+	s.finished()
 	return skv.Entry{}, false
 }
 
@@ -292,6 +385,7 @@ func (s *EntryStream) Close() {
 		}
 		s.metrics.EntriesBuffered.Add(-int64(len(s.cur)))
 		s.cur = nil
+		s.finished()
 	})
 }
 
@@ -332,7 +426,15 @@ func (s *EntryStream) CollectFloatByRow() (map[string]float64, error) {
 // hosted side runs dry.
 type scanEnv struct {
 	backend scanBackend
-	opened  []*EntryStream
+	// tc attributes the env's work — nested scans, RemoteWrite flushes,
+	// iterator counters — to the tablet pass (or compaction) it serves.
+	tc     traceCtx
+	opened []*EntryStream
+}
+
+// openStream opens a nested scan attributed to this env's pass.
+func (e *scanEnv) openStream(table string, ranges []skv.Range, extra []iterator.Setting) (*EntryStream, error) {
+	return e.backend.openStream(table, ranges, extra, e.tc)
 }
 
 // OpenScanner implements iterator.Env. The returned SKVI is streaming:
@@ -351,21 +453,30 @@ func (e *scanEnv) OpenScanner(table string, rng skv.Range) (iterator.SKVI, error
 	return it, nil
 }
 
-// WriteEntries implements iterator.Env.
+// WriteEntries implements iterator.Env. Each flush is timed into the
+// pass's write-batch histogram and recorded as a span, so RemoteWrite
+// batches leaving a tablet pass are visible in the query's trace.
 func (e *scanEnv) WriteEntries(table string, entries []skv.Entry) error {
-	return e.backend.writeEntries(table, entries)
+	span := e.tc.q.StartSpan(e.tc.parent, "flush "+table)
+	start := time.Now()
+	err := e.backend.writeEntries(table, entries, e.tc.q)
+	e.tc.q.ObserveWriteBatch(time.Since(start))
+	span.End()
+	return err
 }
 
 // CountRangePruned implements iterator.Counters: entries a server-side
 // range filter dropped.
 func (e *scanEnv) CountRangePruned(n int) {
 	e.backend.metrics().EntriesPrunedByRange.Add(int64(n))
+	e.tc.q.Add(telemetry.EntriesPrunedByRange, int64(n))
 }
 
 // CountFolded implements iterator.Counters: partial products absorbed
 // by RemoteWrite pre-aggregation.
 func (e *scanEnv) CountFolded(n int) {
 	e.backend.metrics().PartialProductsFolded.Add(int64(n))
+	e.tc.q.Add(telemetry.PartialProductsFolded, int64(n))
 }
 
 // close releases every remote stream this env's iterators opened.
@@ -404,7 +515,7 @@ func (it *streamIter) reopen(rng skv.Range) error {
 	if it.stream != nil {
 		it.stream.Close()
 	}
-	s, err := it.env.backend.openStream(it.table, []skv.Range{rng}, nil)
+	s, err := it.env.openStream(it.table, []skv.Range{rng}, nil)
 	if err != nil {
 		return err
 	}

@@ -41,6 +41,14 @@ const (
 	opDrop
 )
 
+// Scan-stream frame kinds. Every opScan response payload leads with a
+// kind byte: entry batches make up the stream; a single telemetry
+// trailer — the pass's counters, histograms, and spans — ends it.
+const (
+	frameEntries byte = 0 // skv.EncodeBatch payload
+	frameTrailer byte = 1 // telemetry.AppendTrailer payload
+)
+
 // --- primitives (uvarint-prefixed strings, mirroring the skv codec) ---
 
 func appendStr(dst []byte, s string) []byte {
@@ -87,6 +95,16 @@ func readUint(src []byte) (int, []byte, error) {
 		return 0, nil, fmt.Errorf("accumulo: truncated uvarint")
 	}
 	return int(n), src[k:], nil
+}
+
+// readUint64 reads a full-width uvarint — trace and span IDs use the
+// whole 64-bit space, so they cannot go through readUint's int cast.
+func readUint64(src []byte) (uint64, []byte, error) {
+	n, k := binary.Uvarint(src)
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("accumulo: truncated uvarint")
+	}
+	return n, src[k:], nil
 }
 
 // readCount reads an item count and rejects counts that the remaining
@@ -385,13 +403,17 @@ type writeReq struct {
 	table      string
 	start, end string // tablet identity: its hosted row range
 	batch      []byte // skv.EncodeBatch payload
+	// traceID attributes the write to the originating kernel query
+	// (0 = untraced), so a receiving daemon can label the work.
+	traceID uint64
 }
 
 func encodeWriteReq(r writeReq) []byte {
 	dst := appendStr(nil, r.table)
 	dst = appendStr(dst, r.start)
 	dst = appendStr(dst, r.end)
-	return appendBytes(dst, r.batch)
+	dst = appendBytes(dst, r.batch)
+	return binary.AppendUvarint(dst, r.traceID)
 }
 
 func decodeWriteReq(src []byte) (writeReq, error) {
@@ -407,6 +429,9 @@ func decodeWriteReq(src []byte) (writeReq, error) {
 		return r, err
 	}
 	if r.batch, src, err = readBytes(src); err != nil {
+		return r, err
+	}
+	if r.traceID, src, err = readUint64(src); err != nil {
 		return r, err
 	}
 	if len(src) != 0 {
@@ -426,7 +451,13 @@ type scanReq struct {
 	ranges     []skv.Range
 	settings   []iterator.Setting
 	batch      int
-	topo       *topology
+	// traceID/spanID tie the scan to the originating kernel query: the
+	// serving process attaches its pass spans under spanID within trace
+	// traceID, and ships them back in the stream's telemetry trailer.
+	// Both 0 for untraced scans.
+	traceID uint64
+	spanID  uint64
+	topo    *topology
 	// topoRaw is the topology in encoded form (presence flag included).
 	// Encoders set it to splice an already-encoded topology — built once
 	// per scan, reused across its per-tablet requests and passed through
@@ -442,6 +473,8 @@ func encodeScanReq(r scanReq) []byte {
 	dst = appendRanges(dst, r.ranges)
 	dst = appendSettings(dst, r.settings)
 	dst = appendUint(dst, r.batch)
+	dst = binary.AppendUvarint(dst, r.traceID)
+	dst = binary.AppendUvarint(dst, r.spanID)
 	if r.topoRaw != nil {
 		return append(dst, r.topoRaw...)
 	}
@@ -467,6 +500,12 @@ func decodeScanReq(src []byte) (scanReq, error) {
 		return r, err
 	}
 	if r.batch, src, err = readUint(src); err != nil {
+		return r, err
+	}
+	if r.traceID, src, err = readUint64(src); err != nil {
+		return r, err
+	}
+	if r.spanID, src, err = readUint64(src); err != nil {
 		return r, err
 	}
 	// The topology is the final field, so the remaining bytes are its

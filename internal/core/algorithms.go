@@ -10,6 +10,7 @@ import (
 	"graphulo/internal/semiring"
 	"graphulo/internal/skv"
 	"graphulo/internal/sparse"
+	"graphulo/internal/telemetry"
 )
 
 // This file hosts the table-resident graph algorithms: the paper's
@@ -50,13 +51,15 @@ func (o AdjBFSOptions) inBand(v string) bool {
 // frontier vertex, scanned in parallel across tablets), unions the
 // neighbours, and removes already-visited vertices. It returns the
 // visited vertex → hop-level map.
-func AdjBFS(conn *accumulo.Connector, table string, seeds []string, hops int, opts AdjBFSOptions) (map[string]int, error) {
+func AdjBFS(conn *accumulo.Connector, table string, seeds []string, hops int, opts AdjBFSOptions) (visited map[string]int, err error) {
+	q, done := startQuery(conn, "AdjBFS", nil)
+	defer func() { done(err) }()
 	degOK := func(string) bool { return true }
 	if opts.MinDegree > 0 || opts.MaxDegree > 0 {
 		if opts.DegTable == "" {
 			return nil, fmt.Errorf("core: degree bounds need DegTable")
 		}
-		degs, err := readDegrees(conn, opts.DegTable)
+		degs, err := readDegrees(conn, opts.DegTable, q)
 		if err != nil {
 			return nil, err
 		}
@@ -71,7 +74,7 @@ func AdjBFS(conn *accumulo.Connector, table string, seeds []string, hops int, op
 			return true
 		}
 	}
-	visited := map[string]int{}
+	visited = map[string]int{}
 	frontier := make([]string, 0, len(seeds))
 	for _, s := range seeds {
 		if !opts.inBand(s) {
@@ -85,6 +88,7 @@ func AdjBFS(conn *accumulo.Connector, table string, seeds []string, hops int, op
 		if err != nil {
 			return nil, err
 		}
+		bs.SetTrace(q)
 		ranges := make([]skv.Range, len(frontier))
 		for i, v := range frontier {
 			ranges[i] = skv.ExactRow(v)
@@ -115,11 +119,12 @@ func AdjBFS(conn *accumulo.Connector, table string, seeds []string, hops int, op
 	return visited, nil
 }
 
-func readDegrees(conn *accumulo.Connector, table string) (map[string]float64, error) {
+func readDegrees(conn *accumulo.Connector, table string, q *telemetry.Query) (map[string]float64, error) {
 	sc, err := conn.CreateScanner(table)
 	if err != nil {
 		return nil, err
 	}
+	sc.SetTrace(q)
 	st, err := sc.Stream()
 	if err != nil {
 		return nil, err
@@ -153,6 +158,8 @@ func dropScratch(conn *accumulo.Connector, names []string, err *error) {
 // `<scratch>_it<N>` intermediate is deleted before returning, on
 // success and on error.
 func KTrussAdjTable(conn *accumulo.Connector, table, outTable string, k int, scratch string) (iterCount int, err error) {
+	q, done := startQuery(conn, "kTruss", nil)
+	defer func() { done(err) }()
 	ops := conn.TableOperations()
 	cur := table
 	var scratchTables []string
@@ -169,7 +176,7 @@ func KTrussAdjTable(conn *accumulo.Connector, table, outTable string, k int, scr
 		scratchTables = append(scratchTables, tmp)
 		// A² server-side (cur holds a symmetric matrix = its own
 		// transpose).
-		if _, err := TableMult(conn, cur, cur, tmp, MultOptions{}); err != nil {
+		if _, err := TableMult(conn, cur, cur, tmp, MultOptions{Query: q}); err != nil {
 			return iterCount, err
 		}
 		iterCount++
@@ -241,6 +248,8 @@ func createSumTable(conn *accumulo.Connector, name string) error {
 // 2's output shape. The `<out>_num` numerator table is deleted before
 // returning, on success and on error.
 func JaccardTable(conn *accumulo.Connector, table, degTable, outTable string) (written int, err error) {
+	q, done := startQuery(conn, "Jaccard", nil)
+	defer func() { done(err) }()
 	ops := conn.TableOperations()
 	tmp := outTable + "_num"
 	if ops.Exists(tmp) {
@@ -249,10 +258,10 @@ func JaccardTable(conn *accumulo.Connector, table, degTable, outTable string) (w
 		}
 	}
 	defer dropScratch(conn, []string{tmp}, &err)
-	if _, err := TableMult(conn, table, table, tmp, MultOptions{}); err != nil {
+	if _, err := TableMult(conn, table, table, tmp, MultOptions{Query: q}); err != nil {
 		return 0, err
 	}
-	degs, err := readDegrees(conn, degTable)
+	degs, err := readDegrees(conn, degTable, q)
 	if err != nil {
 		return 0, err
 	}
@@ -267,6 +276,7 @@ func JaccardTable(conn *accumulo.Connector, table, degTable, outTable string) (w
 	if err != nil {
 		return 0, err
 	}
+	w.SetTrace(q)
 	for _, e := range num.Entries() {
 		if e.Row >= e.Col { // upper triangle only
 			continue
@@ -288,13 +298,15 @@ func JaccardTable(conn *accumulo.Connector, table, degTable, outTable string) (w
 // transfer), factorised with the GraphBLAS NMF, and the W and H factors
 // are written back to wTable and hTable. The k×k dense solves stay
 // client-side, as in Graphulo's NMF.
-func NMFTable(conn *accumulo.Connector, table, wTable, hTable string, cfg algo.NMFConfig) (algo.NMFResult, error) {
+func NMFTable(conn *accumulo.Connector, table, wTable, hTable string, cfg algo.NMFConfig) (res algo.NMFResult, err error) {
+	q, done := startQuery(conn, "NMF", nil)
+	defer func() { done(err) }()
 	a, err := schema.ReadAssoc(conn, table)
 	if err != nil {
 		return algo.NMFResult{}, err
 	}
 	m, docs, terms := a.Matrix()
-	res := algo.NMF(m, cfg)
+	res = algo.NMF(m, cfg)
 	for _, spec := range []struct {
 		name string
 		d    *sparse.Dense
@@ -318,6 +330,7 @@ func NMFTable(conn *accumulo.Connector, table, wTable, hTable string, cfg algo.N
 		if err != nil {
 			return res, err
 		}
+		w.SetTrace(q)
 		for i := 0; i < spec.d.R; i++ {
 			for j := 0; j < spec.d.C; j++ {
 				if v := spec.d.At(i, j); v > 1e-12 {
@@ -353,6 +366,8 @@ func TableDegrees(conn *accumulo.Connector, table, degTable string) (int, error)
 // and accumulates Σ A∘A² / 6. The scratch table is deleted before
 // returning, on success and on error.
 func TriangleCountTable(conn *accumulo.Connector, table, scratch string) (count float64, err error) {
+	q, done := startQuery(conn, "TriangleCount", nil)
+	defer func() { done(err) }()
 	ops := conn.TableOperations()
 	if ops.Exists(scratch) {
 		if err := ops.Delete(scratch); err != nil {
@@ -360,7 +375,7 @@ func TriangleCountTable(conn *accumulo.Connector, table, scratch string) (count 
 		}
 	}
 	defer dropScratch(conn, []string{scratch}, &err)
-	if _, err := TableMult(conn, table, table, scratch, MultOptions{}); err != nil {
+	if _, err := TableMult(conn, table, table, scratch, MultOptions{Query: q}); err != nil {
 		return 0, err
 	}
 	a, err := schema.ReadAssoc(conn, table)

@@ -31,6 +31,7 @@ import (
 	"graphulo/internal/iterator"
 	"graphulo/internal/semiring"
 	"graphulo/internal/skv"
+	"graphulo/internal/telemetry"
 )
 
 // ScanConstraint restricts a kernel to a sub-associative-array — the
@@ -95,6 +96,11 @@ type MultOptions struct {
 	// selects DefaultPreAggBytes; negative disables pre-aggregation.
 	// Results are cell-identical either way; only write volume changes.
 	PreAggBytes int
+	// Query attaches the multiply to a caller-owned telemetry query —
+	// composite kernels (kTruss, Jaccard, PageRank, …) thread theirs
+	// through so every inner multiply lands in one trace. nil mints a
+	// fresh per-call query record.
+	Query *telemetry.Query
 }
 
 // preAggBytes resolves the option's 0-default/negative-disable coding.
@@ -107,6 +113,18 @@ func (o MultOptions) preAggBytes() int {
 	default:
 		return o.PreAggBytes
 	}
+}
+
+// startQuery resolves the telemetry query a kernel call runs under:
+// the caller's, when it owns one (composite kernels thread theirs into
+// inner calls), or a freshly minted per-kernel record. done finishes
+// only freshly minted queries — an owner finishes its own.
+func startQuery(conn *accumulo.Connector, kernel string, owned *telemetry.Query) (*telemetry.Query, func(error)) {
+	if owned != nil {
+		return owned, func(error) {}
+	}
+	q := conn.Cluster().Telemetry().StartQuery(kernel)
+	return q, func(err error) { q.Finish(err) }
 }
 
 // TableMult computes C ⊕= Aᵀ·B entirely server-side: table tableAT must
@@ -124,7 +142,9 @@ func (o MultOptions) preAggBytes() int {
 //
 // This is the Graphulo TableMult data flow: the client only triggers the
 // scan and reads back one monitoring entry per tablet.
-func TableMult(conn *accumulo.Connector, tableAT, tableB, tableC string, opts MultOptions) (int, error) {
+func TableMult(conn *accumulo.Connector, tableAT, tableB, tableC string, opts MultOptions) (written int, err error) {
+	q, done := startQuery(conn, "TableMult", opts.Query)
+	defer func() { done(err) }()
 	if opts.Semiring == "" {
 		opts.Semiring = "plus.times"
 	}
@@ -148,6 +168,7 @@ func TableMult(conn *accumulo.Connector, tableAT, tableB, tableC string, opts Mu
 	if err != nil {
 		return 0, err
 	}
+	sc.SetTrace(q)
 	sc.SetRange(opts.Constraint.rowRange())
 	if colFilter, ok := opts.Constraint.colSetting(25); ok {
 		sc.AddScanIterator(colFilter)
@@ -286,7 +307,9 @@ func ensureResultTable(conn *accumulo.Connector, tableC string, ring semiring.Se
 // model argues against (the §IV ablation): it scans both operand tables
 // to the client, multiplies there, and writes the result back through a
 // BatchWriter. Same answer, but every operand entry crosses the wire.
-func TableMultClient(conn *accumulo.Connector, tableAT, tableB, tableC string, opts MultOptions) (int, error) {
+func TableMultClient(conn *accumulo.Connector, tableAT, tableB, tableC string, opts MultOptions) (written int, err error) {
+	q, done := startQuery(conn, "TableMultClient", opts.Query)
+	defer func() { done(err) }()
 	if opts.Semiring == "" {
 		opts.Semiring = "plus.times"
 	}
@@ -302,6 +325,7 @@ func TableMultClient(conn *accumulo.Connector, tableAT, tableB, tableC string, o
 		if err != nil {
 			return nil, err
 		}
+		sc.SetTrace(q)
 		st, err := sc.Stream()
 		if err != nil {
 			return nil, err
@@ -328,7 +352,7 @@ func TableMultClient(conn *accumulo.Connector, tableAT, tableB, tableC string, o
 	if err != nil {
 		return 0, err
 	}
-	written := 0
+	w.SetTrace(q)
 	for inner, aEntries := range at {
 		bEntries, ok := b[inner]
 		if !ok {
@@ -369,7 +393,15 @@ func OneTable(conn *accumulo.Connector, tableIn, tableOut string, settings []ite
 // OneTableConstrained is OneTable over a sub-array: the constraint's
 // row band is pushed into the scan (only overlapping tablets run the
 // stack) and its column band filters server-side below the settings.
-func OneTableConstrained(conn *accumulo.Connector, tableIn, tableOut string, settings []iterator.Setting, c ScanConstraint) (int, error) {
+func OneTableConstrained(conn *accumulo.Connector, tableIn, tableOut string, settings []iterator.Setting, c ScanConstraint) (n int, err error) {
+	q, done := startQuery(conn, "OneTable", nil)
+	defer func() { done(err) }()
+	return oneTableQ(conn, tableIn, tableOut, settings, c, q)
+}
+
+// oneTableQ is the OneTable executor under an existing query record —
+// the entry point for composite kernels that own their trace.
+func oneTableQ(conn *accumulo.Connector, tableIn, tableOut string, settings []iterator.Setting, c ScanConstraint, q *telemetry.Query) (int, error) {
 	if err := ensureResultTable(conn, tableOut, semiring.PlusTimes); err != nil {
 		return 0, err
 	}
@@ -377,6 +409,7 @@ func OneTableConstrained(conn *accumulo.Connector, tableIn, tableOut string, set
 	if err != nil {
 		return 0, err
 	}
+	sc.SetTrace(q)
 	sc.SetRange(c.rowRange())
 	if colFilter, ok := c.colSetting(25); ok {
 		sc.AddScanIterator(colFilter)
@@ -407,21 +440,24 @@ func TableRowReduce(conn *accumulo.Connector, tableIn, tableOut, monoid, colF, c
 // TableRowReduceConstrained is TableRowReduce over a sub-array: rows
 // outside the band never run the reduce, and a column band reduces only
 // the selected qualifiers of each row.
-func TableRowReduceConstrained(conn *accumulo.Connector, tableIn, tableOut, monoid, colF, colQ string, c ScanConstraint) (int, error) {
-	return OneTableConstrained(conn, tableIn, tableOut, []iterator.Setting{
+func TableRowReduceConstrained(conn *accumulo.Connector, tableIn, tableOut, monoid, colF, colQ string, c ScanConstraint) (n int, err error) {
+	q, done := startQuery(conn, "TableRowReduce", nil)
+	defer func() { done(err) }()
+	return oneTableQ(conn, tableIn, tableOut, []iterator.Setting{
 		{Name: "rowReduce", Priority: 30, Opts: map[string]string{
 			"monoid": monoid, "colF": colF, "colQ": colQ,
 		}},
-	}, c)
+	}, c, q)
 }
 
 // TableSum unions the input tables into tableOut under a summing
 // combiner: the associative-array addition of §II.A executed as
 // server-side copies.
-func TableSum(conn *accumulo.Connector, inputs []string, tableOut string) (int, error) {
-	total := 0
+func TableSum(conn *accumulo.Connector, inputs []string, tableOut string) (total int, err error) {
+	q, done := startQuery(conn, "TableSum", nil)
+	defer func() { done(err) }()
 	for _, in := range inputs {
-		n, err := OneTable(conn, in, tableOut, nil)
+		n, err := oneTableQ(conn, in, tableOut, nil, ScanConstraint{}, q)
 		if err != nil {
 			return total, err
 		}

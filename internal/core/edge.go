@@ -86,7 +86,9 @@ func batchScanRows(conn *accumulo.Connector, table string, rows []string) ([]skv
 // variant recomputes rather than applying the in-memory incremental
 // update, matching Graphulo's loop structure). It writes the final
 // incidence matrix to outBase-E/-ET and returns the surviving edge ids.
-func KTrussEdgeTable(conn *accumulo.Connector, inc *schema.IncidenceSchema, k int, outBase string) ([]string, error) {
+func KTrussEdgeTable(conn *accumulo.Connector, inc *schema.IncidenceSchema, k int, outBase string) (survivorIDs []string, err error) {
+	q, done := startQuery(conn, "kTruss", nil)
+	defer func() { done(err) }()
 	ops := conn.TableOperations()
 	curE, curET := inc.Table, inc.TableT
 	for round := 0; ; round++ {
@@ -100,7 +102,7 @@ func KTrussEdgeTable(conn *accumulo.Connector, inc *schema.IncidenceSchema, k in
 				return nil, err
 			}
 		}
-		if _, err := TableMult(conn, curE, curE, aTable, MultOptions{}); err != nil {
+		if _, err := TableMult(conn, curE, curE, aTable, MultOptions{Query: q}); err != nil {
 			return nil, err
 		}
 		// Strip the diagonal client-side into A' (diag(EᵀE) = degrees).
@@ -115,7 +117,7 @@ func KTrussEdgeTable(conn *accumulo.Connector, inc *schema.IncidenceSchema, k in
 				return nil, err
 			}
 		}
-		if _, err := TableMult(conn, curET, aPrime, rTable, MultOptions{}); err != nil {
+		if _, err := TableMult(conn, curET, aPrime, rTable, MultOptions{Query: q}); err != nil {
 			return nil, err
 		}
 		// s = (R==2)·1 server-side.
@@ -125,13 +127,13 @@ func KTrussEdgeTable(conn *accumulo.Connector, inc *schema.IncidenceSchema, k in
 				return nil, err
 			}
 		}
-		if _, err := OneTable(conn, rTable, sTable, []iterator.Setting{
+		if _, err := oneTableQ(conn, rTable, sTable, []iterator.Setting{
 			{Name: "equalsIndicator", Priority: 30, Opts: map[string]string{"target": "2"}},
 			{Name: "rowReduce", Priority: 31, Opts: map[string]string{"monoid": "plus", "colQ": "support"}},
-		}); err != nil {
+		}, ScanConstraint{}, q); err != nil {
 			return nil, err
 		}
-		support, err := readDegrees(conn, sTable)
+		support, err := readDegrees(conn, sTable, q)
 		if err != nil {
 			return nil, err
 		}

@@ -25,7 +25,9 @@ type PageRankTableResult struct {
 //
 // alpha is the jump probability (paper convention: the principal
 // eigenvector of α/N·1 + (1−α)AᵀD⁻¹).
-func PageRankTable(conn *accumulo.Connector, table, degTable string, alpha, tol float64, maxIter int) (PageRankTableResult, error) {
+func PageRankTable(conn *accumulo.Connector, table, degTable string, alpha, tol float64, maxIter int) (res PageRankTableResult, err error) {
+	q, done := startQuery(conn, "PageRank", nil)
+	defer func() { done(err) }()
 	if tol <= 0 {
 		tol = 1e-10
 	}
@@ -34,7 +36,7 @@ func PageRankTable(conn *accumulo.Connector, table, degTable string, alpha, tol 
 	}
 	ops := conn.TableOperations()
 	// Vertex set and dangling detection from the degree table.
-	degs, err := readDegrees(conn, degTable)
+	degs, err := readDegrees(conn, degTable, q)
 	if err != nil {
 		return PageRankTableResult{}, err
 	}
@@ -50,9 +52,9 @@ func PageRankTable(conn *accumulo.Connector, table, degTable string, alpha, tol 
 			return PageRankTableResult{}, err
 		}
 	}
-	if _, err := OneTable(conn, table, mt, []iterator.Setting{
+	if _, err := oneTableQ(conn, table, mt, []iterator.Setting{
 		{Name: "rowScale", Priority: 30, Opts: map[string]string{"table": degTable}},
-	}); err != nil {
+	}, ScanConstraint{}, q); err != nil {
 		return PageRankTableResult{}, err
 	}
 
@@ -75,6 +77,7 @@ func PageRankTable(conn *accumulo.Connector, table, degTable string, alpha, tol 
 		if err != nil {
 			return err
 		}
+		w.SetTrace(q)
 		for v, r := range vals {
 			if err := w.PutFloat(v, "", "r", r); err != nil {
 				return err
@@ -93,12 +96,12 @@ func PageRankTable(conn *accumulo.Connector, table, degTable string, alpha, tol 
 			}
 		}
 		// y[u] = Σ_v Mᵀ[v][u]·x[v], server-side.
-		if _, err := TableMult(conn, mt, vec, next, MultOptions{}); err != nil {
+		if _, err := TableMult(conn, mt, vec, next, MultOptions{Query: q}); err != nil {
 			return PageRankTableResult{}, err
 		}
 		// Read the small rank vector back through the row-keyed stream
 		// fold (the same read path the degree tables use).
-		walked, err := readDegrees(conn, next)
+		walked, err := readDegrees(conn, next, q)
 		if err != nil {
 			return PageRankTableResult{}, err
 		}

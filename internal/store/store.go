@@ -31,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"graphulo/internal/cache"
 	"graphulo/internal/iterator"
@@ -105,6 +106,9 @@ type Options struct {
 	// distinct row (0 selects rfile.DefaultBloomBitsPerKey; negative
 	// disables the filters).
 	BloomFilterBits int
+	// WALSyncObserver, when set, receives the duration of every WAL
+	// fsync issued by the directory's tablet stores.
+	WALSyncObserver func(time.Duration)
 }
 
 // Open loads (or initialises) the data directory at path and
@@ -353,6 +357,7 @@ func (d *Dir) openTabletStoreLocked(table string, tb *tabletManifest) (*TabletSt
 	log, err := wal.Open(d.walPath(), tabletIDName(tb.ID), wal.Options{
 		NoSync:          d.opts.NoSync,
 		MaxSegmentBytes: d.opts.MaxWALSegmentBytes,
+		SyncObserver:    d.opts.WALSyncObserver,
 	})
 	if err != nil {
 		return nil, err

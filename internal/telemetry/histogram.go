@@ -1,0 +1,126 @@
+package telemetry
+
+// Lock-free fixed-bucket latency histograms. Buckets are exponential
+// with le-semantics (bucket i counts observations ≤ its bound), bounds
+// doubling from 1µs, so one histogram spans microsecond iterator work to
+// minute-long kernel runs in NumBuckets counters. Observe is a couple of
+// atomic adds — cheap enough for every tablet pass, write batch, and WAL
+// fsync — and Snapshot/Fold let per-pass histograms travel in scan
+// trailers and merge into per-query and process-global ones.
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the bucket count: bounds 1µs<<0 … 1µs<<(NumBuckets-2),
+// plus a final +Inf bucket.
+const NumBuckets = 28
+
+// BucketBound returns bucket i's inclusive upper bound; the last bucket
+// is unbounded and returns -1.
+func BucketBound(i int) time.Duration {
+	if i < 0 || i >= NumBuckets-1 {
+		return -1
+	}
+	return time.Microsecond << i
+}
+
+// bucketIndex returns the smallest bucket whose bound admits ns.
+func bucketIndex(ns int64) int {
+	if ns <= 1000 {
+		return 0
+	}
+	// Smallest i with ns <= 1000<<i  ⇔  i >= ceil(log2(ceil(ns/1000))).
+	idx := bits.Len64(uint64(ns+999)/1000 - 1)
+	if idx > NumBuckets-1 {
+		return NumBuckets - 1
+	}
+	return idx
+}
+
+// Histogram is a lock-free fixed-bucket latency histogram. The zero
+// value is ready to use; a Histogram must not be copied after first use.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Fold merges a snapshot (a pass's shipped histogram) into h.
+func (h *Histogram) Fold(s HistogramSnapshot) {
+	if s.Count == 0 {
+		return
+	}
+	for i, n := range s.Buckets {
+		if n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.SumNanos)
+}
+
+// Snapshot captures the histogram. Under concurrent Observe the bucket
+// counts and the total are each individually consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNanos = h.sum.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy, also the wire form inside
+// trailers.
+type HistogramSnapshot struct {
+	Count    int64             `json:"count"`
+	SumNanos int64             `json:"sum_ns"`
+	Buckets  [NumBuckets]int64 `json:"-"`
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) as the bound of the
+// bucket holding that rank — an upper bound on the true value. The +Inf
+// bucket reports the largest finite bound. Returns 0 on an empty
+// histogram.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	total := int64(0)
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	cum := int64(0)
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			if i == NumBuckets-1 {
+				return BucketBound(NumBuckets - 2)
+			}
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(NumBuckets - 2)
+}

@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"graphulo/internal/skv"
 )
@@ -44,6 +45,9 @@ type Options struct {
 	// size (default 8 MiB). Bounding segment size bounds single-file
 	// replay cost and lets flushed prefixes be reclaimed sooner.
 	MaxSegmentBytes int64
+	// SyncObserver, when set, receives the wall-clock duration of every
+	// fsync the log issues (group commits, rotations, explicit Syncs).
+	SyncObserver func(time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -162,6 +166,18 @@ func syncDir(path string) error {
 	return cerr
 }
 
+// syncFile fsyncs f, reporting the elapsed time to the configured
+// observer. The observer is immutable after Open, so this is safe with
+// or without l.mu held.
+func (l *Log) syncFile(f *os.File) error {
+	start := time.Now()
+	err := f.Sync()
+	if obs := l.opts.SyncObserver; obs != nil {
+		obs(time.Since(start))
+	}
+	return err
+}
+
 // Append durably logs one write batch. It returns once the record is on
 // stable storage (or written to the OS under NoSync). Group commit: the
 // fsync that covers this record may be issued by a concurrent appender.
@@ -231,7 +247,7 @@ func (l *Log) commitLocked(mine uint64) error {
 		l.syncing = true
 		f, target := l.f, l.appendSeq
 		l.mu.Unlock()
-		err := f.Sync()
+		err := l.syncFile(f)
 		l.mu.Lock()
 		l.syncing = false
 		if err == nil && l.syncSeq < target {
@@ -252,7 +268,7 @@ func (l *Log) rotateLocked() error {
 		l.cond.Wait()
 	}
 	if !l.opts.NoSync {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncFile(l.f); err != nil {
 			return err
 		}
 	}
@@ -317,7 +333,7 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return nil
 	}
-	err := l.f.Sync()
+	err := l.syncFile(l.f)
 	if err == nil {
 		l.syncSeq = l.appendSeq
 	}
@@ -336,7 +352,7 @@ func (l *Log) Close() error {
 		l.cond.Wait()
 	}
 	l.closed = true
-	if err := l.f.Sync(); err != nil {
+	if err := l.syncFile(l.f); err != nil {
 		l.f.Close()
 		return err
 	}
