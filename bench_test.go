@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -1061,4 +1063,210 @@ func BenchmarkPreAggWriteVolume(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) { run(b, -1) })
 	b.Run("on", func(b *testing.B) { run(b, 0) })
+}
+
+// --- Concurrent write path (PR 7) ---
+//
+// BenchmarkConcurrentTabletIngest pins the tentpole claim: N writers
+// ingesting the same fixed workload into ONE tablet scale, because the
+// memtable takes lock-free concurrent inserts, full memtables flush in
+// the background instead of inline, and the WAL's group commit shares
+// one buffer copy and one fsync across concurrent batches.
+// BenchmarkScanDuringIngest pins the read side: scans merge the live
+// memtable under a sequence watermark instead of copying it, so scan
+// throughput holds up while writers hammer the same tablet.
+
+// benchConcurrentIngest writes `total` entries into a single-tablet
+// durable table split evenly across `writers` concurrent BatchWriters.
+func benchConcurrentIngest(b *testing.B, writers, total int) {
+	per := total / writers
+	var freezes, stallNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := mustOpen(ClusterConfig{TabletServers: 1, MemLimit: 1024, DataDir: b.TempDir()})
+		if err := db.Connector().TableOperations().Create("T"); err != nil {
+			b.Fatal(err)
+		}
+		ws := make([]*accumulo.BatchWriter, writers)
+		for w := range ws {
+			// Small client batches keep ingest commit-latency bound —
+			// the regime WAL group commit exists for: concurrent
+			// batches share one buffer copy and one fsync.
+			bw, err := db.Connector().CreateBatchWriter("T", accumulo.BatchWriterConfig{MaxBufferEntries: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ws[w] = bw
+		}
+		b.StartTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if err := ws[w].PutFloat(fmt.Sprintf("w%02d-r%07d", w, i), "", "q", 1); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				if err := ws[w].Close(); err != nil {
+					b.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		b.StopTimer()
+		st := db.ScanMetrics()
+		freezes += st.MemtableFreezes
+		stallNs += st.WriteStallNanos
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(per*writers)*float64(b.N)/b.Elapsed().Seconds(), "entries/sec")
+	b.ReportMetric(float64(freezes)/float64(b.N), "freezes/op")
+	b.ReportMetric(float64(stallNs)/float64(b.N), "stall-ns/op")
+}
+
+func BenchmarkConcurrentTabletIngest(b *testing.B) {
+	const total = 4096
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("writers-%d", w), func(b *testing.B) {
+			benchConcurrentIngest(b, w, total)
+		})
+	}
+}
+
+// BenchmarkScanDuringIngest times full-table scans of a pre-flushed
+// table while 4 background writers continuously ingest into the same
+// single tablet — freezes, background flushes, and watermarked memtable
+// reads all active during every timed scan.
+func BenchmarkScanDuringIngest(b *testing.B) {
+	const n = 1 << 13
+	db := mustOpen(ClusterConfig{TabletServers: 1, MemLimit: 2048, NoSync: true, DataDir: b.TempDir()})
+	defer db.Close()
+	ops := db.Connector().TableOperations()
+	if err := ops.Create("T"); err != nil {
+		b.Fatal(err)
+	}
+	w, err := db.Connector().CreateBatchWriter("T", accumulo.BatchWriterConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.PutFloat(fmt.Sprintf("base-r%07d", i), "", "q", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := ops.Flush("T"); err != nil {
+		b.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	const loadWriters = 4
+	for lw := 0; lw < loadWriters; lw++ {
+		wg.Add(1)
+		go func(lw int) {
+			defer wg.Done()
+			bw, err := db.Connector().CreateBatchWriter("T", accumulo.BatchWriterConfig{MaxBufferEntries: 64})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			for i := 0; !stop.Load(); i++ {
+				if err := bw.PutFloat(fmt.Sprintf("load-w%d-r%09d", lw, i), "", "q", 1); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if err := bw.Close(); err != nil {
+				b.Error(err)
+			}
+		}(lw)
+	}
+	b.ResetTimer()
+	scanned := 0
+	for i := 0; i < b.N; i++ {
+		sc, err := db.Connector().CreateScanner("T")
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := sc.Entries()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) < n {
+			b.Fatalf("scan = %d entries, want >= %d", len(got), n)
+		}
+		scanned += len(got)
+	}
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+	st := db.ScanMetrics()
+	b.ReportMetric(float64(scanned)/b.Elapsed().Seconds(), "entries/sec")
+	b.ReportMetric(float64(st.MemtableFreezes)/float64(b.N), "freezes/op")
+}
+
+// BenchmarkColQBloomPointLookups pins the v3 (row, colQ) pair bloom:
+// single-cell probes for pairs whose ROW exists in every run — so the
+// row bloom admits all of them — skip runs on the pair filter alone.
+// The workload is an edge-existence check: every run holds the probed
+// row, only one can hold the (row, colQ) cell.
+func BenchmarkColQBloomPointLookups(b *testing.B) {
+	run := func(b *testing.B, colqBits int) {
+		cfg := ClusterConfig{TabletServers: 1, NoSync: true, DataDir: b.TempDir(), ColQBloomBits: colqBits}
+		db := mustOpen(cfg)
+		defer db.Close()
+		ops := db.Connector().TableOperations()
+		if err := ops.Create("T"); err != nil {
+			b.Fatal(err)
+		}
+		// Eight flushed runs sharing the same row universe: run r holds
+		// colQ band c{r}-*, so a cell probe's row is in every run but
+		// its (row, colQ) pair lives in exactly one.
+		const runs, rows, per = 8, 64, 8
+		for r := 0; r < runs; r++ {
+			w, err := db.Connector().CreateBatchWriter("T", accumulo.BatchWriterConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < rows; i++ {
+				for j := 0; j < per; j++ {
+					if err := w.PutFloat(fmt.Sprintf("r%05d", i), "", fmt.Sprintf("c%d-%04d", r, j), 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if err := ops.Flush("T"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			row := fmt.Sprintf("r%05d", i%rows)
+			colq := fmt.Sprintf("c%d-%04d", i%runs, i%per)
+			v, ok, err := db.LookupCell("T", row, "", colq)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok || v != 1 {
+				b.Fatalf("cell (%s,%s) = %v ok=%v", row, colq, v, ok)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(db.ScanMetrics().ColQBloomNegatives)/float64(b.N), "colq-negatives/op")
+	}
+	b.Run("colq-bloom-off", func(b *testing.B) { run(b, -1) })
+	b.Run("colq-bloom-on", func(b *testing.B) { run(b, 0) })
 }

@@ -7,6 +7,7 @@
 //
 //	go test -bench=. -benchtime=20x . | benchjson -o BENCH.json
 //	benchjson -o BENCH.json bench-a.txt bench-b.txt
+//	benchjson -o BENCH_NEW.json -baseline BENCH_OLD.json bench-*.txt
 //
 // Each `BenchmarkX <iters> <value> <unit> [<value> <unit>...]` line
 // becomes one record carrying every reported metric (ns/op, B/op,
@@ -14,6 +15,13 @@
 // are captured once per input stream. Lines that are not benchmark
 // results (PASS, ok, test logs) are ignored, so piping a whole `go
 // test` run through is fine.
+//
+// With -baseline, the current results are additionally diffed against a
+// previously committed JSON file: every benchmark present in both gets
+// an old/new/ratio line on ns/op, and benchmarks that appeared or
+// vanished are called out. The diff is report-only by default (CI
+// machines are too noisy for hard gates); -tolerance N makes a >N%
+// ns/op regression on any shared benchmark exit non-zero.
 package main
 
 import (
@@ -44,6 +52,8 @@ type Output struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON file to diff the new results against")
+	tolerance := flag.Float64("tolerance", 0, "fail if any shared benchmark regresses ns/op by more than this percent (0 = report only)")
 	flag.Parse()
 
 	var results []Result
@@ -75,11 +85,73 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
+
+	if *baseline != "" {
+		old, err := loadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if !compare(os.Stdout, old, results, *tolerance) {
+			os.Exit(1)
+		}
+	}
+}
+
+// loadBaseline reads a previously written benchjson output file.
+func loadBaseline(path string) (Output, error) {
+	var o Output
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return o, err
+	}
+	if err := json.Unmarshal(data, &o); err != nil {
+		return o, fmt.Errorf("%s: %w", path, err)
+	}
+	return o, nil
+}
+
+// compare prints an old/new/ratio table on ns/op for benchmarks present
+// in both sets and names the ones only one side has. It returns false
+// when tolerance > 0 and some shared benchmark got slower by more than
+// tolerance percent.
+func compare(w io.Writer, old Output, results []Result, tolerance float64) bool {
+	oldNs := map[string]float64{}
+	for _, r := range old.Benchmarks {
+		if ns, ok := r.Metrics["ns/op"]; ok {
+			oldNs[r.Name] = ns
+		}
+	}
+	fmt.Fprintf(w, "\nbaseline comparison (ns/op, new/old):\n")
+	ok := true
+	seen := map[string]bool{}
+	for _, r := range results {
+		ns, hasNs := r.Metrics["ns/op"]
+		if !hasNs {
+			continue
+		}
+		seen[r.Name] = true
+		base, shared := oldNs[r.Name]
+		if !shared {
+			fmt.Fprintf(w, "  %-60s %12.0f  (new benchmark)\n", r.Name, ns)
+			continue
+		}
+		ratio := ns / base
+		mark := ""
+		if tolerance > 0 && base > 0 && ratio > 1+tolerance/100 {
+			mark = "  REGRESSION"
+			ok = false
+		}
+		fmt.Fprintf(w, "  %-60s %12.0f -> %12.0f  (%.2fx)%s\n", r.Name, base, ns, ratio, mark)
+	}
+	for _, r := range old.Benchmarks {
+		if _, hasNs := r.Metrics["ns/op"]; hasNs && !seen[r.Name] {
+			fmt.Fprintf(w, "  %-60s (gone: present only in baseline)\n", r.Name)
+		}
+	}
+	return ok
 }
 
 func fatal(err error) {

@@ -46,6 +46,7 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"graphulo"
 )
@@ -66,6 +67,8 @@ var (
 	scanPar    = flag.Int("scan-parallelism", 0, "tablets scanned concurrently per kernel pass (0 = cluster default)")
 	cacheBy    = flag.Int64("block-cache-bytes", 0, "rfile block cache capacity in bytes (0 = 32 MiB default, negative disables)")
 	bloomBits  = flag.Int("bloom-bits", 0, "bloom filter bits per distinct row in each rfile (0 = default of 10, negative disables)")
+	colqBloom  = flag.Int("colq-bloom-bits", 0, "bloom filter bits per distinct (row, column-qualifier) pair in each rfile (0 = default of 10, negative disables)")
+	flushBy    = flag.Int("memtable-flush-bytes", 0, "memtable byte budget before freeze-and-flush (0 = 64 MiB default, negative disables the byte trigger)")
 	maxRuns    = flag.Int("max-runs-per-tablet", 8, "background-majc run threshold per tablet (0 disables the compaction scheduler)")
 	rowStart   = flag.String("row-start", "", "restrict mult/bfs to rows >= this key (SpRef push-down; empty = unbounded)")
 	rowEnd     = flag.String("row-end", "", "restrict mult/bfs to rows < this key (SpRef push-down; empty = unbounded)")
@@ -107,7 +110,10 @@ func openDB(g graphulo.Graph) (*graphulo.DB, *graphulo.TableGraph, error) {
 		Servers:          serverList,
 		BlockCacheBytes:  *cacheBy,
 		BloomFilterBits:  *bloomBits,
+		ColQBloomBits:    *colqBloom,
 		MaxRunsPerTablet: *maxRuns,
+
+		MemtableFlushBytes: *flushBy,
 
 		MetricsAddr:        *metricsAddr,
 		SlowQueryThreshold: *slowQuery,
@@ -420,8 +426,10 @@ func reportScanPipeline(db *graphulo.DB) {
 	fmt.Printf("push-down: %d tablet passes ran, %d tablets pruned by range, %d entries pruned by column band, %d partial products pre-⊕-folded\n",
 		st.TabletScans, st.TabletsPrunedByRange, st.EntriesPrunedByRange, st.PartialProductsFolded)
 	if *dataDir != "" {
-		fmt.Printf("storage: %d block-cache hits, %d misses, %d bloom negatives, %d major compactions\n",
-			st.CacheHits, st.CacheMisses, st.BloomNegatives, st.MajorCompactions)
+		fmt.Printf("storage: %d block-cache hits, %d misses, %d bloom negatives (%d colq), %d major compactions\n",
+			st.CacheHits, st.CacheMisses, st.BloomNegatives, st.ColQBloomNegatives, st.MajorCompactions)
+		fmt.Printf("ingest: %d memtable freezes, %s write-stall time\n",
+			st.MemtableFreezes, time.Duration(st.WriteStallNanos))
 	}
 }
 

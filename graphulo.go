@@ -82,6 +82,7 @@ import (
 	"graphulo/internal/gen"
 	"graphulo/internal/schema"
 	"graphulo/internal/semiring"
+	"graphulo/internal/skv"
 	"graphulo/internal/sparse"
 	"graphulo/internal/telemetry"
 )
@@ -291,6 +292,18 @@ type ClusterConfig struct {
 	// lookups) skip files that cannot contain the row (0 selects the
 	// default of 10; negative disables the filters).
 	BloomFilterBits int
+	// ColQBloomBits sizes per-rfile (row, column-qualifier) bloom
+	// filters in bits per distinct pair, letting cell-confined reads
+	// (edge existence probes via HasEdge, single-cell lookups) skip
+	// files that cannot contain the pair (0 selects the default of 10;
+	// negative disables the filters).
+	ColQBloomBits int
+	// MemtableFlushBytes freezes a tablet's memtable for background
+	// flush once its approximate in-memory size reaches this many
+	// bytes, whichever of it and MemLimit (entry count) trips first —
+	// wide values spill on bytes, narrow values on count (0 selects the
+	// 64 MiB default; negative disables the byte trigger).
+	MemtableFlushBytes int
 	// MaxRunsPerTablet, when positive, enables the background
 	// compaction scheduler on durable tables: tablets whose run count
 	// exceeds the threshold have a group of similar-sized runs merged
@@ -344,7 +357,10 @@ func Open(cfg ClusterConfig) (*DB, error) {
 		NoSync:           cfg.NoSync,
 		BlockCacheBytes:  cfg.BlockCacheBytes,
 		BloomFilterBits:  cfg.BloomFilterBits,
+		ColQBloomBits:    cfg.ColQBloomBits,
 		MaxRunsPerTablet: cfg.MaxRunsPerTablet,
+
+		MemtableFlushBytes: cfg.MemtableFlushBytes,
 
 		MetricsAddr:        cfg.MetricsAddr,
 		SlowQueryThreshold: cfg.SlowQueryThreshold,
@@ -391,6 +407,16 @@ type ScanStats struct {
 	// BloomNegatives counts single-row seeks answered by a bloom
 	// filter without touching a data block.
 	BloomNegatives int64
+	// ColQBloomNegatives counts cell-confined seeks (edge existence
+	// probes, single-cell reads) answered by a (row, column-qualifier)
+	// bloom filter without touching a data block.
+	ColQBloomNegatives int64
+	// MemtableFreezes counts memtables frozen and handed to background
+	// flush; WriteStallNanos totals the time writers spent stalled on
+	// flush backpressure (frozen-memtable queue full). A rising stall
+	// total means ingest outruns the flush pipeline.
+	MemtableFreezes int64
+	WriteStallNanos int64
 	// MajorCompactions counts completed major compactions, manual and
 	// scheduler-triggered alike.
 	MajorCompactions int64
@@ -416,14 +442,18 @@ type ScanStats struct {
 // fields are zero for an in-memory cluster.
 func (db *DB) ScanMetrics() ScanStats {
 	m := &db.cluster.Metrics
-	hits, misses, bloomNeg := db.cluster.StorageStats()
+	st := db.cluster.StorageStats()
+	ing := db.cluster.IngestStats()
 	return ScanStats{
 		ScansInFlight:      m.ScansInFlight.Load(),
 		MaxScansInFlight:   m.MaxScansInFlight.Load(),
 		MaxEntriesBuffered: m.MaxEntriesBuffered.Load(),
-		CacheHits:          hits,
-		CacheMisses:        misses,
-		BloomNegatives:     bloomNeg,
+		CacheHits:          st.CacheHits,
+		CacheMisses:        st.CacheMisses,
+		BloomNegatives:     st.BloomNegatives,
+		ColQBloomNegatives: st.ColQBloomNegatives,
+		MemtableFreezes:    ing.Freezes.Load(),
+		WriteStallNanos:    ing.StallNanos.Load(),
 		MajorCompactions:   m.MajorCompactions.Load(),
 
 		TabletScans:           m.TabletScans.Load(),
@@ -675,6 +705,45 @@ func (g *TableGraph) PageRank(alpha, tol float64, maxIter int) (map[string]float
 // to the in-memory algorithms).
 func (g *TableGraph) Adjacency() (*Assoc, error) {
 	return schema.ReadAssoc(g.db.conn, g.schema.Table)
+}
+
+// EdgeWeight probes one adjacency cell: the weight of edge (u, v), or
+// ok=false when the graph has no such edge. The probe is a
+// cell-confined scan over exactly one (row, colQ) pair, so on a durable
+// cluster each rfile answers it through its (row, column-qualifier)
+// bloom filter first — files that cannot contain the pair are skipped
+// without touching a data block (counted by
+// ScanStats.ColQBloomNegatives).
+func (g *TableGraph) EdgeWeight(u, v int) (float64, bool, error) {
+	return g.db.LookupCell(g.schema.Table, schema.VertexName(u), "", schema.VertexName(v))
+}
+
+// HasEdge reports whether edge (u, v) exists, via the same
+// bloom-accelerated cell probe as EdgeWeight.
+func (g *TableGraph) HasEdge(u, v int) (bool, error) {
+	_, ok, err := g.EdgeWeight(u, v)
+	return ok, err
+}
+
+// LookupCell reads a single cell — the newest version of (row, colF,
+// colQ) — decoded as a float. ok=false means the cell does not exist
+// (or holds a non-numeric payload). The scan range is cell-confined, so
+// rfile (row, colQ) bloom filters can reject files without block reads.
+func (db *DB) LookupCell(table, row, colF, colQ string) (float64, bool, error) {
+	sc, err := db.conn.CreateScanner(table)
+	if err != nil {
+		return 0, false, err
+	}
+	sc.SetRange(skv.ExactCell(row, colF, colQ))
+	entries, err := sc.Entries()
+	if err != nil {
+		return 0, false, err
+	}
+	if len(entries) == 0 {
+		return 0, false, nil
+	}
+	f, ok := skv.DecodeFloat(entries[0].V)
+	return f, ok, nil
 }
 
 // TableMult exposes the server-side C ⊕= Aᵀ·B kernel on raw tables.

@@ -110,6 +110,9 @@ func (t *TableOperations) CreateWithSplits(name string, splits []string) error {
 		default:
 			ref.tab = tablet.New(rng[0], rng[1], t.mc.cfg.MemLimit, t.mc.seed.Add(1))
 		}
+		if ref.tab != nil {
+			t.mc.initTablet(ref.tab, meta)
+		}
 		meta.tablets = append(meta.tablets, ref)
 	}
 	t.mc.startScheduler(meta)

@@ -143,6 +143,18 @@ type Config struct {
 	// skip rfiles that cannot contain the row. 0 selects the default
 	// density (10); negative disables the filters.
 	BloomFilterBits int
+	// ColQBloomBits sizes the per-rfile (row, column-qualifier) bloom
+	// filters, in bits per distinct pair: cell-confined seeks (edge
+	// existence probes, single-cell reads) skip rfiles that cannot
+	// contain the pair. 0 selects the default density (10); negative
+	// disables the filters.
+	ColQBloomBits int
+	// MemtableFlushBytes freezes a tablet's memtable for background
+	// flush once its approximate in-memory footprint reaches this many
+	// bytes, regardless of entry count — wide values spill on bytes,
+	// narrow values on MemLimit, whichever trips first. 0 selects the
+	// default budget (64 MiB); negative disables the byte trigger.
+	MemtableFlushBytes int
 	// MetricsAddr, when non-empty, serves the coordinator's telemetry
 	// HTTP endpoint (Prometheus /metrics, JSON /queries, /debug/pprof)
 	// on this address (host:port; ":0" picks an ephemeral port, read it
@@ -181,7 +193,19 @@ func (c Config) withDefaults() Config {
 	if c.ScanParallelism <= 0 {
 		c.ScanParallelism = 4
 	}
+	if c.MemtableFlushBytes == 0 {
+		c.MemtableFlushBytes = 64 << 20
+	}
 	return c
+}
+
+// flushBytes resolves Config.MemtableFlushBytes to the value tablets
+// take: the negative "disabled" sentinel becomes 0.
+func (c Config) flushBytes() int {
+	if c.MemtableFlushBytes < 0 {
+		return 0
+	}
+	return c.MemtableFlushBytes
 }
 
 // Metrics counts cluster activity; all fields are atomic.
@@ -266,6 +290,10 @@ type MiniCluster struct {
 	clock   atomic.Int64
 	seed    atomic.Int64
 	Metrics Metrics
+
+	// ingest aggregates write-path pressure counters (memtable freezes,
+	// write-stall time) across every tablet this cluster hosts.
+	ingest tablet.IngestStats
 
 	// tel tracks the coordinator's kernel queries and process-global
 	// latency histograms; telSrv is the optional HTTP endpoint
@@ -368,6 +396,7 @@ func OpenMiniCluster(cfg Config) (*MiniCluster, error) {
 		NoSync:          cfg.NoSync,
 		BlockCacheBytes: cfg.BlockCacheBytes,
 		BloomFilterBits: cfg.BloomFilterBits,
+		ColQBloomBits:   cfg.ColQBloomBits,
 		WALSyncObserver: func(d time.Duration) { mc.tel.WALSync.Observe(d) },
 	})
 	if err != nil {
@@ -396,6 +425,7 @@ func OpenMiniCluster(cfg Config) (*MiniCluster, error) {
 				clockFloor = maxTs
 			}
 			tab := tablet.NewDurable(tbi.Start, tbi.End, mc.cfg.MemLimit, mc.seed.Add(1), ts, runs, replay)
+			mc.initTablet(tab, meta)
 			server := i % mc.cfg.TabletServers
 			meta.tablets = append(meta.tablets, &tabletRef{
 				tab:      tab,
@@ -534,6 +564,23 @@ func (mc *MiniCluster) scanTopology() *topology {
 	return topo
 }
 
+// initTablet wires a freshly created tablet into the cluster's
+// write-path plumbing: the byte-based flush trigger, the shared
+// ingest-pressure counters, and a flush hook that kicks the table's
+// compaction scheduler so background freezes feed size-tiered merging
+// the same way explicit flushes do. meta.sched is read at notify time —
+// the scheduler starts after tablet creation but before the table is
+// visible to writers.
+func (mc *MiniCluster) initTablet(tab *tablet.Tablet, meta *tableMeta) {
+	tab.SetFlushBytes(mc.cfg.flushBytes())
+	tab.SetIngestStats(&mc.ingest)
+	tab.SetFlushNotify(func() {
+		if meta.sched != nil {
+			meta.sched.Kick()
+		}
+	})
+}
+
 // startScheduler launches the table's background compaction scheduler
 // when the cluster is durable and Config.MaxRunsPerTablet asks for one.
 // Must run before the table becomes visible to other goroutines, so
@@ -579,11 +626,14 @@ func (mc *MiniCluster) TelemetryAddr() string {
 // the Metrics block plus the durable read-path stats.
 func (mc *MiniCluster) counterSamples() []telemetry.Sample {
 	samples := metricsSamples(&mc.Metrics)
-	hits, misses, bloom := mc.StorageStats()
+	st := mc.StorageStats()
 	return append(samples,
-		telemetry.Sample{Name: "cache_hits", Help: "Block-cache hits on the durable read path.", Value: hits},
-		telemetry.Sample{Name: "cache_misses", Help: "Block-cache misses on the durable read path.", Value: misses},
-		telemetry.Sample{Name: "bloom_negatives", Help: "Bloom-filter negative row lookups.", Value: bloom},
+		telemetry.Sample{Name: "cache_hits", Help: "Block-cache hits on the durable read path.", Value: st.CacheHits},
+		telemetry.Sample{Name: "cache_misses", Help: "Block-cache misses on the durable read path.", Value: st.CacheMisses},
+		telemetry.Sample{Name: "bloom_negatives", Help: "Bloom-filter negative row lookups.", Value: st.BloomNegatives},
+		telemetry.Sample{Name: "colq_bloom_negatives", Help: "Column-bloom negative cell lookups.", Value: st.ColQBloomNegatives},
+		telemetry.Sample{Name: "memtable_freezes", Help: "Memtables frozen and handed to background flush.", Value: mc.ingest.Freezes.Load()},
+		telemetry.Sample{Name: "write_stall_nanos", Help: "Nanoseconds writers spent stalled on flush backpressure.", Value: mc.ingest.StallNanos.Load()},
 	)
 }
 
@@ -610,14 +660,18 @@ func metricsSamples(m *Metrics) []telemetry.Sample {
 }
 
 // StorageStats snapshots the durable read-path counters: block-cache
-// hits and misses, and bloom-filter negative row lookups. All zero for
-// in-memory clusters.
-func (mc *MiniCluster) StorageStats() (cacheHits, cacheMisses, bloomNegatives int64) {
+// hits and misses, and bloom-filter negative row and cell lookups. All
+// zero for in-memory clusters.
+func (mc *MiniCluster) StorageStats() store.StorageCounters {
 	if mc.dir == nil {
-		return 0, 0, 0
+		return store.StorageCounters{}
 	}
 	return mc.dir.StorageStats()
 }
+
+// IngestStats exposes the cluster's aggregate write-path pressure
+// counters: memtable freezes and write-stall time.
+func (mc *MiniCluster) IngestStats() *tablet.IngestStats { return &mc.ingest }
 
 // Close shuts the cluster down cleanly. For a durable cluster every
 // tablet's memtable is flushed to an rfile (applying the minc stack,

@@ -37,6 +37,7 @@ type TabletServer struct {
 	clock    atomic.Int64
 	seed     atomic.Int64
 	metrics  Metrics
+	ingest   tablet.IngestStats
 	tel      *telemetry.Registry
 	telSrv   *telemetry.Server
 
@@ -96,7 +97,12 @@ func (s *TabletServer) Telemetry() *telemetry.Registry { return s.tel }
 func (s *TabletServer) StartTelemetry(addr string) (string, error) {
 	srv, err := telemetry.Serve(addr, telemetry.ServerConfig{
 		Registry: s.tel,
-		Counters: func() []telemetry.Sample { return metricsSamples(&s.metrics) },
+		Counters: func() []telemetry.Sample {
+			return append(metricsSamples(&s.metrics),
+				telemetry.Sample{Name: "memtable_freezes", Help: "Memtables frozen and handed to background flush.", Value: s.ingest.Freezes.Load()},
+				telemetry.Sample{Name: "write_stall_nanos", Help: "Nanoseconds writers spent stalled on flush backpressure.", Value: s.ingest.StallNanos.Load()},
+			)
+		},
 	})
 	if err != nil {
 		return "", err
@@ -141,6 +147,8 @@ func (s *TabletServer) assign(table, start, end string) {
 		start: start, end: end,
 		tab: tablet.New(start, end, s.memLimit, s.seed.Add(1)),
 	}
+	fresh.tab.SetFlushBytes(64 << 20)
+	fresh.tab.SetIngestStats(&s.ingest)
 	for i, ht := range s.tables[table] {
 		if ht.start == start && ht.end == end {
 			s.tables[table][i] = fresh

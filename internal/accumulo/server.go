@@ -101,14 +101,15 @@ func (h *clusterHandler) Stream(op byte, req []byte, send func([]byte) error) er
 		passName(sr), h.mc.tel.Host())
 	env := &scanEnv{backend: h.mc, tc: traceCtx{q: pass}}
 	defer env.close()
-	hitsA, missA, bloomA := h.mc.StorageStats()
+	before := h.mc.StorageStats()
 	err = serveScan(tab.Snapshot(), sr.ranges, sr.settings, env, sr.batch, pass, send)
-	hitsB, missB, bloomB := h.mc.StorageStats()
+	after := h.mc.StorageStats()
 	// Storage deltas are attributed to this pass; concurrent passes in
 	// the same process blur the split, but the totals stay exact.
-	pass.Add(telemetry.CacheHits, hitsB-hitsA)
-	pass.Add(telemetry.CacheMisses, missB-missA)
-	pass.Add(telemetry.BloomNegatives, bloomB-bloomA)
+	pass.Add(telemetry.CacheHits, after.CacheHits-before.CacheHits)
+	pass.Add(telemetry.CacheMisses, after.CacheMisses-before.CacheMisses)
+	pass.Add(telemetry.BloomNegatives, after.BloomNegatives-before.BloomNegatives)
+	pass.Add(telemetry.ColQBloomNegatives, after.ColQBloomNegatives-before.ColQBloomNegatives)
 	finishPass(pass, h.mc.tel, err, send)
 	return err
 }

@@ -31,6 +31,18 @@ func bloomHash(row string) uint64 {
 	return h.Sum64()
 }
 
+// bloomHashPair hashes a (row, column-qualifier) pair for the v3
+// column bloom. The NUL separator keeps distinct pairs from colliding
+// except where a row itself contains NUL — and a collision there only
+// costs a false positive, never a false negative.
+func bloomHashPair(row, colQ string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(row))
+	h.Write([]byte{0})
+	h.Write([]byte(colQ))
+	return h.Sum64()
+}
+
 // bloomFilter is an immutable bloom filter over row hashes. A nil bits
 // slice means "no filter" (version-1 files, or blooms disabled at write
 // time) and admits every row.

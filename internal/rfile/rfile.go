@@ -18,24 +18,32 @@
 //     scans serve decoded entries straight from memory. Closing a
 //     Reader evicts its blocks, so files replaced by major compaction
 //     stop occupying cache capacity.
-//   - Bloom filter. Finish writes a bloom filter over the file's
-//     distinct rows (WriterOptions.BloomBitsPerKey). A seek confined to
-//     a single row — exact-row BFS expansions, point lookups — probes
-//     the filter first and skips the file entirely on a negative,
-//     avoiding both the index search and the block load. Negatives are
-//     counted in ReaderOptions.Stats.
+//   - Bloom filters. Finish writes a bloom filter over the file's
+//     distinct rows (WriterOptions.BloomBitsPerKey) and, since version
+//     3, a second filter over distinct (row, column-qualifier) pairs
+//     (WriterOptions.ColQBloomBits). A seek confined to a single row —
+//     exact-row BFS expansions, point lookups — probes the row filter
+//     first and skips the file entirely on a negative; a seek confined
+//     to a single cell (skv.ExactCell: one row, family, and qualifier)
+//     additionally probes the pair filter, pruning block reads for
+//     column point lookups whose row exists but whose column does not.
+//     Negatives are counted in ReaderOptions.Stats.
 //
 // Every block checksum is verified on (disk) load; cache hits skip the
 // re-verification along with the read and decode.
 //
-// Layout (version 2; version-1 files, which lack the bloom section,
-// remain readable):
+// Layout (version 3; version-1 files, which lack the bloom sections,
+// and version-2 files, which carry only the row bloom, remain
+// readable):
 //
 //	[data block]...[index][trailer]
 //	index:   uvarint nblocks, then per block
 //	         (firstKey as a valueless entry, uvarint off, len, count, u32 crc),
 //	         then uvarint total entry count,
-//	         then (v2, optional) bloom: uvarint k, uvarint nbytes, bits
+//	         then (v2: optional; v3: required) row bloom:
+//	         uvarint k, uvarint nbytes, bits
+//	         then (v3, required) (row,colQ) bloom, same encoding
+//	         (a zero-length bloom section means "disabled": admit all)
 //	trailer: u64 indexOff | u32 indexLen | u32 indexCRC |
 //	         u32 version | u32 magic ("GRF1"), little-endian
 package rfile
@@ -57,7 +65,7 @@ import (
 
 const (
 	magic   = 0x31465247 // "GRF1" little-endian
-	version = 2
+	version = 3
 	// trailerLen is the fixed byte length of the file trailer.
 	trailerLen = 8 + 4 + 4 + 4 + 4
 	// DefaultBlockSize is the uncompressed data-block size target.
@@ -68,8 +76,11 @@ const (
 // (one per data directory); all fields are atomic.
 type Stats struct {
 	// BloomNegatives counts single-row seeks answered "not present"
-	// by a bloom filter without loading any block.
+	// by a row bloom filter without loading any block.
 	BloomNegatives atomic.Int64
+	// ColQBloomNegatives counts single-cell seeks whose row passed the
+	// row bloom but whose (row, colQ) pair the column bloom rejected.
+	ColQBloomNegatives atomic.Int64
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -94,23 +105,29 @@ type WriterOptions struct {
 	// row. 0 selects DefaultBloomBitsPerKey; negative disables the
 	// filter.
 	BloomBitsPerKey int
+	// ColQBloomBits sizes the (row, colQ) bloom filter in bits per
+	// distinct pair. 0 selects DefaultBloomBitsPerKey; negative
+	// disables the filter.
+	ColQBloomBits int
 }
 
 // Writer streams sorted entries into a new rfile.
 type Writer struct {
-	f         *os.File
-	blockSize int
-	bloomBits int    // bits per distinct row; < 0 disables
-	buf       []byte // current block under construction
-	bufCount  int
-	off       uint64
-	blocks    []blockMeta
-	firstKey  skv.Key
-	haveFirst bool
-	lastKey   skv.Key
-	haveLast  bool
-	count     int
-	rowHashes []uint64 // one hash per distinct row, for the bloom
+	f          *os.File
+	blockSize  int
+	bloomBits  int    // bits per distinct row; < 0 disables
+	colqBits   int    // bits per distinct (row, colQ) pair; < 0 disables
+	buf        []byte // current block under construction
+	bufCount   int
+	off        uint64
+	blocks     []blockMeta
+	firstKey   skv.Key
+	haveFirst  bool
+	lastKey    skv.Key
+	haveLast   bool
+	count      int
+	rowHashes  []uint64 // one hash per distinct row, for the row bloom
+	pairHashes []uint64 // one hash per (row, colQ) change, for the column bloom
 }
 
 // Create opens path for writing.
@@ -121,11 +138,14 @@ func Create(path string, opts WriterOptions) (*Writer, error) {
 	if opts.BloomBitsPerKey == 0 {
 		opts.BloomBitsPerKey = DefaultBloomBitsPerKey
 	}
+	if opts.ColQBloomBits == 0 {
+		opts.ColQBloomBits = DefaultBloomBitsPerKey
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &Writer{f: f, blockSize: opts.BlockSize, bloomBits: opts.BloomBitsPerKey}, nil
+	return &Writer{f: f, blockSize: opts.BlockSize, bloomBits: opts.BloomBitsPerKey, colqBits: opts.ColQBloomBits}, nil
 }
 
 // Append adds the next entry, which must not sort before its
@@ -138,6 +158,12 @@ func (w *Writer) Append(e skv.Entry) error {
 		// Sorted input groups rows, so a row change means a new
 		// distinct row.
 		w.rowHashes = append(w.rowHashes, bloomHash(e.K.Row))
+	}
+	if w.colqBits >= 0 && (!w.haveLast || e.K.Row != w.lastKey.Row || e.K.ColQ != w.lastKey.ColQ) {
+		// Sort order is (row, colF, colQ), so the same (row, colQ) pair
+		// can recur across families; the duplicate hashes only set the
+		// same bits again.
+		w.pairHashes = append(w.pairHashes, bloomHashPair(e.K.Row, e.K.ColQ))
 	}
 	if !w.haveFirst {
 		w.firstKey, w.haveFirst = e.K, true
@@ -189,9 +215,17 @@ func (w *Writer) Finish() error {
 		index = binary.LittleEndian.AppendUint32(index, b.crc)
 	}
 	index = binary.AppendUvarint(index, uint64(w.count))
+	// Version 3 always writes both bloom sections; a disabled filter is
+	// a zero-length section, which parses to the admit-all filter.
+	var rowBloom, colqBloom bloomFilter
 	if w.bloomBits >= 0 {
-		index = appendBloom(index, buildBloom(w.rowHashes, w.bloomBits))
+		rowBloom = buildBloom(w.rowHashes, w.bloomBits)
 	}
+	if w.colqBits >= 0 {
+		colqBloom = buildBloom(w.pairHashes, w.colqBits)
+	}
+	index = appendBloom(index, rowBloom)
+	index = appendBloom(index, colqBloom)
 	if _, err := w.f.Write(index); err != nil {
 		w.f.Close()
 		return err
@@ -253,13 +287,14 @@ type ReaderOptions struct {
 // CRC-verified on load, so one Reader may back any number of concurrent
 // Iters.
 type Reader struct {
-	f      *os.File
-	path   string
-	blocks []blockMeta
-	count  int
-	bloom  bloomFilter
-	cache  *cache.BlockCache
-	stats  *Stats
+	f         *os.File
+	path      string
+	blocks    []blockMeta
+	count     int
+	bloom     bloomFilter // over distinct rows
+	colqBloom bloomFilter // over distinct (row, colQ) pairs (v3+)
+	cache     *cache.BlockCache
+	stats     *Stats
 
 	// dead marks a Reader whose file has been deleted (major
 	// compaction, table drop): in-flight Iters keep reading through the
@@ -375,15 +410,28 @@ func (r *Reader) parseIndex(index []byte, v uint32) error {
 	}
 	r.count = int(total)
 	index = index[k:]
-	// Version 2 appends an optional bloom section; its absence (bloom
-	// disabled at write time, or a version-1 file) leaves a nil filter
-	// that admits every row.
-	if v >= 2 && len(index) > 0 {
+	// Version 2 appends an optional row-bloom section; its absence
+	// (bloom disabled at write time, or a version-1 file) leaves a nil
+	// filter that admits every row. Version 3 always carries two
+	// sections — row bloom then (row, colQ) bloom — with zero-length
+	// sections standing for disabled filters.
+	if v == 2 && len(index) > 0 {
 		bloom, _, err := parseBloom(index)
 		if err != nil {
 			return fmt.Errorf("rfile: %s: %v", r.path, err)
 		}
 		r.bloom = bloom
+	}
+	if v >= 3 {
+		bloom, rest, err := parseBloom(index)
+		if err != nil {
+			return fmt.Errorf("rfile: %s: row bloom: %v", r.path, err)
+		}
+		colq, _, err := parseBloom(rest)
+		if err != nil {
+			return fmt.Errorf("rfile: %s: colq bloom: %v", r.path, err)
+		}
+		r.bloom, r.colqBloom = bloom, colq
 	}
 	return nil
 }
@@ -392,6 +440,13 @@ func (r *Reader) parseIndex(index []byte, v uint32) error {
 // given row: false only when the bloom filter proves absence.
 func (r *Reader) MayContainRow(row string) bool {
 	return r.bloom.mayContain(bloomHash(row))
+}
+
+// MayContainCell reports whether the file could hold entries with the
+// given (row, colQ) pair: false only when the column bloom filter
+// proves absence.
+func (r *Reader) MayContainCell(row, colQ string) bool {
+	return r.colqBloom.mayContain(bloomHashPair(row, colQ))
 }
 
 // Count returns the number of entries in the file.
@@ -487,6 +542,29 @@ func singleRowOf(rng skv.Range) (string, bool) {
 	return "", false
 }
 
+// singleCellOf returns the one (row, colQ) pair a range is confined to,
+// when it is. Because keys sort (row, colF, colQ), a range only pins a
+// single qualifier when it also stays inside a single column family —
+// skv.ExactCell produces exactly this shape (its end is the smallest
+// key of the successor qualifier), and ranges ending inside their start
+// cell qualify too.
+func singleCellOf(rng skv.Range) (row, colQ string, ok bool) {
+	if !rng.HasStart || !rng.HasEnd {
+		return "", "", false
+	}
+	s, e := rng.Start, rng.End
+	if e.Row != s.Row || e.ColF != s.ColF {
+		return "", "", false
+	}
+	if e.ColQ == s.ColQ {
+		return s.Row, s.ColQ, true
+	}
+	if e.ColQ == s.ColQ+"\x00" && e.Ts == skv.MaxTs {
+		return s.Row, s.ColQ, true
+	}
+	return "", "", false
+}
+
 // Seek implements SKVI.
 func (it *Iter) Seek(rng skv.Range) error {
 	it.rng = rng
@@ -496,11 +574,22 @@ func (it *Iter) Seek(rng skv.Range) error {
 		it.blk = 0
 		return nil
 	}
-	// A seek confined to one row is answered by the bloom filter when
-	// the file cannot contain the row: no index search, no block load.
+	// A seek confined to one row is answered by the row bloom filter
+	// when the file cannot contain the row: no index search, no block
+	// load. A seek confined to one cell additionally probes the
+	// (row, colQ) bloom, catching the "row present, column absent"
+	// lookups the row filter must admit.
 	if row, ok := singleRowOf(rng); ok && !it.r.MayContainRow(row) {
 		if it.r.stats != nil {
 			it.r.stats.BloomNegatives.Add(1)
+		}
+		it.blk = len(it.r.blocks)
+		it.pos = 0
+		return nil
+	}
+	if row, colQ, ok := singleCellOf(rng); ok && !it.r.MayContainCell(row, colQ) {
+		if it.r.stats != nil {
+			it.r.stats.ColQBloomNegatives.Add(1)
 		}
 		it.blk = len(it.r.blocks)
 		it.pos = 0

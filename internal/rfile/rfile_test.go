@@ -470,3 +470,92 @@ func TestMarkDeadStopsCacheFeeding(t *testing.T) {
 		t.Fatalf("dead reader repopulated cache with %d blocks", c.Len())
 	}
 }
+
+// TestColQBloomSkipsAbsentCells pins the v3 (row, column-qualifier)
+// bloom: cell-confined seeks for pairs the file does not hold
+// short-circuit without a block load (and count as ColQBloomNegatives),
+// while present pairs are never filtered. The probe rows all exist in
+// the file, so the row bloom admits every one of them — only the pair
+// filter can reject.
+func TestColQBloomSkipsAbsentCells(t *testing.T) {
+	entries := buildEntries(2000)
+	path := writeFile(t, entries, 512)
+	var stats Stats
+	c := cache.New(1 << 20)
+	r, err := OpenWithOptions(path, ReaderOptions{Cache: c, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Present (row, colQ) pairs must never be filtered.
+	for i := 0; i < 2000; i += 97 {
+		it := r.Iter()
+		rng := skv.ExactCell(fmt.Sprintf("row%05d", i), "f", fmt.Sprintf("q%d", i%3))
+		if err := it.Seek(rng); err != nil {
+			t.Fatal(err)
+		}
+		if !it.HasTop() {
+			t.Fatalf("colq bloom false negative on present cell %d", i)
+		}
+	}
+	// Absent pairs on present rows: almost all seeks must short-circuit
+	// on the pair filter alone.
+	before := c.Misses() + c.Hits()
+	rowNegBefore := stats.BloomNegatives.Load()
+	const probes = 2000
+	for i := 0; i < probes; i++ {
+		it := r.Iter()
+		rng := skv.ExactCell(fmt.Sprintf("row%05d", i), "f", fmt.Sprintf("absent%d", i))
+		if err := it.Seek(rng); err != nil {
+			t.Fatal(err)
+		}
+		if it.HasTop() {
+			t.Fatalf("absent cell %d returned %v", i, it.Top())
+		}
+	}
+	if got := stats.BloomNegatives.Load(); got != rowNegBefore {
+		t.Fatalf("row bloom rejected %d present rows", got-rowNegBefore)
+	}
+	neg := stats.ColQBloomNegatives.Load()
+	fpRate := float64(probes-int(neg)) / probes
+	if fpRate > 0.05 {
+		t.Fatalf("colq bloom false-positive rate %.3f exceeds 5%% (negatives=%d)", fpRate, neg)
+	}
+	loads := c.Misses() + c.Hits() - before
+	if int(loads) != probes-int(neg) {
+		t.Fatalf("block lookups = %d, want one per false positive (%d)", loads, probes-int(neg))
+	}
+}
+
+// TestColQBloomDisabled writes a file with the pair filter off and
+// checks cell seeks still work, row blooms stay active, and nothing is
+// counted as a pair negative.
+func TestColQBloomDisabled(t *testing.T) {
+	entries := buildEntries(100)
+	path := filepath.Join(t.TempDir(), "nocolq.rf")
+	if err := WriteAll(path, entries, WriterOptions{BlockSize: 512, ColQBloomBits: -1}); err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	r, err := OpenWithOptions(path, ReaderOptions{Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.MayContainCell("row00007", "definitely-absent") {
+		t.Fatal("pair-filterless reader claimed proof of absence")
+	}
+	if !r.MayContainRow("row00007") {
+		t.Fatal("row bloom should still be active")
+	}
+	it := r.Iter()
+	if err := it.Seek(skv.ExactCell("row00007", "f", "q1")); err != nil {
+		t.Fatal(err)
+	}
+	if !it.HasTop() {
+		t.Fatal("present cell not found without pair bloom")
+	}
+	if stats.ColQBloomNegatives.Load() != 0 {
+		t.Fatalf("pair negatives counted without a filter: %d", stats.ColQBloomNegatives.Load())
+	}
+}

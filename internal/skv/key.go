@@ -108,6 +108,19 @@ func ExactRow(row string) Range {
 	}
 }
 
+// ExactCell covers exactly one cell — every timestamped version of one
+// (row, colF, colQ). Cell-confined seeks are answered by the rfile
+// (row, colQ) bloom filter without loading a block when the file cannot
+// contain the pair.
+func ExactCell(row, colF, colQ string) Range {
+	return Range{
+		Start:    Key{Row: row, ColF: colF, ColQ: colQ, Ts: MaxTs},
+		HasStart: true,
+		End:      Key{Row: row, ColF: colF, ColQ: colQ + "\x00", Ts: MaxTs},
+		HasEnd:   true,
+	}
+}
+
 // PrefixRange covers all rows beginning with prefix.
 func PrefixRange(prefix string) Range {
 	if prefix == "" {

@@ -106,6 +106,10 @@ type Options struct {
 	// distinct row (0 selects rfile.DefaultBloomBitsPerKey; negative
 	// disables the filters).
 	BloomFilterBits int
+	// ColQBloomBits sizes per-rfile (row, colQ) bloom filters in bits
+	// per distinct pair (0 selects rfile.DefaultBloomBitsPerKey;
+	// negative disables the filters).
+	ColQBloomBits int
 	// WALSyncObserver, when set, receives the duration of every WAL
 	// fsync issued by the directory's tablet stores.
 	WALSyncObserver func(time.Duration)
@@ -477,10 +481,23 @@ func (d *Dir) readerOptions() rfile.ReaderOptions {
 	return rfile.ReaderOptions{Cache: d.blockCache, Stats: &d.rfStats}
 }
 
-// StorageStats snapshots the directory's read-path counters: block
-// cache hits and misses, and bloom-filter negative lookups.
-func (d *Dir) StorageStats() (cacheHits, cacheMisses, bloomNegatives int64) {
-	return d.blockCache.Hits(), d.blockCache.Misses(), d.rfStats.BloomNegatives.Load()
+// StorageCounters is a snapshot of a data directory's read-path
+// counters: block cache traffic and bloom-filter negative lookups.
+type StorageCounters struct {
+	CacheHits          int64
+	CacheMisses        int64
+	BloomNegatives     int64 // single-row seeks pruned by the row bloom
+	ColQBloomNegatives int64 // single-cell seeks pruned by the (row, colQ) bloom
+}
+
+// StorageStats snapshots the directory's read-path counters.
+func (d *Dir) StorageStats() StorageCounters {
+	return StorageCounters{
+		CacheHits:          d.blockCache.Hits(),
+		CacheMisses:        d.blockCache.Misses(),
+		BloomNegatives:     d.rfStats.BloomNegatives.Load(),
+		ColQBloomNegatives: d.rfStats.ColQBloomNegatives.Load(),
+	}
 }
 
 // newRFileLocked writes entries to a fresh rfile and opens a reader on
@@ -492,7 +509,11 @@ func (d *Dir) newRFileLocked(entries []skv.Entry) (string, *rfile.Reader, error)
 	name := rfileName(d.man.NextID)
 	d.man.NextID++
 	path := d.rfPath(name)
-	wopts := rfile.WriterOptions{BlockSize: d.opts.BlockSize, BloomBitsPerKey: d.opts.BloomFilterBits}
+	wopts := rfile.WriterOptions{
+		BlockSize:       d.opts.BlockSize,
+		BloomBitsPerKey: d.opts.BloomFilterBits,
+		ColQBloomBits:   d.opts.ColQBloomBits,
+	}
 	if err := rfile.WriteAll(path, entries, wopts); err != nil {
 		return "", nil, err
 	}

@@ -23,7 +23,7 @@ func BenchmarkMemtableInsert(b *testing.B) {
 	entries := benchEntries(1 << 14)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := newMemtable(1)
+		m := newMemtable()
 		for _, e := range entries {
 			m.insert(e)
 		}

@@ -9,102 +9,239 @@
 package tablet
 
 import (
-	"math/rand"
-	"sync"
+	"math/rand/v2"
+	"sync/atomic"
 
 	"graphulo/internal/skv"
 )
 
 const maxLevel = 16
 
-// memtable is a skip list keyed by skv.Key. Writes take the mutex;
-// snapshots copy the entries out under the same mutex so scans never
-// race with inserts.
+// memtable is an insert-only lock-free concurrent skip list keyed by
+// skv.Key. Inserts link nodes with compare-and-swap on atomic next
+// pointers; there are no deletions, so no marked pointers or retry
+// epochs are needed. Reads never take a lock and never copy: an
+// iterator captures the sequence-number watermark at creation and walks
+// the live structure, skipping entries inserted after the watermark, so
+// scans never block writers and writers never block scans.
+//
+// The snapshot contract is per-entry, matching what the merged read
+// path needs: every entry inserted before the watermark is visible
+// (once its insert's bottom-level link lands — an insert racing the
+// watermark capture itself may or may not be admitted), and entries
+// inserted after are filtered out. Overwrites of the same full key
+// (including timestamp) swap the value in place, keeping the original
+// insert's sequence number; a concurrent reader admitted to the key
+// then observes the freshest value rather than a historic one. The
+// cluster write path stamps unique timestamps so same-full-key
+// overwrite races only arise in direct tablet use and single-threaded
+// WAL replay.
 type memtable struct {
-	mu    sync.Mutex
-	head  *node
-	level int
-	size  int
-	bytes int
-	rng   *rand.Rand
+	head  *memNode
+	seq   atomic.Uint64 // issues per-entry sequence numbers; loaded as the scan watermark
+	size  atomic.Int64
+	bytes atomic.Int64
 }
 
-type node struct {
-	entry skv.Entry
-	next  []*node
+// memVal pairs a value with the sequence number of the insert that
+// first created its key, so iterators can filter by watermark.
+type memVal struct {
+	v   skv.Value
+	seq uint64
 }
 
-func newMemtable(seed int64) *memtable {
+type memNode struct {
+	k    skv.Key
+	val  atomic.Pointer[memVal]
+	next []atomic.Pointer[memNode] // one per level of this node's tower
+}
+
+func newMemtable() *memtable {
 	return &memtable{
-		head:  &node{next: make([]*node, maxLevel)},
-		level: 1,
-		rng:   rand.New(rand.NewSource(seed)),
+		head: &memNode{next: make([]atomic.Pointer[memNode], maxLevel)},
 	}
 }
 
-func (m *memtable) randomLevel() int {
+// randomLevel draws a tower height with P(level > L) = 2^-L. The
+// math/rand/v2 top-level generator keeps per-goroutine state, so
+// concurrent inserters never contend on a shared rand.Rand.
+func randomLevel() int {
 	lvl := 1
-	for lvl < maxLevel && m.rng.Intn(2) == 0 {
+	for lvl < maxLevel && rand.Uint64()&1 == 0 {
 		lvl++
 	}
 	return lvl
 }
 
-// insert adds an entry. Duplicate full keys (including timestamp)
-// overwrite in place; distinct timestamps coexist as separate versions.
-func (m *memtable) insert(e skv.Entry) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	update := make([]*node, maxLevel)
+// find locates k, filling preds/succs with the last node before k and
+// the first node at-or-after k on every level, and returns the node
+// whose key equals k if one is linked.
+func (m *memtable) find(k skv.Key, preds, succs *[maxLevel]*memNode) *memNode {
 	x := m.head
-	for i := m.level - 1; i >= 0; i-- {
-		for x.next[i] != nil && skv.Compare(x.next[i].entry.K, e.K) < 0 {
-			x = x.next[i]
+	for i := maxLevel - 1; i >= 0; i-- {
+		for {
+			nxt := x.next[i].Load()
+			if nxt != nil && skv.Compare(nxt.k, k) < 0 {
+				x = nxt
+				continue
+			}
+			break
 		}
-		update[i] = x
+		preds[i] = x
+		succs[i] = x.next[i].Load()
 	}
-	if cand := x.next[0]; cand != nil && skv.Compare(cand.entry.K, e.K) == 0 {
-		m.bytes += len(e.V) - len(cand.entry.V)
-		cand.entry = e
-		return
+	if s := succs[0]; s != nil && skv.Compare(s.k, k) == 0 {
+		return s
 	}
-	lvl := m.randomLevel()
-	if lvl > m.level {
-		for i := m.level; i < lvl; i++ {
-			update[i] = m.head
-		}
-		m.level = lvl
-	}
-	n := &node{entry: e, next: make([]*node, lvl)}
-	for i := 0; i < lvl; i++ {
-		n.next[i] = update[i].next[i]
-		update[i].next[i] = n
-	}
-	m.size++
-	m.bytes += len(e.K.Row) + len(e.K.ColF) + len(e.K.ColQ) + 8 + len(e.V)
+	return nil
 }
 
-// snapshot returns all entries in sorted order.
+// findGE returns the first node with key >= k.
+func (m *memtable) findGE(k skv.Key) *memNode {
+	x := m.head
+	for i := maxLevel - 1; i >= 0; i-- {
+		for {
+			nxt := x.next[i].Load()
+			if nxt != nil && skv.Compare(nxt.k, k) < 0 {
+				x = nxt
+				continue
+			}
+			break
+		}
+	}
+	return x.next[0].Load()
+}
+
+// insert adds an entry; safe for any number of concurrent inserters.
+// Duplicate full keys (including timestamp) overwrite in place;
+// distinct timestamps coexist as separate versions.
+func (m *memtable) insert(e skv.Entry) {
+	var preds, succs [maxLevel]*memNode
+	var n *memNode
+	lvl := randomLevel()
+	for {
+		if exist := m.find(e.K, &preds, &succs); exist != nil {
+			// Overwrite keeps the original insert's sequence number, so a
+			// reader whose watermark already admits the key keeps seeing
+			// it (with the freshest value) instead of losing it.
+			for {
+				cur := exist.val.Load()
+				if exist.val.CompareAndSwap(cur, &memVal{v: e.V, seq: cur.seq}) {
+					m.bytes.Add(int64(len(e.V) - len(cur.v)))
+					return
+				}
+			}
+		}
+		if n == nil {
+			n = &memNode{k: e.K, next: make([]atomic.Pointer[memNode], lvl)}
+			n.val.Store(&memVal{v: e.V, seq: m.seq.Add(1)})
+		}
+		for i := 0; i < lvl; i++ {
+			n.next[i].Store(succs[i])
+		}
+		// The bottom-level CAS publishes the node; a failure means a
+		// neighbour (or this very key) got linked first — re-find and
+		// retry from scratch.
+		if !preds[0].next[0].CompareAndSwap(succs[0], n) {
+			continue
+		}
+		// Link the express levels. Losing a CAS here only delays search
+		// shortcuts, never visibility, so each level retries locally
+		// against refreshed preds/succs.
+		for i := 1; i < lvl; i++ {
+			for {
+				if preds[i].next[i].CompareAndSwap(succs[i], n) {
+					break
+				}
+				m.find(e.K, &preds, &succs)
+				n.next[i].Store(succs[i])
+			}
+		}
+		m.size.Add(1)
+		m.bytes.Add(int64(len(e.K.Row) + len(e.K.ColF) + len(e.K.ColQ) + 8 + len(e.V)))
+		return
+	}
+}
+
+// iter returns a lock-free iterator over the live structure, admitting
+// exactly the entries whose insert was sequenced at or before now.
+func (m *memtable) iter() *memIter {
+	return &memIter{m: m, wm: m.seq.Load()}
+}
+
+// snapshot materialises all entries in sorted order (tests and the
+// split path; scans iterate the live structure instead).
 func (m *memtable) snapshot() []skv.Entry {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]skv.Entry, 0, m.size)
-	for x := m.head.next[0]; x != nil; x = x.next[0] {
-		out = append(out, x.entry)
+	out := make([]skv.Entry, 0, m.count())
+	it := m.iter()
+	_ = it.Seek(skv.FullRange())
+	for it.HasTop() {
+		out = append(out, it.Top())
+		_ = it.Next()
 	}
 	return out
 }
 
 // count returns the number of entries.
-func (m *memtable) count() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.size
-}
+func (m *memtable) count() int { return int(m.size.Load()) }
 
 // approxBytes returns the approximate heap footprint of stored entries.
-func (m *memtable) approxBytes() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.bytes
+func (m *memtable) approxBytes() int { return int(m.bytes.Load()) }
+
+// memIter is a lock-free iterator over the memtable, implementing
+// iterator.SKVI. It pins the watermark captured at creation across
+// re-seeks, so one merged scan sees one cut of the memtable.
+type memIter struct {
+	m   *memtable
+	wm  uint64
+	rng skv.Range
+	cur *memNode
+	top skv.Entry
+	ok  bool
+}
+
+// Seek implements SKVI.
+func (it *memIter) Seek(rng skv.Range) error {
+	it.rng = rng
+	if rng.HasStart {
+		it.cur = it.m.findGE(rng.Start)
+	} else {
+		it.cur = it.m.head.next[0].Load()
+	}
+	it.settle()
+	return nil
+}
+
+// settle advances cur to the next node admitted by the watermark,
+// materialising its entry, and clears ok at the range end.
+func (it *memIter) settle() {
+	for x := it.cur; x != nil; x = x.next[0].Load() {
+		if it.rng.AfterEnd(x.k) {
+			break // keys only grow from here
+		}
+		v := x.val.Load()
+		if v.seq <= it.wm {
+			it.cur = x
+			it.top = skv.Entry{K: x.k, V: v.v}
+			it.ok = true
+			return
+		}
+	}
+	it.cur = nil
+	it.ok = false
+}
+
+// HasTop implements SKVI.
+func (it *memIter) HasTop() bool { return it.ok }
+
+// Top implements SKVI.
+func (it *memIter) Top() skv.Entry { return it.top }
+
+// Next implements SKVI.
+func (it *memIter) Next() error {
+	if it.cur != nil {
+		it.cur = it.cur.next[0].Load()
+		it.settle()
+	}
+	return nil
 }

@@ -177,6 +177,9 @@ func TestMergeRunsPartial(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	if err := tab.WaitFlush(); err != nil {
+		t.Fatal(err)
+	}
 	if got := tab.RunSizes(); len(got) != 5 {
 		t.Fatalf("run sizes = %v, want 5 runs", got)
 	}

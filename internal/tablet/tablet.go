@@ -18,6 +18,26 @@
 // with one merged file. After a crash, the store replays the WAL into
 // the memtable, so scans see exactly the acknowledged writes.
 //
+// # Write-path concurrency
+//
+// The ingest hot path is built so writers never wait on scans, flushes,
+// or each other beyond the WAL's group commit:
+//
+//   - The memtable is a lock-free concurrent skip list; concurrent
+//     Write calls insert in parallel, and scans iterate the live
+//     structure under a sequence-number watermark instead of copying
+//     it.
+//   - Writers hold freezeMu.RLock around WAL-append + insert; a freeze
+//     takes the write side to atomically rotate the WAL and swap in a
+//     fresh memtable. That keeps the durability invariant — every WAL
+//     record covered by a rotation mark is in the frozen memtable, not
+//     the new active one — without a global write lock.
+//   - A full memtable is frozen and queued; a background goroutine
+//     flushes the queue to runs (serialised on compactMu with manual
+//     compactions), so Write never runs a minor compaction inline.
+//     Scans merge active + frozen + runs. When the frozen queue backs
+//     up past maxFrozen, writers stall and the stall time is counted.
+//
 // # Read-path maintenance
 //
 // Every scan k-way merges the memtable with all live runs, so scan cost
@@ -44,11 +64,18 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"graphulo/internal/iterator"
 	"graphulo/internal/rfile"
 	"graphulo/internal/skv"
 )
+
+// maxFrozen bounds the frozen-memtable queue; writers stall once the
+// background flusher falls this far behind, converting unbounded memory
+// growth into measured backpressure (IngestStats.StallNanos).
+const maxFrozen = 2
 
 // Backing is the durability hook a durable tablet calls into; the
 // internal/store package implements it on a data directory. All entry
@@ -56,16 +83,18 @@ import (
 type Backing interface {
 	// LogAsync appends one write batch to the tablet's WAL without
 	// waiting for the fsync, returning a token for WaitDurable. Called
-	// under the tablet lock so the WAL order and the memtable order
-	// agree.
+	// with the tablet's freeze lock held shared, so a freeze's rotation
+	// mark cleanly separates batches logged before it (in the frozen
+	// memtable) from after (in the new active one). Concurrent writers
+	// may interleave, ordered only by the WAL's own internal lock.
 	LogAsync(batch []skv.Entry) (seq uint64, err error)
 	// WaitDurable blocks until the batch identified by seq is on stable
-	// storage; called outside the tablet lock so concurrent writers
+	// storage; called outside the freeze lock so concurrent writers
 	// share fsyncs (group commit).
 	WaitDurable(seq uint64) error
 	// Rotate starts a fresh WAL segment and returns a mark covering all
-	// records logged so far. Called under the tablet lock at memtable
-	// snapshot time, so the snapshot and the mark agree.
+	// records logged so far. Called with the freeze lock held exclusive
+	// at memtable swap time, so the swap and the mark agree.
 	Rotate() (mark uint64, err error)
 	// Flush persists a minor compaction: entries become a new rfile
 	// registered as the tablet's newest run, and WAL segments <= mark
@@ -90,30 +119,63 @@ type Backing interface {
 	Drop() error
 }
 
+// IngestStats aggregates write-path pressure counters; one instance may
+// be shared across every tablet of a server so the telemetry layer
+// reads two atomics instead of polling tablets.
+type IngestStats struct {
+	// Freezes counts memtable freeze-and-swap events (each one queues a
+	// memtable for background flush).
+	Freezes atomic.Int64
+	// StallNanos accumulates wall-clock time writers spent stalled on
+	// frozen-queue backpressure — nonzero means ingest outran flushing.
+	StallNanos atomic.Int64
+}
+
+// frozenMem is an immutable memtable awaiting background flush, paired
+// with the WAL rotation mark covering exactly its records.
+type frozenMem struct {
+	mem  *memtable
+	mark uint64
+}
+
 // Tablet owns the contiguous row range [StartRow, EndRow) of one table
-// ("" bounds are infinite). Writes land in the memtable; minor
-// compaction freezes the memtable into an immutable run; major
-// compaction merges runs. Scans merge the memtable snapshot with every
-// live run.
+// ("" bounds are infinite). Writes land in the active memtable; a full
+// memtable is frozen (swapped for a fresh one) and flushed to an
+// immutable run in the background; major compaction merges runs. Scans
+// merge the active memtable, frozen memtables, and every live run.
 type Tablet struct {
 	StartRow string // inclusive; "" = -inf
 	EndRow   string // exclusive; "" = +inf
 
-	mu       sync.Mutex
-	mem      *memtable
-	runs     []run
-	memLimit int // entries before automatic minor compaction
-	seed     int64
-	backing  Backing // nil for in-memory tablets
-	retired  bool    // set by SplitAt; the tablet must absorb no more work
+	// freezeMu orders writers against freezes. Writers hold the read
+	// side across WAL-append + memtable insert; a freeze holds the
+	// write side across WAL rotation + active-memtable swap. So every
+	// record covered by a rotation mark is in the frozen memtable, and
+	// writers never block each other here.
+	freezeMu sync.RWMutex
+	active   atomic.Pointer[memtable]
 
-	// compactMu serialises minor/major compactions and splits against
-	// each other (writes and scans stay concurrent, guarded by mu).
-	// Without it, two overlapping compactions could each rotate the WAL
-	// and the later one drop segments whose entries the earlier one has
-	// snapshotted but not yet persisted — losing acknowledged writes on
-	// crash — or a major compaction could clobber the run a concurrent
-	// auto-minc just added.
+	mu         sync.Mutex
+	flushCond  *sync.Cond   // signalled when the frozen queue drains
+	frozen     []*frozenMem // oldest first, awaiting background flush
+	flushErr   error        // last background flush failure (cleared on success)
+	runs       []run
+	memLimit   int   // entries before freeze
+	flushBytes int   // approx memtable bytes before freeze (0 = count-only)
+	seed       int64 // kept for split lineage naming; level draws are per-goroutine
+	backing    Backing
+	retired    bool // set by SplitAt; the tablet must absorb no more work
+
+	stats       *IngestStats
+	flushNotify func() // optional: invoked after a background flush adds a run
+
+	// compactMu serialises frozen-queue flushes, minor/major
+	// compactions, and splits against each other (writes and scans stay
+	// concurrent). Without it, two overlapping compactions could each
+	// rotate the WAL and the later one drop segments whose entries the
+	// earlier one has snapshotted but not yet persisted — losing
+	// acknowledged writes on crash — or a major compaction could
+	// clobber the run a concurrent background flush just added.
 	compactMu sync.Mutex
 }
 
@@ -122,13 +184,16 @@ func New(startRow, endRow string, memLimit int, seed int64) *Tablet {
 	if memLimit <= 0 {
 		memLimit = 1 << 14
 	}
-	return &Tablet{
+	t := &Tablet{
 		StartRow: startRow,
 		EndRow:   endRow,
-		mem:      newMemtable(seed),
 		memLimit: memLimit,
 		seed:     seed,
+		stats:    &IngestStats{},
 	}
+	t.active.Store(newMemtable())
+	t.flushCond = sync.NewCond(&t.mu)
+	return t
 }
 
 // NewDurable creates a tablet wired to a durable backing. runs are the
@@ -140,17 +205,40 @@ func NewDurable(startRow, endRow string, memLimit int, seed int64, b Backing, ru
 	for _, rd := range runs {
 		t.runs = append(t.runs, diskRun{rd})
 	}
+	mem := t.active.Load()
 	for _, e := range replay {
-		t.mem.insert(e)
+		mem.insert(e)
 	}
 	return t
 }
+
+// SetFlushBytes sets the approximate memtable byte budget that triggers
+// a freeze in addition to the entry-count limit (0 disables the byte
+// trigger). Call before the tablet takes traffic.
+func (t *Tablet) SetFlushBytes(n int) { t.flushBytes = n }
+
+// SetIngestStats points the tablet at a shared ingest-stats sink. Call
+// before the tablet takes traffic.
+func (t *Tablet) SetIngestStats(s *IngestStats) {
+	if s != nil {
+		t.stats = s
+	}
+}
+
+// IngestStatsRef returns the tablet's current stats sink.
+func (t *Tablet) IngestStatsRef() *IngestStats { return t.stats }
+
+// SetFlushNotify registers a hook invoked after a background flush
+// registers a new run — the cluster layer points it at the compaction
+// scheduler's Kick so freshly spilled runs are folded promptly. Call
+// before the tablet takes traffic.
+func (t *Tablet) SetFlushNotify(f func()) { t.flushNotify = f }
 
 // Backing returns the tablet's durability hook (nil when in-memory).
 func (t *Tablet) Backing() Backing { return t.backing }
 
 // RunCount returns the number of live immutable runs — the k-way merge
-// width a scan pays on top of the memtable. The background compaction
+// width a scan pays on top of the memtables. The background compaction
 // scheduler polls it.
 func (t *Tablet) RunCount() int {
 	t.mu.Lock()
@@ -193,145 +281,261 @@ func (t *Tablet) OwnsRow(row string) bool {
 func (t *Tablet) Range() skv.Range { return skv.RowRange(t.StartRow, t.EndRow) }
 
 // Write logs entries (which must belong to this tablet's range) to the
-// WAL when durable, inserts them, and triggers a minor compaction if
-// the memtable exceeds its limit. WAL append and memtable insert happen
-// under the tablet lock so a concurrent minor compaction can never
-// observe an entry in only one of the two; the fsync wait happens
-// outside it, so concurrent writers group-commit.
+// WAL when durable and inserts them into the active memtable. The
+// critical section is the freeze lock's read side around WAL-append +
+// insert, so concurrent writers proceed in parallel; the fsync wait
+// happens outside it (group commit), and a full memtable is frozen for
+// background flush rather than compacted inline.
 func (t *Tablet) Write(entries []skv.Entry) error {
-	t.mu.Lock()
+	if err := t.stallForFrozen(); err != nil {
+		return err
+	}
+	t.freezeMu.RLock()
 	var seq uint64
 	if t.backing != nil {
 		var err error
 		if seq, err = t.backing.LogAsync(entries); err != nil {
-			t.mu.Unlock()
+			t.freezeMu.RUnlock()
 			return err
 		}
 	}
+	mem := t.active.Load()
 	for _, e := range entries {
-		t.mem.insert(e)
+		mem.insert(e)
 	}
-	needFlush := t.mem.count() >= t.memLimit
-	t.mu.Unlock()
+	needFreeze := mem.count() >= t.memLimit ||
+		(t.flushBytes > 0 && mem.approxBytes() >= t.flushBytes)
+	t.freezeMu.RUnlock()
 	if t.backing != nil {
 		if err := t.backing.WaitDurable(seq); err != nil {
 			return err
 		}
 	}
-	if needFlush {
-		return t.MinorCompact(nil)
+	if needFreeze {
+		return t.freeze(mem)
 	}
 	return nil
 }
 
-// restoreSnap puts a memtable snapshot back into the live memtable
-// after a failed compaction, so the entries stay visible to scans and
-// the next flush persists them again. Restoring into the memtable (not
-// a run) preserves the durability invariant that everything outside an
-// rfile is covered by both the memtable and live WAL segments — the
-// failed compaction never dropped the segments, and the next
-// successful flush writes the entries to an rfile before dropping
-// them. The entries are raw (pre-stack), which is semantically
-// equivalent: scan and majc stacks re-apply the combiners.
-func (t *Tablet) restoreSnap(snap []skv.Entry) {
+// stallForFrozen blocks while the frozen queue is at capacity —
+// backpressure when ingest outruns the background flusher — counting
+// the stalled time. A sticky background-flush failure is surfaced to
+// the writer instead of deadlocking it.
+func (t *Tablet) stallForFrozen() error {
 	t.mu.Lock()
-	for _, e := range snap {
-		t.mem.insert(e)
+	if len(t.frozen) < maxFrozen || t.retired {
+		t.mu.Unlock()
+		return nil
 	}
+	start := time.Now()
+	for len(t.frozen) >= maxFrozen && t.flushErr == nil && !t.retired {
+		t.flushCond.Wait()
+	}
+	err := t.flushErr
 	t.mu.Unlock()
+	t.stats.StallNanos.Add(time.Since(start).Nanoseconds())
+	return err
 }
 
-// MinorCompact freezes the current memtable into a run, applying the
-// optional compaction iterator stack (e.g. a summing combiner) on the
-// way out — Accumulo's minc scope. Durable tablets write the run as an
-// rfile and reclaim the WAL segments it covers.
-func (t *Tablet) MinorCompact(stack func(iterator.SKVI) (iterator.SKVI, error)) error {
-	t.compactMu.Lock()
-	defer t.compactMu.Unlock()
-	t.mu.Lock()
-	snap := t.mem.snapshot()
-	if len(snap) == 0 {
-		// Nothing buffered, so every logged record is already flushed:
-		// rotate and reclaim stale WAL segments (they pile up across
-		// reopens otherwise). Rotate is a no-op when the log is empty.
-		var mark uint64
-		var err error
-		if t.backing != nil {
-			mark, err = t.backing.Rotate()
-		}
-		t.mu.Unlock()
-		if err == nil && t.backing != nil {
-			_, err = t.backing.Flush(nil, mark)
-		}
-		return err
+// freeze swaps a fresh active memtable in place of old and queues old
+// (with a WAL mark covering exactly its records) for background flush.
+// A no-op if old is no longer the active memtable — concurrent writers
+// that all saw the memtable full race here, and one wins.
+func (t *Tablet) freeze(old *memtable) error {
+	t.freezeMu.Lock()
+	if t.active.Load() != old || old.count() == 0 {
+		t.freezeMu.Unlock()
+		return nil
 	}
-	t.mem = newMemtable(t.seed + int64(len(t.runs)) + 1)
 	var mark uint64
 	if t.backing != nil {
 		var err error
 		if mark, err = t.backing.Rotate(); err != nil {
-			t.mu.Unlock()
+			t.freezeMu.Unlock()
 			return err
 		}
 	}
+	// Queue before swapping: a concurrent Snapshot loads the active
+	// memtable first and the frozen list second, so old is visible in
+	// at least one of the two at every instant (both for a moment — the
+	// dedup merge collapses that harmlessly).
+	t.mu.Lock()
+	t.frozen = append(t.frozen, &frozenMem{mem: old, mark: mark})
+	t.mu.Unlock()
+	t.active.Store(newMemtable())
+	t.freezeMu.Unlock()
+	t.stats.Freezes.Add(1)
+	go t.flushFrozen()
+	return nil
+}
+
+// flushFrozen drains the frozen queue to runs, oldest first, stopping
+// at the first failure (the failed memtable stays queued and scannable,
+// its WAL segments intact, so nothing is lost — the error is surfaced
+// to stalled writers and retried by the next freeze or MinorCompact).
+func (t *Tablet) flushFrozen() {
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
+	for {
+		t.mu.Lock()
+		n := len(t.frozen)
+		t.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		if err := t.flushFrozenLocked(nil); err != nil {
+			return
+		}
+	}
+}
+
+// flushFrozenLocked persists the oldest frozen memtable as a run.
+// Caller holds compactMu.
+func (t *Tablet) flushFrozenLocked(stack func(iterator.SKVI) (iterator.SKVI, error)) error {
+	t.mu.Lock()
+	if t.retired || len(t.frozen) == 0 {
+		t.mu.Unlock()
+		return nil
+	}
+	f := t.frozen[0]
 	t.mu.Unlock()
 
-	entries, err := applyStack(iterator.NewSliceIter(snap), stack)
+	entries, err := applyStack(f.mem.iter(), stack)
+	var newRun run
+	if err == nil {
+		if t.backing != nil {
+			var rd *rfile.Reader
+			if rd, err = t.backing.Flush(entries, f.mark); err == nil && rd != nil {
+				newRun = diskRun{rd}
+			}
+		} else if len(entries) > 0 {
+			newRun = newMemRun(entries)
+		}
+	}
+	t.mu.Lock()
 	if err != nil {
-		t.restoreSnap(snap)
+		t.flushErr = err
+		t.flushCond.Broadcast()
+		t.mu.Unlock()
 		return err
 	}
-	var newRun run
-	if t.backing != nil {
-		rd, err := t.backing.Flush(entries, mark)
-		if err != nil {
-			t.restoreSnap(snap)
-			return err
-		}
-		if rd != nil {
-			newRun = diskRun{rd}
-		}
-	} else if len(entries) > 0 {
-		newRun = newMemRun(entries)
-	}
+	// Swap the memtable out of the frozen queue and its run in under
+	// one lock hold, so a concurrent Snapshot sees the data in exactly
+	// one place.
 	if newRun != nil {
-		t.mu.Lock()
 		t.runs = append(t.runs, newRun)
-		t.mu.Unlock()
+	}
+	t.frozen = t.frozen[1:]
+	t.flushErr = nil
+	t.flushCond.Broadcast()
+	t.mu.Unlock()
+	if t.flushNotify != nil && newRun != nil {
+		t.flushNotify()
 	}
 	return nil
 }
 
-// MajorCompact merges all runs (and the memtable) into a single run,
+// WaitFlush blocks until every queued frozen memtable has been flushed
+// by the background flusher (or a flush failure is pending), for
+// callers that need a settled run list without forcing a freeze.
+func (t *Tablet) WaitFlush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.frozen) > 0 && t.flushErr == nil {
+		t.flushCond.Wait()
+	}
+	return t.flushErr
+}
+
+// MinorCompact synchronously freezes the active memtable and drains the
+// whole frozen queue into runs, applying the optional compaction
+// iterator stack (e.g. a summing combiner) on the way out — Accumulo's
+// minc scope. Durable tablets write each run as an rfile and reclaim
+// the WAL segments it covers.
+func (t *Tablet) MinorCompact(stack func(iterator.SKVI) (iterator.SKVI, error)) error {
+	if err := t.freeze(t.active.Load()); err != nil {
+		return err
+	}
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
+	for {
+		t.mu.Lock()
+		n := len(t.frozen)
+		t.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if err := t.flushFrozenLocked(stack); err != nil {
+			return err
+		}
+	}
+	if t.backing == nil {
+		return nil
+	}
+	// Nothing buffered anywhere: every logged record is already
+	// flushed, so rotate and reclaim stale WAL segments (they pile up
+	// across reopens otherwise). The exclusive freeze lock fences out
+	// writers, so no record can slip under the mark unflushed; Rotate
+	// is a no-op when the log is empty.
+	t.freezeMu.Lock()
+	t.mu.Lock()
+	idle := !t.retired && len(t.frozen) == 0 && t.active.Load().count() == 0
+	t.mu.Unlock()
+	if !idle {
+		t.freezeMu.Unlock()
+		return nil // raced a writer; its own freeze will flush
+	}
+	mark, err := t.backing.Rotate()
+	t.freezeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = t.backing.Flush(nil, mark)
+	return err
+}
+
+// MajorCompact merges all runs (and the memtables) into a single run,
 // applying the optional compaction stack — Accumulo's majc scope with
 // the flush flag. Durable tablets replace every rfile with the merged
 // one and reclaim all covered WAL segments.
 func (t *Tablet) MajorCompact(stack func(iterator.SKVI) (iterator.SKVI, error)) error {
 	t.compactMu.Lock()
 	defer t.compactMu.Unlock()
-	t.mu.Lock()
-	if t.retired {
+	if t.Retired() {
 		// A background scheduler can race a split: it fetched this
 		// tablet, then SplitAt replaced it. The halves own the data now.
-		t.mu.Unlock()
 		return nil
 	}
-	snap := t.mem.snapshot()
-	t.mem = newMemtable(t.seed + int64(len(t.runs)) + 101)
-	sources := make([]iterator.SKVI, 0, len(t.runs)+1)
-	if len(snap) > 0 {
-		sources = append(sources, iterator.NewSliceIter(snap))
-	}
-	for i := len(t.runs) - 1; i >= 0; i-- {
-		sources = append(sources, t.runs[i].iter())
-	}
+	// Freeze the active memtable under the exclusive freeze lock; the
+	// rotation mark then covers exactly the records of everything this
+	// compaction merges (frozen queue + runs).
+	t.freezeMu.Lock()
 	var mark uint64
 	if t.backing != nil {
 		var err error
 		if mark, err = t.backing.Rotate(); err != nil {
-			t.mu.Unlock()
+			t.freezeMu.Unlock()
 			return err
 		}
+	}
+	old := t.active.Load()
+	if old.count() > 0 {
+		t.mu.Lock()
+		t.frozen = append(t.frozen, &frozenMem{mem: old, mark: mark})
+		t.mu.Unlock()
+		t.active.Store(newMemtable())
+		t.stats.Freezes.Add(1)
+	}
+	t.freezeMu.Unlock()
+
+	t.mu.Lock()
+	consumed := len(t.frozen)
+	sources := make([]iterator.SKVI, 0, consumed+len(t.runs))
+	for i := consumed - 1; i >= 0; i-- {
+		sources = append(sources, t.frozen[i].mem.iter())
+	}
+	for i := len(t.runs) - 1; i >= 0; i-- {
+		sources = append(sources, t.runs[i].iter())
 	}
 	t.mu.Unlock()
 
@@ -340,14 +544,12 @@ func (t *Tablet) MajorCompact(stack func(iterator.SKVI) (iterator.SKVI, error)) 
 	}
 	entries, err := applyStack(iterator.NewDedupMergeIter(sources...), stack)
 	if err != nil {
-		t.restoreSnap(snap)
-		return err
+		return err // frozen memtables stay queued and scannable
 	}
 	var merged run
 	if t.backing != nil {
 		rd, err := t.backing.Compact(entries, mark)
 		if err != nil {
-			t.restoreSnap(snap)
 			return err
 		}
 		if rd != nil {
@@ -362,6 +564,12 @@ func (t *Tablet) MajorCompact(stack func(iterator.SKVI) (iterator.SKVI, error)) 
 	} else {
 		t.runs = []run{merged}
 	}
+	// Only the frozen memtables this compaction consumed are retired;
+	// ones queued by writers since stay for the background flusher
+	// (which has been waiting on compactMu).
+	t.frozen = t.frozen[consumed:]
+	t.flushErr = nil
+	t.flushCond.Broadcast()
 	t.mu.Unlock()
 	return nil
 }
@@ -447,15 +655,21 @@ func applyStack(src iterator.SKVI, stack func(iterator.SKVI) (iterator.SKVI, err
 	return iterator.Collect(it)
 }
 
-// Snapshot returns an iterator source over the tablet's current contents
-// (memtable + all runs), valid independently of later writes. The
-// returned iterator is not yet seeked.
+// Snapshot returns an iterator source over the tablet's current
+// contents (active memtable + frozen memtables + all runs), valid
+// independently of later writes: the memtable sources carry a
+// sequence-number watermark instead of copying entries, so taking a
+// snapshot is O(sources) and never blocks writers.
 func (t *Tablet) Snapshot() iterator.SKVI {
+	// Load the active memtable before the frozen list: freeze queues
+	// the old memtable before swapping, so at every instant old is in
+	// at least one of the two views (duplicates collapse in the merge).
+	active := t.active.Load()
 	t.mu.Lock()
-	snap := t.mem.snapshot()
-	sources := make([]iterator.SKVI, 0, len(t.runs)+1)
-	if len(snap) > 0 {
-		sources = append(sources, iterator.NewSliceIter(snap))
+	sources := make([]iterator.SKVI, 0, len(t.frozen)+len(t.runs)+1)
+	sources = append(sources, active.iter())
+	for i := len(t.frozen) - 1; i >= 0; i-- {
+		sources = append(sources, t.frozen[i].mem.iter())
 	}
 	for i := len(t.runs) - 1; i >= 0; i-- {
 		sources = append(sources, t.runs[i].iter())
@@ -467,9 +681,13 @@ func (t *Tablet) Snapshot() iterator.SKVI {
 // EntryEstimate returns the approximate number of stored entries
 // (pre-compaction duplicates included).
 func (t *Tablet) EntryEstimate() int {
+	active := t.active.Load()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n := t.mem.count()
+	n := active.count()
+	for _, f := range t.frozen {
+		n += f.mem.count()
+	}
 	for _, r := range t.runs {
 		n += r.count()
 	}
@@ -482,8 +700,8 @@ func (t *Tablet) EntryEstimate() int {
 // atomically swap their on-disk state for the two halves'.
 func (t *Tablet) SplitAt(row string) (*Tablet, *Tablet, error) {
 	// Callers serialise splits against writes; the compaction lock
-	// additionally fences out an in-flight auto-minc and a background
-	// major compaction.
+	// additionally fences out in-flight background flushes and major
+	// compactions.
 	t.compactMu.Lock()
 	defer t.compactMu.Unlock()
 	// Collect the merged view.
@@ -502,6 +720,12 @@ func (t *Tablet) SplitAt(row string) (*Tablet, *Tablet, error) {
 
 	left := New(t.StartRow, row, t.memLimit, t.seed*2+1)
 	right := New(row, t.EndRow, t.memLimit, t.seed*2+2)
+	left.SetFlushBytes(t.flushBytes)
+	right.SetFlushBytes(t.flushBytes)
+	left.SetIngestStats(t.stats)
+	right.SetIngestStats(t.stats)
+	left.SetFlushNotify(t.flushNotify)
+	right.SetFlushNotify(t.flushNotify)
 	if t.backing == nil {
 		if len(leftE) > 0 {
 			left.runs = append(left.runs, newMemRun(leftE))
@@ -533,5 +757,6 @@ func (t *Tablet) SplitAt(row string) (*Tablet, *Tablet, error) {
 func (t *Tablet) retire() {
 	t.mu.Lock()
 	t.retired = true
+	t.flushCond.Broadcast()
 	t.mu.Unlock()
 }

@@ -30,7 +30,7 @@ func scanAll(t *testing.T, tab *Tablet) []skv.Entry {
 }
 
 func TestMemtableInsertAndSnapshot(t *testing.T) {
-	m := newMemtable(1)
+	m := newMemtable()
 	m.insert(ent("b", "q", 1, 2))
 	m.insert(ent("a", "q", 1, 1))
 	m.insert(ent("c", "q", 1, 3))
@@ -44,7 +44,7 @@ func TestMemtableInsertAndSnapshot(t *testing.T) {
 }
 
 func TestMemtableOverwriteSameFullKey(t *testing.T) {
-	m := newMemtable(1)
+	m := newMemtable()
 	m.insert(ent("r", "q", 7, 1))
 	m.insert(ent("r", "q", 7, 99)) // same key incl. ts: overwrite
 	snap := m.snapshot()
@@ -57,7 +57,7 @@ func TestMemtableOverwriteSameFullKey(t *testing.T) {
 }
 
 func TestMemtableVersionsCoexist(t *testing.T) {
-	m := newMemtable(1)
+	m := newMemtable()
 	m.insert(ent("r", "q", 1, 10))
 	m.insert(ent("r", "q", 2, 20))
 	snap := m.snapshot()
@@ -133,6 +133,9 @@ func TestTabletAutoMinorCompaction(t *testing.T) {
 	tab := New("", "", 10, 3)
 	for i := 0; i < 35; i++ {
 		tab.Write([]skv.Entry{ent(fmt.Sprintf("r%02d", i), "q", 1, 1)})
+	}
+	if err := tab.WaitFlush(); err != nil {
+		t.Fatal(err)
 	}
 	tab.mu.Lock()
 	nRuns := len(tab.runs)

@@ -78,6 +78,7 @@ const (
 	CacheHits
 	CacheMisses
 	BloomNegatives
+	ColQBloomNegatives
 	CompactionKicks
 	NumCounters
 )
@@ -95,6 +96,7 @@ var counterNames = [NumCounters]string{
 	"cache_hits",
 	"cache_misses",
 	"bloom_negatives",
+	"colq_bloom_negatives",
 	"compaction_kicks",
 }
 

@@ -1,0 +1,50 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphulo/internal/skv"
+)
+
+// BenchmarkGroupCommit measures durable single-entry appends from
+// concurrent committers; fsyncs/op shows how many commits shared each
+// disk round-trip.
+func BenchmarkGroupCommit(b *testing.B) {
+	for _, writers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("writers-%d", writers), func(b *testing.B) {
+			var syncs atomic.Int64
+			l, err := Open(b.TempDir(), "t", Options{SyncObserver: func(time.Duration) { syncs.Add(1) }})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			const total = 512
+			per := total / writers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						e := skv.Entry{K: skv.Key{Row: fmt.Sprintf("w%d", w), ColQ: "q", Ts: 1}, V: []byte("v")}
+						for j := 0; j < per; j++ {
+							if err := l.Append([]skv.Entry{e}); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "commits/sec")
+			b.ReportMetric(float64(syncs.Load())/float64(b.N), "fsyncs/op")
+		})
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -48,11 +49,22 @@ type Options struct {
 	// SyncObserver, when set, receives the wall-clock duration of every
 	// fsync the log issues (group commits, rotations, explicit Syncs).
 	SyncObserver func(time.Duration)
+	// MaxBatchBytes bounds the in-memory record buffer that group
+	// commit coalesces (default 1 MiB). Appends land in the buffer with
+	// no syscall; the elected syncer drains it with one write plus one
+	// fsync. While a sync is in flight and the buffer is full, further
+	// appenders wait (overflow backpressure); with no sync in flight an
+	// overflowing appender spills the buffer to the OS instead, so the
+	// buffer never grows past the bound.
+	MaxBatchBytes int64
 }
 
 func (o Options) withDefaults() Options {
 	if o.MaxSegmentBytes <= 0 {
 		o.MaxSegmentBytes = 8 << 20
+	}
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = 1 << 20
 	}
 	return o
 }
@@ -69,7 +81,8 @@ type Log struct {
 	activeSeq  uint64
 	oldestLive uint64 // lowest segment seq not yet dropped
 	segBytes   int64
-	appendSeq  uint64 // records written to the OS
+	pending    []byte // encoded records accepted but not yet written to the file
+	appendSeq  uint64 // records accepted (buffered or written to the OS)
 	syncSeq    uint64 // records known durable
 	syncing    bool   // a goroutine currently holds the syncer role
 	closed     bool
@@ -189,11 +202,17 @@ func (l *Log) Append(batch []skv.Entry) error {
 	return l.WaitDurable(seq)
 }
 
-// AppendAsync writes one record to the OS without waiting for it to be
-// durable, returning its sequence number for WaitDurable. The split
-// lets a caller order the append against its own in-memory state under
-// its own lock, then wait for the fsync outside it — so concurrent
-// writers still share fsyncs through group commit.
+// AppendAsync accepts one record without waiting for it to be durable,
+// returning its sequence number for WaitDurable. The split lets a
+// caller order the append against its own in-memory state under its own
+// lock, then wait for the fsync outside it — so concurrent writers
+// still share fsyncs through group commit.
+//
+// Records are coalesced in an in-memory buffer: the append itself makes
+// no syscall, and the syncer elected in commitLocked drains every
+// buffered record with a single write before its fsync, so N concurrent
+// writers share one buffer copy as well as one fsync. Under NoSync
+// records are written straight through to the OS instead.
 func (l *Log) AppendAsync(batch []skv.Entry) (uint64, error) {
 	payload := skv.EncodeBatch(batch)
 	var hdr [recordHeaderLen]byte
@@ -210,18 +229,60 @@ func (l *Log) AppendAsync(batch []skv.Entry) (uint64, error) {
 			return 0, err
 		}
 	}
-	if _, err := l.f.Write(hdr[:]); err != nil {
-		return 0, err
-	}
-	if _, err := l.f.Write(payload); err != nil {
-		return 0, err
-	}
-	l.segBytes += int64(recordHeaderLen + len(payload))
-	l.appendSeq++
+	recLen := int64(recordHeaderLen + len(payload))
 	if l.opts.NoSync {
+		if _, err := l.f.Write(hdr[:]); err != nil {
+			return 0, err
+		}
+		if _, err := l.f.Write(payload); err != nil {
+			return 0, err
+		}
+		l.segBytes += recLen
+		l.appendSeq++
 		l.syncSeq = l.appendSeq
+		return l.appendSeq, nil
 	}
+	// Overflow backpressure: while a sync is in flight and this record
+	// would push the coalescing buffer past its bound, wait for the
+	// syncer to drain it. The wait also keeps the next fsync's batch
+	// bounded, so one slow appender cannot make every waiter's commit
+	// arbitrarily large.
+	for l.syncing && int64(len(l.pending))+recLen > l.opts.MaxBatchBytes && len(l.pending) > 0 {
+		l.cond.Wait()
+		if l.closed {
+			return 0, fmt.Errorf("wal: append to closed log %s", l.id)
+		}
+	}
+	// No syncer to wait on: spill the full buffer to the OS ourselves
+	// (no fsync) so the buffer never grows past its bound.
+	if int64(len(l.pending))+recLen > l.opts.MaxBatchBytes && len(l.pending) > 0 {
+		if err := l.writePendingLocked(); err != nil {
+			return 0, err
+		}
+	}
+	l.pending = append(l.pending, hdr[:]...)
+	l.pending = append(l.pending, payload...)
+	l.segBytes += recLen
+	l.appendSeq++
 	return l.appendSeq, nil
+}
+
+// writePendingLocked writes the coalescing buffer through to the active
+// segment without an fsync. Caller holds l.mu; waits out an in-flight
+// syncer first so exactly one goroutine writes to the file at a time
+// (interleaving appends would break replay's prefix ordering).
+func (l *Log) writePendingLocked() error {
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if len(l.pending) == 0 {
+		return nil
+	}
+	if _, err := l.f.Write(l.pending); err != nil {
+		return err
+	}
+	l.pending = l.pending[:0]
+	return nil
 }
 
 // WaitDurable blocks until record seq is on stable storage (a no-op
@@ -236,8 +297,10 @@ func (l *Log) WaitDurable(seq uint64) error {
 }
 
 // commitLocked blocks until record seq mine is durable, electing at most
-// one goroutine at a time to fsync on behalf of every pending appender.
-// Called and returns with l.mu held.
+// one goroutine at a time to sync on behalf of every pending appender.
+// The syncer steals the whole coalescing buffer and drains it with one
+// write plus one fsync outside the lock, so every record buffered by
+// then shares the same two syscalls. Called and returns with l.mu held.
 func (l *Log) commitLocked(mine uint64) error {
 	for l.syncSeq < mine {
 		if l.syncing {
@@ -245,13 +308,37 @@ func (l *Log) commitLocked(mine uint64) error {
 			continue
 		}
 		l.syncing = true
-		f, target := l.f, l.appendSeq
+		// Commit window: yield once, lock released, before stealing the
+		// buffer. Committers that are already runnable get to land
+		// their records in it and ride this fsync instead of electing
+		// their own; everyone else (appends past the buffer bound,
+		// rotation, Close, later committers) waits on l.syncing, so the
+		// invariants are exactly those of the fsync below. With nothing
+		// else runnable the yield costs one scheduler call.
 		l.mu.Unlock()
-		err := l.syncFile(f)
+		runtime.Gosched()
+		l.mu.Lock()
+		f, target := l.f, l.appendSeq
+		buf := l.pending
+		l.pending = nil
+		l.mu.Unlock()
+		var n int
+		var err error
+		if len(buf) > 0 {
+			n, err = f.Write(buf)
+		}
+		if err == nil {
+			err = l.syncFile(f)
+		}
 		l.mu.Lock()
 		l.syncing = false
 		if err == nil && l.syncSeq < target {
 			l.syncSeq = target
+		} else if err != nil && n < len(buf) {
+			// Requeue the unwritten tail so a later syncer retries it —
+			// otherwise waiters whose records rode in buf would observe
+			// syncSeq advance without their bytes ever reaching the file.
+			l.pending = append(buf[n:], l.pending...)
 		}
 		l.cond.Broadcast()
 		if err != nil {
@@ -262,8 +349,13 @@ func (l *Log) commitLocked(mine uint64) error {
 }
 
 // rotateLocked syncs and closes the active segment and opens the next
-// one. Caller holds l.mu; waits out any in-flight fsync first.
+// one. Caller holds l.mu; waits out any in-flight fsync and drains the
+// coalescing buffer first, so every accepted record lands in the
+// segment the returned mark covers.
 func (l *Log) rotateLocked() error {
+	if err := l.writePendingLocked(); err != nil {
+		return err
+	}
 	for l.syncing {
 		l.cond.Wait()
 	}
@@ -326,12 +418,16 @@ func (l *Log) DropThrough(mark uint64) error {
 	return nil
 }
 
-// Sync forces an fsync of the active segment (used with NoSync).
+// Sync forces an fsync of the active segment (used with NoSync),
+// draining any coalesced records first.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return nil
+	}
+	if err := l.writePendingLocked(); err != nil {
+		return err
 	}
 	err := l.syncFile(l.f)
 	if err == nil {
@@ -348,10 +444,14 @@ func (l *Log) Close() error {
 	if l.closed {
 		return nil
 	}
-	for l.syncing {
-		l.cond.Wait()
+	if err := l.writePendingLocked(); err != nil {
+		l.closed = true
+		l.cond.Broadcast()
+		l.f.Close()
+		return err
 	}
 	l.closed = true
+	l.cond.Broadcast() // wake appenders stalled on overflow backpressure
 	if err := l.syncFile(l.f); err != nil {
 		l.f.Close()
 		return err
