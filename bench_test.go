@@ -1270,3 +1270,77 @@ func BenchmarkColQBloomPointLookups(b *testing.B) {
 	b.Run("colq-bloom-off", func(b *testing.B) { run(b, -1) })
 	b.Run("colq-bloom-on", func(b *testing.B) { run(b, 0) })
 }
+
+// --- Fused kernel plans (PR 8) ---
+//
+// BenchmarkFusedVsMaterialized pins the plan layer's tentpole claim:
+// kernels whose multiply result the client consumes anyway (kTruss
+// support, Jaccard numerator, TriangleCount A²) stream the ⊗ partial
+// products back and ⊕-fold client-side instead of landing them in a
+// scratch table and rescanning it. Per kernel, the fused driver must
+// show fewer scratch tables, fewer RPCs, and lower latency than the
+// materializing baseline on the same graph.
+func BenchmarkFusedVsMaterialized(b *testing.B) {
+	const scale = 8
+	kernels := []struct {
+		name string
+		run  func(g *TableGraph, fused bool) error
+	}{
+		{"KTruss", func(g *TableGraph, fused bool) error {
+			var err error
+			if fused {
+				_, err = g.KTruss(4)
+			} else {
+				_, err = g.KTrussMaterialized(4)
+			}
+			return err
+		}},
+		{"Jaccard", func(g *TableGraph, fused bool) error {
+			var err error
+			if fused {
+				_, err = g.Jaccard()
+			} else {
+				_, err = g.JaccardMaterialized()
+			}
+			return err
+		}},
+		{"TriangleCount", func(g *TableGraph, fused bool) error {
+			var err error
+			if fused {
+				_, err = g.TriangleCount()
+			} else {
+				_, err = g.TriangleCountMaterialized()
+			}
+			return err
+		}},
+	}
+	for _, k := range kernels {
+		for _, mode := range []string{"materialized", "fused"} {
+			fused := mode == "fused"
+			b.Run(k.name+"/"+mode, func(b *testing.B) {
+				g := rmatGraph(scale)
+				db := mustOpen(ClusterConfig{TabletServers: 4})
+				defer db.Close()
+				tg, err := db.CreateGraph("F")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tg.Ingest(g); err != nil {
+					b.Fatal(err)
+				}
+				st0 := db.ScanMetrics()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := k.run(tg, fused); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				st := db.ScanMetrics()
+				b.ReportMetric(float64(st.ScratchTablesCreated-st0.ScratchTablesCreated)/float64(b.N), "scratch-tables/op")
+				_, rpcs, _, _ := db.Metrics()
+				b.ReportMetric(float64(rpcs)/float64(b.N), "rpcs/op")
+			})
+		}
+	}
+}

@@ -146,7 +146,8 @@ func openDB(g graphulo.Graph) (*graphulo.DB, *graphulo.TableGraph, error) {
 func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: graphulo <algorithm> [flags]\n")
-		fmt.Fprintf(os.Stderr, "algorithms: mult trace bfs degrees pagerank eigen katz betweenness closeness hits clustering svd nominate ktruss tricount jaccard nmf sssp components info\n\n")
+		fmt.Fprintf(os.Stderr, "algorithms: mult trace bfs degrees pagerank eigen katz betweenness closeness hits clustering svd nominate ktruss tricount jaccard nmf sssp components info\n")
+		fmt.Fprintf(os.Stderr, "explain [kernel]: print a kernel's compiled plan with fused groups marked (all kernels when omitted)\n\n")
 		flag.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -164,10 +165,36 @@ func main() {
 		}
 		return
 	}
+	if algorithm == "explain" {
+		if err := explain(); err != nil {
+			fmt.Fprintln(os.Stderr, "graphulo:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(algorithm); err != nil {
 		fmt.Fprintln(os.Stderr, "graphulo:", err)
 		os.Exit(1)
 	}
+}
+
+// explain prints compiled kernel plans with fused groups marked —
+// `graphulo explain ktruss` for one kernel, `graphulo explain` for all.
+// No cluster is started: the plan constructors are the ones the live
+// drivers execute, so the printed trees are the executed trees.
+func explain() error {
+	kernels := graphulo.ExplainKernels()
+	if len(os.Args) > 2 && !strings.HasPrefix(os.Args[2], "-") {
+		kernels = []string{os.Args[2]}
+	}
+	for _, k := range kernels {
+		out, err := graphulo.ExplainPlan(k, "A", "C")
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	}
+	return nil
 }
 
 // serve runs a standalone tablet server until SIGINT/SIGTERM: one per

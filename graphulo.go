@@ -436,6 +436,12 @@ type ScanStats struct {
 	// RemoteWrite pre-aggregation (⊕-folded into a buffered output
 	// cell) instead of crossing the write path individually.
 	PartialProductsFolded int64
+	// ScratchTablesCreated counts intermediate tables materialised by
+	// kernel drivers and plan execution — each one a write-then-rescan
+	// round-trip. The fused kernel plans exist to keep this low: a
+	// fused kTruss creates one survivor table per peel round, and fused
+	// Jaccard/TriangleCount create none.
+	ScratchTablesCreated int64
 }
 
 // ScanMetrics snapshots the read-path gauges and counters; the storage
@@ -460,6 +466,7 @@ func (db *DB) ScanMetrics() ScanStats {
 		TabletsPrunedByRange:  m.TabletsPrunedByRange.Load(),
 		EntriesPrunedByRange:  m.EntriesPrunedByRange.Load(),
 		PartialProductsFolded: m.PartialProductsFolded.Load(),
+		ScratchTablesCreated:  m.ScratchTablesCreated.Load(),
 	}
 }
 
@@ -657,6 +664,17 @@ func (g *TableGraph) KTruss(k int) (*Assoc, error) {
 	return schema.ReadAssoc(g.db.conn, out)
 }
 
+// KTrussMaterialized is KTruss through the pre-plan materializing
+// driver (every round's support matrix lands in a scratch table). Kept
+// as the equivalence and benchmark baseline for the fused driver.
+func (g *TableGraph) KTrussMaterialized(k int) (*Assoc, error) {
+	out := fmt.Sprintf("%sKT%d", g.name, k)
+	if _, err := core.KTrussAdjTableMaterialized(g.db.conn, g.schema.Table, out, k, g.name+"KTs"); err != nil {
+		return nil, err
+	}
+	return schema.ReadAssoc(g.db.conn, out)
+}
+
 // Jaccard computes all-pairs Jaccard coefficients (upper triangle),
 // returning them as an associative array.
 func (g *TableGraph) Jaccard() (*Assoc, error) {
@@ -686,9 +704,37 @@ func (db *DB) dropIfExists(name string) error {
 	return nil
 }
 
-// TriangleCount counts triangles with a server-side TableMult.
+// JaccardMaterialized is Jaccard through the pre-plan materializing
+// driver (the numerator lands in a scratch table). Kept as the
+// equivalence and benchmark baseline for the fused driver.
+func (g *TableGraph) JaccardMaterialized() (*Assoc, error) {
+	deg := g.name + "JDeg"
+	out := g.name + "JOut"
+	for _, stale := range []string{deg, out} {
+		if err := g.db.dropIfExists(stale); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := core.TableDegrees(g.db.conn, g.schema.Table, deg); err != nil {
+		return nil, err
+	}
+	if _, err := core.JaccardTableMaterialized(g.db.conn, g.schema.Table, deg, out); err != nil {
+		return nil, err
+	}
+	return schema.ReadAssoc(g.db.conn, out)
+}
+
+// TriangleCount counts triangles with a fused server-side multiply
+// plan (no scratch table).
 func (g *TableGraph) TriangleCount() (float64, error) {
 	return core.TriangleCountTable(g.db.conn, g.schema.Table, g.name+"TCsq")
+}
+
+// TriangleCountMaterialized counts triangles through the pre-plan
+// materializing driver (A² lands in a scratch table). Kept as the
+// equivalence and benchmark baseline for the fused driver.
+func (g *TableGraph) TriangleCountMaterialized() (float64, error) {
+	return core.TriangleCountTableMaterialized(g.db.conn, g.schema.Table, g.name+"TCsq")
 }
 
 // PageRank runs the power iteration with the adjacency matrix staying
@@ -763,6 +809,37 @@ func (db *DB) TableMultOpts(tableAT, tableB, tableC string, opts MultOptions) (i
 func (db *DB) TableMultClient(tableAT, tableB, tableC, semiringName string) (int, error) {
 	return core.TableMultClient(db.conn, tableAT, tableB, tableC, core.MultOptions{Semiring: semiringName})
 }
+
+// TableAssign writes a sub-array of tableIn into a destination
+// sub-array of tableOut with offset remapping — the SpAsgn kernel, the
+// dual of the SpRef constraint: C(p+i, q+j) ⊕= A(i, j) for the
+// constrained (i, j). The whole assignment is one fused server-side
+// pass (constraint filters in source coordinates, the remap runs
+// directly below the write sink); nothing touches the client or a
+// scratch table.
+func (db *DB) TableAssign(tableIn, tableOut, rowOffset, colOffset string, c ScanConstraint) (int, error) {
+	return core.TableAssign(db.conn, tableIn, tableOut, rowOffset, colOffset, c)
+}
+
+// ExplainPlan renders the named kernel's compiled plan over table
+// (writing to out where the kernel writes) with fused groups marked —
+// built by the same plan constructors the drivers execute, so the
+// printed plan is the executed plan. Kernels: mult, apply, degrees,
+// bfs, ktruss, jaccard, tricount, assign.
+func (db *DB) ExplainPlan(kernel, table, out string) (string, error) {
+	return core.ExplainPlan(db.conn, kernel, table, out)
+}
+
+// ExplainPlan renders a kernel's compiled plan without a cluster: the
+// plan is identical to what a live driver executes, except the
+// planner's adaptive pre-aggregation sizing falls back to its default
+// budget (no table-size estimates to read).
+func ExplainPlan(kernel, table, out string) (string, error) {
+	return core.ExplainPlan(nil, kernel, table, out)
+}
+
+// ExplainKernels lists the kernel names ExplainPlan accepts.
+func ExplainKernels() []string { return core.ExplainKernels() }
 
 // WriteAssoc stores an associative array into a table.
 func (db *DB) WriteAssoc(table string, a *Assoc) error {

@@ -237,6 +237,11 @@ type Metrics struct {
 	// RemoteWrite pre-aggregation (⊕-folded into an already-buffered
 	// output cell) instead of crossing the write path individually.
 	PartialProductsFolded atomic.Int64
+	// ScratchTablesCreated counts intermediate tables materialised by
+	// kernel drivers and plan execution — each one a write-then-rescan
+	// round-trip through the tablet layer. Fused plans exist to keep
+	// this low; the fusion regression tests pin per-kernel deltas.
+	ScratchTablesCreated atomic.Int64
 	// ScansInFlight gauges tablet scan passes currently executing on
 	// this process's tablet servers; MaxScansInFlight records its
 	// high-water mark (evidence of per-tablet parallelism).
@@ -650,6 +655,7 @@ func metricsSamples(m *Metrics) []telemetry.Sample {
 		{Name: "tablets_pruned_by_range", Help: "Tablets skipped by range push-down.", Value: m.TabletsPrunedByRange.Load()},
 		{Name: "entries_pruned_by_range", Help: "Entries dropped by server-side range filters.", Value: m.EntriesPrunedByRange.Load()},
 		{Name: "partial_products_folded", Help: "Partial products absorbed by pre-aggregation.", Value: m.PartialProductsFolded.Load()},
+		{Name: "scratch_tables_created", Help: "Intermediate tables materialised by kernel drivers.", Value: m.ScratchTablesCreated.Load()},
 		{Name: "major_compactions", Help: "Completed major compactions.", Value: m.MajorCompactions.Load()},
 		{Name: "major_compaction_errors", Help: "Failed scheduled major compactions.", Value: m.MajorCompactionErrors.Load()},
 		{Name: "scans_in_flight", Help: "Tablet scan passes currently executing.", Gauge: true, Value: m.ScansInFlight.Load()},

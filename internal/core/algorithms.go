@@ -6,6 +6,7 @@ import (
 	"graphulo/internal/accumulo"
 	"graphulo/internal/algo"
 	"graphulo/internal/assoc"
+	"graphulo/internal/plan"
 	"graphulo/internal/schema"
 	"graphulo/internal/semiring"
 	"graphulo/internal/skv"
@@ -84,33 +85,30 @@ func AdjBFS(conn *accumulo.Connector, table string, seeds []string, hops int, op
 		frontier = append(frontier, s)
 	}
 	for hop := 1; hop <= hops && len(frontier) > 0; hop++ {
-		bs, err := conn.CreateBatchScanner(table, 8)
-		if err != nil {
-			return nil, err
-		}
-		bs.SetTrace(q)
 		ranges := make([]skv.Range, len(frontier))
 		for i, v := range frontier {
 			ranges[i] = skv.ExactRow(v)
 		}
-		bs.SetRanges(ranges)
-		// Stream the frontier expansion: neighbour entries fold into the
-		// visited set as each row scan produces them, so a hop never
-		// materialises the expansion (which can approach the edge count
-		// on dense frontiers).
+		// Each hop is a collect plan over the frontier's rows — a
+		// multi-range scan the executor fans out across tablets in
+		// parallel. The visitor folds neighbour entries into the visited
+		// set as each row scan produces them, so a hop never materialises
+		// the expansion (which can approach the edge count on dense
+		// frontiers).
 		var next []string
-		err = bs.ForEach(func(e skv.Entry) error {
-			nb := e.K.ColQ
-			if _, seen := visited[nb]; seen {
+		_, err := runPlanVisit(conn, plan.Collect(plan.ScanRanges(table, ranges)), "AdjBFS", "", q,
+			func(e skv.Entry) error {
+				nb := e.K.ColQ
+				if _, seen := visited[nb]; seen {
+					return nil
+				}
+				if !opts.inBand(nb) || !degOK(nb) {
+					return nil
+				}
+				visited[nb] = hop
+				next = append(next, nb)
 				return nil
-			}
-			if !opts.inBand(nb) || !degOK(nb) {
-				return nil
-			}
-			visited[nb] = hop
-			next = append(next, nb)
-			return nil
-		})
+			})
 		if err != nil {
 			return nil, err
 		}
@@ -148,45 +146,85 @@ func dropScratch(conn *accumulo.Connector, names []string, err *error) {
 	}
 }
 
+// noteScratch counts a driver-materialised intermediate table in the
+// cluster metrics — the round-trip the fused drivers exist to avoid.
+func noteScratch(conn *accumulo.Connector) {
+	conn.Cluster().Metrics.ScratchTablesCreated.Add(1)
+}
+
+// planReadAssoc reads a whole table into an associative array through a
+// collect plan riding the kernel's trace: entries stream into the
+// array's builder one wire batch at a time, like schema.ReadAssoc, but
+// the scan lands in the kernel's span tree.
+func planReadAssoc(conn *accumulo.Connector, table, kernel string, q *telemetry.Query) (*assoc.Assoc, error) {
+	b := assoc.NewBuilder(semiring.PlusTimes)
+	_, err := runPlanVisit(conn, plan.Collect(plan.Scan(table, plan.Constraint{})), kernel, "", q,
+		func(e skv.Entry) error {
+			if v, ok := skv.DecodeFloat(e.V); ok {
+				b.Add(e.K.Row, e.K.ColQ, v)
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// cellsToAssoc folds a plan's ⊕-folded collect cells into an
+// associative array, exactly as reading the materialised table back
+// would have (ReadAssoc also keys by row and colQ).
+func cellsToAssoc(cells map[plan.Cell]float64) *assoc.Assoc {
+	b := assoc.NewBuilder(semiring.PlusTimes)
+	for c, v := range cells {
+		b.Add(c.Row, c.ColQ, v)
+	}
+	return b.Build()
+}
+
+// adjSquareFoldPlan is the fused A² pattern shared by kTruss (per
+// round), Jaccard (the numerator), and TriangleCount: the multiply's
+// partial products stream from the TwoTableIterator straight back to
+// the client, which ⊕-folds them per cell — the scratch table that used
+// to hold A² and its write-then-rescan round-trip are gone. The fold is
+// exact: + over float64 partial products is the same ⊕ the scratch
+// table's sum combiner applied. Shared with Explain.
+func adjSquareFoldPlan(table string) *plan.Node {
+	return plan.CollectFold(plan.Mult(plan.Scan(table, plan.Constraint{}), table, "plus.times"), "plus.times")
+}
+
 // KTrussAdjTable computes the k-truss of the graph stored in an
 // adjacency table and writes the surviving adjacency matrix to outTable.
-// Per iteration, the triangle-support matrix A² is produced server-side
-// with TableMult (the adjacency table doubles as Aᵀ because the graph is
-// undirected); the peel set is decided client-side from the scanned
-// support entries, exactly the Graphulo kTrussAdj loop structure.
-// Returns the number of peel iterations. Every `<scratch>_sq<N>` /
-// `<scratch>_it<N>` intermediate is deleted before returning, on
-// success and on error.
+// Per iteration, the triangle-support matrix A² runs as a fused plan:
+// the multiply's partial products (cur holds a symmetric matrix = its
+// own transpose) stream back and ⊕-fold client-side, so a round only
+// materialises the survivor table the next round must scan — the
+// support matrix itself never touches a scratch table. The peel set is
+// decided client-side from the folded support, exactly the Graphulo
+// kTrussAdj loop structure. Returns the number of peel iterations.
+// Every `<scratch>_it<N>_<trace>` intermediate (trace-suffixed, so
+// concurrent kernels on one table cannot collide) is deleted before
+// returning, on success and on error.
 func KTrussAdjTable(conn *accumulo.Connector, table, outTable string, k int, scratch string) (iterCount int, err error) {
 	q, done := startQuery(conn, "kTruss", nil)
 	defer func() { done(err) }()
 	ops := conn.TableOperations()
+	trace := q.Trace().String()
 	cur := table
 	var scratchTables []string
 	// Closure, not a direct defer: the slice grows as rounds allocate
 	// scratch tables and must be read at return time.
 	defer func() { dropScratch(conn, scratchTables, &err) }()
 	for round := 0; ; round++ {
-		tmp := fmt.Sprintf("%s_sq%d", scratch, round)
-		if ops.Exists(tmp) {
-			if err := ops.Delete(tmp); err != nil {
-				return iterCount, err
-			}
-		}
-		scratchTables = append(scratchTables, tmp)
-		// A² server-side (cur holds a symmetric matrix = its own
-		// transpose).
-		if _, err := TableMult(conn, cur, cur, tmp, MultOptions{Query: q}); err != nil {
-			return iterCount, err
-		}
-		iterCount++
-		// Read surviving edges: edge (u,v) survives when A²(u,v) ≥ k−2
-		// and (u,v) is an edge of cur.
-		aCur, err := schema.ReadAssoc(conn, cur)
+		res, err := runPlan(conn, adjSquareFoldPlan(cur), "kTruss", scratch, q)
 		if err != nil {
 			return iterCount, err
 		}
-		aSq, err := schema.ReadAssoc(conn, tmp)
+		iterCount++
+		// Surviving edges: edge (u,v) survives when A²(u,v) ≥ k−2 and
+		// (u,v) is an edge of cur.
+		aSq := cellsToAssoc(res.Cells)
+		aCur, err := planReadAssoc(conn, cur, "kTruss", q)
 		if err != nil {
 			return iterCount, err
 		}
@@ -215,13 +253,91 @@ func KTrussAdjTable(conn *accumulo.Connector, table, outTable string, k int, scr
 			}
 			return iterCount, nil
 		}
-		next := fmt.Sprintf("%s_it%d", scratch, round)
+		next := fmt.Sprintf("%s_it%d_%s", scratch, round, trace)
 		if ops.Exists(next) {
 			if err := ops.Delete(next); err != nil {
 				return iterCount, err
 			}
 		}
 		scratchTables = append(scratchTables, next)
+		noteScratch(conn)
+		if err := createSumTable(conn, next); err != nil {
+			return iterCount, err
+		}
+		if err := schema.WriteAssoc(conn, next, assoc.New(keep, aCur.Ring())); err != nil {
+			return iterCount, err
+		}
+		cur = next
+	}
+}
+
+// KTrussAdjTableMaterialized is the pre-plan kTruss driver: every
+// round's support matrix A² lands in a `_sq` scratch table via
+// TableMult and is scanned back — one write-then-rescan round-trip per
+// round that the fused KTrussAdjTable eliminates. Kept as the
+// equivalence baseline: both drivers must produce byte-identical
+// results. Scratch names are trace-suffixed here too, so concurrent
+// kernels sharing a scratch base cannot clobber each other.
+func KTrussAdjTableMaterialized(conn *accumulo.Connector, table, outTable string, k int, scratch string) (iterCount int, err error) {
+	q, done := startQuery(conn, "kTrussMaterialized", nil)
+	defer func() { done(err) }()
+	ops := conn.TableOperations()
+	trace := q.Trace().String()
+	cur := table
+	var scratchTables []string
+	defer func() { dropScratch(conn, scratchTables, &err) }()
+	for round := 0; ; round++ {
+		tmp := fmt.Sprintf("%s_sq%d_%s", scratch, round, trace)
+		if ops.Exists(tmp) {
+			if err := ops.Delete(tmp); err != nil {
+				return iterCount, err
+			}
+		}
+		scratchTables = append(scratchTables, tmp)
+		noteScratch(conn)
+		if _, err := TableMult(conn, cur, cur, tmp, MultOptions{Query: q}); err != nil {
+			return iterCount, err
+		}
+		iterCount++
+		aCur, err := schema.ReadAssoc(conn, cur)
+		if err != nil {
+			return iterCount, err
+		}
+		aSq, err := schema.ReadAssoc(conn, tmp)
+		if err != nil {
+			return iterCount, err
+		}
+		var keep []assoc.Entry
+		removed := false
+		for _, e := range aCur.Entries() {
+			if aSq.At(e.Row, e.Col) >= float64(k-2) {
+				keep = append(keep, e)
+			} else {
+				removed = true
+			}
+		}
+		if !removed {
+			if ops.Exists(outTable) {
+				if err := ops.Delete(outTable); err != nil {
+					return iterCount, err
+				}
+			}
+			if err := createSumTable(conn, outTable); err != nil {
+				return iterCount, err
+			}
+			if err := schema.WriteAssoc(conn, outTable, assoc.New(keep, aCur.Ring())); err != nil {
+				return iterCount, err
+			}
+			return iterCount, nil
+		}
+		next := fmt.Sprintf("%s_it%d_%s", scratch, round, trace)
+		if ops.Exists(next) {
+			if err := ops.Delete(next); err != nil {
+				return iterCount, err
+			}
+		}
+		scratchTables = append(scratchTables, next)
+		noteScratch(conn)
 		if err := createSumTable(conn, next); err != nil {
 			return iterCount, err
 		}
@@ -241,23 +357,44 @@ func createSumTable(conn *accumulo.Connector, name string) error {
 }
 
 // JaccardTable computes Jaccard coefficients for the graph in an
-// adjacency table: the common-neighbour counts come from a server-side
-// TableMult (A·A through the table kernels), the degree normalisation
-// from the degree table, and the result lands in outTable. Only the
-// strict upper triangle (by key order) is written, matching Algorithm
-// 2's output shape. The `<out>_num` numerator table is deleted before
-// returning, on success and on error.
+// adjacency table: the common-neighbour counts come from a fused
+// multiply plan (A·A through the table kernels, ⊕-folded at the client
+// instead of materialised in a numerator table), the degree
+// normalisation from the degree table, and the result lands in
+// outTable. Only the strict upper triangle (by key order) is written,
+// matching Algorithm 2's output shape. No scratch table is created.
 func JaccardTable(conn *accumulo.Connector, table, degTable, outTable string) (written int, err error) {
 	q, done := startQuery(conn, "Jaccard", nil)
 	defer func() { done(err) }()
+	res, err := runPlan(conn, adjSquareFoldPlan(table), "Jaccard", outTable, q)
+	if err != nil {
+		return 0, err
+	}
+	degs, err := readDegrees(conn, degTable, q)
+	if err != nil {
+		return 0, err
+	}
+	return writeJaccard(conn, outTable, cellsToAssoc(res.Cells), degs, q)
+}
+
+// JaccardTableMaterialized is the pre-plan Jaccard driver: the
+// numerator A·A lands in a `<out>_num_<trace>` scratch table via
+// TableMult and is scanned back. Kept as the equivalence baseline for
+// the fused driver; the scratch name is trace-suffixed so concurrent
+// kernels writing the same output base cannot collide. The scratch
+// table is deleted before returning, on success and on error.
+func JaccardTableMaterialized(conn *accumulo.Connector, table, degTable, outTable string) (written int, err error) {
+	q, done := startQuery(conn, "JaccardMaterialized", nil)
+	defer func() { done(err) }()
 	ops := conn.TableOperations()
-	tmp := outTable + "_num"
+	tmp := fmt.Sprintf("%s_num_%s", outTable, q.Trace())
 	if ops.Exists(tmp) {
 		if err := ops.Delete(tmp); err != nil {
 			return 0, err
 		}
 	}
 	defer dropScratch(conn, []string{tmp}, &err)
+	noteScratch(conn)
 	if _, err := TableMult(conn, table, table, tmp, MultOptions{Query: q}); err != nil {
 		return 0, err
 	}
@@ -269,6 +406,13 @@ func JaccardTable(conn *accumulo.Connector, table, degTable, outTable string) (w
 	if err != nil {
 		return 0, err
 	}
+	return writeJaccard(conn, outTable, num, degs, q)
+}
+
+// writeJaccard normalises the common-neighbour counts and writes the
+// strict upper triangle into outTable — the client-side tail shared by
+// the fused and materializing Jaccard drivers.
+func writeJaccard(conn *accumulo.Connector, outTable string, num *assoc.Assoc, degs map[string]float64, q *telemetry.Query) (written int, err error) {
 	if err := createSumTable(conn, outTable); err != nil {
 		return 0, err
 	}
@@ -301,7 +445,7 @@ func JaccardTable(conn *accumulo.Connector, table, degTable, outTable string) (w
 func NMFTable(conn *accumulo.Connector, table, wTable, hTable string, cfg algo.NMFConfig) (res algo.NMFResult, err error) {
 	q, done := startQuery(conn, "NMF", nil)
 	defer func() { done(err) }()
-	a, err := schema.ReadAssoc(conn, table)
+	a, err := planReadAssoc(conn, table, "NMF", q)
 	if err != nil {
 		return algo.NMFResult{}, err
 	}
@@ -362,27 +506,67 @@ func TableDegrees(conn *accumulo.Connector, table, degTable string) (int, error)
 }
 
 // TriangleCountTable counts triangles in the graph held by an adjacency
-// table: TableMult produces A² server-side; the client streams A once
-// and accumulates Σ A∘A² / 6. The scratch table is deleted before
-// returning, on success and on error.
+// table: a fused plan streams the A² partial products back and ⊕-folds
+// them client-side, then the client streams A once and accumulates
+// Σ A∘A² / 6. No scratch table is created; the scratch parameter is
+// kept as the materialisation base should the planner ever need one
+// (and for signature compatibility with the materializing variant).
 func TriangleCountTable(conn *accumulo.Connector, table, scratch string) (count float64, err error) {
 	q, done := startQuery(conn, "TriangleCount", nil)
 	defer func() { done(err) }()
+	res, err := runPlan(conn, adjSquareFoldPlan(table), "TriangleCount", scratch, q)
+	if err != nil {
+		return 0, err
+	}
+	sq := cellsToAssoc(res.Cells)
+	total := 0.0
+	err = visitTableEntries(conn, table, q, func(row, col string) {
+		total += sq.At(row, col)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total / 6, nil
+}
+
+// visitTableEntries streams a table's decodable entries to fn through a
+// collect plan on the kernel's trace.
+func visitTableEntries(conn *accumulo.Connector, table string, q *telemetry.Query, fn func(row, col string)) error {
+	_, err := runPlanVisit(conn, plan.Collect(plan.Scan(table, plan.Constraint{})), "TriangleCount", "", q,
+		func(e skv.Entry) error {
+			if _, ok := skv.DecodeFloat(e.V); ok {
+				fn(e.K.Row, e.K.ColQ)
+			}
+			return nil
+		})
+	return err
+}
+
+// TriangleCountTableMaterialized is the pre-plan triangle counter:
+// TableMult materialises A² in a `<scratch>_<trace>` table that is
+// scanned back — the round-trip the fused TriangleCountTable
+// eliminates. The scratch table is deleted before returning, on success
+// and on error.
+func TriangleCountTableMaterialized(conn *accumulo.Connector, table, scratch string) (count float64, err error) {
+	q, done := startQuery(conn, "TriangleCountMaterialized", nil)
+	defer func() { done(err) }()
 	ops := conn.TableOperations()
-	if ops.Exists(scratch) {
-		if err := ops.Delete(scratch); err != nil {
+	tmp := fmt.Sprintf("%s_%s", scratch, q.Trace())
+	if ops.Exists(tmp) {
+		if err := ops.Delete(tmp); err != nil {
 			return 0, err
 		}
 	}
-	defer dropScratch(conn, []string{scratch}, &err)
-	if _, err := TableMult(conn, table, table, scratch, MultOptions{Query: q}); err != nil {
+	defer dropScratch(conn, []string{tmp}, &err)
+	noteScratch(conn)
+	if _, err := TableMult(conn, table, table, tmp, MultOptions{Query: q}); err != nil {
 		return 0, err
 	}
 	a, err := schema.ReadAssoc(conn, table)
 	if err != nil {
 		return 0, err
 	}
-	sq, err := schema.ReadAssoc(conn, scratch)
+	sq, err := schema.ReadAssoc(conn, tmp)
 	if err != nil {
 		return 0, err
 	}

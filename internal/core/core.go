@@ -25,10 +25,10 @@ package core
 
 import (
 	"fmt"
-	"strconv"
 
 	"graphulo/internal/accumulo"
 	"graphulo/internal/iterator"
+	"graphulo/internal/plan"
 	"graphulo/internal/semiring"
 	"graphulo/internal/skv"
 	"graphulo/internal/telemetry"
@@ -65,14 +65,11 @@ func (c ScanConstraint) colSetting(priority int) (iterator.Setting, bool) {
 	}}, true
 }
 
-// DefaultPreAggBytes is the default RemoteWrite pre-aggregation buffer
-// capacity. Partial products for one output cell are spread across
-// inner rows, so a buffer that spills before a tablet pass's distinct
-// output cells fit folds very little; 16 MiB (~220k cells) holds the
-// working set of a power-law multiply at benchmark scale while keeping
-// a kernel pass memory-bounded (one buffer per concurrently scanned
-// tablet). Tune per kernel with MultOptions.PreAggBytes.
-const DefaultPreAggBytes = 16 << 20
+// DefaultPreAggBytes is the ceiling of the RemoteWrite pre-aggregation
+// buffer — the planner's adaptive sizing (see plan.Compile) never
+// exceeds it, and it is the budget used when no density observations
+// exist. Tune per kernel with MultOptions.PreAggBytes.
+const DefaultPreAggBytes = plan.DefaultPreAggBytes
 
 // MultOptions configures TableMult.
 type MultOptions struct {
@@ -93,8 +90,10 @@ type MultOptions struct {
 	// PreAggBytes bounds the RemoteWrite pre-aggregation buffer: partial
 	// products are ⊕-folded per output cell where they are produced and
 	// only folded cells cross the write path, spilling at capacity. 0
-	// selects DefaultPreAggBytes; negative disables pre-aggregation.
-	// Results are cell-identical either way; only write volume changes.
+	// lets the planner size the buffer from the operand's entry estimate
+	// and the cluster's observed fold ratio, clamped to at most
+	// DefaultPreAggBytes; negative disables pre-aggregation. Results are
+	// cell-identical either way; only write volume changes.
 	PreAggBytes int
 	// Query attaches the multiply to a caller-owned telemetry query —
 	// composite kernels (kTruss, Jaccard, PageRank, …) thread theirs
@@ -103,16 +102,64 @@ type MultOptions struct {
 	Query *telemetry.Query
 }
 
-// preAggBytes resolves the option's 0-default/negative-disable coding.
-func (o MultOptions) preAggBytes() int {
-	switch {
-	case o.PreAggBytes < 0:
-		return 0
-	case o.PreAggBytes == 0:
-		return DefaultPreAggBytes
-	default:
-		return o.PreAggBytes
+// planEnv builds the execution environment plans run under: the
+// connector, the kernel's telemetry query, and result-table preparation
+// through ensureResultTable (injected as a closure so the plan package
+// stays independent of core).
+func planEnv(conn *accumulo.Connector, q *telemetry.Query) plan.Env {
+	return plan.Env{
+		Conn:  conn,
+		Query: q,
+		EnsureTable: func(table, ringName string) error {
+			ring, ok := semiring.ByName(ringName)
+			if !ok {
+				return fmt.Errorf("core: unknown semiring %q", ringName)
+			}
+			return ensureResultTable(conn, table, ring)
+		},
 	}
+}
+
+// planOptions builds compilation options for a kernel: scratch tables
+// are suffixed with the query's trace id so concurrent kernels on the
+// same tables never collide, and the planner's adaptive decisions read
+// the cluster's table-size estimates and historical fold ratio.
+func planOptions(conn *accumulo.Connector, kernel, scratchBase string, q *telemetry.Query) plan.Options {
+	m := &conn.Cluster().Metrics
+	return plan.Options{
+		Kernel:      kernel,
+		ScratchBase: scratchBase,
+		TraceID:     q.Trace().String(),
+		Stats: plan.Stats{
+			EntryEstimate: func(table string) int {
+				n, err := conn.TableOperations().EntryEstimate(table)
+				if err != nil {
+					return 0
+				}
+				return n
+			},
+			Folded:  m.PartialProductsFolded.Load(),
+			Written: m.EntriesWritten.Load(),
+		},
+	}
+}
+
+// runPlan compiles and executes a node tree under the kernel's query.
+func runPlan(conn *accumulo.Connector, root *plan.Node, kernel, scratchBase string, q *telemetry.Query) (*plan.Result, error) {
+	return runPlanVisit(conn, root, kernel, scratchBase, q, nil)
+}
+
+// runPlanVisit is runPlan with a streaming visitor: a terminal collect
+// step hands entries to visit as they arrive instead of accumulating
+// them in the result.
+func runPlanVisit(conn *accumulo.Connector, root *plan.Node, kernel, scratchBase string, q *telemetry.Query, visit func(skv.Entry) error) (*plan.Result, error) {
+	p, err := plan.Compile(root, planOptions(conn, kernel, scratchBase, q))
+	if err != nil {
+		return nil, err
+	}
+	env := planEnv(conn, q)
+	env.Visit = visit
+	return p.Execute(env)
 }
 
 // startQuery resolves the telemetry query a kernel call runs under:
@@ -148,66 +195,28 @@ func TableMult(conn *accumulo.Connector, tableAT, tableB, tableC string, opts Mu
 	if opts.Semiring == "" {
 		opts.Semiring = "plus.times"
 	}
-	ring, ok := semiring.ByName(opts.Semiring)
-	if !ok {
+	if _, ok := semiring.ByName(opts.Semiring); !ok {
 		return 0, fmt.Errorf("core: unknown semiring %q", opts.Semiring)
 	}
-	if opts.BatchSize <= 0 {
-		opts.BatchSize = 4096
-	}
 	ops := conn.TableOperations()
-	if err := ensureResultTable(conn, tableC, ring); err != nil {
-		return 0, err
-	}
 	for _, t := range []string{tableAT, tableB} {
 		if !ops.Exists(t) {
 			return 0, fmt.Errorf("core: input table %q does not exist", t)
 		}
 	}
-	sc, err := conn.CreateScanner(tableB)
+	res, err := runPlan(conn, multPlan(tableAT, tableB, tableC, opts), "TableMult", tableC, q)
 	if err != nil {
 		return 0, err
 	}
-	sc.SetTrace(q)
-	sc.SetRange(opts.Constraint.rowRange())
-	if colFilter, ok := opts.Constraint.colSetting(25); ok {
-		sc.AddScanIterator(colFilter)
-	}
-	sc.AddScanIterator(iterator.Setting{Name: "twoTable", Priority: 30, Opts: map[string]string{
-		"tableAT":  tableAT,
-		"semiring": opts.Semiring,
-	}})
-	sc.AddScanIterator(iterator.Setting{Name: "remoteWrite", Priority: 40, Opts: map[string]string{
-		"table":       tableC,
-		"batchSize":   strconv.Itoa(opts.BatchSize),
-		"preAggBytes": strconv.Itoa(opts.preAggBytes()),
-		"semiring":    opts.Semiring,
-	}})
-	return collectMonitor(sc)
+	return res.Written, nil
 }
 
-// collectMonitor runs a kernel scan as a stream and sums the per-tablet
-// monitoring counts as they arrive. The stream triggers the kernel: by
-// the time a tablet's monitoring entry is served, that tablet's results
-// are in the target table; tablets execute concurrently under the
-// cluster's ScanParallelism bound. A monitoring entry whose value does
-// not decode is an error — silently skipping it would under-report the
-// written count.
-func collectMonitor(sc *accumulo.Scanner) (int, error) {
-	st, err := sc.Stream()
-	if err != nil {
-		return 0, err
-	}
-	defer st.Close()
-	total := 0
-	for e, ok := st.Next(); ok; e, ok = st.Next() {
-		v, ok := skv.DecodeFloat(e.V)
-		if !ok {
-			return total, fmt.Errorf("core: monitoring entry %v carries undecodable count %q", e.K, string(e.V))
-		}
-		total += int(v)
-	}
-	return total, st.Err()
+// multPlan is TableMult's node tree — one fused scan-mult-write pass —
+// shared with Explain so the printed plan is the executed plan.
+func multPlan(tableAT, tableB, tableC string, opts MultOptions) *plan.Node {
+	return plan.Write(
+		plan.Mult(plan.Scan(tableB, plan.Constraint(opts.Constraint)), tableAT, opts.Semiring),
+		tableC, opts.Semiring, opts.BatchSize, opts.PreAggBytes)
 }
 
 // combinerForRing names the combiner iterator implementing a semiring's
@@ -400,31 +409,26 @@ func OneTableConstrained(conn *accumulo.Connector, tableIn, tableOut string, set
 }
 
 // oneTableQ is the OneTable executor under an existing query record —
-// the entry point for composite kernels that own their trace.
+// the entry point for composite kernels that own their trace. It runs
+// as a single fused scan-apply-write plan step.
 func oneTableQ(conn *accumulo.Connector, tableIn, tableOut string, settings []iterator.Setting, c ScanConstraint, q *telemetry.Query) (int, error) {
-	if err := ensureResultTable(conn, tableOut, semiring.PlusTimes); err != nil {
-		return 0, err
-	}
-	sc, err := conn.CreateScanner(tableIn)
+	res, err := runPlan(conn, oneTablePlan(tableIn, tableOut, settings, c), "OneTable", tableOut, q)
 	if err != nil {
 		return 0, err
 	}
-	sc.SetTrace(q)
-	sc.SetRange(c.rowRange())
-	if colFilter, ok := c.colSetting(25); ok {
-		sc.AddScanIterator(colFilter)
+	return res.Written, nil
+}
+
+// oneTablePlan is OneTable's node tree: apply stages fused over the
+// scan, sunk into the output table with pre-aggregation off (a chain
+// without a multiply carries at most one entry per input cell, so a
+// fold buffer has nothing to fold).
+func oneTablePlan(tableIn, tableOut string, settings []iterator.Setting, c ScanConstraint) *plan.Node {
+	var n *plan.Node = plan.Scan(tableIn, plan.Constraint(c))
+	if len(settings) > 0 {
+		n = plan.Apply(n, settings...)
 	}
-	prio := 30
-	for _, s := range settings {
-		if s.Priority == 0 {
-			s.Priority = prio
-			prio++
-		}
-		sc.AddScanIterator(s)
-	}
-	sc.AddScanIterator(iterator.Setting{Name: "remoteWrite", Priority: 90,
-		Opts: map[string]string{"table": tableOut}})
-	return collectMonitor(sc)
+	return plan.Write(n, tableOut, "plus.times", 0, 0)
 }
 
 // TableRowReduce folds each row of tableIn with the monoid ("plus",
@@ -443,11 +447,46 @@ func TableRowReduce(conn *accumulo.Connector, tableIn, tableOut, monoid, colF, c
 func TableRowReduceConstrained(conn *accumulo.Connector, tableIn, tableOut, monoid, colF, colQ string, c ScanConstraint) (n int, err error) {
 	q, done := startQuery(conn, "TableRowReduce", nil)
 	defer func() { done(err) }()
-	return oneTableQ(conn, tableIn, tableOut, []iterator.Setting{
-		{Name: "rowReduce", Priority: 30, Opts: map[string]string{
-			"monoid": monoid, "colF": colF, "colQ": colQ,
-		}},
-	}, c, q)
+	res, err := runPlan(conn, rowReducePlan(tableIn, tableOut, monoid, colF, colQ, c), "TableRowReduce", tableOut, q)
+	if err != nil {
+		return 0, err
+	}
+	return res.Written, nil
+}
+
+// rowReducePlan is TableRowReduce's node tree: the reduce fuses over
+// the scan (its input is row-sorted), one pass end to end.
+func rowReducePlan(tableIn, tableOut, monoid, colF, colQ string, c ScanConstraint) *plan.Node {
+	return plan.Write(
+		plan.Reduce(plan.Scan(tableIn, plan.Constraint(c)), monoid, colF, colQ),
+		tableOut, "plus.times", 0, 0)
+}
+
+// TableAssign writes a sub-array of tableIn into a destination
+// sub-array of tableOut with offset remapping — SpAsgn, the dual of the
+// SpRef push-down: C(p+i, q+j) ⊕= A(i, j) for the constrained (i, j).
+// The whole kernel is one fused pass: the constraint prunes and filters
+// in source coordinates, the spAsgn iterator prefixes rowOffset/
+// colOffset directly below the RemoteWrite sink, and nothing touches
+// the client or a scratch table.
+func TableAssign(conn *accumulo.Connector, tableIn, tableOut, rowOffset, colOffset string, c ScanConstraint) (n int, err error) {
+	q, done := startQuery(conn, "TableAssign", nil)
+	defer func() { done(err) }()
+	if !conn.TableOperations().Exists(tableIn) {
+		return 0, fmt.Errorf("core: input table %q does not exist", tableIn)
+	}
+	res, err := runPlan(conn, assignPlan(tableIn, tableOut, rowOffset, colOffset, c), "TableAssign", tableOut, q)
+	if err != nil {
+		return 0, err
+	}
+	return res.Written, nil
+}
+
+// assignPlan is TableAssign's node tree, shared with Explain.
+func assignPlan(tableIn, tableOut, rowOffset, colOffset string, c ScanConstraint) *plan.Node {
+	return plan.Write(
+		plan.SpAsgn(plan.Scan(tableIn, plan.Constraint(c)), rowOffset, colOffset),
+		tableOut, "plus.times", 0, 0)
 }
 
 // TableSum unions the input tables into tableOut under a summing

@@ -10,6 +10,7 @@ import (
 	"graphulo/internal/algo"
 	"graphulo/internal/gen"
 	"graphulo/internal/iterator"
+	"graphulo/internal/plan"
 	"graphulo/internal/schema"
 	"graphulo/internal/skv"
 )
@@ -677,8 +678,10 @@ func TestTriangleScratchReclaimed(t *testing.T) {
 }
 
 // TestCollectMonitorRejectsBadValue is the regression test for silently
-// skipped monitoring entries: an undecodable count must surface as an
-// error instead of under-reporting.
+// skipped monitoring entries: an undecodable count arriving at a plan's
+// write sink must surface as an error instead of under-reporting. The
+// step is built by hand (no RemoteWrite setting) so the scan serves the
+// planted garbage directly as the sink's monitoring stream.
 func TestCollectMonitorRejectsBadValue(t *testing.T) {
 	conn := testConn(t)
 	ops := conn.TableOperations()
@@ -695,11 +698,12 @@ func TestCollectMonitorRejectsBadValue(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	sc, err := conn.CreateScanner("Mon")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := collectMonitor(sc); err == nil {
+	p := &plan.Plan{Kernel: "test", Steps: []plan.Step{{
+		Source: "Mon", Sink: plan.SinkWrite, OutTable: "MonOut",
+		Semiring: "plus.times", Ops: []string{"scan Mon", "write MonOut"},
+	}}}
+	env := planEnv(conn, nil)
+	if _, err := p.Execute(env); err == nil {
 		t.Fatal("undecodable monitoring entry not surfaced as an error")
 	}
 }

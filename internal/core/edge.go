@@ -91,9 +91,18 @@ func KTrussEdgeTable(conn *accumulo.Connector, inc *schema.IncidenceSchema, k in
 	defer func() { done(err) }()
 	ops := conn.TableOperations()
 	curE, curET := inc.Table, inc.TableT
+	trace := q.Trace().String()
+	var scratchTables []string
+	defer func() { dropScratch(conn, scratchTables, &err) }()
 	for round := 0; ; round++ {
+		// Trace-suffixed like every other driver's intermediates, so
+		// concurrent k-truss runs over the same outBase never collide —
+		// and reclaimed on the way out now that each run names its own.
 		scratch := func(name string) string {
-			return fmt.Sprintf("%s_%s%d", outBase, name, round)
+			noteScratch(conn)
+			t := fmt.Sprintf("%s_%s%d_%s", outBase, name, round, trace)
+			scratchTables = append(scratchTables, t)
+			return t
 		}
 		// A = EᵀE with the diagonal dropped at scan time below.
 		aTable := scratch("A")

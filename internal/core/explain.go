@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"graphulo/internal/accumulo"
+	"graphulo/internal/iterator"
+	"graphulo/internal/plan"
+	"graphulo/internal/skv"
+)
+
+// ExplainPlan compiles the named kernel's plan over table (writing to
+// out where the kernel writes) and renders the node tree with fused
+// groups marked — the same builder functions the drivers execute, so
+// the printed plan is the executed plan. conn may be nil: the plan
+// still compiles, but the planner's adaptive pre-aggregation sizing
+// falls back to its default budget (no table-size estimates to read).
+//
+// Kernels: mult, apply, degrees (reduce), bfs, ktruss, jaccard,
+// tricount, assign (spAsgn).
+func ExplainPlan(conn *accumulo.Connector, kernel, table, out string) (string, error) {
+	var root *plan.Node
+	var name string
+	switch strings.ToLower(kernel) {
+	case "mult":
+		name = "TableMult"
+		root = multPlan(table+"T", table, out, MultOptions{Semiring: "plus.times"})
+	case "apply", "onetable":
+		name = "OneTable"
+		root = oneTablePlan(table, out,
+			[]iterator.Setting{{Name: "scale", Opts: map[string]string{"factor": "2"}}}, ScanConstraint{})
+	case "degrees", "reduce":
+		name = "TableRowReduce"
+		root = rowReducePlan(table, out, "plus", "", "deg", ScanConstraint{})
+	case "bfs":
+		name = "AdjBFS"
+		root = plan.Collect(plan.ScanRanges(table, []skv.Range{skv.ExactRow("<frontier>")}))
+	case "ktruss":
+		name = "kTruss"
+		root = adjSquareFoldPlan(table)
+	case "jaccard":
+		name = "Jaccard"
+		root = adjSquareFoldPlan(table)
+	case "tricount", "trianglecount":
+		name = "TriangleCount"
+		root = adjSquareFoldPlan(table)
+	case "assign", "spasgn":
+		name = "TableAssign"
+		root = assignPlan(table, out, "p|", "q|", ScanConstraint{})
+	default:
+		return "", fmt.Errorf("core: no plan for kernel %q (try mult, apply, degrees, bfs, ktruss, jaccard, tricount, assign)", kernel)
+	}
+	opts := plan.Options{Kernel: name, ScratchBase: out, TraceID: "explain"}
+	if conn != nil {
+		opts = planOptions(conn, name, out, nil)
+		opts.TraceID = "explain"
+	}
+	p, err := plan.Compile(root, opts)
+	if err != nil {
+		return "", err
+	}
+	return p.Format(), nil
+}
+
+// ExplainKernels lists the kernel names ExplainPlan accepts, in display
+// order.
+func ExplainKernels() []string {
+	return []string{"mult", "apply", "degrees", "bfs", "ktruss", "jaccard", "tricount", "assign"}
+}

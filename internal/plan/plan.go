@@ -1,0 +1,196 @@
+// Package plan represents server-side kernels as DAGs of composable
+// operator nodes — the NewSQL direction of "From NoSQL Accumulo to
+// NewSQL Graphulo": a kernel is no longer a hand-sequenced list of
+// table operations but a tree of Scan/Mult/Apply/Reduce/SpAsgn/Write
+// nodes that a small planner compiles into as few server-side iterator
+// stacks as possible. Wherever a downstream node is expressible as
+// iterators over the upstream scan, the planner fuses it into the same
+// stack, so the fused steps never materialise a scratch table between
+// them; only genuinely order-breaking boundaries (a multiply feeding
+// another multiply or a row reduction) still write an intermediate.
+//
+// Plans execute through the ordinary scan machinery — Scanner →
+// EntryStream → serveScan — so a fused stack runs identically on the
+// in-process, TCP, and external-daemon transports, exactly like the
+// hand-built kernels it replaces.
+package plan
+
+import (
+	"fmt"
+
+	"graphulo/internal/iterator"
+	"graphulo/internal/skv"
+)
+
+// Constraint restricts a scan to a sub-associative-array — the SpRef
+// push-down: the row band prunes tablets before any pass launches, the
+// column band filters server-side below the kernel stages. The zero
+// value constrains nothing.
+type Constraint struct {
+	RowStart, RowEnd   string
+	ColQStart, ColQEnd string
+}
+
+// rowRange returns the constraint's row band as a scan range.
+func (c Constraint) rowRange() skv.Range { return skv.RowRange(c.RowStart, c.RowEnd) }
+
+// colSetting returns the server-side column-qualifier filter setting,
+// or ok=false when no column bound is set.
+func (c Constraint) colSetting(priority int) (iterator.Setting, bool) {
+	if c.ColQStart == "" && c.ColQEnd == "" {
+		return iterator.Setting{}, false
+	}
+	return iterator.Setting{Name: "colRange", Priority: priority, Opts: map[string]string{
+		"minColQ": c.ColQStart, "maxColQ": c.ColQEnd,
+	}}, true
+}
+
+// Op names a plan-node operator.
+type Op int
+
+const (
+	// OpScan reads a hosted table (optionally a sub-array, optionally an
+	// explicit range set such as a BFS frontier).
+	OpScan Op = iota
+	// OpMult is TableMult's ⊗-and-align stage: the TwoTableIterator over
+	// the hosted stream with a remote Aᵀ operand.
+	OpMult
+	// OpApply runs per-entry iterator settings (scale, threshold,
+	// filters, indicator maps — the Apply/Scale kernels).
+	OpApply
+	// OpReduce folds each row with a monoid (the Reduce kernel).
+	OpReduce
+	// OpSpAsgn remaps keys into a destination sub-array by prefixing row
+	// and column offsets — the dual of SpRef.
+	OpSpAsgn
+	// OpWrite streams the upstream entries into a table server-side
+	// (RemoteWrite), ⊕-pre-aggregating partial products.
+	OpWrite
+	// OpCollect streams the upstream entries back to the client —
+	// optionally ⊕-folding partial products per output cell — instead of
+	// materialising them in a scratch table.
+	OpCollect
+)
+
+// String names the operator for explain output.
+func (o Op) String() string {
+	switch o {
+	case OpScan:
+		return "scan"
+	case OpMult:
+		return "mult"
+	case OpApply:
+		return "apply"
+	case OpReduce:
+		return "reduce"
+	case OpSpAsgn:
+		return "spAsgn"
+	case OpWrite:
+		return "write"
+	case OpCollect:
+		return "collect"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Node is one operator in a kernel's dataflow tree. Leaves are OpScan;
+// the root is a sink (OpWrite or OpCollect). Fields are discriminated
+// by Op; use the constructors.
+type Node struct {
+	Op    Op
+	Input *Node // upstream operator; nil for OpScan
+
+	// OpScan
+	Table      string
+	Ranges     []skv.Range // explicit ranges (frontier rows); empty = Constraint band
+	Constraint Constraint
+
+	// OpMult
+	TableAT string
+	// Semiring names the ⊕.⊗ pair for OpMult, the sink combiner for
+	// OpWrite, and the client-side fold for a folding OpCollect.
+	Semiring string
+
+	// OpApply
+	Settings []iterator.Setting
+
+	// OpReduce
+	Monoid, ColF, ColQ string
+
+	// OpSpAsgn
+	RowOffset, ColOffset string
+
+	// OpWrite
+	OutTable    string
+	BatchSize   int
+	PreAggBytes int // 0 = planner-adaptive, negative = disabled
+
+	// OpCollect
+	Fold bool
+}
+
+// Scan reads a table, restricted to the constraint's sub-array.
+func Scan(table string, c Constraint) *Node {
+	return &Node{Op: OpScan, Table: table, Constraint: c}
+}
+
+// ScanRanges reads explicit ranges of a table (e.g. one ExactRow per
+// BFS frontier vertex).
+func ScanRanges(table string, ranges []skv.Range) *Node {
+	return &Node{Op: OpScan, Table: table, Ranges: ranges}
+}
+
+// Mult multiplies the input stream (the hosted B operand) against the
+// remote Aᵀ table under the named semiring: C ⊕= Aᵀ·B partial products.
+func Mult(in *Node, tableAT, semiring string) *Node {
+	if semiring == "" {
+		semiring = "plus.times"
+	}
+	return &Node{Op: OpMult, Input: in, TableAT: tableAT, Semiring: semiring}
+}
+
+// Apply runs per-entry iterator settings over the input stream.
+func Apply(in *Node, settings ...iterator.Setting) *Node {
+	return &Node{Op: OpApply, Input: in, Settings: settings}
+}
+
+// Reduce folds each row of the input with the monoid, emitting one
+// entry per row under (colF, colQ).
+func Reduce(in *Node, monoid, colF, colQ string) *Node {
+	return &Node{Op: OpReduce, Input: in, Monoid: monoid, ColF: colF, ColQ: colQ}
+}
+
+// SpAsgn remaps the input stream into a destination sub-array: row keys
+// gain rowOffset as a prefix, column qualifiers gain colOffset.
+func SpAsgn(in *Node, rowOffset, colOffset string) *Node {
+	return &Node{Op: OpSpAsgn, Input: in, RowOffset: rowOffset, ColOffset: colOffset}
+}
+
+// Write sinks the input stream into a table server-side under the
+// semiring's ⊕ combiner. preAggBytes 0 lets the planner size the
+// RemoteWrite fold buffer adaptively; negative disables pre-aggregation.
+func Write(in *Node, table, semiring string, batchSize, preAggBytes int) *Node {
+	if semiring == "" {
+		semiring = "plus.times"
+	}
+	if batchSize <= 0 {
+		batchSize = 4096
+	}
+	return &Node{Op: OpWrite, Input: in, OutTable: table, Semiring: semiring,
+		BatchSize: batchSize, PreAggBytes: preAggBytes}
+}
+
+// Collect sinks the input stream back to the client in arrival order.
+func Collect(in *Node) *Node {
+	return &Node{Op: OpCollect, Input: in}
+}
+
+// CollectFold sinks the input stream back to the client, ⊕-folding the
+// entries per output cell under the semiring — the no-scratch-table
+// consumer for a multiply whose result the client needs to read anyway.
+func CollectFold(in *Node, semiring string) *Node {
+	if semiring == "" {
+		semiring = "plus.times"
+	}
+	return &Node{Op: OpCollect, Input: in, Fold: true, Semiring: semiring}
+}
