@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -1341,6 +1342,146 @@ func BenchmarkFusedVsMaterialized(b *testing.B) {
 				_, rpcs, _, _ := db.Metrics()
 				b.ReportMetric(float64(rpcs)/float64(b.N), "rpcs/op")
 			})
+		}
+	}
+}
+
+// --- PR-9: concurrent query scheduler scaling harness ---
+
+// runMixedKernels is one scaling-harness worker: ops kernel calls
+// rotating through AdjBFS, Jaccard, and TableMult against the shared
+// graph, alternating tenant labels across workers. Returns per-op
+// latencies (short on error).
+func runMixedKernels(b *testing.B, db *DB, tg *TableGraph, worker, ops int) []time.Duration {
+	b.Helper()
+	a, at, _ := tg.Tables()
+	tenant := fmt.Sprintf("t%d", worker%2)
+	lat := make([]time.Duration, 0, ops)
+	for i := 0; i < ops; i++ {
+		start := time.Now()
+		var err error
+		switch i % 3 {
+		case 0:
+			_, err = tg.BFSWithOptions([]int{1}, 2, BFSOptions{Tenant: tenant})
+		case 1:
+			_, err = tg.Jaccard()
+		default:
+			out := fmt.Sprintf("BC_w%d_%d", worker, i)
+			if _, err = db.TableMultOpts(at, a, out, MultOptions{Semiring: "plus.times", Tenant: tenant}); err == nil {
+				err = db.Connector().TableOperations().Delete(out)
+			}
+		}
+		if err != nil {
+			b.Error(err)
+			return lat
+		}
+		lat = append(lat, time.Since(start))
+	}
+	return lat
+}
+
+// latQuantile returns the q-quantile (0..1) of the recorded latencies.
+func latQuantile(lat []time.Duration, q float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// queueWaitTotal sums the scheduler queue wait accumulated across every
+// tenant's queries.
+func queueWaitTotal(db *DB) int64 {
+	var total int64
+	for _, ts := range db.Connector().Cluster().Telemetry().TenantSnapshots() {
+		total += ts.QueueWaitNanos
+	}
+	return total
+}
+
+// BenchmarkConcurrentKernels is the scheduler's scaling harness: N
+// workers run a mixed kernel stream (AdjBFS, Jaccard, TableMult) on
+// shared tables under admission control, a pass limit (fair-share and
+// shared-scan folding active), and two weighted tenants, on the
+// in-process and TCP transports. Weak rows fix the per-worker op count
+// (aggregate kernels/sec should grow with N); strong rows divide a
+// fixed total across N workers (wall clock should shrink). The
+// serialized row runs the N=8 weak workload through a single query
+// slot — the anchor for the concurrent-vs-serialized qps claim. Each
+// row reports aggregate kernels/sec, per-op p50/p99, and mean
+// scheduler queue wait.
+func BenchmarkConcurrentKernels(b *testing.B) {
+	const scale = 7
+	const weakOps = 6    // per worker
+	const strongOps = 24 // total, split across workers
+	for _, transport := range []string{"inproc", "tcp"} {
+		for _, mode := range []string{"weak", "strong", "serialized"} {
+			workerCounts := []int{1, 2, 4, 8}
+			if mode == "serialized" {
+				workerCounts = []int{8}
+			}
+			for _, n := range workerCounts {
+				n := n
+				cfg := ClusterConfig{
+					Transport:            transport,
+					TabletServers:        4,
+					MaxConcurrentQueries: 4 * n,
+					MaxConcurrentPasses:  4,
+					TenantWeights:        map[string]int{"t0": 2, "t1": 1},
+				}
+				ops := weakOps
+				if mode == "strong" {
+					ops = strongOps / n
+				}
+				if mode == "serialized" {
+					// Same offered load, one query slot: every kernel queues.
+					cfg.MaxConcurrentQueries = 1
+					cfg.MaxQueuedQueries = 1024
+				}
+				b.Run(fmt.Sprintf("%s/%s/N=%d", transport, mode, n), func(b *testing.B) {
+					g := rmatGraph(scale)
+					db := mustOpen(cfg)
+					defer db.Close()
+					tg, err := db.CreateGraph("G")
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := tg.Ingest(g); err != nil {
+						b.Fatal(err)
+					}
+					qw0 := queueWaitTotal(db)
+					var all []time.Duration
+					var wall time.Duration
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						lats := make([][]time.Duration, n)
+						start := time.Now()
+						var wg sync.WaitGroup
+						for w := 0; w < n; w++ {
+							wg.Add(1)
+							go func(w int) {
+								defer wg.Done()
+								lats[w] = runMixedKernels(b, db, tg, w, ops)
+							}(w)
+						}
+						wg.Wait()
+						wall += time.Since(start)
+						for _, l := range lats {
+							all = append(all, l...)
+						}
+					}
+					b.StopTimer()
+					if len(all) == 0 {
+						return
+					}
+					b.ReportMetric(float64(len(all))/wall.Seconds(), "kernels/sec")
+					b.ReportMetric(float64(latQuantile(all, 0.50))/1e6, "p50-ms")
+					b.ReportMetric(float64(latQuantile(all, 0.99))/1e6, "p99-ms")
+					b.ReportMetric(float64(queueWaitTotal(db)-qw0)/float64(len(all))/1e6, "queue-wait-ms/op")
+				})
+			}
 		}
 	}
 }

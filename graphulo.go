@@ -73,6 +73,7 @@ package graphulo
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"graphulo/internal/accumulo"
@@ -80,6 +81,7 @@ import (
 	"graphulo/internal/assoc"
 	"graphulo/internal/core"
 	"graphulo/internal/gen"
+	"graphulo/internal/sched"
 	"graphulo/internal/schema"
 	"graphulo/internal/semiring"
 	"graphulo/internal/skv"
@@ -323,7 +325,53 @@ type ClusterConfig struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryLog receives slow-query lines (default os.Stderr).
 	SlowQueryLog io.Writer
+	// DefaultTenant labels kernel queries that carry no explicit tenant
+	// (MultOptions.Tenant, AdjBFSOptions.Tenant) for fair-share
+	// scheduling, budgets, and per-tenant telemetry ("" = "default").
+	DefaultTenant string
+	// MaxConcurrentQueries bounds kernel queries admitted concurrently;
+	// excess queries wait in the admission queue (0 selects the default
+	// of 64; negative disables the bound).
+	MaxConcurrentQueries int
+	// MaxQueuedQueries bounds the admission queue; a query arriving with
+	// the queue full is rejected with an AdmissionError instead of
+	// waiting (0 selects the default of 256; negative rejects whenever
+	// all slots are busy).
+	MaxQueuedQueries int
+	// MaxConcurrentPasses, when positive, bounds physical tablet scan
+	// passes executing concurrently across all queries. Passes beyond
+	// the bound wait in per-tenant weighted fair queues, and compatible
+	// whole-tablet scans that queue together fold onto one physical pass
+	// (ScanStats.SharedScanFolds). 0 or negative leaves passes bounded
+	// only by ScanParallelism per scan.
+	MaxConcurrentPasses int
+	// TenantWeights sets relative fair-share weights for pass
+	// scheduling; unlisted tenants get weight 1.
+	TenantWeights map[string]int
+	// ScanEntryBudget, when positive, caps entries a single query may
+	// scan; exceeding it cancels the query with a BudgetError surfaced
+	// through the kernel's error return.
+	ScanEntryBudget int64
+	// WriteByteBudget, when positive, caps wire bytes a single query may
+	// write; exceeding it cancels the query with a BudgetError.
+	WriteByteBudget int64
+	// CacheTenantSoftCapBytes, when positive, soft-caps each tenant's
+	// share of the rfile block cache: a tenant over its cap evicts its
+	// own least-recent blocks first, so one tenant's table sweep cannot
+	// purge every other tenant's working set.
+	CacheTenantSoftCapBytes int64
 }
+
+// AdmissionError is the error a kernel call fails with (wrapped — use
+// errors.As) when the cluster's admission queue is full: the call never
+// started and moved no data. See ClusterConfig.MaxConcurrentQueries and
+// MaxQueuedQueries.
+type AdmissionError = sched.AdmissionError
+
+// BudgetError is the error a kernel call fails with (wrapped — use
+// errors.As) when it exhausts its per-query scan-entry or write-byte
+// budget. See ClusterConfig.ScanEntryBudget and WriteByteBudget.
+type BudgetError = sched.BudgetError
 
 // TabletServer is a standalone tablet-server endpoint: start one per
 // process (or machine) with ListenAndServeTablets, then point
@@ -365,6 +413,15 @@ func Open(cfg ClusterConfig) (*DB, error) {
 		MetricsAddr:        cfg.MetricsAddr,
 		SlowQueryThreshold: cfg.SlowQueryThreshold,
 		SlowQueryLog:       cfg.SlowQueryLog,
+
+		DefaultTenant:           cfg.DefaultTenant,
+		MaxConcurrentQueries:    cfg.MaxConcurrentQueries,
+		MaxQueuedQueries:        cfg.MaxQueuedQueries,
+		MaxConcurrentPasses:     cfg.MaxConcurrentPasses,
+		TenantWeights:           cfg.TenantWeights,
+		ScanEntryBudget:         cfg.ScanEntryBudget,
+		WriteByteBudget:         cfg.WriteByteBudget,
+		CacheTenantSoftCapBytes: cfg.CacheTenantSoftCapBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -442,6 +499,10 @@ type ScanStats struct {
 	// fused kTruss creates one survivor table per peel round, and fused
 	// Jaccard/TriangleCount create none.
 	ScratchTablesCreated int64
+	// SharedScanFolds counts scans that rode another scan's physical
+	// tablet pass instead of executing their own — shared-scan folding,
+	// active when MaxConcurrentPasses queues compatible scans together.
+	SharedScanFolds int64
 }
 
 // ScanMetrics snapshots the read-path gauges and counters; the storage
@@ -467,6 +528,7 @@ func (db *DB) ScanMetrics() ScanStats {
 		EntriesPrunedByRange:  m.EntriesPrunedByRange.Load(),
 		PartialProductsFolded: m.PartialProductsFolded.Load(),
 		ScratchTablesCreated:  m.ScratchTablesCreated.Load(),
+		SharedScanFolds:       m.SharedScanFolds.Load(),
 	}
 }
 
@@ -480,6 +542,8 @@ type QueryStats struct {
 	TraceID string
 	// Kernel names the kernel that minted the query.
 	Kernel string
+	// Tenant is the tenant label the query was admitted under.
+	Tenant string
 	// Start and Duration bound the kernel call end-to-end. Duration is
 	// the elapsed time so far for a still-running query.
 	Start    time.Time
@@ -519,6 +583,7 @@ func (db *DB) QueryStats() []QueryStats {
 		out = append(out, QueryStats{
 			TraceID:       s.Trace,
 			Kernel:        s.Kernel,
+			Tenant:        s.Tenant,
 			Start:         s.Start,
 			Duration:      s.Duration,
 			Done:          s.Done,
@@ -675,16 +740,26 @@ func (g *TableGraph) KTrussMaterialized(k int) (*Assoc, error) {
 	return schema.ReadAssoc(g.db.conn, out)
 }
 
+// jaccardSeq numbers Jaccard invocations so each gets private derived
+// tables: fixed names would make concurrent Jaccard calls on one graph
+// race on drop-and-rebuild of each other's in-flight tables.
+var jaccardSeq atomic.Uint64
+
+// jaccardTables mints invocation-unique names for Jaccard's transient
+// degree and output tables; the caller drops both before returning.
+func (g *TableGraph) jaccardTables() (deg, out string) {
+	n := jaccardSeq.Add(1)
+	return fmt.Sprintf("%sJDeg_%d", g.name, n), fmt.Sprintf("%sJOut_%d", g.name, n)
+}
+
 // Jaccard computes all-pairs Jaccard coefficients (upper triangle),
 // returning them as an associative array.
 func (g *TableGraph) Jaccard() (*Assoc, error) {
-	deg := g.name + "JDeg"
-	out := g.name + "JOut"
-	for _, stale := range []string{deg, out} {
-		if err := g.db.dropIfExists(stale); err != nil {
-			return nil, err
-		}
-	}
+	deg, out := g.jaccardTables()
+	defer func() {
+		g.db.dropIfExists(deg)
+		g.db.dropIfExists(out)
+	}()
 	if _, err := core.TableDegrees(g.db.conn, g.schema.Table, deg); err != nil {
 		return nil, err
 	}
@@ -708,13 +783,11 @@ func (db *DB) dropIfExists(name string) error {
 // driver (the numerator lands in a scratch table). Kept as the
 // equivalence and benchmark baseline for the fused driver.
 func (g *TableGraph) JaccardMaterialized() (*Assoc, error) {
-	deg := g.name + "JDeg"
-	out := g.name + "JOut"
-	for _, stale := range []string{deg, out} {
-		if err := g.db.dropIfExists(stale); err != nil {
-			return nil, err
-		}
-	}
+	deg, out := g.jaccardTables()
+	defer func() {
+		g.db.dropIfExists(deg)
+		g.db.dropIfExists(out)
+	}()
 	if _, err := core.TableDegrees(g.db.conn, g.schema.Table, deg); err != nil {
 		return nil, err
 	}

@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"graphulo/internal/iterator"
+	"graphulo/internal/sched"
 	"graphulo/internal/skv"
 	"graphulo/internal/store"
 	"graphulo/internal/tablet"
@@ -167,6 +168,43 @@ type Config struct {
 	// SlowQueryLog receives slow-query lines; nil disables the log
 	// regardless of threshold.
 	SlowQueryLog io.Writer
+	// DefaultTenant labels kernel queries that carry no explicit tenant;
+	// "" is itself a valid (default) tenant label. Tenants are the unit
+	// of fair-share scheduling, budget accounting, per-tenant telemetry,
+	// and cache-partition accounting.
+	DefaultTenant string
+	// MaxConcurrentQueries bounds kernel queries executing at once; the
+	// excess queues for admission. 0 selects the default (64); negative
+	// removes the bound.
+	MaxConcurrentQueries int
+	// MaxQueuedQueries bounds the admission queue; a query arriving with
+	// the queue full is rejected with a typed AdmissionError instead of
+	// waiting. 0 selects the default (256); negative rejects immediately
+	// once the concurrency slots are full.
+	MaxQueuedQueries int
+	// MaxConcurrentPasses, when positive, bounds tablet scan passes
+	// dispatched at once across all queries and schedules the excess by
+	// weighted fair queuing across tenants (TenantWeights). Queued
+	// compatible scans of the same tablet fold onto one physical pass
+	// (Metrics.SharedScanFolds). 0 or negative leaves pass dispatch
+	// unscheduled — the pre-scheduler behaviour.
+	MaxConcurrentPasses int
+	// TenantWeights assigns fair-share weights; unlisted tenants weigh 1.
+	// Only consulted when MaxConcurrentPasses > 0.
+	TenantWeights map[string]int
+	// ScanEntryBudget, when positive, bounds the entries any one kernel
+	// query may scan; crossing it cancels the query with a typed
+	// BudgetError surfaced through EntryStream.Err.
+	ScanEntryBudget int64
+	// WriteByteBudget, when positive, bounds the wire bytes any one
+	// kernel query may write; crossing it fails the write with a typed
+	// BudgetError.
+	WriteByteBudget int64
+	// CacheTenantSoftCapBytes, when positive, soft-caps each tenant's
+	// share of the durable block cache: a tenant inserting past the cap
+	// evicts its own least-recently-used blocks first, so one tenant's
+	// table sweep cannot strip the whole cache from the others.
+	CacheTenantSoftCapBytes int64
 	// MaxRunsPerTablet, when positive, starts a background compaction
 	// scheduler per durable table: a tablet whose immutable-run count
 	// exceeds this threshold has a contiguous group of similar-sized
@@ -242,6 +280,11 @@ type Metrics struct {
 	// round-trip through the tablet layer. Fused plans exist to keep
 	// this low; the fusion regression tests pin per-kernel deltas.
 	ScratchTablesCreated atomic.Int64
+	// SharedScanFolds counts scans served by riding another scan's
+	// physical tablet pass instead of running their own — shared-scan
+	// folding, which engages when Config.MaxConcurrentPasses makes
+	// compatible scans of one tablet queue together.
+	SharedScanFolds atomic.Int64
 	// ScansInFlight gauges tablet scan passes currently executing on
 	// this process's tablet servers; MaxScansInFlight records its
 	// high-water mark (evidence of per-tablet parallelism).
@@ -305,6 +348,13 @@ type MiniCluster struct {
 	// (Config.MetricsAddr) exposing them.
 	tel    *telemetry.Registry
 	telSrv *telemetry.Server
+
+	// sched is the coordinator's query scheduler: admission slots,
+	// per-tenant fair queuing of tablet passes, and per-query budgets.
+	// folds registers queued compatible tablet scans for shared-scan
+	// folding; nil unless Config.MaxConcurrentPasses > 0.
+	sched *sched.Scheduler
+	folds *sched.Folder[*foldSub]
 
 	// tr carries the data plane; endpoints[i] is the dialable address
 	// of tablet server i. locals holds the servers this cluster
@@ -375,6 +425,17 @@ func NewMiniCluster(cfg Config) *MiniCluster {
 func OpenMiniCluster(cfg Config) (*MiniCluster, error) {
 	mc := &MiniCluster{cfg: cfg.withDefaults(), tables: map[string]*tableMeta{}}
 	mc.seed.Store(42)
+	mc.sched = sched.New(sched.Config{
+		MaxConcurrentQueries: cfg.MaxConcurrentQueries,
+		MaxQueuedQueries:     cfg.MaxQueuedQueries,
+		MaxConcurrentPasses:  cfg.MaxConcurrentPasses,
+		TenantWeights:        cfg.TenantWeights,
+		ScanEntryBudget:      cfg.ScanEntryBudget,
+		WriteByteBudget:      cfg.WriteByteBudget,
+	})
+	if mc.sched.PassLimited() {
+		mc.folds = sched.NewFolder[*foldSub]()
+	}
 	mc.tel = telemetry.NewRegistry(telemetry.Options{
 		Host:               "coordinator",
 		SlowQueryThreshold: cfg.SlowQueryThreshold,
@@ -398,11 +459,12 @@ func OpenMiniCluster(cfg Config) (*MiniCluster, error) {
 		return mc, nil
 	}
 	dir, err := store.Open(cfg.DataDir, store.Options{
-		NoSync:          cfg.NoSync,
-		BlockCacheBytes: cfg.BlockCacheBytes,
-		BloomFilterBits: cfg.BloomFilterBits,
-		ColQBloomBits:   cfg.ColQBloomBits,
-		WALSyncObserver: func(d time.Duration) { mc.tel.WALSync.Observe(d) },
+		NoSync:                  cfg.NoSync,
+		BlockCacheBytes:         cfg.BlockCacheBytes,
+		CacheTenantSoftCapBytes: cfg.CacheTenantSoftCapBytes,
+		BloomFilterBits:         cfg.BloomFilterBits,
+		ColQBloomBits:           cfg.ColQBloomBits,
+		WALSyncObserver:         func(d time.Duration) { mc.tel.WALSync.Observe(d) },
 	})
 	if err != nil {
 		mc.Close()
@@ -613,6 +675,48 @@ func (mc *MiniCluster) startScheduler(meta *tableMeta) {
 	})
 }
 
+// StartKernelQuery admits one kernel query through the scheduler and
+// starts its telemetry record. tenant "" resolves to
+// Config.DefaultTenant. On admission the query carries its tenant label
+// (shipped in every scan and write request it issues) and, when the
+// cluster configures budgets, a per-query budget enforced at the scan
+// and write counting sites. The returned finish releases the admission
+// slot and finalises the query — call it exactly once, with the query's
+// terminal error. When the admission queue is full the query never
+// starts: the error is a *sched.AdmissionError and finish is nil.
+func (mc *MiniCluster) StartKernelQuery(kernel, tenant string) (*telemetry.Query, func(error), error) {
+	if tenant == "" {
+		tenant = mc.cfg.DefaultTenant
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+	release, wait, err := mc.sched.Admit(tenant)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := mc.tel.StartQuery(kernel).WithTenant(tenant)
+	if wait > 0 {
+		q.Add(telemetry.QueueWaitNanos, int64(wait))
+		mc.tel.QueueWait.Observe(wait)
+	}
+	if b := mc.sched.NewBudget(tenant); b != nil {
+		q.SetBudget(b)
+	}
+	var once sync.Once
+	finish := func(err error) {
+		once.Do(func() {
+			q.Finish(err)
+			release()
+		})
+	}
+	return q, finish, nil
+}
+
+// Scheduler exposes the cluster's query scheduler (never nil) — tests
+// and monitoring read its queue gauges.
+func (mc *MiniCluster) Scheduler() *sched.Scheduler { return mc.sched }
+
 // Telemetry returns the coordinator's telemetry registry: every kernel
 // query it has run (with per-query counters, latency histograms, and
 // span trees) plus the process-global latency histograms.
@@ -639,6 +743,9 @@ func (mc *MiniCluster) counterSamples() []telemetry.Sample {
 		telemetry.Sample{Name: "colq_bloom_negatives", Help: "Column-bloom negative cell lookups.", Value: st.ColQBloomNegatives},
 		telemetry.Sample{Name: "memtable_freezes", Help: "Memtables frozen and handed to background flush.", Value: mc.ingest.Freezes.Load()},
 		telemetry.Sample{Name: "write_stall_nanos", Help: "Nanoseconds writers spent stalled on flush backpressure.", Value: mc.ingest.StallNanos.Load()},
+		telemetry.Sample{Name: "queries_running", Help: "Kernel queries holding admission slots.", Gauge: true, Value: int64(mc.sched.QueriesRunning())},
+		telemetry.Sample{Name: "queries_queued", Help: "Kernel queries waiting for admission.", Gauge: true, Value: int64(mc.sched.QueriesQueued())},
+		telemetry.Sample{Name: "passes_queued", Help: "Tablet scan passes waiting in tenant queues.", Gauge: true, Value: int64(mc.sched.PassesQueued())},
 	)
 }
 
@@ -656,6 +763,7 @@ func metricsSamples(m *Metrics) []telemetry.Sample {
 		{Name: "entries_pruned_by_range", Help: "Entries dropped by server-side range filters.", Value: m.EntriesPrunedByRange.Load()},
 		{Name: "partial_products_folded", Help: "Partial products absorbed by pre-aggregation.", Value: m.PartialProductsFolded.Load()},
 		{Name: "scratch_tables_created", Help: "Intermediate tables materialised by kernel drivers.", Value: m.ScratchTablesCreated.Load()},
+		{Name: "shared_scan_folds", Help: "Scans folded onto another scan's physical tablet pass.", Value: m.SharedScanFolds.Load()},
 		{Name: "major_compactions", Help: "Completed major compactions.", Value: m.MajorCompactions.Load()},
 		{Name: "major_compaction_errors", Help: "Failed scheduled major compactions.", Value: m.MajorCompactionErrors.Load()},
 		{Name: "scans_in_flight", Help: "Tablet scan passes currently executing.", Gauge: true, Value: m.ScansInFlight.Load()},
@@ -846,15 +954,22 @@ func (mc *MiniCluster) write(table string, entries []skv.Entry, q *telemetry.Que
 	wrote := false
 	for tr, batch := range groups {
 		wire := skv.EncodeBatch(batch)
+		// Budget enforcement shares the wire-byte counting site: the charge
+		// happens before the batch ships, so an over-budget query fails
+		// without the write landing.
+		if err := q.ChargeWriteBytes(int64(len(wire))); err != nil {
+			return fmt.Errorf("accumulo: %w", err)
+		}
 		mc.Metrics.WireBytes.Add(int64(len(wire)))
 		mc.Metrics.RPCs.Add(1)
 		q.Add(telemetry.WireBytes, int64(len(wire)))
+		q.Add(telemetry.WriteWireBytes, int64(len(wire)))
 		q.Add(telemetry.RPCs, 1)
 		conn, err := mc.tr.Dial(tr.endpoint)
 		if err == nil {
 			_, err = conn.Call(opWrite, encodeWriteReq(writeReq{
 				table: table, start: tr.start, end: tr.end, batch: wire,
-				traceID: uint64(q.Trace()),
+				traceID: uint64(q.Trace()), tenant: q.Tenant(),
 			}))
 		}
 		if err != nil {
@@ -911,7 +1026,7 @@ func (mc *MiniCluster) compactionStack(meta *tableMeta, scope Scope) func(iterat
 		return nil
 	}
 	return func(src iterator.SKVI) (iterator.SKVI, error) {
-		env := &scanEnv{backend: mc}
+		env := &scanEnv{backend: mc, tc: traceCtx{nested: true}}
 		stack, err := iterator.BuildStack(src, settings, env)
 		if err != nil {
 			env.close()

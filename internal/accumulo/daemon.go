@@ -242,13 +242,13 @@ func (h *daemonHandler) Stream(op byte, req []byte, send func([]byte) error) err
 	defer h.s.metrics.ScansInFlight.Add(-1)
 	// The pass is registered: a standalone server's /queries listing is
 	// the passes it served, each carrying the originating trace ID.
-	pass := h.s.tel.StartRemote(telemetry.TraceID(sr.traceID), sr.spanID, passName(sr))
+	pass := h.s.tel.StartRemote(telemetry.TraceID(sr.traceID), sr.spanID, passName(sr)).WithTenant(sr.tenant)
 	env := &scanEnv{
-		backend: &daemonBackend{s: h.s, topo: sr.topo, topoRaw: sr.topoRaw},
-		tc:      traceCtx{q: pass},
+		backend: &daemonBackend{s: h.s, topo: sr.topo, topoRaw: sr.topoRaw, tenant: sr.tenant},
+		tc:      traceCtx{q: pass, nested: true},
 	}
 	defer env.close()
-	err = serveScan(tab.Snapshot(), sr.ranges, sr.settings, env, sr.batch, pass, send)
+	err = serveScan(tab.SnapshotFor(sr.tenant), sr.ranges, sr.settings, env, sr.batch, pass, send)
 	finishPass(pass, h.s.tel, err, send)
 	return err
 }
@@ -262,6 +262,7 @@ type daemonBackend struct {
 	s       *TabletServer
 	topo    *topology
 	topoRaw []byte // encoded form of topo, passed through verbatim
+	tenant  string // originating query's tenant, carried into nested requests
 }
 
 func (b *daemonBackend) openStream(table string, ranges []skv.Range, extra []iterator.Setting, tc traceCtx) (*EntryStream, error) {
@@ -298,7 +299,7 @@ func (b *daemonBackend) openStream(table string, ranges []skv.Range, extra []ite
 	// Nested trailers fold into this pass only; this server's globals
 	// count its own work, and the pass's trailer carries the aggregate
 	// up to the query's origin.
-	onTrailer := func(t *telemetry.Trailer) { q.FoldTrailer(t) }
+	onTrailer := func(t *telemetry.Trailer) error { q.FoldTrailer(t); return nil }
 	s := startStream(&b.s.metrics, b.topo.scanPar, len(targets),
 		func(i int, out *tabletScan, done <-chan struct{}) {
 			tb := targets[i]
@@ -307,6 +308,7 @@ func (b *daemonBackend) openStream(table string, ranges []skv.Range, extra []ite
 				ranges: clipRanges(ranges, tb.start, tb.end), settings: settings,
 				batch:   batch,
 				traceID: uint64(q.Trace()), spanID: span.ID(),
+				tenant:  b.tenant,
 				topoRaw: b.topoRaw,
 			})
 			relayScan(b.s.tr, &b.s.metrics, q, tb.endpoint, req, out, done, onTrailer)
@@ -337,12 +339,13 @@ func (b *daemonBackend) writeEntries(table string, entries []skv.Entry, q *telem
 		b.s.metrics.WireBytes.Add(int64(len(wire)))
 		b.s.metrics.RPCs.Add(1)
 		q.Add(telemetry.WireBytes, int64(len(wire)))
+		q.Add(telemetry.WriteWireBytes, int64(len(wire)))
 		q.Add(telemetry.RPCs, 1)
 		conn, err := b.s.tr.Dial(tb.endpoint)
 		if err == nil {
 			_, err = conn.Call(opWrite, encodeWriteReq(writeReq{
 				table: table, start: tb.start, end: tb.end, batch: wire,
-				traceID: uint64(q.Trace()),
+				traceID: uint64(q.Trace()), tenant: b.tenant,
 			}))
 		}
 		if err != nil {

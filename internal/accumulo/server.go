@@ -98,11 +98,11 @@ func (h *clusterHandler) Stream(op byte, req []byte, send func([]byte) error) er
 	// trailer's copy reaches only the query (the coordinator never folds
 	// local trailers into its globals).
 	pass := telemetry.NewPass(telemetry.TraceID(sr.traceID), sr.spanID,
-		passName(sr), h.mc.tel.Host())
-	env := &scanEnv{backend: h.mc, tc: traceCtx{q: pass}}
+		passName(sr), h.mc.tel.Host()).WithTenant(sr.tenant)
+	env := &scanEnv{backend: h.mc, tc: traceCtx{q: pass, nested: true}}
 	defer env.close()
 	before := h.mc.StorageStats()
-	err = serveScan(tab.Snapshot(), sr.ranges, sr.settings, env, sr.batch, pass, send)
+	err = serveScan(tab.SnapshotFor(sr.tenant), sr.ranges, sr.settings, env, sr.batch, pass, send)
 	after := h.mc.StorageStats()
 	// Storage deltas are attributed to this pass; concurrent passes in
 	// the same process blur the split, but the totals stay exact.

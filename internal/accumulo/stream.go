@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,6 +37,12 @@ import (
 type traceCtx struct {
 	q      *telemetry.Query
 	parent uint64
+	// nested marks a scan opened from inside a tablet pass (or a
+	// compaction) rather than by a client. Nested scans bypass the
+	// shared-scan folder and the pass limit: the outer pass already holds
+	// a slot, and letting its server-side reads queue for another one
+	// deadlocks the moment passes-in-flight reach the limit.
+	nested bool
 }
 
 // EntryStream is a streaming cursor over one scan's sorted results.
@@ -175,12 +183,20 @@ func (mc *MiniCluster) openStream(table string, ranges []skv.Range, extra []iter
 	// process is external — MiniCluster-launched servers already share
 	// mc.Metrics, so folding would double count.
 	external := mc.external()
-	onTrailer := func(t *telemetry.Trailer) {
+	onTrailer := func(t *telemetry.Trailer) error {
 		q.FoldTrailer(t)
 		if external {
 			foldTrailerMetrics(&mc.Metrics, t)
 			mc.tel.ScanPass.Fold(t.ScanPass)
 		}
+		// Budgets are enforced where the counters land: the trailer is how
+		// a server-side kernel's scan and write volume reaches the query,
+		// so it is also where that volume is charged. (Entries relayed to
+		// the client are charged separately, at delivery.)
+		if err := q.ChargeScanEntries(t.Counts.Get(telemetry.EntriesScanned)); err != nil {
+			return err
+		}
+		return q.ChargeWriteBytes(t.Counts.Get(telemetry.WriteWireBytes))
 	}
 	s := startStream(&mc.Metrics, mc.cfg.ScanParallelism, len(tablets),
 		func(i int, out *tabletScan, done <-chan struct{}) {
@@ -189,17 +205,188 @@ func (mc *MiniCluster) openStream(table string, ranges []skv.Range, extra []iter
 			if len(clipped) == 0 {
 				return
 			}
-			req := encodeScanReq(scanReq{
-				table: table, start: tr.start, end: tr.end,
-				ranges: clipped, settings: settings,
-				batch:   mc.cfg.WireBatch,
-				traceID: uint64(q.Trace()), spanID: span.ID(),
-				topoRaw: topoRaw,
-			})
-			relayScan(mc.tr, &mc.Metrics, q, tr.endpoint, req, out, done, onTrailer)
+			reqFor := func(rs []skv.Range) []byte {
+				return encodeScanReq(scanReq{
+					table: table, start: tr.start, end: tr.end,
+					ranges: rs, settings: settings,
+					batch:   mc.cfg.WireBatch,
+					traceID: uint64(q.Trace()), spanID: span.ID(),
+					tenant:  q.Tenant(),
+					topoRaw: topoRaw,
+				})
+			}
+			if mc.folds == nil || tc.nested {
+				// No pass limit configured — or a nested scan issued from
+				// inside a pass that already holds a slot: dispatch
+				// immediately, the pre-scheduler behaviour.
+				relayScan(mc.tr, &mc.Metrics, q, tr.endpoint, reqFor(clipped), out, done, onTrailer)
+				return
+			}
+			// Pass-limited dispatch. Join the fold group for this tablet
+			// before queuing: if a compatible scan is already waiting for
+			// its slot, this one rides its physical pass instead of
+			// queuing a second one.
+			sub := &foldSub{ranges: clipped, out: out, q: q, done: done, finished: make(chan struct{})}
+			g, leader := mc.folds.Join(foldKey(tr.endpoint, table, tr.start, tr.end, settings, mc.cfg.WireBatch), sub)
+			if !leader {
+				mc.Metrics.SharedScanFolds.Add(1)
+				q.Add(telemetry.SharedScanFolds, 1)
+				// The worker must stay alive until the leader is done with
+				// our channels: returning here would close out.batches
+				// under the leader's sends.
+				<-sub.finished
+				return
+			}
+			release, wait := mc.sched.AcquirePass(q.Tenant())
+			defer release()
+			if wait > 0 {
+				q.Add(telemetry.QueueWaitNanos, int64(wait))
+				mc.tel.QueueWait.Observe(wait)
+			}
+			subs := g.Seal()
+			if len(subs) == 1 {
+				relayScan(mc.tr, &mc.Metrics, q, tr.endpoint, reqFor(clipped), out, done, onTrailer)
+				return
+			}
+			// One physical pass over the union of every subscriber's
+			// ranges, re-clipped per subscriber on delivery.
+			var union []skv.Range
+			for _, sb := range subs {
+				union = append(union, sb.ranges...)
+			}
+			mc.runFoldedScan(tr.endpoint, reqFor(skv.CoalesceRanges(union)), subs, onTrailer)
 		})
 	s.onDone = span.End
 	return s, nil
+}
+
+// foldSub is one scan's subscription to a fold group: the ranges its
+// consumer asked for (the leader re-clips deliveries to them), its
+// cursor channel, and its query for per-query accounting. finished is
+// closed by the leader once it will never touch out again — the
+// subscriber's fetch worker must not return (closing out.batches)
+// before that.
+type foldSub struct {
+	ranges   []skv.Range
+	out      *tabletScan
+	q        *telemetry.Query
+	done     <-chan struct{}
+	finished chan struct{}
+	// dead marks a subscriber the leader dropped (consumer cancelled or
+	// budget exhausted); leader-goroutine-local after Seal.
+	dead bool
+}
+
+// foldKey fingerprints a tablet pass for shared-scan folding: two scans
+// fold only when the physical work is identical — same endpoint, table,
+// tablet band, merged iterator stack, and wire batch size. Setting opts
+// are serialised in sorted key order so equal stacks always collide.
+func foldKey(endpoint, table, start, end string, settings []iterator.Setting, batch int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%s|%s|%d", endpoint, table, start, end, batch)
+	for _, s := range settings {
+		fmt.Fprintf(&b, "|%s#%d", s.Name, s.Priority)
+		keys := make([]string, 0, len(s.Opts))
+		for k := range s.Opts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, ";%s=%s", k, s.Opts[k])
+		}
+	}
+	return b.String()
+}
+
+// clipBatch filters a delivered batch to the entries inside any of the
+// subscriber's ranges. The common fold — identical whole-table scans —
+// keeps every entry, so the input batch is returned unchanged when
+// nothing is clipped.
+func clipBatch(batch []skv.Entry, ranges []skv.Range) []skv.Entry {
+	keep := batch[:0:0]
+	all := true
+	for _, e := range batch {
+		in := false
+		for _, r := range ranges {
+			if !r.BeforeStart(e.K) && !r.AfterEnd(e.K) {
+				in = true
+				break
+			}
+		}
+		if in {
+			keep = append(keep, e)
+		} else {
+			all = false
+		}
+	}
+	if all {
+		return batch
+	}
+	return keep
+}
+
+// runFoldedScan executes one physical tablet pass on behalf of every
+// folded subscriber. The leader's query pays the pass's wire accounting
+// and receives its telemetry trailer; each delivered batch is re-clipped
+// to each subscriber's own ranges and counted against that subscriber's
+// query (including its scan budget). A subscriber that cancels or
+// exhausts its budget drops out without stopping the others; the pass
+// stops early only when every subscriber is gone.
+func (mc *MiniCluster) runFoldedScan(endpoint string, req []byte, subs []*foldSub, onTrailer func(*telemetry.Trailer) error) {
+	leader := subs[0]
+	live := len(subs)
+	drop := func(sub *foldSub) {
+		if !sub.dead {
+			sub.dead = true
+			live--
+			close(sub.finished)
+		}
+	}
+	err := relayScanCore(mc.tr, &mc.Metrics, leader.q, endpoint, req, nil, onTrailer,
+		func(batch []skv.Entry) error {
+			for _, sub := range subs {
+				if sub.dead {
+					continue
+				}
+				clipped := clipBatch(batch, sub.ranges)
+				if len(clipped) == 0 {
+					// Nothing for this subscriber, but still notice a
+					// cancelled consumer so its Close does not wait out
+					// the whole pass.
+					select {
+					case <-sub.done:
+						drop(sub)
+					default:
+					}
+					continue
+				}
+				mc.Metrics.noteBuffered(mc.Metrics.EntriesBuffered.Add(int64(len(clipped))))
+				select {
+				case sub.out.batches <- clipped:
+					mc.Metrics.EntriesScanned.Add(int64(len(clipped)))
+					sub.q.Add(telemetry.EntriesScanned, int64(len(clipped)))
+					if err := sub.q.ChargeScanEntries(int64(len(clipped))); err != nil {
+						sub.out.err = err
+						drop(sub)
+					}
+				case <-sub.done:
+					mc.Metrics.EntriesBuffered.Add(-int64(len(clipped)))
+					drop(sub)
+				}
+			}
+			if live == 0 {
+				return errRelayStop
+			}
+			return nil
+		})
+	for _, sub := range subs {
+		if !sub.dead {
+			if err != nil && sub.out.err == nil {
+				sub.out.err = err
+			}
+			drop(sub)
+		}
+	}
 }
 
 // foldTrailerMetrics adds an external pass's shipped counters into the
@@ -253,16 +440,48 @@ func clipRanges(ranges []skv.Range, start, end string) []skv.Range {
 // into both the process Metrics and the query q (nil = untraced); a
 // telemetry trailer frame — the stream's final payload — is handed to
 // onTrailer (nil = dropped).
-func relayScan(tr transport.Transport, metrics *Metrics, q *telemetry.Query, endpoint string, req []byte, out *tabletScan, done <-chan struct{}, onTrailer func(*telemetry.Trailer)) {
-	conn, err := tr.Dial(endpoint)
+func relayScan(tr transport.Transport, metrics *Metrics, q *telemetry.Query, endpoint string, req []byte, out *tabletScan, done <-chan struct{}, onTrailer func(*telemetry.Trailer) error) {
+	err := relayScanCore(tr, metrics, q, endpoint, req, done, onTrailer,
+		func(batch []skv.Entry) error {
+			metrics.noteBuffered(metrics.EntriesBuffered.Add(int64(len(batch))))
+			select {
+			case out.batches <- batch:
+				// Only batches the consumer can still receive count as
+				// returned to the scan client — and only counted batches
+				// charge the query's scan budget.
+				metrics.EntriesScanned.Add(int64(len(batch)))
+				q.Add(telemetry.EntriesScanned, int64(len(batch)))
+				return q.ChargeScanEntries(int64(len(batch)))
+			case <-done:
+				metrics.EntriesBuffered.Add(-int64(len(batch)))
+				return errRelayStop
+			}
+		})
 	if err != nil {
 		out.err = err
-		return
+	}
+}
+
+// errRelayStop tells relayScanCore to stop relaying without recording a
+// failure — the consumer side is done with the stream.
+var errRelayStop = errors.New("accumulo: relay stopped")
+
+// relayScanCore is the transport half of a fetch worker: it opens the
+// remote scan and hands each decoded batch to deliver, which owns
+// routing and per-consumer accounting (the plain path sends to one
+// cursor channel; the folded path fans out to every subscriber). A
+// deliver error stops the relay — errRelayStop silently, anything else
+// as the relay's failure. done (nil = never) unblocks a relay stuck in
+// Recv when the consumer cancels. Wire traffic is counted into metrics
+// and q; the telemetry trailer frame goes to onTrailer (nil = dropped).
+func relayScanCore(tr transport.Transport, metrics *Metrics, q *telemetry.Query, endpoint string, req []byte, done <-chan struct{}, onTrailer func(*telemetry.Trailer) error, deliver func([]skv.Entry) error) error {
+	conn, err := tr.Dial(endpoint)
+	if err != nil {
+		return err
 	}
 	st, err := conn.OpenStream(opScan, req)
 	if err != nil {
-		out.err = err
-		return
+		return err
 	}
 	// A worker blocked in Recv cannot watch done itself; a sentinel
 	// closes the stream on cancellation, which unblocks Recv.
@@ -279,20 +498,18 @@ func relayScan(tr transport.Transport, metrics *Metrics, q *telemetry.Query, end
 	for {
 		payload, err := st.Recv()
 		if err == io.EOF {
-			return
+			return nil
 		}
 		if errors.Is(err, transport.ErrClosed) {
-			return // cancelled by the consumer via done
+			return nil // cancelled by the consumer via done
 		}
 		if err != nil {
-			out.err = err
-			return
+			return err
 		}
 		metrics.WireBytes.Add(int64(len(payload)))
 		q.Add(telemetry.WireBytes, int64(len(payload)))
 		if len(payload) == 0 {
-			out.err = fmt.Errorf("accumulo: wire corruption: empty scan frame")
-			return
+			return fmt.Errorf("accumulo: wire corruption: empty scan frame")
 		}
 		// Every scan frame leads with a kind byte: entry batches make up
 		// the stream, a telemetry trailer ends it. Trailer frames are not
@@ -302,35 +519,31 @@ func relayScan(tr transport.Transport, metrics *Metrics, q *telemetry.Query, end
 		case frameTrailer:
 			t, err := telemetry.DecodeTrailer(body)
 			if err != nil {
-				out.err = fmt.Errorf("accumulo: wire corruption: %w", err)
-				return
+				return fmt.Errorf("accumulo: wire corruption: %w", err)
 			}
 			if onTrailer != nil {
-				onTrailer(&t)
+				// A trailer-fold failure (budget exhaustion) is the relay's
+				// failure: the pass's volume is charged where it is counted.
+				if err := onTrailer(&t); err != nil {
+					return err
+				}
 			}
 			continue
 		case frameEntries:
 		default:
-			out.err = fmt.Errorf("accumulo: wire corruption: unknown scan frame kind %d", kind)
-			return
+			return fmt.Errorf("accumulo: wire corruption: unknown scan frame kind %d", kind)
 		}
 		metrics.RPCs.Add(1)
 		q.Add(telemetry.RPCs, 1)
 		batch, err := skv.DecodeBatch(body)
 		if err != nil {
-			out.err = fmt.Errorf("accumulo: wire corruption: %w", err)
-			return
+			return fmt.Errorf("accumulo: wire corruption: %w", err)
 		}
-		metrics.noteBuffered(metrics.EntriesBuffered.Add(int64(len(batch))))
-		select {
-		case out.batches <- batch:
-			// Only batches the consumer can still receive count as
-			// returned to the scan client.
-			metrics.EntriesScanned.Add(int64(len(batch)))
-			q.Add(telemetry.EntriesScanned, int64(len(batch)))
-		case <-done:
-			metrics.EntriesBuffered.Add(-int64(len(batch)))
-			return
+		if err := deliver(batch); err != nil {
+			if errors.Is(err, errRelayStop) {
+				return nil
+			}
+			return err
 		}
 	}
 }

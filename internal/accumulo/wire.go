@@ -406,6 +406,10 @@ type writeReq struct {
 	// traceID attributes the write to the originating kernel query
 	// (0 = untraced), so a receiving daemon can label the work.
 	traceID uint64
+	// tenant is the originating query's tenant label ("" = default),
+	// wired directly after the trace id for scheduler accounting on the
+	// serving side.
+	tenant string
 }
 
 func encodeWriteReq(r writeReq) []byte {
@@ -413,7 +417,8 @@ func encodeWriteReq(r writeReq) []byte {
 	dst = appendStr(dst, r.start)
 	dst = appendStr(dst, r.end)
 	dst = appendBytes(dst, r.batch)
-	return binary.AppendUvarint(dst, r.traceID)
+	dst = binary.AppendUvarint(dst, r.traceID)
+	return appendStr(dst, r.tenant)
 }
 
 func decodeWriteReq(src []byte) (writeReq, error) {
@@ -432,6 +437,9 @@ func decodeWriteReq(src []byte) (writeReq, error) {
 		return r, err
 	}
 	if r.traceID, src, err = readUint64(src); err != nil {
+		return r, err
+	}
+	if r.tenant, src, err = readStr(src); err != nil {
 		return r, err
 	}
 	if len(src) != 0 {
@@ -457,7 +465,11 @@ type scanReq struct {
 	// Both 0 for untraced scans.
 	traceID uint64
 	spanID  uint64
-	topo    *topology
+	// tenant is the originating query's tenant label ("" = default);
+	// the serving side uses it for cache-partition accounting and tags
+	// its pass telemetry with it.
+	tenant string
+	topo   *topology
 	// topoRaw is the topology in encoded form (presence flag included).
 	// Encoders set it to splice an already-encoded topology — built once
 	// per scan, reused across its per-tablet requests and passed through
@@ -475,6 +487,7 @@ func encodeScanReq(r scanReq) []byte {
 	dst = appendUint(dst, r.batch)
 	dst = binary.AppendUvarint(dst, r.traceID)
 	dst = binary.AppendUvarint(dst, r.spanID)
+	dst = appendStr(dst, r.tenant)
 	if r.topoRaw != nil {
 		return append(dst, r.topoRaw...)
 	}
@@ -506,6 +519,9 @@ func decodeScanReq(src []byte) (scanReq, error) {
 		return r, err
 	}
 	if r.spanID, src, err = readUint64(src); err != nil {
+		return r, err
+	}
+	if r.tenant, src, err = readStr(src); err != nil {
 		return r, err
 	}
 	// The topology is the final field, so the remaining bytes are its

@@ -1,0 +1,155 @@
+package accumulo
+
+// Fuzz coverage for the request codecs. The decoders face bytes from
+// the network, so beyond round-trip fidelity the key property is that
+// arbitrary input returns an error instead of panicking or
+// over-allocating. Seeds cover every field, including the tenant label
+// added after the trace/span ids.
+
+import (
+	"reflect"
+	"testing"
+
+	"graphulo/internal/iterator"
+	"graphulo/internal/skv"
+)
+
+func fuzzScanSeed() scanReq {
+	return scanReq{
+		table: "edges",
+		start: "a",
+		end:   "m",
+		ranges: []skv.Range{
+			{HasStart: true, Start: skv.Key{Row: "b", ColF: "", ColQ: "x", Ts: 7}},
+			{HasStart: true, HasEnd: true,
+				Start: skv.Key{Row: "c"}, End: skv.Key{Row: "d", Ts: -1}},
+		},
+		settings: []iterator.Setting{
+			{Name: "plus", Priority: 21, Opts: map[string]string{"type": "sum"}},
+		},
+		batch:   4096,
+		traceID: 1 << 63,
+		spanID:  42,
+		tenant:  "acme",
+		topo: &topology{
+			wireBatch: 2048,
+			scanPar:   4,
+			tables: []topoTable{{
+				name: "edges",
+				scan: []iterator.Setting{{Name: "vers", Priority: 20}},
+				tablets: []topoTablet{
+					{start: "", end: "m", endpoint: "127.0.0.1:9001"},
+					{start: "m", end: "", endpoint: "127.0.0.1:9002"},
+				},
+			}},
+		},
+	}
+}
+
+// TestScanReqRoundTrip pins the codec: every field survives
+// encode/decode, including the spliced raw-topology view.
+func TestScanReqRoundTrip(t *testing.T) {
+	want := fuzzScanSeed()
+	got, err := decodeScanReq(encodeScanReq(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.table != want.table || got.start != want.start || got.end != want.end ||
+		got.batch != want.batch || got.traceID != want.traceID ||
+		got.spanID != want.spanID || got.tenant != want.tenant {
+		t.Fatalf("scalar fields differ: got %+v", got)
+	}
+	if !reflect.DeepEqual(got.ranges, want.ranges) {
+		t.Fatalf("ranges differ: got %+v", got.ranges)
+	}
+	if !reflect.DeepEqual(got.settings, want.settings) {
+		t.Fatalf("settings differ: got %+v", got.settings)
+	}
+	if !reflect.DeepEqual(got.topo, want.topo) {
+		t.Fatalf("topology differs: got %+v", got.topo)
+	}
+	// The raw view re-splices into an identical request.
+	re, err := decodeScanReq(encodeScanReq(scanReq{
+		table: want.table, start: want.start, end: want.end,
+		ranges: want.ranges, settings: want.settings, batch: want.batch,
+		traceID: want.traceID, spanID: want.spanID, tenant: want.tenant,
+		topoRaw: got.topoRaw,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(re.topo, want.topo) {
+		t.Fatalf("topoRaw splice differs: got %+v", re.topo)
+	}
+}
+
+// TestWriteReqRoundTrip pins the write codec including the tenant field.
+func TestWriteReqRoundTrip(t *testing.T) {
+	want := writeReq{
+		table: "edges", start: "a", end: "",
+		batch:   []byte{1, 2, 3},
+		traceID: 99, tenant: "acme",
+	}
+	got, err := decodeWriteReq(encodeWriteReq(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.table != want.table || got.start != want.start || got.end != want.end ||
+		string(got.batch) != string(want.batch) ||
+		got.traceID != want.traceID || got.tenant != want.tenant {
+		t.Fatalf("decodeWriteReq = %+v, want %+v", got, want)
+	}
+}
+
+// FuzzDecodeScanReq: arbitrary bytes never panic, and whatever decodes
+// cleanly must re-encode to a decodable request with identical fields.
+func FuzzDecodeScanReq(f *testing.F) {
+	f.Add(encodeScanReq(fuzzScanSeed()))
+	f.Add(encodeScanReq(scanReq{table: "t"}))
+	f.Add(encodeScanReq(scanReq{table: "t", tenant: "gold", batch: 1}))
+	f.Add(encodeScanReq(scanReq{
+		ranges:   []skv.Range{{HasEnd: true, End: skv.Key{Row: "z"}}},
+		settings: []iterator.Setting{{Name: "f", Priority: 1}},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := decodeScanReq(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeScanReq(encodeScanReq(r))
+		if err != nil {
+			t.Fatalf("re-decode of valid request failed: %v", err)
+		}
+		if again.table != r.table || again.tenant != r.tenant ||
+			again.traceID != r.traceID || again.spanID != r.spanID ||
+			again.batch != r.batch || len(again.ranges) != len(r.ranges) ||
+			len(again.settings) != len(r.settings) {
+			t.Fatalf("round trip diverged: %+v vs %+v", again, r)
+		}
+	})
+}
+
+// FuzzDecodeWriteReq: same contract for the write codec.
+func FuzzDecodeWriteReq(f *testing.F) {
+	f.Add(encodeWriteReq(writeReq{table: "t", start: "a", end: "b",
+		batch: []byte{9}, traceID: 7, tenant: "acme"}))
+	f.Add(encodeWriteReq(writeReq{}))
+	f.Add([]byte{})
+	f.Add([]byte{2, 'h', 'i'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := decodeWriteReq(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeWriteReq(encodeWriteReq(r))
+		if err != nil {
+			t.Fatalf("re-decode of valid request failed: %v", err)
+		}
+		if again.table != r.table || again.tenant != r.tenant ||
+			again.traceID != r.traceID || string(again.batch) != string(r.batch) {
+			t.Fatalf("round trip diverged: %+v vs %+v", again, r)
+		}
+	})
+}

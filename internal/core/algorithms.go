@@ -34,6 +34,9 @@ type AdjBFSOptions struct {
 	// scans never touch tablets outside the band. "" leaves that side
 	// unbounded.
 	RowStart, RowEnd string
+	// Tenant labels the query for fair-share scheduling, budgets, and
+	// per-tenant telemetry ("" = the cluster's default tenant).
+	Tenant string
 }
 
 // inBand reports whether a vertex row key lies in the options' row band.
@@ -53,7 +56,10 @@ func (o AdjBFSOptions) inBand(v string) bool {
 // neighbours, and removes already-visited vertices. It returns the
 // visited vertex → hop-level map.
 func AdjBFS(conn *accumulo.Connector, table string, seeds []string, hops int, opts AdjBFSOptions) (visited map[string]int, err error) {
-	q, done := startQuery(conn, "AdjBFS", nil)
+	q, done, err := startQuery(conn, "AdjBFS", nil, opts.Tenant)
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	degOK := func(string) bool { return true }
 	if opts.MinDegree > 0 || opts.MaxDegree > 0 {
@@ -206,7 +212,10 @@ func adjSquareFoldPlan(table string) *plan.Node {
 // concurrent kernels on one table cannot collide) is deleted before
 // returning, on success and on error.
 func KTrussAdjTable(conn *accumulo.Connector, table, outTable string, k int, scratch string) (iterCount int, err error) {
-	q, done := startQuery(conn, "kTruss", nil)
+	q, done, err := startQuery(conn, "kTruss", nil, "")
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	ops := conn.TableOperations()
 	trace := q.Trace().String()
@@ -279,7 +288,10 @@ func KTrussAdjTable(conn *accumulo.Connector, table, outTable string, k int, scr
 // results. Scratch names are trace-suffixed here too, so concurrent
 // kernels sharing a scratch base cannot clobber each other.
 func KTrussAdjTableMaterialized(conn *accumulo.Connector, table, outTable string, k int, scratch string) (iterCount int, err error) {
-	q, done := startQuery(conn, "kTrussMaterialized", nil)
+	q, done, err := startQuery(conn, "kTrussMaterialized", nil, "")
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	ops := conn.TableOperations()
 	trace := q.Trace().String()
@@ -364,7 +376,10 @@ func createSumTable(conn *accumulo.Connector, name string) error {
 // outTable. Only the strict upper triangle (by key order) is written,
 // matching Algorithm 2's output shape. No scratch table is created.
 func JaccardTable(conn *accumulo.Connector, table, degTable, outTable string) (written int, err error) {
-	q, done := startQuery(conn, "Jaccard", nil)
+	q, done, err := startQuery(conn, "Jaccard", nil, "")
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	res, err := runPlan(conn, adjSquareFoldPlan(table), "Jaccard", outTable, q)
 	if err != nil {
@@ -384,7 +399,10 @@ func JaccardTable(conn *accumulo.Connector, table, degTable, outTable string) (w
 // kernels writing the same output base cannot collide. The scratch
 // table is deleted before returning, on success and on error.
 func JaccardTableMaterialized(conn *accumulo.Connector, table, degTable, outTable string) (written int, err error) {
-	q, done := startQuery(conn, "JaccardMaterialized", nil)
+	q, done, err := startQuery(conn, "JaccardMaterialized", nil, "")
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	ops := conn.TableOperations()
 	tmp := fmt.Sprintf("%s_num_%s", outTable, q.Trace())
@@ -443,7 +461,10 @@ func writeJaccard(conn *accumulo.Connector, outTable string, num *assoc.Assoc, d
 // are written back to wTable and hTable. The k×k dense solves stay
 // client-side, as in Graphulo's NMF.
 func NMFTable(conn *accumulo.Connector, table, wTable, hTable string, cfg algo.NMFConfig) (res algo.NMFResult, err error) {
-	q, done := startQuery(conn, "NMF", nil)
+	q, done, err := startQuery(conn, "NMF", nil, "")
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	a, err := planReadAssoc(conn, table, "NMF", q)
 	if err != nil {
@@ -512,7 +533,10 @@ func TableDegrees(conn *accumulo.Connector, table, degTable string) (int, error)
 // kept as the materialisation base should the planner ever need one
 // (and for signature compatibility with the materializing variant).
 func TriangleCountTable(conn *accumulo.Connector, table, scratch string) (count float64, err error) {
-	q, done := startQuery(conn, "TriangleCount", nil)
+	q, done, err := startQuery(conn, "TriangleCount", nil, "")
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	res, err := runPlan(conn, adjSquareFoldPlan(table), "TriangleCount", scratch, q)
 	if err != nil {
@@ -548,7 +572,10 @@ func visitTableEntries(conn *accumulo.Connector, table string, q *telemetry.Quer
 // eliminates. The scratch table is deleted before returning, on success
 // and on error.
 func TriangleCountTableMaterialized(conn *accumulo.Connector, table, scratch string) (count float64, err error) {
-	q, done := startQuery(conn, "TriangleCountMaterialized", nil)
+	q, done, err := startQuery(conn, "TriangleCountMaterialized", nil, "")
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	ops := conn.TableOperations()
 	tmp := fmt.Sprintf("%s_%s", scratch, q.Trace())

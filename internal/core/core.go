@@ -100,6 +100,10 @@ type MultOptions struct {
 	// through so every inner multiply lands in one trace. nil mints a
 	// fresh per-call query record.
 	Query *telemetry.Query
+	// Tenant labels the query for fair-share scheduling, budgets, and
+	// per-tenant telemetry ("" = the cluster's default tenant). Ignored
+	// when Query is set — the owning query already carries its tenant.
+	Tenant string
 }
 
 // planEnv builds the execution environment plans run under: the
@@ -164,14 +168,16 @@ func runPlanVisit(conn *accumulo.Connector, root *plan.Node, kernel, scratchBase
 
 // startQuery resolves the telemetry query a kernel call runs under:
 // the caller's, when it owns one (composite kernels thread theirs into
-// inner calls), or a freshly minted per-kernel record. done finishes
-// only freshly minted queries — an owner finishes its own.
-func startQuery(conn *accumulo.Connector, kernel string, owned *telemetry.Query) (*telemetry.Query, func(error)) {
+// inner calls), or a freshly minted per-kernel record admitted through
+// the cluster's query scheduler under tenant ("" = the cluster's
+// default tenant). done finishes only freshly minted queries — an owner
+// finishes its own. A scheduler rejection (admission queue full)
+// surfaces as a *sched.AdmissionError and the kernel never starts.
+func startQuery(conn *accumulo.Connector, kernel string, owned *telemetry.Query, tenant string) (*telemetry.Query, func(error), error) {
 	if owned != nil {
-		return owned, func(error) {}
+		return owned, func(error) {}, nil
 	}
-	q := conn.Cluster().Telemetry().StartQuery(kernel)
-	return q, func(err error) { q.Finish(err) }
+	return conn.Cluster().StartKernelQuery(kernel, tenant)
 }
 
 // TableMult computes C ⊕= Aᵀ·B entirely server-side: table tableAT must
@@ -190,7 +196,10 @@ func startQuery(conn *accumulo.Connector, kernel string, owned *telemetry.Query)
 // This is the Graphulo TableMult data flow: the client only triggers the
 // scan and reads back one monitoring entry per tablet.
 func TableMult(conn *accumulo.Connector, tableAT, tableB, tableC string, opts MultOptions) (written int, err error) {
-	q, done := startQuery(conn, "TableMult", opts.Query)
+	q, done, err := startQuery(conn, "TableMult", opts.Query, opts.Tenant)
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	if opts.Semiring == "" {
 		opts.Semiring = "plus.times"
@@ -317,7 +326,10 @@ func ensureResultTable(conn *accumulo.Connector, tableC string, ring semiring.Se
 // to the client, multiplies there, and writes the result back through a
 // BatchWriter. Same answer, but every operand entry crosses the wire.
 func TableMultClient(conn *accumulo.Connector, tableAT, tableB, tableC string, opts MultOptions) (written int, err error) {
-	q, done := startQuery(conn, "TableMultClient", opts.Query)
+	q, done, err := startQuery(conn, "TableMultClient", opts.Query, opts.Tenant)
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	if opts.Semiring == "" {
 		opts.Semiring = "plus.times"
@@ -403,7 +415,10 @@ func OneTable(conn *accumulo.Connector, tableIn, tableOut string, settings []ite
 // row band is pushed into the scan (only overlapping tablets run the
 // stack) and its column band filters server-side below the settings.
 func OneTableConstrained(conn *accumulo.Connector, tableIn, tableOut string, settings []iterator.Setting, c ScanConstraint) (n int, err error) {
-	q, done := startQuery(conn, "OneTable", nil)
+	q, done, err := startQuery(conn, "OneTable", nil, "")
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	return oneTableQ(conn, tableIn, tableOut, settings, c, q)
 }
@@ -445,7 +460,10 @@ func TableRowReduce(conn *accumulo.Connector, tableIn, tableOut, monoid, colF, c
 // outside the band never run the reduce, and a column band reduces only
 // the selected qualifiers of each row.
 func TableRowReduceConstrained(conn *accumulo.Connector, tableIn, tableOut, monoid, colF, colQ string, c ScanConstraint) (n int, err error) {
-	q, done := startQuery(conn, "TableRowReduce", nil)
+	q, done, err := startQuery(conn, "TableRowReduce", nil, "")
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	res, err := runPlan(conn, rowReducePlan(tableIn, tableOut, monoid, colF, colQ, c), "TableRowReduce", tableOut, q)
 	if err != nil {
@@ -470,7 +488,10 @@ func rowReducePlan(tableIn, tableOut, monoid, colF, colQ string, c ScanConstrain
 // colOffset directly below the RemoteWrite sink, and nothing touches
 // the client or a scratch table.
 func TableAssign(conn *accumulo.Connector, tableIn, tableOut, rowOffset, colOffset string, c ScanConstraint) (n int, err error) {
-	q, done := startQuery(conn, "TableAssign", nil)
+	q, done, err := startQuery(conn, "TableAssign", nil, "")
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	if !conn.TableOperations().Exists(tableIn) {
 		return 0, fmt.Errorf("core: input table %q does not exist", tableIn)
@@ -493,7 +514,10 @@ func assignPlan(tableIn, tableOut, rowOffset, colOffset string, c ScanConstraint
 // combiner: the associative-array addition of §II.A executed as
 // server-side copies.
 func TableSum(conn *accumulo.Connector, inputs []string, tableOut string) (total int, err error) {
-	q, done := startQuery(conn, "TableSum", nil)
+	q, done, err := startQuery(conn, "TableSum", nil, "")
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	for _, in := range inputs {
 		n, err := oneTableQ(conn, in, tableOut, nil, ScanConstraint{}, q)

@@ -87,7 +87,10 @@ func batchScanRows(conn *accumulo.Connector, table string, rows []string) ([]skv
 // update, matching Graphulo's loop structure). It writes the final
 // incidence matrix to outBase-E/-ET and returns the surviving edge ids.
 func KTrussEdgeTable(conn *accumulo.Connector, inc *schema.IncidenceSchema, k int, outBase string) (survivorIDs []string, err error) {
-	q, done := startQuery(conn, "kTruss", nil)
+	q, done, err := startQuery(conn, "kTruss", nil, "")
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	ops := conn.TableOperations()
 	curE, curET := inc.Table, inc.TableT

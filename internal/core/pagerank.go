@@ -26,7 +26,10 @@ type PageRankTableResult struct {
 // alpha is the jump probability (paper convention: the principal
 // eigenvector of α/N·1 + (1−α)AᵀD⁻¹).
 func PageRankTable(conn *accumulo.Connector, table, degTable string, alpha, tol float64, maxIter int) (res PageRankTableResult, err error) {
-	q, done := startQuery(conn, "PageRank", nil)
+	q, done, err := startQuery(conn, "PageRank", nil, "")
+	if err != nil {
+		return
+	}
 	defer func() { done(err) }()
 	if tol <= 0 {
 		tol = 1e-10

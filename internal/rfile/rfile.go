@@ -482,7 +482,12 @@ func (r *Reader) Close() error {
 // shared cache when resident, else by reading, CRC-verifying, and
 // decoding it from disk (and feeding the cache). Cached slices are
 // shared across iterators and must be treated as immutable.
-func (r *Reader) loadBlock(i int) ([]skv.Entry, error) {
+func (r *Reader) loadBlock(i int) ([]skv.Entry, error) { return r.loadBlockFor(i, "") }
+
+// loadBlockFor is loadBlock with the cache insert charged to tenant —
+// the per-tenant cache-partition accounting of scans that carry a
+// tenant label.
+func (r *Reader) loadBlockFor(i int, tenant string) ([]skv.Entry, error) {
 	if cached, ok := r.cache.Get(r.path, i); ok {
 		return cached, nil
 	}
@@ -504,7 +509,7 @@ func (r *Reader) loadBlock(i int) ([]skv.Entry, error) {
 		raw = rest
 	}
 	if !r.dead.Load() {
-		r.cache.Put(r.path, i, entries)
+		r.cache.PutFor(r.path, i, tenant, entries)
 	}
 	return entries, nil
 }
@@ -513,9 +518,13 @@ func (r *Reader) loadBlock(i int) ([]skv.Entry, error) {
 // iterator.SKVI.
 func (r *Reader) Iter() *Iter { return &Iter{r: r, blk: -1} }
 
+// IterFor is Iter with the iterator's cache inserts charged to tenant.
+func (r *Reader) IterFor(tenant string) *Iter { return &Iter{r: r, tenant: tenant, blk: -1} }
+
 // Iter is a seekable sorted iterator over one rfile.
 type Iter struct {
 	r       *Reader
+	tenant  string // cache-partition charge label; "" = default
 	rng     skv.Range
 	blk     int // current block index; -1 before Seek / len(blocks) at EOF
 	entries []skv.Entry
@@ -625,7 +634,7 @@ func (it *Iter) loadBlock(i int) error {
 		it.entries = nil
 		return nil
 	}
-	entries, err := it.r.loadBlock(i)
+	entries, err := it.r.loadBlockFor(i, it.tenant)
 	if err != nil {
 		it.err = err
 		it.entries = nil

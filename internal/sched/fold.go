@@ -1,0 +1,92 @@
+package sched
+
+import "sync"
+
+// Shared-scan folding. When tablet passes queue behind the pass limit,
+// concurrent compatible scans of the same tablet — same endpoint,
+// table, tablet band, iterator settings, and batch size, fingerprinted
+// by the caller into the fold key — are collected into a Group while
+// they wait. The first arrival is the leader: it queues for the pass
+// slot, and every compatible scan arriving during that wait joins the
+// group as a follower instead of queuing its own pass. When the
+// leader's slot is granted it Seals the group (no more joiners) and
+// runs ONE physical pass over the union of all subscribers' ranges,
+// re-clipping delivered batches per subscriber. The wait is the fold
+// window: with no pass limit nothing ever queues, and folding never
+// engages.
+//
+// The Folder only manages group membership and lifecycle; delivery is
+// the caller's (the accumulo relay knows wire batches and range
+// clipping, this package does not). T is the caller's per-subscriber
+// state. A nil *Folder disables folding: Join returns a solo group.
+type Folder[T any] struct {
+	mu     sync.Mutex
+	groups map[string]*Group[T]
+}
+
+// NewFolder builds an empty fold registry.
+func NewFolder[T any]() *Folder[T] {
+	return &Folder[T]{groups: map[string]*Group[T]{}}
+}
+
+// Group is one fold group: a leader plus the followers that joined
+// before Seal.
+type Group[T any] struct {
+	folder *Folder[T]
+	key    string
+
+	mu     sync.Mutex
+	sealed bool
+	subs   []T
+}
+
+// Join adds sub to the open group for key, creating the group when none
+// is open. leader is true for the creator, which must later call Seal
+// and serve every subscriber; followers only consume what the leader
+// delivers. A sealed group no longer accepts joiners — the next arrival
+// starts a fresh group.
+func (f *Folder[T]) Join(key string, sub T) (g *Group[T], leader bool) {
+	if f == nil {
+		return &Group[T]{key: key, subs: []T{sub}}, true
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if g, ok := f.groups[key]; ok {
+		g.mu.Lock()
+		if !g.sealed {
+			g.subs = append(g.subs, sub)
+			g.mu.Unlock()
+			return g, false
+		}
+		g.mu.Unlock()
+		// Raced the leader's Seal; fall through to a fresh group.
+	}
+	g = &Group[T]{folder: f, key: key, subs: []T{sub}}
+	f.groups[key] = g
+	return g, true
+}
+
+// Seal closes the group to new joiners, unregisters it from the folder,
+// and returns the final subscriber list (leader first, then followers
+// in join order). The leader calls Seal once its pass slot is granted.
+func (g *Group[T]) Seal() []T {
+	if g.folder != nil {
+		g.folder.mu.Lock()
+		if g.folder.groups[g.key] == g {
+			delete(g.folder.groups, g.key)
+		}
+		g.folder.mu.Unlock()
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sealed = true
+	return append([]T(nil), g.subs...)
+}
+
+// Subscribers returns the current member count — a test hook for
+// synchronising on "the follower has joined" without racing Seal.
+func (g *Group[T]) Subscribers() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.subs)
+}

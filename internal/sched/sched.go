@@ -1,0 +1,304 @@
+// Package sched is the concurrent query serving layer: it decides which
+// queries may run (admission control), how much work each may do
+// (per-query scan/write budgets), and in what order tablet scan passes
+// from different tenants reach the storage layer (weighted fair-share
+// queues). It also hosts the shared-scan folding machinery that lets
+// concurrent compatible scans of the same tablet ride one physical
+// iterator pass (fold.go).
+//
+// The package is deliberately dependency-free: the accumulo layer
+// threads a *Scheduler through its scan and write entry points, and the
+// telemetry layer consumes budgets through its BudgetHook interface.
+// A nil *Scheduler means "scheduling off" — every method is
+// nil-receiver safe and grants immediately.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults applied by New when Config leaves a knob at zero.
+const (
+	// DefaultMaxConcurrentQueries bounds kernel queries in flight.
+	DefaultMaxConcurrentQueries = 64
+	// DefaultMaxQueuedQueries bounds queries waiting for a slot before
+	// admission starts rejecting.
+	DefaultMaxQueuedQueries = 256
+)
+
+// Config sizes a Scheduler.
+type Config struct {
+	// MaxConcurrentQueries bounds kernel queries executing at once; the
+	// excess waits in a bounded admission queue. 0 selects
+	// DefaultMaxConcurrentQueries; negative disables admission control.
+	MaxConcurrentQueries int
+	// MaxQueuedQueries bounds the admission wait queue; a query arriving
+	// with the queue full is rejected with *AdmissionError. 0 selects
+	// DefaultMaxQueuedQueries; negative rejects immediately when all
+	// slots are busy.
+	MaxQueuedQueries int
+	// MaxConcurrentPasses bounds tablet scan passes in flight across the
+	// whole process; waiting passes are dispatched from per-tenant
+	// weighted queues (start-time fair queuing). 0 or negative leaves
+	// passes unlimited — fair-share and shared-scan folding then never
+	// engage, because no pass ever waits.
+	MaxConcurrentPasses int
+	// TenantWeights maps tenant label → fair-share weight. Tenants not
+	// listed get weight 1. Under saturation each tenant's granted passes
+	// approach weight/Σweights of the total.
+	TenantWeights map[string]int
+	// ScanEntryBudget bounds the entries one query may receive from
+	// scans; 0 or negative is unlimited.
+	ScanEntryBudget int64
+	// WriteByteBudget bounds the wire bytes one query may write; 0 or
+	// negative is unlimited.
+	WriteByteBudget int64
+}
+
+// AdmissionError reports a query rejected at admission: every execution
+// slot was busy and the wait queue was full.
+type AdmissionError struct {
+	Tenant string
+	Limit  int // concurrent query slots
+	Queued int // wait-queue bound
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("sched: query admission rejected for tenant %q: %d queries running, %d queued",
+		e.Tenant, e.Limit, e.Queued)
+}
+
+// Scheduler implements admission control and fair-share pass dispatch.
+// All methods are safe for concurrent use and nil-receiver safe.
+type Scheduler struct {
+	cfg       Config
+	slots     chan struct{}
+	maxQueued int64
+	queued    atomic.Int64
+	pass      *passQueue
+}
+
+// New builds a Scheduler from cfg (see Config for zero-value defaults).
+func New(cfg Config) *Scheduler {
+	s := &Scheduler{cfg: cfg}
+	maxQ := cfg.MaxConcurrentQueries
+	if maxQ == 0 {
+		maxQ = DefaultMaxConcurrentQueries
+	}
+	if maxQ > 0 {
+		s.slots = make(chan struct{}, maxQ)
+		queued := cfg.MaxQueuedQueries
+		if queued == 0 {
+			queued = DefaultMaxQueuedQueries
+		}
+		if queued < 0 {
+			queued = 0
+		}
+		s.maxQueued = int64(queued)
+	}
+	if cfg.MaxConcurrentPasses > 0 {
+		s.pass = newPassQueue(cfg.MaxConcurrentPasses, cfg.TenantWeights)
+	}
+	return s
+}
+
+// Admit claims a query execution slot, blocking in the bounded wait
+// queue when all slots are busy. It returns the release func (call
+// exactly once when the query finishes) and the time spent queued, or
+// an *AdmissionError when the wait queue is full too.
+func (s *Scheduler) Admit(tenant string) (release func(), wait time.Duration, err error) {
+	if s == nil || s.slots == nil {
+		return func() {}, 0, nil
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return s.releaseSlot, 0, nil
+	default:
+	}
+	if s.queued.Add(1) > s.maxQueued {
+		s.queued.Add(-1)
+		return nil, 0, &AdmissionError{Tenant: tenant, Limit: cap(s.slots), Queued: int(s.maxQueued)}
+	}
+	start := time.Now()
+	s.slots <- struct{}{}
+	s.queued.Add(-1)
+	return s.releaseSlot, time.Since(start), nil
+}
+
+func (s *Scheduler) releaseSlot() { <-s.slots }
+
+// QueriesRunning returns the number of admitted queries in flight.
+func (s *Scheduler) QueriesRunning() int {
+	if s == nil || s.slots == nil {
+		return 0
+	}
+	return len(s.slots)
+}
+
+// QueriesQueued returns the number of queries waiting at admission.
+func (s *Scheduler) QueriesQueued() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.queued.Load())
+}
+
+// PassLimited reports whether tablet passes contend for slots — the
+// precondition for fair-share dispatch and shared-scan folding.
+func (s *Scheduler) PassLimited() bool { return s != nil && s.pass != nil }
+
+// AcquirePass claims a tablet-pass slot for tenant, waiting in the
+// tenant's fair-share queue when the process-wide pass limit is
+// reached. release must be called exactly once when the pass completes;
+// wait reports time spent queued. With no pass limit configured the
+// grant is immediate.
+func (s *Scheduler) AcquirePass(tenant string) (release func(), wait time.Duration) {
+	if s == nil || s.pass == nil {
+		return func() {}, 0
+	}
+	return s.pass.acquire(tenant)
+}
+
+// NewBudget mints a per-query budget from the configured limits, or nil
+// when no budget is configured (nil *Budget charges are free).
+func (s *Scheduler) NewBudget(tenant string) *Budget {
+	if s == nil || (s.cfg.ScanEntryBudget <= 0 && s.cfg.WriteByteBudget <= 0) {
+		return nil
+	}
+	return &Budget{
+		tenant:     tenant,
+		scanLimit:  s.cfg.ScanEntryBudget,
+		writeLimit: s.cfg.WriteByteBudget,
+	}
+}
+
+// --- fair-share pass dispatch ---
+
+// passQueue dispatches tablet passes under a process-wide concurrency
+// limit using start-time fair queuing: each tenant's virtual time
+// advances by 1/weight per granted pass, and the pending tenant with
+// the smallest virtual time is granted next. A tenant going active
+// after idling re-enters at the queue's virtual clock, so it cannot
+// bank credit while idle or be punished for it.
+type passQueue struct {
+	limit   int
+	weights map[string]int
+
+	mu      sync.Mutex
+	running int
+	vclock  float64
+	tenants map[string]*tenantQueue
+}
+
+type tenantQueue struct {
+	name    string
+	weight  float64
+	vtime   float64
+	waiters []chan struct{}
+}
+
+func newPassQueue(limit int, weights map[string]int) *passQueue {
+	return &passQueue{limit: limit, weights: weights, tenants: map[string]*tenantQueue{}}
+}
+
+func (p *passQueue) tenantLocked(name string) *tenantQueue {
+	tq, ok := p.tenants[name]
+	if !ok {
+		w := p.weights[name]
+		if w <= 0 {
+			w = 1
+		}
+		tq = &tenantQueue{name: name, weight: float64(w)}
+		p.tenants[name] = tq
+	}
+	return tq
+}
+
+func (p *passQueue) acquire(tenant string) (func(), time.Duration) {
+	p.mu.Lock()
+	tq := p.tenantLocked(tenant)
+	if p.running < p.limit && !p.pendingLocked() {
+		p.grantLocked(tq)
+		p.mu.Unlock()
+		return p.release, 0
+	}
+	if len(tq.waiters) == 0 && tq.vtime < p.vclock {
+		tq.vtime = p.vclock
+	}
+	ch := make(chan struct{})
+	tq.waiters = append(tq.waiters, ch)
+	p.mu.Unlock()
+	start := time.Now()
+	<-ch
+	return p.release, time.Since(start)
+}
+
+// pendingLocked reports whether any tenant has queued waiters.
+func (p *passQueue) pendingLocked() bool {
+	for _, tq := range p.tenants {
+		if len(tq.waiters) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// grantLocked accounts one granted pass to tq. The floor mirrors the
+// enqueue-time reset for fast-path grants (a tenant going active after
+// idling banks no credit) and keeps the virtual clock monotone.
+func (p *passQueue) grantLocked(tq *tenantQueue) {
+	p.running++
+	if tq.vtime < p.vclock {
+		tq.vtime = p.vclock
+	}
+	p.vclock = tq.vtime
+	tq.vtime += 1 / tq.weight
+}
+
+func (p *passQueue) release() {
+	p.mu.Lock()
+	p.running--
+	p.dispatchLocked()
+	p.mu.Unlock()
+}
+
+// dispatchLocked grants freed slots to waiters, smallest virtual time
+// first (ties broken by tenant name for determinism).
+func (p *passQueue) dispatchLocked() {
+	for p.running < p.limit {
+		var best *tenantQueue
+		for _, tq := range p.tenants {
+			if len(tq.waiters) == 0 {
+				continue
+			}
+			if best == nil || tq.vtime < best.vtime ||
+				(tq.vtime == best.vtime && tq.name < best.name) {
+				best = tq
+			}
+		}
+		if best == nil {
+			return
+		}
+		ch := best.waiters[0]
+		best.waiters = best.waiters[1:]
+		p.grantLocked(best)
+		close(ch)
+	}
+}
+
+// PassesQueued returns the number of tablet passes waiting for a slot.
+func (s *Scheduler) PassesQueued() int {
+	if s == nil || s.pass == nil {
+		return 0
+	}
+	s.pass.mu.Lock()
+	defer s.pass.mu.Unlock()
+	n := 0
+	for _, tq := range s.pass.tenants {
+		n += len(tq.waiters)
+	}
+	return n
+}

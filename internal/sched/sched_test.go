@@ -1,0 +1,320 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAdmitImmediate: with free slots Admit grants without waiting.
+func TestAdmitImmediate(t *testing.T) {
+	s := New(Config{MaxConcurrentQueries: 2})
+	rel1, wait, err := s.Admit("a")
+	if err != nil || wait != 0 {
+		t.Fatalf("Admit: wait=%v err=%v", wait, err)
+	}
+	rel2, _, err := s.Admit("a")
+	if err != nil {
+		t.Fatalf("second Admit: %v", err)
+	}
+	if got := s.QueriesRunning(); got != 2 {
+		t.Fatalf("QueriesRunning = %d, want 2", got)
+	}
+	rel1()
+	rel2()
+	if got := s.QueriesRunning(); got != 0 {
+		t.Fatalf("QueriesRunning after release = %d, want 0", got)
+	}
+}
+
+// TestAdmitRejectsWhenQueueFull: slots busy + queue full → typed error.
+func TestAdmitRejectsWhenQueueFull(t *testing.T) {
+	s := New(Config{MaxConcurrentQueries: 1, MaxQueuedQueries: -1})
+	rel, _, err := s.Admit("a")
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	_, _, err = s.Admit("b")
+	var ae *AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("Admit with full queue: err=%v, want *AdmissionError", err)
+	}
+	if ae.Tenant != "b" || ae.Limit != 1 {
+		t.Fatalf("AdmissionError = %+v", ae)
+	}
+	rel()
+	// Slot free again: admission recovers.
+	rel2, _, err := s.Admit("b")
+	if err != nil {
+		t.Fatalf("Admit after release: %v", err)
+	}
+	rel2()
+}
+
+// TestAdmitQueues: a query over the slot limit waits until a release.
+func TestAdmitQueues(t *testing.T) {
+	s := New(Config{MaxConcurrentQueries: 1, MaxQueuedQueries: 4})
+	rel, _, err := s.Admit("a")
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	got := make(chan time.Duration, 1)
+	go func() {
+		rel2, wait, err := s.Admit("b")
+		if err != nil {
+			t.Error(err)
+			got <- -1
+			return
+		}
+		rel2()
+		got <- wait
+	}()
+	// Give the second Admit time to queue, then free the slot.
+	deadline := time.After(2 * time.Second)
+	for s.QueriesQueued() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("second Admit never queued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	rel()
+	if wait := <-got; wait <= 0 {
+		t.Fatalf("queued Admit reported wait %v, want > 0", wait)
+	}
+}
+
+// TestNilSchedulerIsOpen: a nil *Scheduler admits and grants everything.
+func TestNilSchedulerIsOpen(t *testing.T) {
+	var s *Scheduler
+	rel, wait, err := s.Admit("x")
+	if err != nil || wait != 0 {
+		t.Fatalf("nil Admit: wait=%v err=%v", wait, err)
+	}
+	rel()
+	rel2, wait := s.AcquirePass("x")
+	if wait != 0 {
+		t.Fatalf("nil AcquirePass wait = %v", wait)
+	}
+	rel2()
+	if s.PassLimited() || s.NewBudget("x") != nil {
+		t.Fatal("nil scheduler must be unlimited")
+	}
+}
+
+// TestFairShareRatios: with a full backlog queued, the grant order
+// tracks tenant weights. The backlog is built behind a held slot and
+// grants serialize through the single pass slot (a worker's release is
+// what frees the slot for the next dispatch), so the recorded order is
+// exactly the dispatcher's weighted order — no scheduling races.
+func TestFairShareRatios(t *testing.T) {
+	const perTenant = 120
+	s := New(Config{
+		MaxConcurrentQueries: -1,
+		MaxConcurrentPasses:  1,
+		TenantWeights:        map[string]int{"gold": 3, "bronze": 1},
+	})
+	blocker, _ := s.AcquirePass("gold")
+	var (
+		mu    sync.Mutex
+		order []string
+		wg    sync.WaitGroup
+	)
+	for _, tenant := range []string{"gold", "bronze"} {
+		for w := 0; w < perTenant; w++ {
+			wg.Add(1)
+			go func(tenant string) {
+				defer wg.Done()
+				release, _ := s.AcquirePass(tenant)
+				mu.Lock()
+				order = append(order, tenant)
+				mu.Unlock()
+				release()
+			}(tenant)
+		}
+	}
+	deadline := time.After(10 * time.Second)
+	for s.PassesQueued() < 2*perTenant {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d of %d passes queued", s.PassesQueued(), 2*perTenant)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	blocker()
+	wg.Wait()
+	if len(order) != 2*perTenant {
+		t.Fatalf("granted %d passes, want %d", len(order), 2*perTenant)
+	}
+	// While both tenants still have queued passes (the first 4/3·perTenant
+	// grants), gold is granted 3× as often as bronze.
+	window := order[:perTenant+perTenant/3]
+	gold := 0
+	for _, tenant := range window {
+		if tenant == "gold" {
+			gold++
+		}
+	}
+	bronze := len(window) - gold
+	ratio := float64(gold) / float64(bronze)
+	if math.Abs(ratio-3) > 0.3 {
+		t.Fatalf("gold:bronze grant ratio = %.2f (gold=%d bronze=%d in first %d grants), want ≈3",
+			ratio, gold, bronze, len(window))
+	}
+}
+
+// TestFairShareIdleTenantNotPenalized: a tenant joining late is not
+// starved by the incumbent's accumulated virtual time.
+func TestFairShareIdleTenantNotPenalized(t *testing.T) {
+	s := New(Config{MaxConcurrentQueries: -1, MaxConcurrentPasses: 1})
+	// Tenant a burns many grants while b idles.
+	for i := 0; i < 100; i++ {
+		release, _ := s.AcquirePass("a")
+		release()
+	}
+	// Hold the only slot so b must queue, then verify b is granted
+	// promptly on release (its vtime was reset to the clock).
+	hold, _ := s.AcquirePass("a")
+	done := make(chan struct{})
+	go func() {
+		release, _ := s.AcquirePass("b")
+		release()
+		close(done)
+	}()
+	for s.PassesQueued() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	hold()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("late tenant starved after incumbent released")
+	}
+}
+
+// TestBudgetScanEntries: charges under the limit pass, the one crossing
+// it (and all later ones) fail with a typed error.
+func TestBudgetScanEntries(t *testing.T) {
+	b := NewBudget("acme", 100, 0)
+	if err := b.ChargeScanEntries(60); err != nil {
+		t.Fatalf("charge 60: %v", err)
+	}
+	if err := b.ChargeScanEntries(40); err != nil {
+		t.Fatalf("charge to exactly 100: %v", err)
+	}
+	err := b.ChargeScanEntries(1)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("over-budget charge: err=%v, want *BudgetError", err)
+	}
+	if be.Tenant != "acme" || be.Resource != "scan entries" || be.Limit != 100 {
+		t.Fatalf("BudgetError = %+v", be)
+	}
+	if b.ChargeScanEntries(1) == nil {
+		t.Fatal("budget must keep failing once exhausted")
+	}
+	// Write side unlimited.
+	if err := b.ChargeWriteBytes(1 << 40); err != nil {
+		t.Fatalf("unlimited write charge: %v", err)
+	}
+}
+
+// TestBudgetNil: nil budgets charge free.
+func TestBudgetNil(t *testing.T) {
+	var b *Budget
+	if err := b.ChargeScanEntries(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ChargeWriteBytes(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerNewBudget: budgets mint only when a limit is configured.
+func TestSchedulerNewBudget(t *testing.T) {
+	if b := New(Config{}).NewBudget("x"); b != nil {
+		t.Fatal("no limits configured: budget must be nil")
+	}
+	b := New(Config{ScanEntryBudget: 10}).NewBudget("x")
+	if b == nil {
+		t.Fatal("scan limit configured: budget must exist")
+	}
+	if err := b.ChargeScanEntries(11); err == nil {
+		t.Fatal("over-limit charge must fail")
+	}
+}
+
+// TestFoldJoinSeal: the first joiner leads, later ones follow, Seal
+// closes the group and hands back every subscriber in join order.
+func TestFoldJoinSeal(t *testing.T) {
+	f := NewFolder[int]()
+	g, leader := f.Join("k", 1)
+	if !leader {
+		t.Fatal("first join must lead")
+	}
+	g2, leader2 := f.Join("k", 2)
+	if leader2 || g2 != g {
+		t.Fatalf("second join: leader=%v sameGroup=%v", leader2, g2 == g)
+	}
+	if n := g.Subscribers(); n != 2 {
+		t.Fatalf("Subscribers = %d, want 2", n)
+	}
+	subs := g.Seal()
+	if len(subs) != 2 || subs[0] != 1 || subs[1] != 2 {
+		t.Fatalf("Seal subs = %v", subs)
+	}
+	// After Seal the key is free: the next join leads a fresh group.
+	g3, leader3 := f.Join("k", 3)
+	if !leader3 || g3 == g {
+		t.Fatal("join after Seal must lead a fresh group")
+	}
+	// Distinct keys never fold.
+	if _, lead := f.Join("other", 4); !lead {
+		t.Fatal("distinct key must lead")
+	}
+}
+
+// TestFoldNilFolder: a nil folder degrades to solo groups.
+func TestFoldNilFolder(t *testing.T) {
+	var f *Folder[string]
+	g, leader := f.Join("k", "solo")
+	if !leader {
+		t.Fatal("nil folder join must lead")
+	}
+	if subs := g.Seal(); len(subs) != 1 || subs[0] != "solo" {
+		t.Fatalf("nil folder Seal = %v", subs)
+	}
+}
+
+// TestFoldConcurrentJoins: many concurrent joiners of one key produce
+// exactly one leader, and Seal sees every member.
+func TestFoldConcurrentJoins(t *testing.T) {
+	f := NewFolder[int]()
+	const n = 64
+	var leaders atomic.Int64
+	var wg sync.WaitGroup
+	groups := make([]*Group[int], n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, leader := f.Join("k", i)
+			groups[i] = g
+			if leader {
+				leaders.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if leaders.Load() != 1 {
+		t.Fatalf("leaders = %d, want 1", leaders.Load())
+	}
+	if subs := groups[0].Seal(); len(subs) != n {
+		t.Fatalf("Seal saw %d subs, want %d", len(subs), n)
+	}
+}

@@ -102,6 +102,9 @@ type Options struct {
 	// BlockCacheBytes bounds the shared rfile block cache (0 selects
 	// cache.DefaultMaxBytes; negative disables caching).
 	BlockCacheBytes int64
+	// CacheTenantSoftCapBytes, when positive, soft-caps each tenant's
+	// share of the block cache (see cache.BlockCache.SetTenantSoftCap).
+	CacheTenantSoftCapBytes int64
 	// BloomFilterBits sizes per-rfile row bloom filters in bits per
 	// distinct row (0 selects rfile.DefaultBloomBitsPerKey; negative
 	// disables the filters).
@@ -133,6 +136,9 @@ func Open(path string, opts Options) (*Dir, error) {
 	}
 	if opts.BlockCacheBytes >= 0 {
 		d.blockCache = cache.New(opts.BlockCacheBytes)
+		if opts.CacheTenantSoftCapBytes > 0 {
+			d.blockCache.SetTenantSoftCap(opts.CacheTenantSoftCapBytes)
+		}
 	}
 	d.clock = func() int64 { return d.man.Clock }
 	raw, err := os.ReadFile(filepath.Join(path, manifestName))

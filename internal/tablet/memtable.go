@@ -85,10 +85,14 @@ func (m *memtable) find(k skv.Key, preds, succs *[maxLevel]*memNode) *memNode {
 				x = nxt
 				continue
 			}
+			// succs must be the very load that proved >= k: re-loading
+			// here could observe a concurrently linked node with a
+			// smaller key, and insert's CAS against that stale succ
+			// would splice the new node ahead of it, breaking the
+			// bottom-level sort order a flush relies on.
+			preds[i], succs[i] = x, nxt
 			break
 		}
-		preds[i] = x
-		succs[i] = x.next[i].Load()
 	}
 	if s := succs[0]; s != nil && skv.Compare(s.k, k) == 0 {
 		return s
@@ -99,6 +103,7 @@ func (m *memtable) find(k skv.Key, preds, succs *[maxLevel]*memNode) *memNode {
 // findGE returns the first node with key >= k.
 func (m *memtable) findGE(k skv.Key) *memNode {
 	x := m.head
+	var ge *memNode
 	for i := maxLevel - 1; i >= 0; i-- {
 		for {
 			nxt := x.next[i].Load()
@@ -106,10 +111,13 @@ func (m *memtable) findGE(k skv.Key) *memNode {
 				x = nxt
 				continue
 			}
+			// Keep the node this load proved >= k; a fresh load at the
+			// end could observe a concurrent insert with a smaller key.
+			ge = nxt
 			break
 		}
 	}
-	return x.next[0].Load()
+	return ge
 }
 
 // insert adds an entry; safe for any number of concurrent inserters.

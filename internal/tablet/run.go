@@ -14,6 +14,10 @@ import (
 type run interface {
 	// iter returns a fresh, unseeked sorted iterator over the run.
 	iter() iterator.SKVI
+	// iterFor is iter with block-cache inserts charged to tenant —
+	// meaningful only for disk-backed runs; in-memory runs ignore the
+	// label.
+	iterFor(tenant string) iterator.SKVI
 	// count returns the number of entries stored.
 	count() int
 }
@@ -39,8 +43,9 @@ func newMemRun(entries []skv.Entry) *memRun {
 	return r
 }
 
-func (r *memRun) iter() iterator.SKVI { return &memRunIter{r: r} }
-func (r *memRun) count() int          { return len(r.entries) }
+func (r *memRun) iter() iterator.SKVI          { return &memRunIter{r: r} }
+func (r *memRun) iterFor(string) iterator.SKVI { return &memRunIter{r: r} }
+func (r *memRun) count() int                   { return len(r.entries) }
 
 // seekPos returns the position of the first entry with key >= k.
 func (r *memRun) seekPos(k skv.Key) int {
@@ -102,5 +107,6 @@ type diskRun struct {
 	rd *rfile.Reader
 }
 
-func (d diskRun) iter() iterator.SKVI { return d.rd.Iter() }
-func (d diskRun) count() int          { return d.rd.Count() }
+func (d diskRun) iter() iterator.SKVI                 { return d.rd.Iter() }
+func (d diskRun) iterFor(tenant string) iterator.SKVI { return d.rd.IterFor(tenant) }
+func (d diskRun) count() int                          { return d.rd.Count() }

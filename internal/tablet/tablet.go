@@ -660,7 +660,12 @@ func applyStack(src iterator.SKVI, stack func(iterator.SKVI) (iterator.SKVI, err
 // independently of later writes: the memtable sources carry a
 // sequence-number watermark instead of copying entries, so taking a
 // snapshot is O(sources) and never blocks writers.
-func (t *Tablet) Snapshot() iterator.SKVI {
+func (t *Tablet) Snapshot() iterator.SKVI { return t.SnapshotFor("") }
+
+// SnapshotFor is Snapshot with the scan's block-cache inserts charged
+// to tenant — the cache-partition accounting for scans that carry a
+// tenant label. Memtable sources ignore the label.
+func (t *Tablet) SnapshotFor(tenant string) iterator.SKVI {
 	// Load the active memtable before the frozen list: freeze queues
 	// the old memtable before swapping, so at every instant old is in
 	// at least one of the two views (duplicates collapse in the merge).
@@ -672,7 +677,7 @@ func (t *Tablet) Snapshot() iterator.SKVI {
 		sources = append(sources, t.frozen[i].mem.iter())
 	}
 	for i := len(t.runs) - 1; i >= 0; i-- {
-		sources = append(sources, t.runs[i].iter())
+		sources = append(sources, t.runs[i].iterFor(tenant))
 	}
 	t.mu.Unlock()
 	return iterator.NewDedupMergeIter(sources...)

@@ -127,8 +127,42 @@ func renderMetrics(cfg ServerConfig) []byte {
 			"Latency of WAL fsyncs issued by this process.", reg.WALSync.Snapshot())
 		renderHist(&b, "graphulo_kernel_seconds",
 			"End-to-end latency of kernel queries finished by this process.", reg.Kernel.Snapshot())
+		renderHist(&b, "graphulo_queue_wait_seconds",
+			"Time queries and tablet passes spent waiting in scheduler queues.", reg.QueueWait.Snapshot())
+		renderTenants(&b, reg.TenantSnapshots())
 	}
 	return []byte(b.String())
+}
+
+// renderTenants renders the per-tenant counter families — one labelled
+// sample per tenant that has finished at least one kernel query.
+func renderTenants(b *strings.Builder, tenants []TenantSnapshot) {
+	if len(tenants) == 0 {
+		return
+	}
+	families := []struct {
+		name  string
+		help  string
+		value func(TenantSnapshot) int64
+	}{
+		{"graphulo_tenant_queries_total", "Kernel queries finished, by tenant.",
+			func(t TenantSnapshot) int64 { return t.Queries }},
+		{"graphulo_tenant_entries_scanned_total", "Entries returned to scans, by tenant.",
+			func(t TenantSnapshot) int64 { return t.EntriesScanned }},
+		{"graphulo_tenant_entries_written_total", "Entries written, by tenant.",
+			func(t TenantSnapshot) int64 { return t.EntriesWritten }},
+		{"graphulo_tenant_queue_wait_nanos_total", "Nanoseconds spent in scheduler queues, by tenant.",
+			func(t TenantSnapshot) int64 { return t.QueueWaitNanos }},
+		{"graphulo_tenant_shared_scan_folds_total", "Scans served by another scan's physical pass, by tenant.",
+			func(t TenantSnapshot) int64 { return t.SharedFolds }},
+	}
+	for _, f := range families {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(b, "# TYPE %s counter\n", f.name)
+		for _, t := range tenants {
+			fmt.Fprintf(b, "%s{tenant=%q} %d\n", f.name, t.Tenant, f.value(t))
+		}
+	}
 }
 
 // renderHist renders one histogram family with cumulative le buckets.

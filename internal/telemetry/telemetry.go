@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,6 +81,19 @@ const (
 	BloomNegatives
 	ColQBloomNegatives
 	CompactionKicks
+	// WriteWireBytes counts the encoded bytes of write batches the query
+	// (or pass) shipped to tablet servers — the write-side slice of
+	// WireBytes. Shipped in trailers so the coordinator can charge a
+	// kernel's server-side RemoteWrite volume against its write budget.
+	WriteWireBytes
+	// SharedScanFolds counts scans served as followers of a shared-scan
+	// fold group: the query got its results from another scan's physical
+	// tablet pass. Coordinator-side only — never shipped in trailers.
+	SharedScanFolds
+	// QueueWaitNanos totals the time the query's passes (and its
+	// admission) spent waiting in scheduler queues. Coordinator-side
+	// only — never shipped in trailers.
+	QueueWaitNanos
 	NumCounters
 )
 
@@ -98,6 +112,9 @@ var counterNames = [NumCounters]string{
 	"bloom_negatives",
 	"colq_bloom_negatives",
 	"compaction_kicks",
+	"write_wire_bytes",
+	"shared_scan_folds",
+	"queue_wait_nanos",
 }
 
 // String returns the counter's stable snake_case name, used in JSON
@@ -217,6 +234,20 @@ func (s *Span) snapshot() SpanSnapshot {
 // of tablets keeps the first maxSpans and counts the rest as dropped.
 const maxSpans = 512
 
+// BudgetHook is the resource-budget contract a query can carry: the
+// scheduler layer implements it (sched.Budget) and the scan/write hot
+// paths charge it at the same sites they move the telemetry counters.
+// Defined here so telemetry stays a leaf package.
+type BudgetHook interface {
+	// ChargeScanEntries charges n entries delivered to the query's
+	// scans; a non-nil error means the budget is exhausted and the
+	// query must be cancelled.
+	ChargeScanEntries(n int64) error
+	// ChargeWriteBytes charges n wire bytes written on the query's
+	// behalf; a non-nil error means the budget is exhausted.
+	ChargeWriteBytes(n int64) error
+}
+
 // Query is the unit of observability: one kernel invocation on the
 // coordinator, or one server-side tablet pass attached (by trace ID) to
 // a kernel running elsewhere. Both sides accumulate counters, latency
@@ -229,8 +260,13 @@ type Query struct {
 	trace  TraceID
 	kernel string
 	host   string
+	tenant string
 	remote bool
 	start  time.Time
+
+	// budget is the query's resource allowance, set (if at all) before
+	// the query's first scan or write. nil = unlimited.
+	budget BudgetHook
 
 	// Stats is the per-query counter block; histograms record every scan
 	// pass and write batch attributed to the query (folded up from
@@ -277,6 +313,51 @@ func (q *Query) Trace() TraceID {
 		return 0
 	}
 	return q.trace
+}
+
+// Tenant returns the query's tenant label ("" = default tenant).
+func (q *Query) Tenant() string {
+	if q == nil {
+		return ""
+	}
+	return q.tenant
+}
+
+// WithTenant labels the query with its tenant. Call before the query's
+// first scan or write (the label is read concurrently afterwards).
+// Nil-safe; returns q for chaining.
+func (q *Query) WithTenant(tenant string) *Query {
+	if q != nil {
+		q.tenant = tenant
+	}
+	return q
+}
+
+// SetBudget attaches a resource budget; nil-safe. Call before the
+// query's first scan or write. A nil hook (or one wrapping a nil
+// budget) leaves the query unlimited.
+func (q *Query) SetBudget(b BudgetHook) {
+	if q != nil {
+		q.budget = b
+	}
+}
+
+// ChargeScanEntries charges delivered scan entries against the query's
+// budget; nil-safe (no query or no budget charges free).
+func (q *Query) ChargeScanEntries(n int64) error {
+	if q == nil || q.budget == nil {
+		return nil
+	}
+	return q.budget.ChargeScanEntries(n)
+}
+
+// ChargeWriteBytes charges written wire bytes against the query's
+// budget; nil-safe.
+func (q *Query) ChargeWriteBytes(n int64) error {
+	if q == nil || q.budget == nil {
+		return nil
+	}
+	return q.budget.ChargeWriteBytes(n)
 }
 
 // RootID returns the root span's ID (0 for nil).
@@ -421,6 +502,7 @@ type QuerySnapshot struct {
 	Trace      string            `json:"trace"`
 	Kernel     string            `json:"kernel"`
 	Host       string            `json:"host"`
+	Tenant     string            `json:"tenant,omitempty"`
 	Remote     bool              `json:"remote,omitempty"`
 	Start      time.Time         `json:"start"`
 	Duration   time.Duration     `json:"duration_ns"`
@@ -441,6 +523,7 @@ func (q *Query) Snapshot() QuerySnapshot {
 		Trace:   q.trace.String(),
 		Kernel:  q.kernel,
 		Host:    q.host,
+		Tenant:  q.tenant,
 		Remote:  q.remote,
 		Start:   q.start,
 		Done:    q.done,
@@ -492,8 +575,12 @@ type Registry struct {
 	WriteBatch Histogram // one per write batch shipped from here
 	WALSync    Histogram // one per WAL fsync issued here
 	Kernel     Histogram // one per kernel query finished here
+	QueueWait  Histogram // one per scheduler queue wait (admission or pass)
 
 	started atomic.Int64
+
+	tenantMu sync.Mutex
+	tenants  map[string]*tenantAgg
 
 	slowMu  sync.Mutex
 	slowLog io.Writer
@@ -518,6 +605,7 @@ func NewRegistry(o Options) *Registry {
 		slowLog:       o.SlowQueryLog,
 		maxRecent:     o.MaxRecent,
 		inflight:      map[*Query]struct{}{},
+		tenants:       map[string]*tenantAgg{},
 	}
 }
 
@@ -572,10 +660,73 @@ func (r *Registry) finishQuery(q *Query) {
 	dur := q.end.Sub(q.start)
 	if !q.remote {
 		r.Kernel.Observe(dur)
+		r.accumulateTenant(q)
 	}
 	if r.slowThreshold > 0 && dur >= r.slowThreshold && !q.remote {
 		r.logSlow(q, dur)
 	}
+}
+
+// tenantAgg accumulates finished-query totals per tenant label for the
+// /metrics per-tenant families.
+type tenantAgg struct {
+	queries        int64
+	entriesScanned int64
+	entriesWritten int64
+	queueWaitNanos int64
+	sharedFolds    int64
+}
+
+// accumulateTenant folds a finished kernel query into its tenant's
+// running totals. The default tenant is exported as "default".
+func (r *Registry) accumulateTenant(q *Query) {
+	tenant := q.tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	counts := q.Stats.Counts()
+	r.tenantMu.Lock()
+	agg, ok := r.tenants[tenant]
+	if !ok {
+		agg = &tenantAgg{}
+		r.tenants[tenant] = agg
+	}
+	agg.queries++
+	agg.entriesScanned += counts.Get(EntriesScanned)
+	agg.entriesWritten += counts.Get(EntriesWritten)
+	agg.queueWaitNanos += counts.Get(QueueWaitNanos)
+	agg.sharedFolds += counts.Get(SharedScanFolds)
+	r.tenantMu.Unlock()
+}
+
+// TenantSnapshot is one tenant's finished-query totals.
+type TenantSnapshot struct {
+	Tenant         string
+	Queries        int64
+	EntriesScanned int64
+	EntriesWritten int64
+	QueueWaitNanos int64
+	SharedFolds    int64
+}
+
+// TenantSnapshots lists per-tenant totals sorted by tenant label —
+// the /metrics per-tenant families read this.
+func (r *Registry) TenantSnapshots() []TenantSnapshot {
+	r.tenantMu.Lock()
+	out := make([]TenantSnapshot, 0, len(r.tenants))
+	for name, agg := range r.tenants {
+		out = append(out, TenantSnapshot{
+			Tenant:         name,
+			Queries:        agg.queries,
+			EntriesScanned: agg.entriesScanned,
+			EntriesWritten: agg.entriesWritten,
+			QueueWaitNanos: agg.queueWaitNanos,
+			SharedFolds:    agg.sharedFolds,
+		})
+	}
+	r.tenantMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }
 
 // slowQueryRecord is one slow-query log line.
