@@ -69,6 +69,7 @@ var (
 	bloomBits  = flag.Int("bloom-bits", 0, "bloom filter bits per distinct row in each rfile (0 = default of 10, negative disables)")
 	colqBloom  = flag.Int("colq-bloom-bits", 0, "bloom filter bits per distinct (row, column-qualifier) pair in each rfile (0 = default of 10, negative disables)")
 	flushBy    = flag.Int("memtable-flush-bytes", 0, "memtable byte budget before freeze-and-flush (0 = 64 MiB default, negative disables the byte trigger)")
+	maxFrozen  = flag.Int("memtable-max-frozen", 0, "frozen memtables queued for background flush per tablet before writers stall (0 = default of 2)")
 	maxRuns    = flag.Int("max-runs-per-tablet", 8, "background-majc run threshold per tablet (0 disables the compaction scheduler)")
 	rowStart   = flag.String("row-start", "", "restrict mult/bfs to rows >= this key (SpRef push-down; empty = unbounded)")
 	rowEnd     = flag.String("row-end", "", "restrict mult/bfs to rows < this key (SpRef push-down; empty = unbounded)")
@@ -122,6 +123,7 @@ func openDB(g graphulo.Graph) (*graphulo.DB, *graphulo.TableGraph, error) {
 		MaxRunsPerTablet: *maxRuns,
 
 		MemtableFlushBytes: *flushBy,
+		MemtableMaxFrozen:  *maxFrozen,
 
 		MetricsAddr:        *metricsAddr,
 		SlowQueryThreshold: *slowQuery,
@@ -469,8 +471,8 @@ func reportScanPipeline(db *graphulo.DB) {
 	fmt.Printf("push-down: %d tablet passes ran, %d tablets pruned by range, %d entries pruned by column band, %d partial products pre-⊕-folded\n",
 		st.TabletScans, st.TabletsPrunedByRange, st.EntriesPrunedByRange, st.PartialProductsFolded)
 	if *dataDir != "" {
-		fmt.Printf("storage: %d block-cache hits, %d misses, %d bloom negatives (%d colq), %d major compactions\n",
-			st.CacheHits, st.CacheMisses, st.BloomNegatives, st.ColQBloomNegatives, st.MajorCompactions)
+		fmt.Printf("storage: %d block-cache hits, %d misses, %d bloom negatives (%d colq), %d locality blocks skipped, %d major compactions\n",
+			st.CacheHits, st.CacheMisses, st.BloomNegatives, st.ColQBloomNegatives, st.LocalityBlocksSkipped, st.MajorCompactions)
 		fmt.Printf("ingest: %d memtable freezes, %s write-stall time\n",
 			st.MemtableFreezes, time.Duration(st.WriteStallNanos))
 	}

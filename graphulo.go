@@ -306,6 +306,11 @@ type ClusterConfig struct {
 	// wide values spill on bytes, narrow values on count (0 selects the
 	// 64 MiB default; negative disables the byte trigger).
 	MemtableFlushBytes int
+	// MemtableMaxFrozen bounds how many frozen memtables may queue for
+	// background flush per tablet before writers stall (0 selects the
+	// default of 2). Larger values absorb longer ingest bursts at the
+	// cost of more memory pinned behind the flush pipeline.
+	MemtableMaxFrozen int
 	// MaxRunsPerTablet, when positive, enables the background
 	// compaction scheduler on durable tables: tablets whose run count
 	// exceeds the threshold have a group of similar-sized runs merged
@@ -409,6 +414,7 @@ func Open(cfg ClusterConfig) (*DB, error) {
 		MaxRunsPerTablet: cfg.MaxRunsPerTablet,
 
 		MemtableFlushBytes: cfg.MemtableFlushBytes,
+		MemtableMaxFrozen:  cfg.MemtableMaxFrozen,
 
 		MetricsAddr:        cfg.MetricsAddr,
 		SlowQueryThreshold: cfg.SlowQueryThreshold,
@@ -468,6 +474,11 @@ type ScanStats struct {
 	// probes, single-cell reads) answered by a (row, column-qualifier)
 	// bloom filter without touching a data block.
 	ColQBloomNegatives int64
+	// LocalityBlocksSkipped counts rfile data blocks a family-constrained
+	// scan skipped because the v4 locality-group directory placed them in
+	// a column family outside the scan's band — the push-down savings of
+	// family-partitioned rfiles, measured in blocks never read or decoded.
+	LocalityBlocksSkipped int64
 	// MemtableFreezes counts memtables frozen and handed to background
 	// flush; WriteStallNanos totals the time writers spent stalled on
 	// flush backpressure (frozen-memtable queue full). A rising stall
@@ -519,9 +530,11 @@ func (db *DB) ScanMetrics() ScanStats {
 		CacheMisses:        st.CacheMisses,
 		BloomNegatives:     st.BloomNegatives,
 		ColQBloomNegatives: st.ColQBloomNegatives,
-		MemtableFreezes:    ing.Freezes.Load(),
-		WriteStallNanos:    ing.StallNanos.Load(),
-		MajorCompactions:   m.MajorCompactions.Load(),
+
+		LocalityBlocksSkipped: st.LocalityBlocksSkipped,
+		MemtableFreezes:       ing.Freezes.Load(),
+		WriteStallNanos:       ing.StallNanos.Load(),
+		MajorCompactions:      m.MajorCompactions.Load(),
 
 		TabletScans:           m.TabletScans.Load(),
 		TabletsPrunedByRange:  m.TabletsPrunedByRange.Load(),
@@ -834,7 +847,7 @@ func (g *TableGraph) Adjacency() (*Assoc, error) {
 // without touching a data block (counted by
 // ScanStats.ColQBloomNegatives).
 func (g *TableGraph) EdgeWeight(u, v int) (float64, bool, error) {
-	return g.db.LookupCell(g.schema.Table, schema.VertexName(u), "", schema.VertexName(v))
+	return g.db.LookupCell(g.schema.Table, schema.VertexName(u), schema.EdgeFamily, schema.VertexName(v))
 }
 
 // HasEdge reports whether edge (u, v) exists, via the same

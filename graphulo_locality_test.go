@@ -1,0 +1,210 @@
+package graphulo
+
+// End-to-end locality-group coverage: family-banded scans over a
+// durable mixed deg+edge table must load strictly fewer blocks than a
+// full scan (observable through ScanStats.LocalityBlocksSkipped and the
+// block-cache miss counters), and the family constraint must produce
+// identical results on every transport.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"graphulo/internal/accumulo"
+	"graphulo/internal/skv"
+)
+
+// writeMixedFamilyTable fills one table with a deg family and a larger
+// edge family — the adjacency-plus-degree shape the kernels band on —
+// sized to span several rfile blocks per family.
+func writeMixedFamilyTable(t *testing.T, db *DB, table string, rows int) {
+	t.Helper()
+	conn := db.Connector()
+	if err := conn.TableOperations().Create(table); err != nil {
+		t.Fatal(err)
+	}
+	w, err := conn.CreateBatchWriter(table, accumulo.BatchWriterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		row := fmt.Sprintf("v%05d", i)
+		if err := w.PutFloat(row, "deg", "deg", float64(2)); err != nil {
+			t.Fatal(err)
+		}
+		for d := 1; d <= 2; d++ {
+			if err := w.PutFloat(row, "edge", fmt.Sprintf("n%05d", i+d), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.TableOperations().Flush(table); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func scanFamilies(t *testing.T, db *DB, table string, families ...string) []skv.Entry {
+	t.Helper()
+	sc, err := db.Connector().CreateScanner(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(families) > 0 {
+		sc.SetFamilies(families...)
+	}
+	entries, err := sc.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+// TestFamilyBandedScanSkipsLocalityBlocks pins the tentpole perf claim
+// on a durable cluster: a deg-banded scan of a mixed deg+edge table
+// loads strictly fewer rfile blocks than the full scan, with the
+// skipped blocks counted in ScanStats.LocalityBlocksSkipped.
+func TestFamilyBandedScanSkipsLocalityBlocks(t *testing.T) {
+	db, err := Open(ClusterConfig{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const rows = 3000
+	writeMixedFamilyTable(t, db, "M", rows)
+
+	// Banded scan first, against a cold cache: its block loads are the
+	// deg run only.
+	st0 := db.ScanMetrics()
+	deg := scanFamilies(t, db, "M", "deg")
+	st1 := db.ScanMetrics()
+	if len(deg) != rows {
+		t.Fatalf("deg band returned %d entries, want %d", len(deg), rows)
+	}
+	for _, e := range deg {
+		if e.K.ColF != "deg" {
+			t.Fatalf("deg band surfaced family %q", e.K.ColF)
+		}
+	}
+	skipped := st1.LocalityBlocksSkipped - st0.LocalityBlocksSkipped
+	if skipped <= 0 {
+		t.Fatalf("deg-banded scan skipped %d blocks, want > 0", skipped)
+	}
+	bandMisses := st1.CacheMisses - st0.CacheMisses
+	if bandMisses <= 0 {
+		t.Fatalf("deg-banded scan loaded %d blocks from disk, want > 0", bandMisses)
+	}
+
+	// The full scan must now load additional blocks the banded scan
+	// never touched: strictly-fewer-blocks, pinned via the cache.
+	full := scanFamilies(t, db, "M")
+	st2 := db.ScanMetrics()
+	if len(full) != 3*rows {
+		t.Fatalf("full scan returned %d entries, want %d", len(full), 3*rows)
+	}
+	extraMisses := st2.CacheMisses - st1.CacheMisses
+	if extraMisses <= 0 {
+		t.Fatalf("full scan after banded scan loaded no extra blocks — band did not prune (banded misses %d)", bandMisses)
+	}
+	// The banded scan's loads plus its skips account for at least the
+	// edge+deg block population the full scan paid for.
+	if skipped < extraMisses {
+		t.Fatalf("skip counter %d below the %d extra blocks the full scan loaded", skipped, extraMisses)
+	}
+
+	// Band results are exactly the client-side filter of the full scan.
+	var wantDeg []skv.Entry
+	for _, e := range full {
+		if e.K.ColF == "deg" {
+			wantDeg = append(wantDeg, e)
+		}
+	}
+	if !reflect.DeepEqual(deg, wantDeg) {
+		t.Fatalf("deg band diverged from client-side filter: %d vs %d entries", len(deg), len(wantDeg))
+	}
+}
+
+// TestFamilyConstraintTransportEquivalence drives family-banded scans
+// and the family-banded kernels (Degrees rides the deg band, Jaccard
+// and KTruss the edge band, PageRank both) across the in-process wire,
+// TCP sockets, and standalone tablet servers, demanding identical
+// results everywhere — the family selector crosses all three transports.
+func TestFamilyConstraintTransportEquivalence(t *testing.T) {
+	g := PaperGraph()
+	type result struct {
+		edgeScan []skv.Entry
+		degrees  map[string]float64
+		jaccard  int
+		ktruss   int
+		ranks    map[string]float64
+	}
+	run := func(t *testing.T, cfg ClusterConfig) result {
+		db, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		tg, err := db.CreateGraph("G")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tg.Ingest(g); err != nil {
+			t.Fatal(err)
+		}
+		var res result
+		a, _, _ := tg.Tables()
+		res.edgeScan = scanFamilies(t, db, a, "edge")
+		if res.degrees, err = tg.Degrees(); err != nil {
+			t.Fatal(err)
+		}
+		j, err := tg.Jaccard()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.jaccard = j.NNZ()
+		kt, err := tg.KTruss(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.ktruss = kt.NNZ()
+		ranks, _, err := tg.PageRank(0.15, 1e-9, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.ranks = ranks
+		return res
+	}
+
+	configs := map[string]ClusterConfig{
+		"inproc":  {Transport: "inproc"},
+		"tcp":     {Transport: "tcp"},
+		"durable": {DataDir: t.TempDir()},
+	}
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv, err := ListenAndServeTablets("127.0.0.1:0", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr())
+	}
+	configs["external"] = ClusterConfig{Servers: addrs}
+
+	results := map[string]result{}
+	for name, cfg := range configs {
+		results[name] = run(t, cfg)
+	}
+	base := results["inproc"]
+	if len(base.edgeScan) == 0 || len(base.degrees) == 0 || base.jaccard == 0 || len(base.ranks) == 0 {
+		t.Fatalf("inproc run produced empty results: %+v", base)
+	}
+	for name, res := range results {
+		if !reflect.DeepEqual(res, base) {
+			t.Errorf("%s family-constrained results differ from inproc:\n%s: %+v\ninproc: %+v", name, name, res, base)
+		}
+	}
+}

@@ -559,11 +559,12 @@ func (w *BatchWriter) Close() error { return w.Flush() }
 // streaming pipeline. Either way only tablets overlapping the ranges
 // execute the scan's iterator stack (SpRef-style range push-down).
 type Scanner struct {
-	mc     *MiniCluster
-	table  string
-	ranges []skv.Range
-	extra  []iterator.Setting
-	q      *telemetry.Query
+	mc       *MiniCluster
+	table    string
+	ranges   []skv.Range
+	families []string
+	extra    []iterator.Setting
+	q        *telemetry.Query
 }
 
 // CreateScanner opens a scanner on the table (full range by default).
@@ -598,6 +599,15 @@ func (s *Scanner) SetRanges(ranges []skv.Range) {
 // AddScanIterator attaches a per-scan iterator setting.
 func (s *Scanner) AddScanIterator(setting iterator.Setting) { s.extra = append(s.extra, setting) }
 
+// SetFamilies constrains the scan to a column-family set (nil/empty =
+// unconstrained). The constraint rides every per-tablet request, so
+// serving tablets read only the matching locality-group block runs of
+// their rfiles — a column-band scan skips the other families' blocks
+// entirely (counted in Metrics.LocalityBlocksSkipped).
+func (s *Scanner) SetFamilies(families ...string) {
+	s.families = append([]string(nil), families...)
+}
+
 // SetTrace attributes the scanner's streams to a kernel query: wire
 // counters land in the query's stats and each scan becomes a span in
 // its trace. nil (the default) leaves the scans untraced.
@@ -608,7 +618,7 @@ func (s *Scanner) SetTrace(q *telemetry.Query) { s.q = q }
 // and the client holds wire batches rather than the full result. The
 // caller should Close the stream (a full drain also releases it).
 func (s *Scanner) Stream() (*EntryStream, error) {
-	return s.mc.openStream(s.table, s.ranges, s.extra, traceCtx{q: s.q})
+	return s.mc.openStream(s.table, s.ranges, s.families, s.extra, traceCtx{q: s.q})
 }
 
 // Entries executes the scan and returns the sorted results — the
@@ -626,12 +636,13 @@ func (s *Scanner) Entries() ([]skv.Entry, error) {
 // BatchScanner scans many ranges in parallel; like Accumulo's, results
 // are NOT globally sorted.
 type BatchScanner struct {
-	mc      *MiniCluster
-	table   string
-	ranges  []skv.Range
-	extra   []iterator.Setting
-	threads int
-	q       *telemetry.Query
+	mc       *MiniCluster
+	table    string
+	ranges   []skv.Range
+	families []string
+	extra    []iterator.Setting
+	threads  int
+	q        *telemetry.Query
 }
 
 // CreateBatchScanner opens a parallel scanner. threads ≤ 0 selects the
@@ -666,6 +677,12 @@ func (b *BatchScanner) SetRanges(ranges []skv.Range) { b.ranges = ranges }
 
 // AddScanIterator attaches a per-scan iterator setting.
 func (b *BatchScanner) AddScanIterator(setting iterator.Setting) { b.extra = append(b.extra, setting) }
+
+// SetFamilies constrains every range's scan to a column-family set
+// (nil/empty = unconstrained); see Scanner.SetFamilies.
+func (b *BatchScanner) SetFamilies(families ...string) {
+	b.families = append([]string(nil), families...)
+}
 
 // SetTrace attributes the scanner's streams to a kernel query (nil
 // leaves them untraced).
@@ -711,7 +728,7 @@ func (b *BatchScanner) ForEach(fn func(skv.Entry) error) error {
 				if failed.Load() {
 					continue
 				}
-				s, err := b.mc.openStream(b.table, []skv.Range{rng}, b.extra, traceCtx{q: b.q})
+				s, err := b.mc.openStream(b.table, []skv.Range{rng}, b.families, b.extra, traceCtx{q: b.q})
 				if err != nil {
 					setErr(err)
 					continue

@@ -156,6 +156,12 @@ type Config struct {
 	// narrow values on MemLimit, whichever trips first. 0 selects the
 	// default budget (64 MiB); negative disables the byte trigger.
 	MemtableFlushBytes int
+	// MemtableMaxFrozen bounds each tablet's frozen-memtable queue:
+	// writers stall (Metrics write_stall_nanos) once this many frozen
+	// memtables await background flush. A deeper queue absorbs longer
+	// ingest bursts at the cost of memory and scan merge width. 0
+	// selects the default depth (2).
+	MemtableMaxFrozen int
 	// MetricsAddr, when non-empty, serves the coordinator's telemetry
 	// HTTP endpoint (Prometheus /metrics, JSON /queries, /debug/pprof)
 	// on this address (host:port; ":0" picks an ephemeral port, read it
@@ -233,6 +239,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MemtableFlushBytes == 0 {
 		c.MemtableFlushBytes = 64 << 20
+	}
+	if c.MemtableMaxFrozen <= 0 {
+		c.MemtableMaxFrozen = tablet.DefaultMaxFrozen
 	}
 	return c
 }
@@ -640,6 +649,7 @@ func (mc *MiniCluster) scanTopology() *topology {
 // visible to writers.
 func (mc *MiniCluster) initTablet(tab *tablet.Tablet, meta *tableMeta) {
 	tab.SetFlushBytes(mc.cfg.flushBytes())
+	tab.SetMaxFrozen(mc.cfg.MemtableMaxFrozen)
 	tab.SetIngestStats(&mc.ingest)
 	tab.SetFlushNotify(func() {
 		if meta.sched != nil {
@@ -741,6 +751,7 @@ func (mc *MiniCluster) counterSamples() []telemetry.Sample {
 		telemetry.Sample{Name: "cache_misses", Help: "Block-cache misses on the durable read path.", Value: st.CacheMisses},
 		telemetry.Sample{Name: "bloom_negatives", Help: "Bloom-filter negative row lookups.", Value: st.BloomNegatives},
 		telemetry.Sample{Name: "colq_bloom_negatives", Help: "Column-bloom negative cell lookups.", Value: st.ColQBloomNegatives},
+		telemetry.Sample{Name: "locality_blocks_skipped", Help: "Rfile blocks skipped by locality-group family constraints.", Value: st.LocalityBlocksSkipped},
 		telemetry.Sample{Name: "memtable_freezes", Help: "Memtables frozen and handed to background flush.", Value: mc.ingest.Freezes.Load()},
 		telemetry.Sample{Name: "write_stall_nanos", Help: "Nanoseconds writers spent stalled on flush backpressure.", Value: mc.ingest.StallNanos.Load()},
 		telemetry.Sample{Name: "queries_running", Help: "Kernel queries holding admission slots.", Gauge: true, Value: int64(mc.sched.QueriesRunning())},
@@ -1009,7 +1020,7 @@ func (mc *MiniCluster) writeEntries(table string, entries []skv.Entry, q *teleme
 // results are small (monitoring entries, vectors, admin copies).
 // Streaming consumers use Scanner.Stream / EntryStream directly.
 func (mc *MiniCluster) scan(table string, rng skv.Range, extra []iterator.Setting) ([]skv.Entry, error) {
-	s, err := mc.openStream(table, []skv.Range{rng}, extra, traceCtx{})
+	s, err := mc.openStream(table, []skv.Range{rng}, nil, extra, traceCtx{})
 	if err != nil {
 		return nil, err
 	}

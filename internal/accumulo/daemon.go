@@ -248,7 +248,7 @@ func (h *daemonHandler) Stream(op byte, req []byte, send func([]byte) error) err
 		tc:      traceCtx{q: pass, nested: true},
 	}
 	defer env.close()
-	err = serveScan(tab.SnapshotFor(sr.tenant), sr.ranges, sr.settings, env, sr.batch, pass, send)
+	err = serveScan(tab.SnapshotForFamilies(sr.tenant, sr.families), sr.ranges, sr.settings, env, sr.batch, pass, send)
 	finishPass(pass, h.s.tel, err, send)
 	return err
 }
@@ -265,7 +265,7 @@ type daemonBackend struct {
 	tenant  string // originating query's tenant, carried into nested requests
 }
 
-func (b *daemonBackend) openStream(table string, ranges []skv.Range, extra []iterator.Setting, tc traceCtx) (*EntryStream, error) {
+func (b *daemonBackend) openStream(table string, ranges []skv.Range, families []string, extra []iterator.Setting, tc traceCtx) (*EntryStream, error) {
 	tt := b.topo.find(table)
 	if tt == nil {
 		return nil, fmt.Errorf("accumulo: table %q is not in the scan's routing topology", table)
@@ -308,8 +308,9 @@ func (b *daemonBackend) openStream(table string, ranges []skv.Range, extra []ite
 				ranges: clipRanges(ranges, tb.start, tb.end), settings: settings,
 				batch:   batch,
 				traceID: uint64(q.Trace()), spanID: span.ID(),
-				tenant:  b.tenant,
-				topoRaw: b.topoRaw,
+				tenant:   b.tenant,
+				families: families,
+				topoRaw:  b.topoRaw,
 			})
 			relayScan(b.s.tr, &b.s.metrics, q, tb.endpoint, req, out, done, onTrailer)
 		})

@@ -102,7 +102,7 @@ func (h *clusterHandler) Stream(op byte, req []byte, send func([]byte) error) er
 	env := &scanEnv{backend: h.mc, tc: traceCtx{q: pass, nested: true}}
 	defer env.close()
 	before := h.mc.StorageStats()
-	err = serveScan(tab.SnapshotFor(sr.tenant), sr.ranges, sr.settings, env, sr.batch, pass, send)
+	err = serveScan(tab.SnapshotForFamilies(sr.tenant, sr.families), sr.ranges, sr.settings, env, sr.batch, pass, send)
 	after := h.mc.StorageStats()
 	// Storage deltas are attributed to this pass; concurrent passes in
 	// the same process blur the split, but the totals stay exact.
@@ -110,6 +110,7 @@ func (h *clusterHandler) Stream(op byte, req []byte, send func([]byte) error) er
 	pass.Add(telemetry.CacheMisses, after.CacheMisses-before.CacheMisses)
 	pass.Add(telemetry.BloomNegatives, after.BloomNegatives-before.BloomNegatives)
 	pass.Add(telemetry.ColQBloomNegatives, after.ColQBloomNegatives-before.ColQBloomNegatives)
+	pass.Add(telemetry.LocalityBlocksSkipped, after.LocalityBlocksSkipped-before.LocalityBlocksSkipped)
 	finishPass(pass, h.mc.tel, err, send)
 	return err
 }

@@ -95,7 +95,7 @@ type tabletScan struct {
 // each scan request. Both route the actual traffic through the
 // transport.
 type scanBackend interface {
-	openStream(table string, ranges []skv.Range, extra []iterator.Setting, tc traceCtx) (*EntryStream, error)
+	openStream(table string, ranges []skv.Range, families []string, extra []iterator.Setting, tc traceCtx) (*EntryStream, error)
 	writeEntries(table string, entries []skv.Entry, q *telemetry.Query) error
 	// metrics returns the backend's metrics sink, so server-side
 	// iterator counters (range pruning, pre-aggregation folds) land in
@@ -156,8 +156,10 @@ func startStream(metrics *Metrics, par, n int, fetch func(i int, out *tabletScan
 // relays the streamed batches to the cursor. Tablets no range touches
 // are pruned without a scan pass (SpRef push-down), counted in
 // Metrics.TabletsPrunedByRange. An empty range list means the full
-// table.
-func (mc *MiniCluster) openStream(table string, ranges []skv.Range, extra []iterator.Setting, tc traceCtx) (*EntryStream, error) {
+// table. A non-empty families set rides every per-tablet request so the
+// serving tablets scope their snapshots to the matching locality
+// groups.
+func (mc *MiniCluster) openStream(table string, ranges []skv.Range, families []string, extra []iterator.Setting, tc traceCtx) (*EntryStream, error) {
 	meta, err := mc.getTable(table)
 	if err != nil {
 		return nil, err
@@ -211,8 +213,9 @@ func (mc *MiniCluster) openStream(table string, ranges []skv.Range, extra []iter
 					ranges: rs, settings: settings,
 					batch:   mc.cfg.WireBatch,
 					traceID: uint64(q.Trace()), spanID: span.ID(),
-					tenant:  q.Tenant(),
-					topoRaw: topoRaw,
+					tenant:   q.Tenant(),
+					families: families,
+					topoRaw:  topoRaw,
 				})
 			}
 			if mc.folds == nil || tc.nested {
@@ -227,7 +230,7 @@ func (mc *MiniCluster) openStream(table string, ranges []skv.Range, extra []iter
 			// its slot, this one rides its physical pass instead of
 			// queuing a second one.
 			sub := &foldSub{ranges: clipped, out: out, q: q, done: done, finished: make(chan struct{})}
-			g, leader := mc.folds.Join(foldKey(tr.endpoint, table, tr.start, tr.end, settings, mc.cfg.WireBatch), sub)
+			g, leader := mc.folds.Join(foldKey(tr.endpoint, table, tr.start, tr.end, settings, mc.cfg.WireBatch, families), sub)
 			if !leader {
 				mc.Metrics.SharedScanFolds.Add(1)
 				q.Add(telemetry.SharedScanFolds, 1)
@@ -279,11 +282,15 @@ type foldSub struct {
 
 // foldKey fingerprints a tablet pass for shared-scan folding: two scans
 // fold only when the physical work is identical — same endpoint, table,
-// tablet band, merged iterator stack, and wire batch size. Setting opts
-// are serialised in sorted key order so equal stacks always collide.
-func foldKey(endpoint, table, start, end string, settings []iterator.Setting, batch int) string {
+// tablet band, merged iterator stack, wire batch size, and column-family
+// constraint. Setting opts are serialised in sorted key order so equal
+// stacks always collide.
+func foldKey(endpoint, table, start, end string, settings []iterator.Setting, batch int, families []string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s|%s|%s|%s|%d", endpoint, table, start, end, batch)
+	for _, f := range families {
+		fmt.Fprintf(&b, "|cf:%s", f)
+	}
 	for _, s := range settings {
 		fmt.Fprintf(&b, "|%s#%d", s.Name, s.Priority)
 		keys := make([]string, 0, len(s.Opts))
@@ -646,8 +653,8 @@ type scanEnv struct {
 }
 
 // openStream opens a nested scan attributed to this env's pass.
-func (e *scanEnv) openStream(table string, ranges []skv.Range, extra []iterator.Setting) (*EntryStream, error) {
-	return e.backend.openStream(table, ranges, extra, e.tc)
+func (e *scanEnv) openStream(table string, ranges []skv.Range, families []string, extra []iterator.Setting) (*EntryStream, error) {
+	return e.backend.openStream(table, ranges, families, extra, e.tc)
 }
 
 // OpenScanner implements iterator.Env. The returned SKVI is streaming:
@@ -659,7 +666,17 @@ func (e *scanEnv) openStream(table string, ranges []skv.Range, extra []iterator.
 // kernels clip their re-seeks to the first range, so a tablet pass
 // still costs exactly one remote scan.
 func (e *scanEnv) OpenScanner(table string, rng skv.Range) (iterator.SKVI, error) {
-	it := &streamIter{env: e, table: table}
+	return e.OpenScannerFamilies(table, rng, nil)
+}
+
+// OpenScannerFamilies implements iterator.FamilyEnv: the nested scan is
+// opened with the column-family constraint pushed down to the remote
+// table's locality groups. The request's own family constraint is never
+// auto-forwarded here — nested scans read *other* tables (a multiply's
+// remote operand, a degree table) whose family bands differ from the
+// hosted table's — so each iterator pushes the band it knows applies.
+func (e *scanEnv) OpenScannerFamilies(table string, rng skv.Range, families []string) (iterator.SKVI, error) {
+	it := &streamIter{env: e, table: table, families: families}
 	if err := it.reopen(rng); err != nil {
 		return nil, err
 	}
@@ -712,14 +729,15 @@ func (e *scanEnv) close() {
 // kernels (TwoTableIterator) clip their re-seeks to the range they
 // opened with, keeping the one-scan-per-pass property.
 type streamIter struct {
-	env    *scanEnv
-	table  string
-	stream *EntryStream
-	open   skv.Range // range the stream was opened with (both bounds pushed)
-	rng    skv.Range
-	cur    skv.Entry
-	has    bool
-	moved  bool // entries before cur have been consumed since (re)open
+	env      *scanEnv
+	table    string
+	families []string // column-family constraint pushed down on every (re)open
+	stream   *EntryStream
+	open     skv.Range // range the stream was opened with (both bounds pushed)
+	rng      skv.Range
+	cur      skv.Entry
+	has      bool
+	moved    bool // entries before cur have been consumed since (re)open
 }
 
 // reopen issues a fresh remote scan over rng — both bounds pushed down
@@ -728,7 +746,7 @@ func (it *streamIter) reopen(rng skv.Range) error {
 	if it.stream != nil {
 		it.stream.Close()
 	}
-	s, err := it.env.openStream(it.table, []skv.Range{rng}, nil)
+	s, err := it.env.openStream(it.table, []skv.Range{rng}, it.families, nil)
 	if err != nil {
 		return err
 	}

@@ -68,6 +68,33 @@ func readStr(src []byte) (string, []byte, error) {
 	return string(src[:n]), src[n:], nil
 }
 
+// appendStrList encodes a counted string list (nil and empty encode
+// identically, as a zero count).
+func appendStrList(dst []byte, ss []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = appendStr(dst, s)
+	}
+	return dst
+}
+
+func readStrList(src []byte) ([]string, []byte, error) {
+	n, src, err := readCount(src, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, src, nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], src, err = readStr(src); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, src, nil
+}
+
 func appendBytes(dst, b []byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(b)))
 	return append(dst, b...)
@@ -469,7 +496,11 @@ type scanReq struct {
 	// the serving side uses it for cache-partition accounting and tags
 	// its pass telemetry with it.
 	tenant string
-	topo   *topology
+	// families constrains the scan to a column-family set (empty =
+	// unconstrained); the serving tablet scopes its snapshot to the
+	// matching locality groups, skipping other families' block runs.
+	families []string
+	topo     *topology
 	// topoRaw is the topology in encoded form (presence flag included).
 	// Encoders set it to splice an already-encoded topology — built once
 	// per scan, reused across its per-tablet requests and passed through
@@ -488,6 +519,7 @@ func encodeScanReq(r scanReq) []byte {
 	dst = binary.AppendUvarint(dst, r.traceID)
 	dst = binary.AppendUvarint(dst, r.spanID)
 	dst = appendStr(dst, r.tenant)
+	dst = appendStrList(dst, r.families)
 	if r.topoRaw != nil {
 		return append(dst, r.topoRaw...)
 	}
@@ -522,6 +554,9 @@ func decodeScanReq(src []byte) (scanReq, error) {
 		return r, err
 	}
 	if r.tenant, src, err = readStr(src); err != nil {
+		return r, err
+	}
+	if r.families, src, err = readStrList(src); err != nil {
 		return r, err
 	}
 	// The topology is the final field, so the remaining bytes are its

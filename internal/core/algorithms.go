@@ -28,6 +28,12 @@ type AdjBFSOptions struct {
 	MaxDegree float64
 	// DegTable is required when a degree bound is set.
 	DegTable string
+	// DegFamilies bands the degree-table read to a column-family set,
+	// so on a durable cluster it touches only the matching rfile
+	// locality groups. nil selects the standard degree band (the "deg"
+	// family plus the unnamed family, covering both schema-ingested and
+	// TableRowReduce-built degree tables).
+	DegFamilies []string
 	// RowStart/RowEnd restrict the search to a row band (sub-graph BFS,
 	// the SpRef form of the frontier expansion): vertices outside
 	// [RowStart, RowEnd) are neither expanded nor visited, so frontier
@@ -66,7 +72,11 @@ func AdjBFS(conn *accumulo.Connector, table string, seeds []string, hops int, op
 		if opts.DegTable == "" {
 			return nil, fmt.Errorf("core: degree bounds need DegTable")
 		}
-		degs, err := readDegrees(conn, opts.DegTable, q)
+		degBand := opts.DegFamilies
+		if degBand == nil {
+			degBand = schema.DegBand()
+		}
+		degs, err := readDegrees(conn, opts.DegTable, q, degBand...)
 		if err != nil {
 			return nil, err
 		}
@@ -123,12 +133,18 @@ func AdjBFS(conn *accumulo.Connector, table string, seeds []string, hops int, op
 	return visited, nil
 }
 
-func readDegrees(conn *accumulo.Connector, table string, q *telemetry.Query) (map[string]float64, error) {
+// readDegrees folds a degree-style table into row → value. A non-empty
+// families band is pushed into the scan so it reads only the matching
+// locality groups of a mixed table.
+func readDegrees(conn *accumulo.Connector, table string, q *telemetry.Query, families ...string) (map[string]float64, error) {
 	sc, err := conn.CreateScanner(table)
 	if err != nil {
 		return nil, err
 	}
 	sc.SetTrace(q)
+	if len(families) > 0 {
+		sc.SetFamilies(families...)
+	}
 	st, err := sc.Stream()
 	if err != nil {
 		return nil, err
@@ -161,10 +177,11 @@ func noteScratch(conn *accumulo.Connector) {
 // planReadAssoc reads a whole table into an associative array through a
 // collect plan riding the kernel's trace: entries stream into the
 // array's builder one wire batch at a time, like schema.ReadAssoc, but
-// the scan lands in the kernel's span tree.
-func planReadAssoc(conn *accumulo.Connector, table, kernel string, q *telemetry.Query) (*assoc.Assoc, error) {
+// the scan lands in the kernel's span tree. A non-empty families band
+// restricts the scan to those locality groups.
+func planReadAssoc(conn *accumulo.Connector, table, kernel string, q *telemetry.Query, families ...string) (*assoc.Assoc, error) {
 	b := assoc.NewBuilder(semiring.PlusTimes)
-	_, err := runPlanVisit(conn, plan.Collect(plan.Scan(table, plan.Constraint{})), kernel, "", q,
+	_, err := runPlanVisit(conn, plan.Collect(plan.Scan(table, plan.Constraint{Families: families})), kernel, "", q,
 		func(e skv.Entry) error {
 			if v, ok := skv.DecodeFloat(e.V); ok {
 				b.Add(e.K.Row, e.K.ColQ, v)
@@ -195,8 +212,17 @@ func cellsToAssoc(cells map[plan.Cell]float64) *assoc.Assoc {
 // to hold A² and its write-then-rescan round-trip are gone. The fold is
 // exact: + over float64 partial products is the same ⊕ the scratch
 // table's sum combiner applied. Shared with Explain.
+//
+// Both sides of the multiply scan an adjacency table, so both carry the
+// edge-channel family band: the hosted B scan through the step's
+// constraint, the remote Aᵀ scan through the twoTable setting — on
+// locality-grouped rfiles neither touches degree or other channels'
+// blocks.
 func adjSquareFoldPlan(table string) *plan.Node {
-	return plan.CollectFold(plan.Mult(plan.Scan(table, plan.Constraint{}), table, "plus.times"), "plus.times")
+	band := schema.EdgeBand()
+	return plan.CollectFold(
+		plan.MultBanded(plan.Scan(table, plan.Constraint{Families: band}), table, "plus.times", band),
+		"plus.times")
 }
 
 // KTrussAdjTable computes the k-truss of the graph stored in an
@@ -233,7 +259,7 @@ func KTrussAdjTable(conn *accumulo.Connector, table, outTable string, k int, scr
 		// Surviving edges: edge (u,v) survives when A²(u,v) ≥ k−2 and
 		// (u,v) is an edge of cur.
 		aSq := cellsToAssoc(res.Cells)
-		aCur, err := planReadAssoc(conn, cur, "kTruss", q)
+		aCur, err := planReadAssoc(conn, cur, "kTruss", q, schema.EdgeBand()...)
 		if err != nil {
 			return iterCount, err
 		}
@@ -385,7 +411,7 @@ func JaccardTable(conn *accumulo.Connector, table, degTable, outTable string) (w
 	if err != nil {
 		return 0, err
 	}
-	degs, err := readDegrees(conn, degTable, q)
+	degs, err := readDegrees(conn, degTable, q, schema.DegBand()...)
 	if err != nil {
 		return 0, err
 	}
@@ -416,7 +442,7 @@ func JaccardTableMaterialized(conn *accumulo.Connector, table, degTable, outTabl
 	if _, err := TableMult(conn, table, table, tmp, MultOptions{Query: q}); err != nil {
 		return 0, err
 	}
-	degs, err := readDegrees(conn, degTable, q)
+	degs, err := readDegrees(conn, degTable, q, schema.DegBand()...)
 	if err != nil {
 		return 0, err
 	}
@@ -522,8 +548,13 @@ func topicNames(k int) []string {
 
 // TableDegrees builds a degree table server-side from an adjacency
 // table via the rowReduce iterator and returns the number of vertices.
+// The input scan rides the edge band — on locality-grouped storage
+// only the edge-family block runs load — and output entries land in
+// the degree channel family (schema.DegFamily), so grouped storage
+// places them in their own block run.
 func TableDegrees(conn *accumulo.Connector, table, degTable string) (int, error) {
-	return TableRowReduce(conn, table, degTable, "plus", "", "deg")
+	return TableRowReduceConstrained(conn, table, degTable, "plus", schema.DegFamily, "deg",
+		ScanConstraint{Families: schema.EdgeBand()})
 }
 
 // TriangleCountTable counts triangles in the graph held by an adjacency
@@ -554,9 +585,9 @@ func TriangleCountTable(conn *accumulo.Connector, table, scratch string) (count 
 }
 
 // visitTableEntries streams a table's decodable entries to fn through a
-// collect plan on the kernel's trace.
+// collect plan on the kernel's trace, banded to the edge channel.
 func visitTableEntries(conn *accumulo.Connector, table string, q *telemetry.Query, fn func(row, col string)) error {
-	_, err := runPlanVisit(conn, plan.Collect(plan.Scan(table, plan.Constraint{})), "TriangleCount", "", q,
+	_, err := runPlanVisit(conn, plan.Collect(plan.Scan(table, plan.Constraint{Families: schema.EdgeBand()})), "TriangleCount", "", q,
 		func(e skv.Entry) error {
 			if _, ok := skv.DecodeFloat(e.V); ok {
 				fn(e.K.Row, e.K.ColQ)

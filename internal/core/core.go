@@ -49,6 +49,13 @@ type ScanConstraint struct {
 	// ColQStart/ColQEnd bound column qualifiers, half-open; "" leaves
 	// that side unbounded.
 	ColQStart, ColQEnd string
+	// Families restricts the scan to a column-family set (nil/empty =
+	// unconstrained). Unlike the qualifier band, which filters
+	// server-side per entry, the family constraint is pushed into
+	// storage: tablets serve it from the matching rfile locality groups
+	// only, skipping every other family's blocks
+	// (Metrics.LocalityBlocksSkipped counts the savings).
+	Families []string
 }
 
 // rowRange returns the constraint's row band as a scan range.

@@ -315,7 +315,10 @@ func AdjBFSServerFiltered(conn *accumulo.Connector, table, degTable string, seed
 			ranges[i] = skv.ExactRow(v)
 		}
 		bs.SetRanges(ranges)
-		opts := map[string]string{"table": degTable}
+		opts := map[string]string{
+			"table":    degTable,
+			"families": iterator.EncodeFamiliesOpt(schema.DegBand()),
+		}
 		if minDeg > 0 {
 			opts["min"] = strconv.FormatFloat(minDeg, 'g', -1, 64)
 		}

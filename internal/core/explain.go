@@ -7,6 +7,7 @@ import (
 	"graphulo/internal/accumulo"
 	"graphulo/internal/iterator"
 	"graphulo/internal/plan"
+	"graphulo/internal/schema"
 	"graphulo/internal/skv"
 )
 
@@ -32,7 +33,8 @@ func ExplainPlan(conn *accumulo.Connector, kernel, table, out string) (string, e
 			[]iterator.Setting{{Name: "scale", Opts: map[string]string{"factor": "2"}}}, ScanConstraint{})
 	case "degrees", "reduce":
 		name = "TableRowReduce"
-		root = rowReducePlan(table, out, "plus", "", "deg", ScanConstraint{})
+		root = rowReducePlan(table, out, "plus", schema.DegFamily, "deg",
+			ScanConstraint{Families: schema.EdgeBand()})
 	case "bfs":
 		name = "AdjBFS"
 		root = plan.Collect(plan.ScanRanges(table, []skv.Range{skv.ExactRow("<frontier>")}))

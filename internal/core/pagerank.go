@@ -6,6 +6,7 @@ import (
 
 	"graphulo/internal/accumulo"
 	"graphulo/internal/iterator"
+	"graphulo/internal/schema"
 )
 
 // PageRankTableResult reports a table-resident PageRank run.
@@ -39,7 +40,7 @@ func PageRankTable(conn *accumulo.Connector, table, degTable string, alpha, tol 
 	}
 	ops := conn.TableOperations()
 	// Vertex set and dangling detection from the degree table.
-	degs, err := readDegrees(conn, degTable, q)
+	degs, err := readDegrees(conn, degTable, q, schema.DegBand()...)
 	if err != nil {
 		return PageRankTableResult{}, err
 	}
@@ -56,8 +57,10 @@ func PageRankTable(conn *accumulo.Connector, table, degTable string, alpha, tol 
 		}
 	}
 	if _, err := oneTableQ(conn, table, mt, []iterator.Setting{
-		{Name: "rowScale", Priority: 30, Opts: map[string]string{"table": degTable}},
-	}, ScanConstraint{}, q); err != nil {
+		{Name: "rowScale", Priority: 30, Opts: map[string]string{
+			"table": degTable, "families": iterator.EncodeFamiliesOpt(schema.DegBand()),
+		}},
+	}, ScanConstraint{Families: schema.EdgeBand()}, q); err != nil {
 		return PageRankTableResult{}, err
 	}
 

@@ -61,7 +61,7 @@ func TestDegreeFilterIter(t *testing.T) {
 		e("a", "", "v2", 1, 1),
 		e("a", "", "v3", 1, 1),
 	})
-	d := NewDegreeFilterIter(src, "deg", 2, 8, env)
+	d := NewDegreeFilterIter(src, "deg", nil, 2, 8, env)
 	if err := d.Seek(skv.FullRange()); err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestDegreeFilterNoBounds(t *testing.T) {
 	env := newFakeEnv()
 	env.tables["deg"] = []skv.Entry{e("v1", "", "deg", 1, 3)}
 	src := NewSliceIter([]skv.Entry{e("a", "", "v1", 1, 1), e("a", "", "vMissing", 1, 1)})
-	d := NewDegreeFilterIter(src, "deg", 0, 0, env)
+	d := NewDegreeFilterIter(src, "deg", nil, 0, 0, env)
 	d.Seek(skv.FullRange())
 	got, _ := Collect(d)
 	if len(got) != 2 {
@@ -84,7 +84,7 @@ func TestDegreeFilterNoBounds(t *testing.T) {
 	// min bound excludes vertices missing from the degree table (deg 0).
 	d2 := NewDegreeFilterIter(NewSliceIter([]skv.Entry{
 		e("a", "", "v1", 1, 1), e("a", "", "vMissing", 1, 1),
-	}), "deg", 1, 0, env)
+	}), "deg", nil, 1, 0, env)
 	d2.Seek(skv.FullRange())
 	got2, _ := Collect(d2)
 	if len(got2) != 1 || got2[0].K.ColQ != "v1" {
@@ -103,7 +103,7 @@ func TestRowScaleIter(t *testing.T) {
 		e("r2", "", "c", 1, 1),
 		e("r3", "", "c", 1, 1), // no scale entry: dropped
 	})
-	r := NewRowScaleIter(src, "deg", env)
+	r := NewRowScaleIter(src, "deg", nil, env)
 	if err := r.Seek(skv.FullRange()); err != nil {
 		t.Fatal(err)
 	}

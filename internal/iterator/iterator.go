@@ -14,6 +14,7 @@ package iterator
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"graphulo/internal/skv"
@@ -43,6 +44,52 @@ type Env interface {
 	// WriteEntries ingests entries into another table through the normal
 	// write path (so the target table's combiners apply).
 	WriteEntries(table string, entries []skv.Entry) error
+}
+
+// FamilyEnv is optionally implemented by Envs that can push a
+// column-family constraint down to the scanned table's storage (the
+// accumulo scanEnv rides it on the nested scan request, so the serving
+// tablets read only the matching locality groups).
+type FamilyEnv interface {
+	// OpenScannerFamilies is Env.OpenScanner constrained to a
+	// column-family set (empty = unconstrained).
+	OpenScannerFamilies(table string, rng skv.Range, families []string) (SKVI, error)
+}
+
+// OpenScannerFamilies opens a family-constrained scanner through env,
+// pushing the constraint down when env supports it and falling back to
+// a client-side per-entry family filter when it does not — the result
+// stream is identical either way, only the blocks read differ.
+func OpenScannerFamilies(env Env, table string, rng skv.Range, families []string) (SKVI, error) {
+	if len(families) == 0 {
+		return env.OpenScanner(table, rng)
+	}
+	if fe, ok := env.(FamilyEnv); ok {
+		return fe.OpenScannerFamilies(table, rng, families)
+	}
+	src, err := env.OpenScanner(table, rng)
+	if err != nil {
+		return nil, err
+	}
+	return NewColumnFilterIter(src, families...), nil
+}
+
+// EncodeFamiliesOpt packs a family band into one iterator-setting option
+// value (comma-joined — family names must not contain commas; ours are
+// short channel labels). An empty band encodes as "", which
+// DecodeFamiliesOpt reads back as unconstrained — so a band consisting
+// of only the unnamed family "" degrades to an unconstrained scan, which
+// is correct, just unpruned.
+func EncodeFamiliesOpt(families []string) string {
+	return strings.Join(families, ",")
+}
+
+// DecodeFamiliesOpt unpacks EncodeFamiliesOpt's value; "" → nil.
+func DecodeFamiliesOpt(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
 }
 
 // Counters is optionally implemented by Envs that surface kernel

@@ -43,9 +43,10 @@ import (
 // outside the opened range, which no kernel issues, would force the
 // source to re-open.
 type RemoteSourceIterator struct {
-	table string
-	env   Env
-	inner SKVI
+	table    string
+	families []string
+	env      Env
+	inner    SKVI
 }
 
 // NewRemoteSourceIterator returns an iterator over the named table.
@@ -53,10 +54,18 @@ func NewRemoteSourceIterator(table string, env Env) *RemoteSourceIterator {
 	return &RemoteSourceIterator{table: table, env: env}
 }
 
+// NewRemoteSourceIteratorFamilies returns an iterator over the named
+// table constrained to a column-family band: the band rides the remote
+// scan request, so the serving tablets read only the matching rfile
+// locality groups (empty = unconstrained).
+func NewRemoteSourceIteratorFamilies(table string, families []string, env Env) *RemoteSourceIterator {
+	return &RemoteSourceIterator{table: table, families: families, env: env}
+}
+
 // Seek implements SKVI.
 func (r *RemoteSourceIterator) Seek(rng skv.Range) error {
 	if r.inner == nil {
-		it, err := r.env.OpenScanner(r.table, rng)
+		it, err := OpenScannerFamilies(r.env, r.table, rng, r.families)
 		if err != nil {
 			return fmt.Errorf("remoteSource(%s): %w", r.table, err)
 		}
@@ -487,20 +496,24 @@ func (c *ColQRangeIter) Next() error {
 type DegreeFilterIter struct {
 	src      SKVI
 	degTable string
+	families []string
 	env      Env
 	min, max float64
 	degrees  map[string]float64
 }
 
 // NewDegreeFilterIter wraps src; min/max of 0 disable that bound.
-func NewDegreeFilterIter(src SKVI, degTable string, min, max float64, env Env) *DegreeFilterIter {
-	return &DegreeFilterIter{src: src, degTable: degTable, env: env, min: min, max: max}
+// families bands the degree-table read (nil = unconstrained), so on a
+// mixed table the filter's remote scan touches only the degree
+// channel's locality groups.
+func NewDegreeFilterIter(src SKVI, degTable string, families []string, min, max float64, env Env) *DegreeFilterIter {
+	return &DegreeFilterIter{src: src, degTable: degTable, families: families, env: env, min: min, max: max}
 }
 
 // Seek implements SKVI.
 func (d *DegreeFilterIter) Seek(rng skv.Range) error {
 	if d.degrees == nil {
-		it, err := d.env.OpenScanner(d.degTable, skv.FullRange())
+		it, err := OpenScannerFamilies(d.env, d.degTable, skv.FullRange(), d.families)
 		if err != nil {
 			return fmt.Errorf("degreeFilter(%s): %w", d.degTable, err)
 		}
@@ -561,6 +574,7 @@ func (d *DegreeFilterIter) Next() error {
 type RowScaleIter struct {
 	src      SKVI
 	scaleTbl string
+	families []string
 	env      Env
 	scales   map[string]float64
 	cur      skv.Entry
@@ -568,14 +582,15 @@ type RowScaleIter struct {
 }
 
 // NewRowScaleIter wraps src, dividing by the remote per-row scale.
-func NewRowScaleIter(src SKVI, scaleTbl string, env Env) *RowScaleIter {
-	return &RowScaleIter{src: src, scaleTbl: scaleTbl, env: env}
+// families bands the scale-table read (nil = unconstrained).
+func NewRowScaleIter(src SKVI, scaleTbl string, families []string, env Env) *RowScaleIter {
+	return &RowScaleIter{src: src, scaleTbl: scaleTbl, families: families, env: env}
 }
 
 // Seek implements SKVI.
 func (r *RowScaleIter) Seek(rng skv.Range) error {
 	if r.scales == nil {
-		it, err := r.env.OpenScanner(r.scaleTbl, skv.FullRange())
+		it, err := OpenScannerFamilies(r.env, r.scaleTbl, skv.FullRange(), r.families)
 		if err != nil {
 			return fmt.Errorf("rowScale(%s): %w", r.scaleTbl, err)
 		}
@@ -634,7 +649,7 @@ func init() {
 		if table == "" {
 			return nil, fmt.Errorf("rowScale: missing table option")
 		}
-		return NewRowScaleIter(src, table, env), nil
+		return NewRowScaleIter(src, table, DecodeFamiliesOpt(opts["families"]), env), nil
 	})
 	Register("degreeFilter", func(src SKVI, opts map[string]string, env Env) (SKVI, error) {
 		table := opts["table"]
@@ -653,14 +668,14 @@ func init() {
 				return nil, fmt.Errorf("degreeFilter: bad max %q", s)
 			}
 		}
-		return NewDegreeFilterIter(src, table, minD, maxD, env), nil
+		return NewDegreeFilterIter(src, table, DecodeFamiliesOpt(opts["families"]), minD, maxD, env), nil
 	})
 	Register("remoteSource", func(_ SKVI, opts map[string]string, env Env) (SKVI, error) {
 		table := opts["table"]
 		if table == "" {
 			return nil, fmt.Errorf("remoteSource: missing table option")
 		}
-		return NewRemoteSourceIterator(table, env), nil
+		return NewRemoteSourceIteratorFamilies(table, DecodeFamiliesOpt(opts["families"]), env), nil
 	})
 	Register("twoTable", func(src SKVI, opts map[string]string, env Env) (SKVI, error) {
 		table := opts["tableAT"]
@@ -675,7 +690,8 @@ func init() {
 		if !ok {
 			return nil, fmt.Errorf("twoTable: unknown semiring %q", ringName)
 		}
-		return NewTwoTableIterator(src, NewRemoteSourceIterator(table, env), ring), nil
+		remote := NewRemoteSourceIteratorFamilies(table, DecodeFamiliesOpt(opts["familiesAT"]), env)
+		return NewTwoTableIterator(src, remote, ring), nil
 	})
 	Register("remoteWrite", func(src SKVI, opts map[string]string, env Env) (SKVI, error) {
 		table := opts["table"]

@@ -3,10 +3,22 @@ package plan
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"graphulo/internal/iterator"
 	"graphulo/internal/skv"
 )
+
+// scanOpLabel labels a step's scan operator for explain output,
+// appending the pushed column-family band when the constraint carries
+// one — so `graphulo explain` shows which locality groups the tablets
+// will actually read.
+func scanOpLabel(source string, c Constraint) string {
+	if len(c.Families) == 0 {
+		return "scan " + source
+	}
+	return "scan " + source + " [cf " + strings.Join(c.Families, ",") + "]"
+}
 
 // DefaultPreAggBytes is the ceiling of the planner's adaptive
 // RemoteWrite pre-aggregation budget (and the fixed budget used when no
@@ -277,11 +289,15 @@ func compileNode(n *Node, p *Plan, opts Options) (chain, error) {
 				return chain{}, err
 			}
 		}
+		label := fmt.Sprintf("mult ⊗ %s (%s)", n.TableAT, n.Semiring)
+		multOpts := map[string]string{"tableAT": n.TableAT, "semiring": n.Semiring}
+		if len(n.FamiliesAT) > 0 {
+			multOpts["familiesAT"] = iterator.EncodeFamiliesOpt(n.FamiliesAT)
+			label += " [cf " + strings.Join(n.FamiliesAT, ",") + "]"
+		}
 		c.stages = append(c.stages, stage{
-			label: fmt.Sprintf("mult ⊗ %s (%s)", n.TableAT, n.Semiring),
-			settings: []iterator.Setting{{Name: "twoTable", Opts: map[string]string{
-				"tableAT": n.TableAT, "semiring": n.Semiring,
-			}}},
+			label:    label,
+			settings: []iterator.Setting{{Name: "twoTable", Opts: multOpts}},
 		})
 		c.hasMult = true
 		c.semiring = n.Semiring
@@ -327,7 +343,7 @@ func finalize(c chain, sink SinkKind, outTable, semiring string, batchSize, preA
 		Semiring:    semiring,
 		BatchSize:   batchSize,
 		PreAggBytes: preAggBytes,
-		Ops:         []string{"scan " + c.source},
+		Ops:         []string{scanOpLabel(c.source, c.constraint)},
 	}
 	if colFilter, ok := c.constraint.colSetting(25); ok {
 		step.Settings = append(step.Settings, colFilter)

@@ -114,6 +114,9 @@ func (p *Plan) runStep(step *Step, env Env) (*Result, error) {
 		return nil, err
 	}
 	sc.SetTrace(env.Query)
+	if len(step.Constraint.Families) > 0 {
+		sc.SetFamilies(step.Constraint.Families...)
+	}
 	if len(step.Ranges) > 0 {
 		sc.SetRanges(step.Ranges)
 	} else {
@@ -180,6 +183,9 @@ func (p *Plan) runBatchStep(step *Step, env Env) (*Result, error) {
 		return nil, err
 	}
 	bs.SetTrace(env.Query)
+	if len(step.Constraint.Families) > 0 {
+		bs.SetFamilies(step.Constraint.Families...)
+	}
 	bs.SetRanges(step.Ranges)
 	for _, s := range step.Settings {
 		bs.AddScanIterator(s)

@@ -24,11 +24,15 @@ import (
 
 // Constraint restricts a scan to a sub-associative-array — the SpRef
 // push-down: the row band prunes tablets before any pass launches, the
-// column band filters server-side below the kernel stages. The zero
-// value constrains nothing.
+// column band filters server-side below the kernel stages, and the
+// family set is pushed into storage so tablets read only the matching
+// rfile locality groups. The zero value constrains nothing.
 type Constraint struct {
 	RowStart, RowEnd   string
 	ColQStart, ColQEnd string
+	// Families restricts the scan to a column-family set (nil/empty =
+	// unconstrained); it rides the scan request down to the tablets.
+	Families []string
 }
 
 // rowRange returns the constraint's row band as a scan range.
@@ -107,6 +111,10 @@ type Node struct {
 
 	// OpMult
 	TableAT string
+	// FamiliesAT bands the remote Aᵀ operand scan to a column-family
+	// set (nil = unconstrained): the band rides the nested scan request,
+	// so Aᵀ's tablets read only the matching rfile locality groups.
+	FamiliesAT []string
 	// Semiring names the ⊕.⊗ pair for OpMult, the sink combiner for
 	// OpWrite, and the client-side fold for a folding OpCollect.
 	Semiring string
@@ -143,10 +151,17 @@ func ScanRanges(table string, ranges []skv.Range) *Node {
 // Mult multiplies the input stream (the hosted B operand) against the
 // remote Aᵀ table under the named semiring: C ⊕= Aᵀ·B partial products.
 func Mult(in *Node, tableAT, semiring string) *Node {
+	return MultBanded(in, tableAT, semiring, nil)
+}
+
+// MultBanded is Mult with the remote Aᵀ scan constrained to a
+// column-family band (the locality-group push-down for the multiply's
+// second operand; nil = unconstrained).
+func MultBanded(in *Node, tableAT, semiring string, familiesAT []string) *Node {
 	if semiring == "" {
 		semiring = "plus.times"
 	}
-	return &Node{Op: OpMult, Input: in, TableAT: tableAT, Semiring: semiring}
+	return &Node{Op: OpMult, Input: in, TableAT: tableAT, Semiring: semiring, FamiliesAT: familiesAT}
 }
 
 // Apply runs per-entry iterator settings over the input stream.

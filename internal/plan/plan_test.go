@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -122,7 +123,7 @@ func TestConstraintBecomesColRangeSetting(t *testing.T) {
 	if !found {
 		t.Fatal("column constraint did not compile to a colRange setting")
 	}
-	if step.Constraint != c {
+	if !reflect.DeepEqual(step.Constraint, c) {
 		t.Fatalf("step constraint = %+v, want %+v", step.Constraint, c)
 	}
 }

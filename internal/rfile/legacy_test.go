@@ -1,0 +1,248 @@
+package rfile
+
+// Legacy-format coverage: an encoder that reproduces the version 1–3
+// layouts byte-for-byte, committed fixture files under testdata/, and a
+// compat matrix asserting (a) the encoder still produces the committed
+// bytes — so a layout regression cannot hide behind a fixture rebuild —
+// and (b) every past version opens and serves full and
+// family-constrained scans identical to a current (v4) file of the same
+// entries.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"graphulo/internal/iterator"
+	"graphulo/internal/skv"
+)
+
+var updateCompatFixtures = flag.Bool("update-compat-fixtures", false,
+	"rewrite the committed testdata/v*.rf legacy fixture files")
+
+// encodeLegacy serialises entries in the pre-locality-group layout of
+// format version v (1, 2, or 3): one implicit block run in global key
+// order, no family directory, and the bloom sections of that era — none
+// for v1, the row bloom for v2, row + (row, colQ) blooms for v3.
+func encodeLegacy(v uint32, entries []skv.Entry, blockSize, bloomBits, colqBits int) []byte {
+	var (
+		out        []byte
+		blocks     []blockMeta
+		buf        []byte
+		bufCount   int
+		firstKey   skv.Key
+		lastKey    skv.Key
+		haveLast   bool
+		rowHashes  []uint64
+		pairHashes []uint64
+	)
+	seal := func() {
+		if bufCount == 0 {
+			return
+		}
+		blocks = append(blocks, blockMeta{
+			firstKey: firstKey,
+			off:      uint64(len(out)),
+			len:      uint64(len(buf)),
+			count:    bufCount,
+			crc:      crc32.Checksum(buf, castagnoli),
+		})
+		out = append(out, buf...)
+		buf = nil
+		bufCount = 0
+	}
+	for _, e := range entries {
+		if !haveLast || e.K.Row != lastKey.Row {
+			rowHashes = append(rowHashes, bloomHash(e.K.Row))
+		}
+		if !haveLast || e.K.Row != lastKey.Row || e.K.ColQ != lastKey.ColQ {
+			pairHashes = append(pairHashes, bloomHashPair(e.K.Row, e.K.ColQ))
+		}
+		lastKey, haveLast = e.K, true
+		if bufCount == 0 {
+			firstKey = e.K
+		}
+		buf = skv.EncodeEntry(buf, e)
+		bufCount++
+		if len(buf) >= blockSize {
+			seal()
+		}
+	}
+	seal()
+	index := binary.AppendUvarint(nil, uint64(len(blocks)))
+	for _, b := range blocks {
+		index = skv.EncodeEntry(index, skv.Entry{K: b.firstKey})
+		index = binary.AppendUvarint(index, b.off)
+		index = binary.AppendUvarint(index, b.len)
+		index = binary.AppendUvarint(index, uint64(b.count))
+		index = binary.LittleEndian.AppendUint32(index, b.crc)
+	}
+	index = binary.AppendUvarint(index, uint64(len(entries)))
+	if v >= 2 {
+		index = appendBloom(index, buildBloom(rowHashes, bloomBits))
+	}
+	if v >= 3 {
+		index = appendBloom(index, buildBloom(pairHashes, colqBits))
+	}
+	dataLen := uint64(len(out))
+	out = append(out, index...)
+	var tr [trailerLen]byte
+	binary.LittleEndian.PutUint64(tr[0:], dataLen)
+	binary.LittleEndian.PutUint32(tr[8:], uint32(len(index)))
+	binary.LittleEndian.PutUint32(tr[12:], crc32.Checksum(index, castagnoli))
+	binary.LittleEndian.PutUint32(tr[16:], v)
+	binary.LittleEndian.PutUint32(tr[20:], magic)
+	return append(out, tr[:]...)
+}
+
+// compatBlockSize keeps the fixtures multi-block without bloating the
+// committed files.
+const compatBlockSize = 256
+
+// compatFixtureEntries is the deterministic mixed-family entry set every
+// fixture holds: per vertex one bare-family entry, one degree entry, and
+// one edge entry — the deg+edge shape the locality-group scans band on.
+func compatFixtureEntries() []skv.Entry {
+	var es []skv.Entry
+	for i := 0; i < 48; i++ {
+		row := fmt.Sprintf("v%04d", i)
+		es = append(es,
+			skv.Entry{K: skv.Key{Row: row, ColF: "", ColQ: "plain", Ts: 1}, V: []byte("p")},
+			skv.Entry{K: skv.Key{Row: row, ColF: "deg", ColQ: "deg", Ts: 1}, V: []byte("3")},
+			skv.Entry{K: skv.Key{Row: row, ColF: "edge", ColQ: fmt.Sprintf("v%04d", (i+1)%48), Ts: 1}, V: []byte("1")},
+		)
+	}
+	return es
+}
+
+func fixturePath(v uint32) string {
+	return filepath.Join("testdata", fmt.Sprintf("v%d.rf", v))
+}
+
+// TestCompatFixturesByteIdentical pins the legacy layouts: the encoder
+// must reproduce each committed fixture byte for byte. Run with
+// -update-compat-fixtures to regenerate after an intentional change.
+func TestCompatFixturesByteIdentical(t *testing.T) {
+	for _, v := range []uint32{1, 2, 3} {
+		want := encodeLegacy(v, compatFixtureEntries(), compatBlockSize,
+			DefaultBloomBitsPerKey, DefaultBloomBitsPerKey)
+		path := fixturePath(v)
+		if *updateCompatFixtures {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, want, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("v%d fixture: %v (run with -update-compat-fixtures to generate)", v, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("v%d: committed fixture differs from encoder output (%d vs %d bytes)", v, len(got), len(want))
+		}
+	}
+}
+
+// collect drains a fully-seeked iterator.
+func collect(t *testing.T, it iterator.SKVI) []skv.Entry {
+	t.Helper()
+	if err := it.Seek(skv.Range{}); err != nil {
+		t.Fatal(err)
+	}
+	var es []skv.Entry
+	for it.HasTop() {
+		es = append(es, it.Top())
+		if err := it.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return es
+}
+
+// filterFamilies mirrors the family constraint client-side.
+func filterFamilies(es []skv.Entry, families ...string) []skv.Entry {
+	want := map[string]bool{}
+	for _, f := range families {
+		want[f] = true
+	}
+	var out []skv.Entry
+	for _, e := range es {
+		if want[e.K.ColF] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestCompatMatrixAllVersionsReadable opens every committed legacy
+// fixture plus a freshly written v4 file of the same entries, and
+// asserts the full scan, the family-banded scans, and a single-row seek
+// agree across all four versions. Pre-v4 files have no family directory,
+// so their banded scans exercise the per-entry fallback filter.
+func TestCompatMatrixAllVersionsReadable(t *testing.T) {
+	entries := compatFixtureEntries()
+	paths := map[string]string{}
+	for _, v := range []uint32{1, 2, 3} {
+		paths[fmt.Sprintf("v%d", v)] = fixturePath(v)
+	}
+	v4 := filepath.Join(t.TempDir(), "v4.rf")
+	if err := WriteAll(v4, entries, WriterOptions{BlockSize: compatBlockSize}); err != nil {
+		t.Fatal(err)
+	}
+	paths["v4"] = v4
+
+	bands := [][]string{
+		{"edge"},
+		{"deg"},
+		{"", "edge"},
+		{"absent"},
+	}
+	for name, path := range paths {
+		t.Run(name, func(t *testing.T) {
+			r, err := Open(path)
+			if err != nil {
+				t.Fatalf("open: %v (run with -update-compat-fixtures to generate fixtures)", err)
+			}
+			defer r.Close()
+			if r.Count() != len(entries) {
+				t.Fatalf("Count = %d, want %d", r.Count(), len(entries))
+			}
+			if got := collect(t, r.Iter()); !reflect.DeepEqual(got, entries) {
+				t.Fatalf("full scan: %d entries, want %d (or order differs)", len(got), len(entries))
+			}
+			for _, band := range bands {
+				got := collect(t, r.IterFamilies("", band))
+				want := filterFamilies(entries, band...)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("band %q: got %d entries, want %d", band, len(got), len(want))
+				}
+			}
+			// Single-row seek through the bloom-guarded path.
+			it := r.Iter()
+			if err := it.Seek(skv.ExactRow("v0007")); err != nil {
+				t.Fatal(err)
+			}
+			rows := 0
+			for it.HasTop() {
+				if it.Top().K.Row != "v0007" {
+					t.Fatalf("row seek surfaced %v", it.Top().K)
+				}
+				rows++
+				if err := it.Next(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if rows != 3 {
+				t.Fatalf("row v0007: %d entries, want 3", rows)
+			}
+		})
+	}
+}

@@ -4,9 +4,8 @@
 // wire-encoded entries, followed by an index region recording each data
 // block's first key, offset, length, entry count, and CRC-32C, plus a
 // bloom filter over the file's row keys, and a fixed-size trailer
-// locating the index. The writer streams entries in sorted order
-// without buffering the whole file; the reader keeps only the index and
-// bloom in memory and serves seekable SKVI iterators.
+// locating the index. The reader keeps only the index and bloom in
+// memory and serves seekable SKVI iterators.
 //
 // The read path is built for repeated scans, which dominate the kernel
 // workloads (TwoTableIterator remote seeks, degree reads, BFS rounds
@@ -28,22 +27,38 @@
 //     additionally probes the pair filter, pruning block reads for
 //     column point lookups whose row exists but whose column does not.
 //     Negatives are counted in ReaderOptions.Stats.
+//   - Locality groups. Since version 4 the writer partitions entries by
+//     column family into per-family block runs — BigTable-style
+//     locality groups — and a family directory in the index maps each
+//     family to its contiguous block range. A seek constrained to a
+//     family set (Reader.IterFamilies) touches only the matching runs'
+//     blocks; blocks in other families' runs are skipped without a load
+//     and counted in Stats.LocalityBlocksSkipped. Unconstrained scans
+//     merge the family runs back into global key order. Pre-v4 files
+//     have no directory: a family-constrained iterator over them falls
+//     back to a full scan with a per-entry family filter.
 //
 // Every block checksum is verified on (disk) load; cache hits skip the
 // re-verification along with the read and decode.
 //
-// Layout (version 3; version-1 files, which lack the bloom sections,
-// and version-2 files, which carry only the row bloom, remain
-// readable):
+// Layout (version 4; version 1–3 files remain readable — version 1
+// lacks the bloom sections, version 2 carries only the row bloom,
+// version 3 lacks the family directory):
 //
 //	[data block]...[index][trailer]
+//	data blocks are grouped into per-family runs, families in
+//	        ascending name order; within a run, blocks ascend in key
+//	        order (v1–v3: one implicit run holding every family)
 //	index:   uvarint nblocks, then per block
 //	         (firstKey as a valueless entry, uvarint off, len, count, u32 crc),
 //	         then uvarint total entry count,
-//	         then (v2: optional; v3: required) row bloom:
+//	         then (v2: optional; v3+: required) row bloom:
 //	         uvarint k, uvarint nbytes, bits
-//	         then (v3, required) (row,colQ) bloom, same encoding
+//	         then (v3+, required) (row,colQ) bloom, same encoding
 //	         (a zero-length bloom section means "disabled": admit all)
+//	         then (v4, required) family directory: uvarint nfamilies,
+//	         per family (uvarint namelen, name, uvarint lo, uvarint hi)
+//	         mapping the family to blocks [lo, hi)
 //	trailer: u64 indexOff | u32 indexLen | u32 indexCRC |
 //	         u32 version | u32 magic ("GRF1"), little-endian
 package rfile
@@ -65,7 +80,7 @@ import (
 
 const (
 	magic   = 0x31465247 // "GRF1" little-endian
-	version = 3
+	version = 4
 	// trailerLen is the fixed byte length of the file trailer.
 	trailerLen = 8 + 4 + 4 + 4 + 4
 	// DefaultBlockSize is the uncompressed data-block size target.
@@ -81,6 +96,10 @@ type Stats struct {
 	// ColQBloomNegatives counts single-cell seeks whose row passed the
 	// row bloom but whose (row, colQ) pair the column bloom rejected.
 	ColQBloomNegatives atomic.Int64
+	// LocalityBlocksSkipped counts data blocks a family-constrained
+	// scan avoided entirely because they belong to other families'
+	// locality-group block runs.
+	LocalityBlocksSkipped atomic.Int64
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -92,6 +111,13 @@ type blockMeta struct {
 	len      uint64
 	count    int
 	crc      uint32
+}
+
+// famRun is one family directory entry: the family's contiguous block
+// range [lo, hi) in the file's block list.
+type famRun struct {
+	name   string
+	lo, hi int
 }
 
 // --- Writer ---
@@ -111,18 +137,47 @@ type WriterOptions struct {
 	ColQBloomBits int
 }
 
-// Writer streams sorted entries into a new rfile.
+// pendingBlock is one sealed data block awaiting Finish, which lays the
+// per-family runs out contiguously.
+type pendingBlock struct {
+	firstKey skv.Key
+	data     []byte
+	count    int
+}
+
+// writerGroup accumulates one column family's blocks. Input arrives in
+// global (row, colF, colQ) order, so each family's subsequence is
+// itself sorted — the group just collects it.
+type writerGroup struct {
+	buf       []byte // current block under construction
+	bufCount  int
+	firstKey  skv.Key
+	haveFirst bool
+	pending   []pendingBlock
+}
+
+// seal finishes the block under construction, if any.
+func (g *writerGroup) seal() {
+	if g.bufCount == 0 {
+		return
+	}
+	g.pending = append(g.pending, pendingBlock{firstKey: g.firstKey, data: g.buf, count: g.bufCount})
+	g.buf = nil
+	g.bufCount = 0
+	g.haveFirst = false
+}
+
+// Writer streams sorted entries into a new rfile, partitioning them by
+// column family into locality-group block runs. Sealed blocks are held
+// in memory until Finish lays the runs out contiguously; callers hand
+// the writer compaction-sized entry sets, which they already hold in
+// memory anyway.
 type Writer struct {
 	f          *os.File
 	blockSize  int
-	bloomBits  int    // bits per distinct row; < 0 disables
-	colqBits   int    // bits per distinct (row, colQ) pair; < 0 disables
-	buf        []byte // current block under construction
-	bufCount   int
-	off        uint64
-	blocks     []blockMeta
-	firstKey   skv.Key
-	haveFirst  bool
+	bloomBits  int // bits per distinct row; < 0 disables
+	colqBits   int // bits per distinct (row, colQ) pair; < 0 disables
+	groups     map[string]*writerGroup
 	lastKey    skv.Key
 	haveLast   bool
 	count      int
@@ -145,7 +200,11 @@ func Create(path string, opts WriterOptions) (*Writer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Writer{f: f, blockSize: opts.BlockSize, bloomBits: opts.BloomBitsPerKey, colqBits: opts.ColQBloomBits}, nil
+	return &Writer{
+		f: f, blockSize: opts.BlockSize,
+		bloomBits: opts.BloomBitsPerKey, colqBits: opts.ColQBloomBits,
+		groups: map[string]*writerGroup{},
+	}, nil
 }
 
 // Append adds the next entry, which must not sort before its
@@ -165,49 +224,58 @@ func (w *Writer) Append(e skv.Entry) error {
 		// same bits again.
 		w.pairHashes = append(w.pairHashes, bloomHashPair(e.K.Row, e.K.ColQ))
 	}
-	if !w.haveFirst {
-		w.firstKey, w.haveFirst = e.K, true
-	}
 	w.lastKey, w.haveLast = e.K, true
-	w.buf = skv.EncodeEntry(w.buf, e)
-	w.bufCount++
+	g := w.groups[e.K.ColF]
+	if g == nil {
+		g = &writerGroup{}
+		w.groups[e.K.ColF] = g
+	}
+	if !g.haveFirst {
+		g.firstKey, g.haveFirst = e.K, true
+	}
+	g.buf = skv.EncodeEntry(g.buf, e)
+	g.bufCount++
 	w.count++
-	if len(w.buf) >= w.blockSize {
-		return w.flushBlock()
+	if len(g.buf) >= w.blockSize {
+		g.seal()
 	}
 	return nil
 }
 
-func (w *Writer) flushBlock() error {
-	if w.bufCount == 0 {
-		return nil
-	}
-	if _, err := w.f.Write(w.buf); err != nil {
-		return err
-	}
-	w.blocks = append(w.blocks, blockMeta{
-		firstKey: w.firstKey,
-		off:      w.off,
-		len:      uint64(len(w.buf)),
-		count:    w.bufCount,
-		crc:      crc32.Checksum(w.buf, castagnoli),
-	})
-	w.off += uint64(len(w.buf))
-	w.buf = w.buf[:0]
-	w.bufCount = 0
-	w.haveFirst = false
-	return nil
-}
-
-// Finish flushes the last block, writes index and trailer, and fsyncs.
-// The Writer is unusable afterwards.
+// Finish lays the family block runs out (families in ascending name
+// order), writes index and trailer, and fsyncs. The Writer is unusable
+// afterwards.
 func (w *Writer) Finish() error {
-	if err := w.flushBlock(); err != nil {
-		w.f.Close()
-		return err
+	families := make([]string, 0, len(w.groups))
+	for name := range w.groups {
+		families = append(families, name)
 	}
-	index := binary.AppendUvarint(nil, uint64(len(w.blocks)))
-	for _, b := range w.blocks {
+	sort.Strings(families)
+	var blocks []blockMeta
+	var runs []famRun
+	var off uint64
+	for _, name := range families {
+		g := w.groups[name]
+		g.seal()
+		lo := len(blocks)
+		for _, pb := range g.pending {
+			if _, err := w.f.Write(pb.data); err != nil {
+				w.f.Close()
+				return err
+			}
+			blocks = append(blocks, blockMeta{
+				firstKey: pb.firstKey,
+				off:      off,
+				len:      uint64(len(pb.data)),
+				count:    pb.count,
+				crc:      crc32.Checksum(pb.data, castagnoli),
+			})
+			off += uint64(len(pb.data))
+		}
+		runs = append(runs, famRun{name: name, lo: lo, hi: len(blocks)})
+	}
+	index := binary.AppendUvarint(nil, uint64(len(blocks)))
+	for _, b := range blocks {
 		index = skv.EncodeEntry(index, skv.Entry{K: b.firstKey})
 		index = binary.AppendUvarint(index, b.off)
 		index = binary.AppendUvarint(index, b.len)
@@ -215,8 +283,8 @@ func (w *Writer) Finish() error {
 		index = binary.LittleEndian.AppendUint32(index, b.crc)
 	}
 	index = binary.AppendUvarint(index, uint64(w.count))
-	// Version 3 always writes both bloom sections; a disabled filter is
-	// a zero-length section, which parses to the admit-all filter.
+	// Both bloom sections are always written; a disabled filter is a
+	// zero-length section, which parses to the admit-all filter.
 	var rowBloom, colqBloom bloomFilter
 	if w.bloomBits >= 0 {
 		rowBloom = buildBloom(w.rowHashes, w.bloomBits)
@@ -226,12 +294,20 @@ func (w *Writer) Finish() error {
 	}
 	index = appendBloom(index, rowBloom)
 	index = appendBloom(index, colqBloom)
+	// Version 4: the family directory.
+	index = binary.AppendUvarint(index, uint64(len(runs)))
+	for _, fr := range runs {
+		index = binary.AppendUvarint(index, uint64(len(fr.name)))
+		index = append(index, fr.name...)
+		index = binary.AppendUvarint(index, uint64(fr.lo))
+		index = binary.AppendUvarint(index, uint64(fr.hi))
+	}
 	if _, err := w.f.Write(index); err != nil {
 		w.f.Close()
 		return err
 	}
 	var tr [trailerLen]byte
-	binary.LittleEndian.PutUint64(tr[0:], w.off)
+	binary.LittleEndian.PutUint64(tr[0:], off)
 	binary.LittleEndian.PutUint32(tr[8:], uint32(len(index)))
 	binary.LittleEndian.PutUint32(tr[12:], crc32.Checksum(index, castagnoli))
 	binary.LittleEndian.PutUint32(tr[16:], version)
@@ -276,16 +352,16 @@ type ReaderOptions struct {
 	// Cache, when non-nil, is consulted before every disk block load
 	// and fed every block loaded. It is shared across Readers.
 	Cache *cache.BlockCache
-	// Stats, when non-nil, receives this Reader's bloom-negative
-	// counts. It is shared across Readers.
+	// Stats, when non-nil, receives this Reader's bloom-negative and
+	// locality-skip counts. It is shared across Readers.
 	Stats *Stats
 }
 
 // Reader serves seekable iterators over one rfile. It keeps only the
-// index and bloom filter in memory; data blocks are served from the
-// shared block cache when present, else read with pread and
-// CRC-verified on load, so one Reader may back any number of concurrent
-// Iters.
+// index, bloom filters, and family directory in memory; data blocks are
+// served from the shared block cache when present, else read with pread
+// and CRC-verified on load, so one Reader may back any number of
+// concurrent Iters.
 type Reader struct {
 	f         *os.File
 	path      string
@@ -293,6 +369,7 @@ type Reader struct {
 	count     int
 	bloom     bloomFilter // over distinct rows
 	colqBloom bloomFilter // over distinct (row, colQ) pairs (v3+)
+	families  []famRun    // locality-group directory (v4+); nil before
 	cache     *cache.BlockCache
 	stats     *Stats
 
@@ -359,7 +436,7 @@ func OpenWithOptions(path string, opts ReaderOptions) (*Reader, error) {
 		return nil, closeWith(f, fmt.Errorf("rfile: %s: index checksum mismatch", path))
 	}
 	r := &Reader{f: f, path: path, cache: opts.Cache, stats: opts.Stats}
-	if err := r.parseIndex(index, v); err != nil {
+	if err := r.parseIndex(index, v, indexOff); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -372,12 +449,23 @@ func closeWith(f *os.File, err error) error {
 	return err
 }
 
-func (r *Reader) parseIndex(index []byte, v uint32) error {
+// parseIndex decodes the index region. dataLen bounds the data region
+// (the index offset): hostile block metadata pointing past it — or
+// claiming more entries than its bytes could encode — is rejected here
+// so no block load can be tricked into a huge allocation or an
+// out-of-range read.
+func (r *Reader) parseIndex(index []byte, v uint32, dataLen uint64) error {
 	nblocks, k := binary.Uvarint(index)
 	if k <= 0 {
 		return fmt.Errorf("rfile: %s: truncated index header", r.path)
 	}
 	index = index[k:]
+	// An index entry is at least a key (4 length prefixes + varint ts),
+	// three uvarints, and a 4-byte crc; reject counts the payload cannot
+	// hold so a hostile header cannot force a huge allocation.
+	if nblocks > uint64(len(index))/8 {
+		return fmt.Errorf("rfile: %s: block count %d exceeds index size", r.path, nblocks)
+	}
 	r.blocks = make([]blockMeta, 0, nblocks)
 	for i := uint64(0); i < nblocks; i++ {
 		var b blockMeta
@@ -400,6 +488,16 @@ func (r *Reader) parseIndex(index []byte, v uint32) error {
 			return fmt.Errorf("rfile: %s: truncated index crc %d", r.path, i)
 		}
 		b.off, b.len, b.count = fields[0], fields[1], int(fields[2])
+		if b.off+b.len < b.off || b.off+b.len > dataLen {
+			return fmt.Errorf("rfile: %s: block %d range [%d,+%d) outside data region (%d bytes)",
+				r.path, i, b.off, b.len, dataLen)
+		}
+		if fields[2] > b.len {
+			// Every encoded entry takes at least one byte, so a count
+			// above the block's byte length is corrupt.
+			return fmt.Errorf("rfile: %s: block %d entry count %d exceeds block size %d",
+				r.path, i, fields[2], b.len)
+		}
 		b.crc = binary.LittleEndian.Uint32(index)
 		index = index[4:]
 		r.blocks = append(r.blocks, b)
@@ -412,9 +510,10 @@ func (r *Reader) parseIndex(index []byte, v uint32) error {
 	index = index[k:]
 	// Version 2 appends an optional row-bloom section; its absence
 	// (bloom disabled at write time, or a version-1 file) leaves a nil
-	// filter that admits every row. Version 3 always carries two
+	// filter that admits every row. Version 3+ always carries two
 	// sections — row bloom then (row, colQ) bloom — with zero-length
-	// sections standing for disabled filters.
+	// sections standing for disabled filters. Version 4 follows them
+	// with the family directory.
 	if v == 2 && len(index) > 0 {
 		bloom, _, err := parseBloom(index)
 		if err != nil {
@@ -427,11 +526,58 @@ func (r *Reader) parseIndex(index []byte, v uint32) error {
 		if err != nil {
 			return fmt.Errorf("rfile: %s: row bloom: %v", r.path, err)
 		}
-		colq, _, err := parseBloom(rest)
+		colq, rest, err := parseBloom(rest)
 		if err != nil {
 			return fmt.Errorf("rfile: %s: colq bloom: %v", r.path, err)
 		}
 		r.bloom, r.colqBloom = bloom, colq
+		index = rest
+	}
+	if v >= 4 {
+		if err := r.parseFamilyDir(index); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseFamilyDir decodes the v4 family directory, validating that every
+// run's block range is in bounds and runs do not overlap.
+func (r *Reader) parseFamilyDir(dir []byte) error {
+	nfam, k := binary.Uvarint(dir)
+	if k <= 0 {
+		return fmt.Errorf("rfile: %s: truncated family directory", r.path)
+	}
+	dir = dir[k:]
+	// A family entry is at least a name prefix and two uvarints.
+	if nfam > uint64(len(dir))/3+1 {
+		return fmt.Errorf("rfile: %s: family count %d exceeds directory size", r.path, nfam)
+	}
+	prevHi := 0
+	r.families = make([]famRun, 0, nfam)
+	for i := uint64(0); i < nfam; i++ {
+		nameLen, k := binary.Uvarint(dir)
+		if k <= 0 || uint64(len(dir[k:])) < nameLen {
+			return fmt.Errorf("rfile: %s: truncated family name %d", r.path, i)
+		}
+		dir = dir[k:]
+		name := string(dir[:nameLen])
+		dir = dir[nameLen:]
+		lo, k := binary.Uvarint(dir)
+		if k <= 0 {
+			return fmt.Errorf("rfile: %s: truncated family run %d", r.path, i)
+		}
+		dir = dir[k:]
+		hi, k := binary.Uvarint(dir)
+		if k <= 0 {
+			return fmt.Errorf("rfile: %s: truncated family run %d", r.path, i)
+		}
+		dir = dir[k:]
+		if lo > hi || hi > uint64(len(r.blocks)) || int(lo) < prevHi {
+			return fmt.Errorf("rfile: %s: family %q run [%d,%d) invalid for %d blocks", r.path, name, lo, hi, len(r.blocks))
+		}
+		prevHi = int(hi)
+		r.families = append(r.families, famRun{name: name, lo: int(lo), hi: int(hi)})
 	}
 	return nil
 }
@@ -454,6 +600,16 @@ func (r *Reader) Count() int { return r.count }
 
 // Path returns the file path backing the reader.
 func (r *Reader) Path() string { return r.path }
+
+// Families returns the family directory's family names, in stored
+// order; empty for pre-v4 files (which have no directory).
+func (r *Reader) Families() []string {
+	out := make([]string, len(r.families))
+	for i, fr := range r.families {
+		out[i] = fr.name
+	}
+	return out
+}
 
 // MarkDead records that the file backing the Reader has been deleted
 // and evicts its blocks from the shared cache. In-flight Iters keep
@@ -514,19 +670,91 @@ func (r *Reader) loadBlockFor(i int, tenant string) ([]skv.Entry, error) {
 	return entries, nil
 }
 
-// Iter returns a fresh, unseeked iterator over the file; it implements
-// iterator.SKVI.
-func (r *Reader) Iter() *Iter { return &Iter{r: r, blk: -1} }
+// groupRuns returns the file's block runs: the family directory for v4
+// files, or one implicit run covering every block for older files.
+func (r *Reader) groupRuns() []famRun {
+	if r.families != nil {
+		return r.families
+	}
+	return []famRun{{lo: 0, hi: len(r.blocks)}}
+}
+
+// Iter returns a fresh, unseeked iterator over the whole file; it
+// implements iterator.SKVI. Multi-family v4 files merge their family
+// runs back into global key order.
+func (r *Reader) Iter() iterator.SKVI { return r.IterFor("") }
 
 // IterFor is Iter with the iterator's cache inserts charged to tenant.
-func (r *Reader) IterFor(tenant string) *Iter { return &Iter{r: r, tenant: tenant, blk: -1} }
+func (r *Reader) IterFor(tenant string) iterator.SKVI {
+	runs := r.groupRuns()
+	if len(runs) <= 1 {
+		return &Iter{r: r, tenant: tenant, lo: 0, hi: len(r.blocks), probe: true, blk: -1}
+	}
+	return r.mergeRuns(tenant, runs)
+}
 
-// Iter is a seekable sorted iterator over one rfile.
+// IterFamilies returns an iterator constrained to a set of column
+// families. With a family directory (v4) only the matching families'
+// block runs are touched; blocks the constraint skipped are counted in
+// Stats.LocalityBlocksSkipped. Pre-v4 files fall back to a full scan
+// with a per-entry family filter. An empty family set means
+// unconstrained.
+func (r *Reader) IterFamilies(tenant string, families []string) iterator.SKVI {
+	if len(families) == 0 {
+		return r.IterFor(tenant)
+	}
+	if r.families == nil {
+		// No directory: every block may hold any family.
+		return iterator.NewColumnFilterIter(r.IterFor(tenant), families...)
+	}
+	want := make(map[string]bool, len(families))
+	for _, f := range families {
+		want[f] = true
+	}
+	var runs []famRun
+	skipped := 0
+	for _, fr := range r.families {
+		if want[fr.name] {
+			runs = append(runs, fr)
+		} else {
+			skipped += fr.hi - fr.lo
+		}
+	}
+	if skipped > 0 && r.stats != nil {
+		r.stats.LocalityBlocksSkipped.Add(int64(skipped))
+	}
+	switch len(runs) {
+	case 0:
+		return &Iter{r: r, tenant: tenant, lo: 0, hi: 0, blk: -1}
+	case 1:
+		return &Iter{r: r, tenant: tenant, lo: runs[0].lo, hi: runs[0].hi, probe: true, blk: -1}
+	default:
+		return r.mergeRuns(tenant, runs)
+	}
+}
+
+// mergeRuns merges several family block runs back into global key
+// order, with the file-level bloom probes hoisted above the merge so a
+// negative is counted once, not per run.
+func (r *Reader) mergeRuns(tenant string, runs []famRun) iterator.SKVI {
+	sources := make([]iterator.SKVI, len(runs))
+	for i, fr := range runs {
+		sources[i] = &Iter{r: r, tenant: tenant, lo: fr.lo, hi: fr.hi, blk: -1}
+	}
+	// Keys cannot collide across family runs (ColF differs), so a plain
+	// merge suffices.
+	return &familyIter{r: r, src: iterator.NewMergeIter(sources...)}
+}
+
+// Iter is a seekable sorted iterator over one contiguous block run of
+// an rfile — the whole file for v1–v3, one locality group for v4.
 type Iter struct {
 	r       *Reader
 	tenant  string // cache-partition charge label; "" = default
+	lo, hi  int    // block subrange [lo, hi) this iterator serves
+	probe   bool   // consult the file's bloom filters on Seek
 	rng     skv.Range
-	blk     int // current block index; -1 before Seek / len(blocks) at EOF
+	blk     int // current block index; -1 before Seek / hi at EOF
 	entries []skv.Entry
 	pos     int
 	err     error
@@ -574,43 +802,51 @@ func singleCellOf(rng skv.Range) (row, colQ string, ok bool) {
 	return "", "", false
 }
 
-// Seek implements SKVI.
-func (it *Iter) Seek(rng skv.Range) error {
-	it.rng = rng
-	it.err = nil
-	it.entries = nil
-	if len(it.r.blocks) == 0 {
-		it.blk = 0
-		return nil
-	}
+// bloomRejects probes the file-level bloom filters for a seek confined
+// to one row or one cell, counting negatives in the shared stats.
+func (r *Reader) bloomRejects(rng skv.Range) bool {
 	// A seek confined to one row is answered by the row bloom filter
 	// when the file cannot contain the row: no index search, no block
 	// load. A seek confined to one cell additionally probes the
 	// (row, colQ) bloom, catching the "row present, column absent"
 	// lookups the row filter must admit.
-	if row, ok := singleRowOf(rng); ok && !it.r.MayContainRow(row) {
-		if it.r.stats != nil {
-			it.r.stats.BloomNegatives.Add(1)
+	if row, ok := singleRowOf(rng); ok && !r.MayContainRow(row) {
+		if r.stats != nil {
+			r.stats.BloomNegatives.Add(1)
 		}
-		it.blk = len(it.r.blocks)
+		return true
+	}
+	if row, colQ, ok := singleCellOf(rng); ok && !r.MayContainCell(row, colQ) {
+		if r.stats != nil {
+			r.stats.ColQBloomNegatives.Add(1)
+		}
+		return true
+	}
+	return false
+}
+
+// Seek implements SKVI.
+func (it *Iter) Seek(rng skv.Range) error {
+	it.rng = rng
+	it.err = nil
+	it.entries = nil
+	if it.lo >= it.hi {
+		it.blk = it.hi
 		it.pos = 0
 		return nil
 	}
-	if row, colQ, ok := singleCellOf(rng); ok && !it.r.MayContainCell(row, colQ) {
-		if it.r.stats != nil {
-			it.r.stats.ColQBloomNegatives.Add(1)
-		}
-		it.blk = len(it.r.blocks)
+	if it.probe && it.r.bloomRejects(rng) {
+		it.blk = it.hi
 		it.pos = 0
 		return nil
 	}
-	blk := 0
+	blk := it.lo
 	if rng.HasStart {
 		// Last block whose firstKey <= start could contain the start key.
-		n := sort.Search(len(it.r.blocks), func(i int) bool {
-			return skv.Compare(it.r.blocks[i].firstKey, rng.Start) > 0
+		n := it.lo + sort.Search(it.hi-it.lo, func(i int) bool {
+			return skv.Compare(it.r.blocks[it.lo+i].firstKey, rng.Start) > 0
 		})
-		if n > 0 {
+		if n > it.lo {
 			blk = n - 1
 		}
 	}
@@ -630,7 +866,7 @@ func (it *Iter) Seek(rng skv.Range) error {
 func (it *Iter) loadBlock(i int) error {
 	it.blk = i
 	it.pos = 0
-	if i >= len(it.r.blocks) {
+	if i >= it.hi {
 		it.entries = nil
 		return nil
 	}
@@ -645,9 +881,9 @@ func (it *Iter) loadBlock(i int) error {
 }
 
 // settle advances across block boundaries until a current entry exists
-// or the file ends.
+// or the run ends.
 func (it *Iter) settle() error {
-	for it.pos >= len(it.entries) && it.blk < len(it.r.blocks) {
+	for it.pos >= len(it.entries) && it.blk < it.hi {
 		if err := it.loadBlock(it.blk + 1); err != nil {
 			return err
 		}
@@ -668,3 +904,32 @@ func (it *Iter) Next() error {
 	it.pos++
 	return it.settle()
 }
+
+// familyIter merges several locality-group runs into one sorted stream,
+// hoisting the file-level bloom probes above the merge so each probe is
+// answered (and counted) once per seek instead of once per run.
+type familyIter struct {
+	r    *Reader
+	src  iterator.SKVI
+	skip bool // current seek answered empty by a bloom negative
+}
+
+var _ iterator.SKVI = (*familyIter)(nil)
+
+// Seek implements SKVI.
+func (f *familyIter) Seek(rng skv.Range) error {
+	f.skip = f.r.bloomRejects(rng)
+	if f.skip {
+		return nil
+	}
+	return f.src.Seek(rng)
+}
+
+// HasTop implements SKVI.
+func (f *familyIter) HasTop() bool { return !f.skip && f.src.HasTop() }
+
+// Top implements SKVI.
+func (f *familyIter) Top() skv.Entry { return f.src.Top() }
+
+// Next implements SKVI.
+func (f *familyIter) Next() error { return f.src.Next() }

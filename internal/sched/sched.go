@@ -16,7 +16,6 @@ package sched
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -38,7 +37,9 @@ type Config struct {
 	// MaxQueuedQueries bounds the admission wait queue; a query arriving
 	// with the queue full is rejected with *AdmissionError. 0 selects
 	// DefaultMaxQueuedQueries; negative rejects immediately when all
-	// slots are busy.
+	// slots are busy. Queued queries are dequeued by tenant fair share
+	// (TenantWeights), not arrival order: under a saturated admission
+	// queue each tenant's granted slots approach weight/Σweights.
 	MaxQueuedQueries int
 	// MaxConcurrentPasses bounds tablet scan passes in flight across the
 	// whole process; waiting passes are dispatched from per-tenant
@@ -46,8 +47,9 @@ type Config struct {
 	// passes unlimited — fair-share and shared-scan folding then never
 	// engage, because no pass ever waits.
 	MaxConcurrentPasses int
-	// TenantWeights maps tenant label → fair-share weight. Tenants not
-	// listed get weight 1. Under saturation each tenant's granted passes
+	// TenantWeights maps tenant label → fair-share weight, applied to
+	// both the admission wait queue and the tablet-pass queues. Tenants
+	// not listed get weight 1. Under saturation each tenant's grants
 	// approach weight/Σweights of the total.
 	TenantWeights map[string]int
 	// ScanEntryBudget bounds the entries one query may receive from
@@ -75,10 +77,9 @@ func (e *AdmissionError) Error() string {
 // All methods are safe for concurrent use and nil-receiver safe.
 type Scheduler struct {
 	cfg       Config
-	slots     chan struct{}
-	maxQueued int64
-	queued    atomic.Int64
-	pass      *passQueue
+	admit     *fairQueue
+	maxQueued int
+	pass      *fairQueue
 }
 
 // New builds a Scheduler from cfg (see Config for zero-value defaults).
@@ -89,7 +90,7 @@ func New(cfg Config) *Scheduler {
 		maxQ = DefaultMaxConcurrentQueries
 	}
 	if maxQ > 0 {
-		s.slots = make(chan struct{}, maxQ)
+		s.admit = newFairQueue(maxQ, cfg.TenantWeights)
 		queued := cfg.MaxQueuedQueries
 		if queued == 0 {
 			queued = DefaultMaxQueuedQueries
@@ -97,53 +98,48 @@ func New(cfg Config) *Scheduler {
 		if queued < 0 {
 			queued = 0
 		}
-		s.maxQueued = int64(queued)
+		s.maxQueued = queued
 	}
 	if cfg.MaxConcurrentPasses > 0 {
-		s.pass = newPassQueue(cfg.MaxConcurrentPasses, cfg.TenantWeights)
+		s.pass = newFairQueue(cfg.MaxConcurrentPasses, cfg.TenantWeights)
 	}
 	return s
 }
 
 // Admit claims a query execution slot, blocking in the bounded wait
-// queue when all slots are busy. It returns the release func (call
-// exactly once when the query finishes) and the time spent queued, or
-// an *AdmissionError when the wait queue is full too.
+// queue when all slots are busy. Queued queries are dispatched by
+// tenant fair share (Config.TenantWeights), not arrival order, so a
+// tenant flooding the admission queue cannot starve the others. It
+// returns the release func (call exactly once when the query finishes)
+// and the time spent queued, or an *AdmissionError when the wait queue
+// is full too.
 func (s *Scheduler) Admit(tenant string) (release func(), wait time.Duration, err error) {
-	if s == nil || s.slots == nil {
+	if s == nil || s.admit == nil {
 		return func() {}, 0, nil
 	}
-	select {
-	case s.slots <- struct{}{}:
-		return s.releaseSlot, 0, nil
-	default:
+	release, wait, ok := s.admit.acquireBounded(tenant, s.maxQueued)
+	if !ok {
+		return nil, 0, &AdmissionError{Tenant: tenant, Limit: s.admit.limit, Queued: s.maxQueued}
 	}
-	if s.queued.Add(1) > s.maxQueued {
-		s.queued.Add(-1)
-		return nil, 0, &AdmissionError{Tenant: tenant, Limit: cap(s.slots), Queued: int(s.maxQueued)}
-	}
-	start := time.Now()
-	s.slots <- struct{}{}
-	s.queued.Add(-1)
-	return s.releaseSlot, time.Since(start), nil
+	return release, wait, nil
 }
-
-func (s *Scheduler) releaseSlot() { <-s.slots }
 
 // QueriesRunning returns the number of admitted queries in flight.
 func (s *Scheduler) QueriesRunning() int {
-	if s == nil || s.slots == nil {
+	if s == nil || s.admit == nil {
 		return 0
 	}
-	return len(s.slots)
+	s.admit.mu.Lock()
+	defer s.admit.mu.Unlock()
+	return s.admit.running
 }
 
 // QueriesQueued returns the number of queries waiting at admission.
 func (s *Scheduler) QueriesQueued() int {
-	if s == nil {
+	if s == nil || s.admit == nil {
 		return 0
 	}
-	return int(s.queued.Load())
+	return s.admit.queued()
 }
 
 // PassLimited reports whether tablet passes contend for slots — the
@@ -175,15 +171,16 @@ func (s *Scheduler) NewBudget(tenant string) *Budget {
 	}
 }
 
-// --- fair-share pass dispatch ---
+// --- fair-share dispatch ---
 
-// passQueue dispatches tablet passes under a process-wide concurrency
-// limit using start-time fair queuing: each tenant's virtual time
-// advances by 1/weight per granted pass, and the pending tenant with
-// the smallest virtual time is granted next. A tenant going active
-// after idling re-enters at the queue's virtual clock, so it cannot
-// bank credit while idle or be punished for it.
-type passQueue struct {
+// fairQueue grants slots under a concurrency limit using start-time
+// fair queuing: each tenant's virtual time advances by 1/weight per
+// granted slot, and the pending tenant with the smallest virtual time
+// is granted next. A tenant going active after idling re-enters at the
+// queue's virtual clock, so it cannot bank credit while idle or be
+// punished for it. One instance backs the admission wait queue (query
+// slots) and another the tablet-pass queue.
+type fairQueue struct {
 	limit   int
 	weights map[string]int
 
@@ -200,11 +197,11 @@ type tenantQueue struct {
 	waiters []chan struct{}
 }
 
-func newPassQueue(limit int, weights map[string]int) *passQueue {
-	return &passQueue{limit: limit, weights: weights, tenants: map[string]*tenantQueue{}}
+func newFairQueue(limit int, weights map[string]int) *fairQueue {
+	return &fairQueue{limit: limit, weights: weights, tenants: map[string]*tenantQueue{}}
 }
 
-func (p *passQueue) tenantLocked(name string) *tenantQueue {
+func (p *fairQueue) tenantLocked(name string) *tenantQueue {
 	tq, ok := p.tenants[name]
 	if !ok {
 		w := p.weights[name]
@@ -217,13 +214,25 @@ func (p *passQueue) tenantLocked(name string) *tenantQueue {
 	return tq
 }
 
-func (p *passQueue) acquire(tenant string) (func(), time.Duration) {
+func (p *fairQueue) acquire(tenant string) (func(), time.Duration) {
+	release, wait, _ := p.acquireBounded(tenant, -1)
+	return release, wait
+}
+
+// acquireBounded is acquire with a bound on the wait queue: when all
+// slots are busy and maxQueued (≥ 0) waiters are already queued, it
+// refuses instead of waiting (ok=false). maxQueued < 0 never refuses.
+func (p *fairQueue) acquireBounded(tenant string, maxQueued int) (release func(), wait time.Duration, ok bool) {
 	p.mu.Lock()
 	tq := p.tenantLocked(tenant)
 	if p.running < p.limit && !p.pendingLocked() {
 		p.grantLocked(tq)
 		p.mu.Unlock()
-		return p.release, 0
+		return p.release, 0, true
+	}
+	if maxQueued >= 0 && p.queuedLocked() >= maxQueued {
+		p.mu.Unlock()
+		return nil, 0, false
 	}
 	if len(tq.waiters) == 0 && tq.vtime < p.vclock {
 		tq.vtime = p.vclock
@@ -233,11 +242,11 @@ func (p *passQueue) acquire(tenant string) (func(), time.Duration) {
 	p.mu.Unlock()
 	start := time.Now()
 	<-ch
-	return p.release, time.Since(start)
+	return p.release, time.Since(start), true
 }
 
 // pendingLocked reports whether any tenant has queued waiters.
-func (p *passQueue) pendingLocked() bool {
+func (p *fairQueue) pendingLocked() bool {
 	for _, tq := range p.tenants {
 		if len(tq.waiters) > 0 {
 			return true
@@ -249,7 +258,7 @@ func (p *passQueue) pendingLocked() bool {
 // grantLocked accounts one granted pass to tq. The floor mirrors the
 // enqueue-time reset for fast-path grants (a tenant going active after
 // idling banks no credit) and keeps the virtual clock monotone.
-func (p *passQueue) grantLocked(tq *tenantQueue) {
+func (p *fairQueue) grantLocked(tq *tenantQueue) {
 	p.running++
 	if tq.vtime < p.vclock {
 		tq.vtime = p.vclock
@@ -258,7 +267,7 @@ func (p *passQueue) grantLocked(tq *tenantQueue) {
 	tq.vtime += 1 / tq.weight
 }
 
-func (p *passQueue) release() {
+func (p *fairQueue) release() {
 	p.mu.Lock()
 	p.running--
 	p.dispatchLocked()
@@ -267,7 +276,7 @@ func (p *passQueue) release() {
 
 // dispatchLocked grants freed slots to waiters, smallest virtual time
 // first (ties broken by tenant name for determinism).
-func (p *passQueue) dispatchLocked() {
+func (p *fairQueue) dispatchLocked() {
 	for p.running < p.limit {
 		var best *tenantQueue
 		for _, tq := range p.tenants {
@@ -289,16 +298,25 @@ func (p *passQueue) dispatchLocked() {
 	}
 }
 
+// queuedLocked counts waiters across every tenant.
+func (p *fairQueue) queuedLocked() int {
+	n := 0
+	for _, tq := range p.tenants {
+		n += len(tq.waiters)
+	}
+	return n
+}
+
+func (p *fairQueue) queued() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queuedLocked()
+}
+
 // PassesQueued returns the number of tablet passes waiting for a slot.
 func (s *Scheduler) PassesQueued() int {
 	if s == nil || s.pass == nil {
 		return 0
 	}
-	s.pass.mu.Lock()
-	defer s.pass.mu.Unlock()
-	n := 0
-	for _, tq := range s.pass.tenants {
-		n += len(tq.waiters)
-	}
-	return n
+	return s.pass.queued()
 }

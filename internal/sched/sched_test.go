@@ -168,6 +168,74 @@ func TestFairShareRatios(t *testing.T) {
 	}
 }
 
+// TestAdmitFairShareRatios: the admission wait queue dequeues by tenant
+// weight, not arrival order. A full backlog is built behind a held
+// query slot; grants then serialize through the single slot, so the
+// recorded order is exactly the dispatcher's weighted order, and within
+// the window where both tenants still have queued queries the 3:1
+// weights pin a 3:1 grant ratio.
+func TestAdmitFairShareRatios(t *testing.T) {
+	const perTenant = 120
+	s := New(Config{
+		MaxConcurrentQueries: 1,
+		MaxQueuedQueries:     4 * perTenant,
+		TenantWeights:        map[string]int{"gold": 3, "bronze": 1},
+	})
+	blocker, _, err := s.Admit("gold")
+	if err != nil {
+		t.Fatalf("blocker Admit: %v", err)
+	}
+	var (
+		mu    sync.Mutex
+		order []string
+		wg    sync.WaitGroup
+	)
+	for _, tenant := range []string{"gold", "bronze"} {
+		for w := 0; w < perTenant; w++ {
+			wg.Add(1)
+			go func(tenant string) {
+				defer wg.Done()
+				release, _, err := s.Admit(tenant)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				order = append(order, tenant)
+				mu.Unlock()
+				release()
+			}(tenant)
+		}
+	}
+	deadline := time.After(10 * time.Second)
+	for s.QueriesQueued() < 2*perTenant {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d of %d queries queued", s.QueriesQueued(), 2*perTenant)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	blocker()
+	wg.Wait()
+	if len(order) != 2*perTenant {
+		t.Fatalf("admitted %d queries, want %d", len(order), 2*perTenant)
+	}
+	window := order[:perTenant+perTenant/3]
+	gold := 0
+	for _, tenant := range window {
+		if tenant == "gold" {
+			gold++
+		}
+	}
+	bronze := len(window) - gold
+	ratio := float64(gold) / float64(bronze)
+	if math.Abs(ratio-3) > 0.3 {
+		t.Fatalf("gold:bronze admission ratio = %.2f (gold=%d bronze=%d in first %d grants), want ≈3",
+			ratio, gold, bronze, len(window))
+	}
+}
+
 // TestFairShareIdleTenantNotPenalized: a tenant joining late is not
 // starved by the incumbent's accumulated virtual time.
 func TestFairShareIdleTenantNotPenalized(t *testing.T) {

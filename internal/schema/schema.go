@@ -17,6 +17,27 @@ import (
 	"graphulo/internal/skv"
 )
 
+// Column families name the schema channels, so the storage layer can
+// place each channel in its own rfile locality group (format v4) and a
+// scan over one channel skips the others' blocks entirely.
+const (
+	// EdgeFamily holds adjacency/incidence matrix entries.
+	EdgeFamily = "edge"
+	// DegFamily holds degree (and other per-row reduction) entries.
+	DegFamily = "deg"
+	// RawFamily holds raw record text (the D4M Traw channel).
+	RawFamily = "raw"
+)
+
+// EdgeBand is the family band kernels push down when scanning the edge
+// channel: EdgeFamily plus the unnamed family, so tables written before
+// the channels were named (and generic WriteAssoc output, which writes
+// under "") stay fully visible to banded kernels.
+func EdgeBand() []string { return []string{"", EdgeFamily} }
+
+// DegBand is the degree-channel counterpart of EdgeBand.
+func DegBand() []string { return []string{"", DegFamily} }
+
 // VertexName formats vertex ids as fixed-width row keys so lexicographic
 // key order matches numeric order — the standard NoSQL graph convention.
 func VertexName(v int) string { return fmt.Sprintf("v%08d", v) }
@@ -100,22 +121,22 @@ func (s *AdjacencySchema) IngestGraph(g gen.Graph) error {
 	}
 	for _, e := range g.Edges {
 		u, v := VertexName(e.U), VertexName(e.V)
-		if err := wA.PutFloat(u, "", v, 1); err != nil {
+		if err := wA.PutFloat(u, EdgeFamily, v, 1); err != nil {
 			return err
 		}
-		if err := wA.PutFloat(v, "", u, 1); err != nil {
+		if err := wA.PutFloat(v, EdgeFamily, u, 1); err != nil {
 			return err
 		}
-		if err := wT.PutFloat(u, "", v, 1); err != nil {
+		if err := wT.PutFloat(u, EdgeFamily, v, 1); err != nil {
 			return err
 		}
-		if err := wT.PutFloat(v, "", u, 1); err != nil {
+		if err := wT.PutFloat(v, EdgeFamily, u, 1); err != nil {
 			return err
 		}
-		if err := wD.PutFloat(u, "", "deg", 1); err != nil {
+		if err := wD.PutFloat(u, DegFamily, "deg", 1); err != nil {
 			return err
 		}
-		if err := wD.PutFloat(v, "", "deg", 1); err != nil {
+		if err := wD.PutFloat(v, DegFamily, "deg", 1); err != nil {
 			return err
 		}
 	}
@@ -144,13 +165,13 @@ func (s *AdjacencySchema) IngestDirected(g gen.Graph) error {
 	}
 	for _, e := range g.Edges {
 		u, v := VertexName(e.U), VertexName(e.V)
-		if err := wA.PutFloat(u, "", v, 1); err != nil {
+		if err := wA.PutFloat(u, EdgeFamily, v, 1); err != nil {
 			return err
 		}
-		if err := wT.PutFloat(v, "", u, 1); err != nil {
+		if err := wT.PutFloat(v, EdgeFamily, u, 1); err != nil {
 			return err
 		}
-		if err := wD.PutFloat(u, "", "deg", 1); err != nil {
+		if err := wD.PutFloat(u, DegFamily, "deg", 1); err != nil {
 			return err
 		}
 	}
@@ -247,10 +268,10 @@ func (s *IncidenceSchema) IngestGraph(g gen.Graph) error {
 		edge := EdgeName(i)
 		for _, v := range []int{e.U, e.V} {
 			vert := VertexName(v)
-			if err := wE.PutFloat(edge, "", vert, 1); err != nil {
+			if err := wE.PutFloat(edge, EdgeFamily, vert, 1); err != nil {
 				return err
 			}
-			if err := wT.PutFloat(vert, "", edge, 1); err != nil {
+			if err := wT.PutFloat(vert, EdgeFamily, edge, 1); err != nil {
 				return err
 			}
 		}
@@ -344,13 +365,13 @@ func (d *D4M) Ingest(records []Record) error {
 		raw := ""
 		for _, f := range fields {
 			col := ExplodedColumn(f, rec.Fields[f])
-			if err := we.PutFloat(rec.ID, "", col, 1); err != nil {
+			if err := we.PutFloat(rec.ID, EdgeFamily, col, 1); err != nil {
 				return err
 			}
-			if err := wt.PutFloat(col, "", rec.ID, 1); err != nil {
+			if err := wt.PutFloat(col, EdgeFamily, rec.ID, 1); err != nil {
 				return err
 			}
-			if err := wd.PutFloat(col, "", "deg", 1); err != nil {
+			if err := wd.PutFloat(col, DegFamily, "deg", 1); err != nil {
 				return err
 			}
 			if raw != "" {
@@ -358,7 +379,7 @@ func (d *D4M) Ingest(records []Record) error {
 			}
 			raw += f + "=" + rec.Fields[f]
 		}
-		if err := wr.Put(rec.ID, "", "raw", skv.Value(raw)); err != nil {
+		if err := wr.Put(rec.ID, RawFamily, "raw", skv.Value(raw)); err != nil {
 			return err
 		}
 	}

@@ -490,19 +490,21 @@ func (d *Dir) readerOptions() rfile.ReaderOptions {
 // StorageCounters is a snapshot of a data directory's read-path
 // counters: block cache traffic and bloom-filter negative lookups.
 type StorageCounters struct {
-	CacheHits          int64
-	CacheMisses        int64
-	BloomNegatives     int64 // single-row seeks pruned by the row bloom
-	ColQBloomNegatives int64 // single-cell seeks pruned by the (row, colQ) bloom
+	CacheHits             int64
+	CacheMisses           int64
+	BloomNegatives        int64 // single-row seeks pruned by the row bloom
+	ColQBloomNegatives    int64 // single-cell seeks pruned by the (row, colQ) bloom
+	LocalityBlocksSkipped int64 // blocks skipped via locality-group family runs
 }
 
 // StorageStats snapshots the directory's read-path counters.
 func (d *Dir) StorageStats() StorageCounters {
 	return StorageCounters{
-		CacheHits:          d.blockCache.Hits(),
-		CacheMisses:        d.blockCache.Misses(),
-		BloomNegatives:     d.rfStats.BloomNegatives.Load(),
-		ColQBloomNegatives: d.rfStats.ColQBloomNegatives.Load(),
+		CacheHits:             d.blockCache.Hits(),
+		CacheMisses:           d.blockCache.Misses(),
+		BloomNegatives:        d.rfStats.BloomNegatives.Load(),
+		ColQBloomNegatives:    d.rfStats.ColQBloomNegatives.Load(),
+		LocalityBlocksSkipped: d.rfStats.LocalityBlocksSkipped.Load(),
 	}
 }
 

@@ -18,6 +18,11 @@ type run interface {
 	// meaningful only for disk-backed runs; in-memory runs ignore the
 	// label.
 	iterFor(tenant string) iterator.SKVI
+	// iterFamilies is iterFor constrained to a column-family set
+	// (empty = unconstrained). Disk-backed runs with a locality-group
+	// directory serve it by touching only the matching families' block
+	// runs; in-memory runs filter per entry.
+	iterFamilies(tenant string, families []string) iterator.SKVI
 	// count returns the number of entries stored.
 	count() int
 }
@@ -46,6 +51,10 @@ func newMemRun(entries []skv.Entry) *memRun {
 func (r *memRun) iter() iterator.SKVI          { return &memRunIter{r: r} }
 func (r *memRun) iterFor(string) iterator.SKVI { return &memRunIter{r: r} }
 func (r *memRun) count() int                   { return len(r.entries) }
+
+func (r *memRun) iterFamilies(_ string, families []string) iterator.SKVI {
+	return iterator.NewColumnFilterIter(&memRunIter{r: r}, families...)
+}
 
 // seekPos returns the position of the first entry with key >= k.
 func (r *memRun) seekPos(k skv.Key) int {
@@ -110,3 +119,7 @@ type diskRun struct {
 func (d diskRun) iter() iterator.SKVI                 { return d.rd.Iter() }
 func (d diskRun) iterFor(tenant string) iterator.SKVI { return d.rd.IterFor(tenant) }
 func (d diskRun) count() int                          { return d.rd.Count() }
+
+func (d diskRun) iterFamilies(tenant string, families []string) iterator.SKVI {
+	return d.rd.IterFamilies(tenant, families)
+}

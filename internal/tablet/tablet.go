@@ -72,10 +72,11 @@ import (
 	"graphulo/internal/skv"
 )
 
-// maxFrozen bounds the frozen-memtable queue; writers stall once the
-// background flusher falls this far behind, converting unbounded memory
-// growth into measured backpressure (IngestStats.StallNanos).
-const maxFrozen = 2
+// DefaultMaxFrozen is the default frozen-memtable queue depth; writers
+// stall once the background flusher falls this far behind, converting
+// unbounded memory growth into measured backpressure
+// (IngestStats.StallNanos). Override per tablet with SetMaxFrozen.
+const DefaultMaxFrozen = 2
 
 // Backing is the durability hook a durable tablet calls into; the
 // internal/store package implements it on a data directory. All entry
@@ -162,6 +163,7 @@ type Tablet struct {
 	runs       []run
 	memLimit   int   // entries before freeze
 	flushBytes int   // approx memtable bytes before freeze (0 = count-only)
+	maxFrozen  int   // frozen-queue depth before writers stall
 	seed       int64 // kept for split lineage naming; level draws are per-goroutine
 	backing    Backing
 	retired    bool // set by SplitAt; the tablet must absorb no more work
@@ -185,11 +187,12 @@ func New(startRow, endRow string, memLimit int, seed int64) *Tablet {
 		memLimit = 1 << 14
 	}
 	t := &Tablet{
-		StartRow: startRow,
-		EndRow:   endRow,
-		memLimit: memLimit,
-		seed:     seed,
-		stats:    &IngestStats{},
+		StartRow:  startRow,
+		EndRow:    endRow,
+		memLimit:  memLimit,
+		maxFrozen: DefaultMaxFrozen,
+		seed:      seed,
+		stats:     &IngestStats{},
 	}
 	t.active.Store(newMemtable())
 	t.flushCond = sync.NewCond(&t.mu)
@@ -216,6 +219,17 @@ func NewDurable(startRow, endRow string, memLimit int, seed int64, b Backing, ru
 // a freeze in addition to the entry-count limit (0 disables the byte
 // trigger). Call before the tablet takes traffic.
 func (t *Tablet) SetFlushBytes(n int) { t.flushBytes = n }
+
+// SetMaxFrozen sets the frozen-memtable queue depth writers may build
+// up before stalling (<= 0 restores DefaultMaxFrozen). A deeper queue
+// absorbs longer ingest bursts at the cost of more memory and a wider
+// scan merge. Call before the tablet takes traffic.
+func (t *Tablet) SetMaxFrozen(n int) {
+	if n <= 0 {
+		n = DefaultMaxFrozen
+	}
+	t.maxFrozen = n
+}
 
 // SetIngestStats points the tablet at a shared ingest-stats sink. Call
 // before the tablet takes traffic.
@@ -323,12 +337,12 @@ func (t *Tablet) Write(entries []skv.Entry) error {
 // the writer instead of deadlocking it.
 func (t *Tablet) stallForFrozen() error {
 	t.mu.Lock()
-	if len(t.frozen) < maxFrozen || t.retired {
+	if len(t.frozen) < t.maxFrozen || t.retired {
 		t.mu.Unlock()
 		return nil
 	}
 	start := time.Now()
-	for len(t.frozen) >= maxFrozen && t.flushErr == nil && !t.retired {
+	for len(t.frozen) >= t.maxFrozen && t.flushErr == nil && !t.retired {
 		t.flushCond.Wait()
 	}
 	err := t.flushErr
@@ -666,6 +680,14 @@ func (t *Tablet) Snapshot() iterator.SKVI { return t.SnapshotFor("") }
 // to tenant — the cache-partition accounting for scans that carry a
 // tenant label. Memtable sources ignore the label.
 func (t *Tablet) SnapshotFor(tenant string) iterator.SKVI {
+	return t.SnapshotForFamilies(tenant, nil)
+}
+
+// SnapshotForFamilies is SnapshotFor constrained to a column-family set
+// (empty = unconstrained). Disk runs with a locality-group directory
+// serve the constraint by loading only the matching families' block
+// runs; memtable sources (and pre-v4 files) filter per entry.
+func (t *Tablet) SnapshotForFamilies(tenant string, families []string) iterator.SKVI {
 	// Load the active memtable before the frozen list: freeze queues
 	// the old memtable before swapping, so at every instant old is in
 	// at least one of the two views (duplicates collapse in the merge).
@@ -676,8 +698,17 @@ func (t *Tablet) SnapshotFor(tenant string) iterator.SKVI {
 	for i := len(t.frozen) - 1; i >= 0; i-- {
 		sources = append(sources, t.frozen[i].mem.iter())
 	}
-	for i := len(t.runs) - 1; i >= 0; i-- {
-		sources = append(sources, t.runs[i].iterFor(tenant))
+	if len(families) == 0 {
+		for i := len(t.runs) - 1; i >= 0; i-- {
+			sources = append(sources, t.runs[i].iterFor(tenant))
+		}
+	} else {
+		for i := len(sources) - 1; i >= 0; i-- {
+			sources[i] = iterator.NewColumnFilterIter(sources[i], families...)
+		}
+		for i := len(t.runs) - 1; i >= 0; i-- {
+			sources = append(sources, t.runs[i].iterFamilies(tenant, families))
+		}
 	}
 	t.mu.Unlock()
 	return iterator.NewDedupMergeIter(sources...)
@@ -727,6 +758,8 @@ func (t *Tablet) SplitAt(row string) (*Tablet, *Tablet, error) {
 	right := New(row, t.EndRow, t.memLimit, t.seed*2+2)
 	left.SetFlushBytes(t.flushBytes)
 	right.SetFlushBytes(t.flushBytes)
+	left.SetMaxFrozen(t.maxFrozen)
+	right.SetMaxFrozen(t.maxFrozen)
 	left.SetIngestStats(t.stats)
 	right.SetIngestStats(t.stats)
 	left.SetFlushNotify(t.flushNotify)

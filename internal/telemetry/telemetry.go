@@ -80,6 +80,10 @@ const (
 	CacheMisses
 	BloomNegatives
 	ColQBloomNegatives
+	// LocalityBlocksSkipped counts rfile data blocks a family-constrained
+	// scan skipped entirely because they belong to other column
+	// families' locality-group block runs.
+	LocalityBlocksSkipped
 	CompactionKicks
 	// WriteWireBytes counts the encoded bytes of write batches the query
 	// (or pass) shipped to tablet servers — the write-side slice of
@@ -111,6 +115,7 @@ var counterNames = [NumCounters]string{
 	"cache_misses",
 	"bloom_negatives",
 	"colq_bloom_negatives",
+	"locality_blocks_skipped",
 	"compaction_kicks",
 	"write_wire_bytes",
 	"shared_scan_folds",
